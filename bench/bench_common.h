@@ -1,0 +1,366 @@
+// Shared experiment drivers for the figure benches. Each paper figure has
+// its own thin binary (bench/figN_*.cc) that calls one of these drivers
+// with the figure's parameters; the ablation benches reuse them too.
+//
+// All drivers:
+//   * build the SIPP-like (or simulated) dataset once from a fixed seed and
+//     treat it as ground truth, exactly as the paper treats its SIPP sample;
+//   * run `reps` independent synthesizer executions in parallel;
+//   * print the figure's series as an aligned table (ground truth, mean,
+//     median, 2.5/97.5 percentiles of the DP estimates) and optionally CSV.
+
+#ifndef LONGDP_BENCH_BENCH_COMMON_H_
+#define LONGDP_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cumulative_synthesizer.h"
+#include "core/fixed_window_synthesizer.h"
+#include "core/theory.h"
+#include "data/generators.h"
+#include "data/sipp_csv.h"
+#include "data/sipp_simulator.h"
+#include "harness/aggregate.h"
+#include "harness/flags.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "query/cumulative_query.h"
+#include "query/window_query.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace bench {
+
+inline constexpr uint64_t kDatasetSeed = 20240512;  // fixed ground truth
+inline constexpr uint64_t kRunSeed = 1234567;
+
+/// Loads the real SIPP extract if --sipp_csv=... is given, otherwise
+/// simulates the calibrated SIPP-like panel (DESIGN.md substitution).
+inline Result<data::LongitudinalDataset> MakeSippDataset(
+    const harness::Flags& flags) {
+  std::string path = flags.GetString("sipp_csv", "");
+  if (!path.empty()) {
+    std::cout << "# loading real SIPP extract from " << path << "\n";
+    return data::LoadSippBitsCsv(path);
+  }
+  util::Rng rng(kDatasetSeed);
+  data::SippOptions opt;
+  opt.num_households = flags.GetInt("n", opt.num_households);
+  return data::SimulateSipp(opt, &rng);
+}
+
+/// The four quarterly poverty queries of Figure 1 (window k = 3).
+inline std::vector<query::WindowPredicatePtr> QuarterlyPredicates() {
+  return {
+      query::MakeAtLeastOnes(3, 1),      // >= 1 month of the quarter
+      query::MakeAtLeastOnes(3, 2),      // >= 2 months
+      query::MakeConsecutiveOnes(3, 2),  // >= 2 consecutive months
+      query::MakeAllOnes(3),             // all three months
+  };
+}
+
+inline const char* QuarterlyPredicateLabel(size_t i) {
+  static const char* kLabels[] = {">=1 month", ">=2 months", ">=2 consec",
+                                  "all 3 months"};
+  return kLabels[i];
+}
+
+/// Runs the paper's SIPP quarterly experiment (Figures 1, 5, 6, 7): window
+/// k = 3, queries evaluated at quarter ends t = 3, 6, 9, 12, `reps`
+/// repetitions. Prints the biased ("Synthetic Data Results") and/or
+/// debiased panels.
+inline Status RunSippQuarterly(const harness::Flags& flags, double rho,
+                               bool print_biased, bool print_debiased,
+                               const std::string& figure_label) {
+  const int64_t reps = flags.Reps(1000);
+  LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
+  const auto preds = QuarterlyPredicates();
+  const std::vector<int64_t> quarter_ends = {3, 6, 9, 12};
+
+  std::cout << "== " << figure_label << " ==\n"
+            << "SIPP quarterly poverty, n=" << ds.num_users()
+            << " T=12 k=3 rho=" << rho << " reps=" << reps << "\n\n";
+
+  // samples[panel][pred][quarter][rep]; panel 0 = biased, 1 = debiased.
+  auto make_store = [&]() {
+    return std::vector<std::vector<std::vector<double>>>(
+        preds.size(), std::vector<std::vector<double>>(
+                          quarter_ends.size(),
+                          std::vector<double>(static_cast<size_t>(reps))));
+  };
+  auto biased = make_store();
+  auto debiased = make_store();
+
+  LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+      reps, kRunSeed, [&](int64_t rep, util::Rng* rng) {
+        core::FixedWindowSynthesizer::Options opt;
+        opt.horizon = 12;
+        opt.window_k = 3;
+        opt.rho = rho;
+        LONGDP_ASSIGN_OR_RETURN(auto synth,
+                                core::FixedWindowSynthesizer::Create(opt));
+        size_t quarter = 0;
+        for (int64_t t = 1; t <= 12; ++t) {
+          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+          if (quarter < quarter_ends.size() && t == quarter_ends[quarter]) {
+            for (size_t p = 0; p < preds.size(); ++p) {
+              LONGDP_ASSIGN_OR_RETURN(
+                  double b, synth->BiasedAnswer(*preds[p]));
+              LONGDP_ASSIGN_OR_RETURN(
+                  double d, synth->DebiasedAnswer(*preds[p]));
+              biased[p][quarter][static_cast<size_t>(rep)] = b;
+              debiased[p][quarter][static_cast<size_t>(rep)] = d;
+            }
+            ++quarter;
+          }
+        }
+        return Status::OK();
+      }));
+
+  auto print_panel =
+      [&](const char* title,
+          const std::vector<std::vector<std::vector<double>>>& samples,
+          const std::string& csv_suffix) -> Status {
+    std::cout << "-- " << title << " --\n";
+    harness::Table table({"query", "quarter", "truth", "mean", "median",
+                          "q2.5", "q97.5"});
+    for (size_t p = 0; p < preds.size(); ++p) {
+      for (size_t q = 0; q < quarter_ends.size(); ++q) {
+        LONGDP_ASSIGN_OR_RETURN(
+            double truth,
+            query::EvaluateOnDataset(*preds[p], ds, quarter_ends[q]));
+        auto s = harness::Summarize(samples[p][q]);
+        LONGDP_RETURN_NOT_OK(table.AddRow(
+            {QuarterlyPredicateLabel(p), std::to_string(q + 1),
+             harness::Table::Num(truth), harness::Table::Num(s.mean),
+             harness::Table::Num(s.median), harness::Table::Num(s.q025),
+             harness::Table::Num(s.q975)}));
+      }
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+    std::string csv = flags.GetString("csv", "");
+    if (!csv.empty()) {
+      LONGDP_RETURN_NOT_OK(table.WriteCsv(csv + "." + csv_suffix + ".csv"));
+    }
+    return Status::OK();
+  };
+
+  if (print_biased) {
+    LONGDP_RETURN_NOT_OK(print_panel(
+        "Synthetic Data Results (biased, count/n*)", biased, "biased"));
+  }
+  if (print_debiased) {
+    LONGDP_RETURN_NOT_OK(print_panel(
+        "Debiased Results (padding subtracted, /n)", debiased, "debiased"));
+  }
+  return Status::OK();
+}
+
+/// Runs the paper's SIPP cumulative experiment (Figures 2 and 8): fraction
+/// of households in poverty for at least b = 3 months by month t = 1..12.
+inline Status RunSippCumulative(const harness::Flags& flags, double rho,
+                                const std::string& figure_label) {
+  const int64_t reps = flags.Reps(1000);
+  const int64_t b = flags.GetInt("b", 3);
+  LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
+  const int64_t T = 12;
+
+  std::cout << "== " << figure_label << " ==\n"
+            << "SIPP cumulative poverty (>= " << b << " months), n="
+            << ds.num_users() << " T=12 rho=" << rho << " reps=" << reps
+            << "\n\n";
+
+  std::vector<std::vector<double>> samples(
+      static_cast<size_t>(T),
+      std::vector<double>(static_cast<size_t>(reps)));
+  LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+      reps, kRunSeed + 1, [&](int64_t rep, util::Rng* rng) {
+        core::CumulativeSynthesizer::Options opt;
+        opt.horizon = T;
+        opt.rho = rho;
+        LONGDP_ASSIGN_OR_RETURN(auto synth,
+                                core::CumulativeSynthesizer::Create(opt));
+        for (int64_t t = 1; t <= T; ++t) {
+          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+          LONGDP_ASSIGN_OR_RETURN(
+              samples[static_cast<size_t>(t - 1)][static_cast<size_t>(rep)],
+              synth->Answer(b));
+        }
+        return Status::OK();
+      }));
+
+  harness::Table table(
+      {"month", "truth", "mean", "median", "q2.5", "q97.5"});
+  for (int64_t t = 1; t <= T; ++t) {
+    LONGDP_ASSIGN_OR_RETURN(double truth,
+                            query::EvaluateCumulativeOnDataset(ds, t, b));
+    auto s = harness::Summarize(samples[static_cast<size_t>(t - 1)]);
+    LONGDP_RETURN_NOT_OK(table.AddRow(
+        {std::to_string(t), harness::Table::Num(truth),
+         harness::Table::Num(s.mean), harness::Table::Num(s.median),
+         harness::Table::Num(s.q025), harness::Table::Num(s.q975)}));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  std::string csv = flags.GetString("csv", "");
+  if (!csv.empty()) {
+    LONGDP_RETURN_NOT_OK(table.WriteCsv(csv + ".csv"));
+  }
+  return Status::OK();
+}
+
+/// Runs the simulated-data error experiment of Figures 3-4: all-ones data,
+/// n = 25000, T = 12, synthesizer k = 3, queries of width 3 / 2 / 4
+/// ("matching", "smaller", "larger"), per-timestep |error| percentiles
+/// against the theoretical bound. `debias` selects Figure 3 vs Figure 4.
+inline Status RunSimulatedError(const harness::Flags& flags, bool debias,
+                                const std::string& figure_label) {
+  const int64_t reps = flags.Reps(1000);
+  const int64_t n = flags.GetInt("n", 25000);
+  const int64_t T = flags.GetInt("T", 12);
+  const int synth_k = static_cast<int>(flags.GetInt("k", 3));
+  const double rho = flags.GetDouble("rho", 0.005);
+  const double beta = 0.05;
+
+  LONGDP_ASSIGN_OR_RETURN(auto ds, data::ExtremeAllOnes(n, T));
+  std::cout << "== " << figure_label << " ==\n"
+            << "simulated all-ones data, n=" << n << " T=" << T
+            << " synthesizer k=" << synth_k << " rho=" << rho
+            << " reps=" << reps << (debias ? " (debiased)" : " (biased)")
+            << "\n\n";
+
+  struct QueryCase {
+    const char* label;
+    query::WindowPredicatePtr pred;
+  };
+  // The paper evaluates the all-ones query at each width: the fraction of
+  // individuals whose last k' bits are all ones.
+  std::vector<QueryCase> cases = {
+      {"matching k'=3", query::MakeAllOnes(3)},
+      {"smaller  k'=2", query::MakeAllOnes(2)},
+      {"larger   k'=4", query::MakeAllOnes(4)},
+  };
+
+  // errors[case][t][rep] = |estimate - truth| at timestep t (t >= k').
+  std::vector<std::vector<std::vector<double>>> errors(
+      cases.size(),
+      std::vector<std::vector<double>>(
+          static_cast<size_t>(T) + 1,
+          std::vector<double>(static_cast<size_t>(reps), -1.0)));
+
+  LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+      reps, kRunSeed + 2, [&](int64_t rep, util::Rng* rng) {
+        core::FixedWindowSynthesizer::Options opt;
+        opt.horizon = T;
+        opt.window_k = synth_k;
+        opt.rho = rho;
+        LONGDP_ASSIGN_OR_RETURN(auto synth,
+                                core::FixedWindowSynthesizer::Create(opt));
+        for (int64_t t = 1; t <= T; ++t) {
+          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+          if (!synth->has_release()) continue;
+          for (size_t c = 0; c < cases.size(); ++c) {
+            const auto& pred = cases[c].pred;
+            if (pred->width() > synth_k) {
+              // The "larger query" case: evaluate the best the analyst can
+              // do — chain the k-window release as if bits were
+              // exchangeable. We evaluate the all-ones width-4 query on the
+              // materialized synthetic records directly.
+              if (t < pred->width()) continue;
+              const auto& cohort = synth->cohort();
+              int64_t count = 0;
+              for (int64_t r = 0; r < cohort.num_records(); ++r) {
+                bool all = true;
+                for (int64_t tt = cohort.rounds() - pred->width() + 1;
+                     tt <= cohort.rounds(); ++tt) {
+                  if (cohort.Bit(r, tt) == 0) all = false;
+                }
+                if (all) ++count;
+              }
+              double truth;
+              LONGDP_ASSIGN_OR_RETURN(
+                  truth, query::EvaluateOnDataset(*pred, ds, t));
+              double estimate;
+              if (debias) {
+                // No exact debiaser exists beyond width k — the padding's
+                // contribution to a width-4 count depends on the noise
+                // path. Subtracting npad (the suffix-111 padding mass) is
+                // the analyst's best guess; the figure's point is that the
+                // error is large regardless.
+                estimate = (static_cast<double>(count) -
+                            static_cast<double>(synth->npad())) /
+                           static_cast<double>(ds.num_users());
+              } else {
+                estimate = static_cast<double>(count) /
+                           static_cast<double>(cohort.num_records());
+              }
+              errors[c][static_cast<size_t>(t)][static_cast<size_t>(rep)] =
+                  std::fabs(estimate - truth);
+              continue;
+            }
+            if (t < synth_k) continue;
+            double truth;
+            LONGDP_ASSIGN_OR_RETURN(truth,
+                                    query::EvaluateOnDataset(*pred, ds, t));
+            double estimate;
+            if (debias) {
+              LONGDP_ASSIGN_OR_RETURN(estimate,
+                                      synth->DebiasedAnswer(*pred));
+            } else {
+              LONGDP_ASSIGN_OR_RETURN(estimate, synth->BiasedAnswer(*pred));
+            }
+            errors[c][static_cast<size_t>(t)][static_cast<size_t>(rep)] =
+                std::fabs(estimate - truth);
+          }
+        }
+        return Status::OK();
+      }));
+
+  LONGDP_ASSIGN_OR_RETURN(
+      double bound_debiased,
+      core::theory::DebiasedFractionErrorBound(T, synth_k, rho, beta, n));
+
+  harness::Table table({"query", "t", "median|err|", "q2.5", "q97.5",
+                        "theory_bound"});
+  for (size_t c = 0; c < cases.size(); ++c) {
+    for (int64_t t = 1; t <= T; ++t) {
+      std::vector<double> at_t;
+      for (double e : errors[c][static_cast<size_t>(t)]) {
+        if (e >= 0.0) at_t.push_back(e);
+      }
+      if (at_t.empty()) continue;
+      auto s = harness::Summarize(at_t);
+      LONGDP_RETURN_NOT_OK(table.AddRow(
+          {cases[c].label, std::to_string(t), harness::Table::Num(s.median),
+           harness::Table::Num(s.q025), harness::Table::Num(s.q975),
+           harness::Table::Num(bound_debiased)}));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  std::string csv = flags.GetString("csv", "");
+  if (!csv.empty()) {
+    LONGDP_RETURN_NOT_OK(table.WriteCsv(csv + ".csv"));
+  }
+  return Status::OK();
+}
+
+/// Prints a status and converts to a process exit code.
+inline int ExitWith(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "bench failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace longdp
+
+#endif  // LONGDP_BENCH_BENCH_COMMON_H_

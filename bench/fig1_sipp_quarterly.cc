@@ -1,0 +1,14 @@
+// Figure 1: proportions of SIPP households in poverty per quarter (2021),
+// computed on the synthetic data (biased panel), rho = 0.005, 1000 reps.
+//
+// Flags: --reps=N --rho=R --n=N --csv=prefix --sipp_csv=path
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  double rho = flags.GetDouble("rho", 0.005);
+  return longdp::bench::ExitWith(longdp::bench::RunSippQuarterly(
+      flags, rho, /*print_biased=*/true, /*print_debiased=*/false,
+      "Figure 1: SIPP quarterly poverty, synthetic-data results, rho=" +
+          std::to_string(rho)));
+}

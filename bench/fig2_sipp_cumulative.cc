@@ -1,0 +1,14 @@
+// Figure 2: proportion of SIPP households in poverty for at least three
+// months up to any given month (2021), rho = 0.005, 1000 reps.
+//
+// Flags: --reps=N --rho=R --b=B --n=N --csv=prefix --sipp_csv=path
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  double rho = flags.GetDouble("rho", 0.005);
+  return longdp::bench::ExitWith(longdp::bench::RunSippCumulative(
+      flags, rho,
+      "Figure 2: SIPP cumulative poverty (>= b months), rho=" +
+          std::to_string(rho)));
+}

@@ -1,0 +1,14 @@
+// Figure 3: empirical error of Algorithm 1 on simulated all-ones data with
+// the debiasing step, for queries of width 3 (matching), 2 (smaller), and 4
+// (larger than the synthesizer's k = 3). Median and 2.5/97.5 percentiles per
+// timestep, against the theoretical bound.
+//
+// Flags: --reps=N --rho=R --n=N --T=T --k=K --csv=prefix
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::bench::ExitWith(longdp::bench::RunSimulatedError(
+      flags, /*debias=*/true,
+      "Figure 3: simulated data, debiased error vs timestep"));
+}

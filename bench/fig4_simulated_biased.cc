@@ -1,0 +1,13 @@
+// Figure 4: same experiment as Figure 3 but without the debiasing step —
+// proportions computed directly on the padded synthetic data, showing the
+// substantially larger error the paper warns about.
+//
+// Flags: --reps=N --rho=R --n=N --T=T --k=K --csv=prefix
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::bench::ExitWith(longdp::bench::RunSimulatedError(
+      flags, /*debias=*/false,
+      "Figure 4: simulated data, biased (no debias) error vs timestep"));
+}

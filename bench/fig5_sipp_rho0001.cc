@@ -1,0 +1,13 @@
+// Figure 5: SIPP quarterly poverty at rho = 0.001 — left panel computed on
+// the synthetic data (biased), right panel debiased by subtracting the
+// padding query answer.
+//
+// Flags: --reps=N --n=N --csv=prefix --sipp_csv=path
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::bench::ExitWith(longdp::bench::RunSippQuarterly(
+      flags, /*rho=*/0.001, /*print_biased=*/true, /*print_debiased=*/true,
+      "Figure 5: SIPP quarterly poverty, rho=0.001, biased + debiased"));
+}

@@ -1,0 +1,12 @@
+// Figure 6: SIPP quarterly poverty at rho = 0.005 — biased and debiased
+// panels (the rho used by Figure 1 in the main text).
+//
+// Flags: --reps=N --n=N --csv=prefix --sipp_csv=path
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::bench::ExitWith(longdp::bench::RunSippQuarterly(
+      flags, /*rho=*/0.005, /*print_biased=*/true, /*print_debiased=*/true,
+      "Figure 6: SIPP quarterly poverty, rho=0.005, biased + debiased"));
+}

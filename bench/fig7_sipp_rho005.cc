@@ -1,0 +1,12 @@
+// Figure 7: SIPP quarterly poverty at rho = 0.05 — biased and debiased
+// panels (highest-budget setting in the appendix sweep).
+//
+// Flags: --reps=N --n=N --csv=prefix --sipp_csv=path
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::bench::ExitWith(longdp::bench::RunSippQuarterly(
+      flags, /*rho=*/0.05, /*print_biased=*/true, /*print_debiased=*/true,
+      "Figure 7: SIPP quarterly poverty, rho=0.05, biased + debiased"));
+}

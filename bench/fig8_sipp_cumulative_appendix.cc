@@ -1,0 +1,70 @@
+// Figure 8 (appendix twin of Figure 2): SIPP cumulative poverty with the
+// threshold fixed at b = 3, rho = 0.005. Algorithm 2 releases all
+// thresholds simultaneously; this binary additionally prints the full
+// b-sweep at the final month to make that point.
+//
+// Flags: --reps=N --rho=R --n=N --csv=prefix --sipp_csv=path
+#include "bench_common.h"
+
+namespace longdp {
+namespace bench {
+namespace {
+
+Status PrintFinalMonthThresholdSweep(const harness::Flags& flags,
+                                     double rho) {
+  const int64_t reps = std::min<int64_t>(flags.Reps(1000), 200);
+  LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
+  const int64_t T = 12;
+  std::vector<std::vector<double>> samples(
+      static_cast<size_t>(T) + 1,
+      std::vector<double>(static_cast<size_t>(reps)));
+  LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+      reps, kRunSeed + 8, [&](int64_t rep, util::Rng* rng) {
+        core::CumulativeSynthesizer::Options opt;
+        opt.horizon = T;
+        opt.rho = rho;
+        LONGDP_ASSIGN_OR_RETURN(auto synth,
+                                core::CumulativeSynthesizer::Create(opt));
+        for (int64_t t = 1; t <= T; ++t) {
+          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+        }
+        for (int64_t b = 0; b <= T; ++b) {
+          LONGDP_ASSIGN_OR_RETURN(
+              samples[static_cast<size_t>(b)][static_cast<size_t>(rep)],
+              synth->Answer(b));
+        }
+        return Status::OK();
+      }));
+  std::cout << "-- all thresholds b at the final month (t = 12), "
+            << reps << " reps --\n";
+  harness::Table table({"b", "truth", "mean", "q2.5", "q97.5"});
+  for (int64_t b = 0; b <= T; ++b) {
+    LONGDP_ASSIGN_OR_RETURN(double truth,
+                            query::EvaluateCumulativeOnDataset(ds, T, b));
+    auto s = harness::Summarize(samples[static_cast<size_t>(b)]);
+    LONGDP_RETURN_NOT_OK(table.AddRow(
+        {std::to_string(b), harness::Table::Num(truth),
+         harness::Table::Num(s.mean), harness::Table::Num(s.q025),
+         harness::Table::Num(s.q975)}));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace longdp
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  double rho = flags.GetDouble("rho", 0.005);
+  longdp::Status st = longdp::bench::RunSippCumulative(
+      flags, rho,
+      "Figure 8 (appendix): SIPP cumulative poverty, b=3, rho=" +
+          std::to_string(rho));
+  if (st.ok()) {
+    st = longdp::bench::PrintFinalMonthThresholdSweep(flags, rho);
+  }
+  return longdp::bench::ExitWith(st);
+}

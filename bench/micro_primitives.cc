@@ -1,0 +1,69 @@
+// Ablation A6 (part 1): google-benchmark microbenchmarks for the DP and
+// stream-counter primitives — the per-operation costs that determine
+// whether the synthesizers can run at survey scale in real time.
+
+#include <benchmark/benchmark.h>
+
+#include "dp/discrete_gaussian.h"
+#include "stream/counter_factory.h"
+#include "util/rng.h"
+
+namespace {
+
+using longdp::util::Rng;
+
+void BM_DiscreteGaussianSample(benchmark::State& state) {
+  const double sigma2 = static_cast<double>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(longdp::dp::SampleDiscreteGaussian(sigma2, &rng));
+  }
+}
+BENCHMARK(BM_DiscreteGaussianSample)->Arg(1)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_DiscreteLaplaceSample(benchmark::State& state) {
+  const double s = static_cast<double>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(longdp::dp::SampleDiscreteLaplace(s, &rng));
+  }
+}
+BENCHMARK(BM_DiscreteLaplaceSample)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_BernoulliExpNeg(benchmark::State& state) {
+  const double gamma = static_cast<double>(state.range(0)) / 10.0;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(longdp::dp::SampleBernoulliExpNeg(gamma, &rng));
+  }
+}
+BENCHMARK(BM_BernoulliExpNeg)->Arg(1)->Arg(10)->Arg(30);
+
+void BM_StreamCounterFullRun(benchmark::State& state) {
+  const int64_t T = state.range(0);
+  const std::string name =
+      longdp::stream::RegisteredCounterNames()[static_cast<size_t>(
+          state.range(1))];
+  auto factory = longdp::stream::MakeCounterFactory(name).value();
+  Rng rng(4);
+  for (auto _ : state) {
+    auto counter = factory->Create(T, 0.1).value();
+    for (int64_t t = 1; t <= T; ++t) {
+      benchmark::DoNotOptimize(counter->Observe(t % 3, &rng).value());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * T);
+  state.SetLabel(name);
+}
+BENCHMARK(BM_StreamCounterFullRun)
+    ->ArgsProduct({{12, 256, 4096}, {0, 1, 2, 3}});
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UniformInt(12345));
+  }
+}
+BENCHMARK(BM_RngUniformInt);
+
+}  // namespace

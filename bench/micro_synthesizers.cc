@@ -1,0 +1,90 @@
+// Ablation A6 (part 2): end-to-end synthesizer throughput vs n, T, k —
+// the cost of one full continual release at survey scale.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cumulative_synthesizer.h"
+#include "core/fixed_window_synthesizer.h"
+#include "data/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using longdp::core::CumulativeSynthesizer;
+using longdp::core::FixedWindowSynthesizer;
+using longdp::util::Rng;
+
+void BM_FixedWindowFullRun(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t T = state.range(1);
+  const int k = static_cast<int>(state.range(2));
+  Rng data_rng(1);
+  auto ds = longdp::data::BernoulliIid(n, T, 0.2, &data_rng).value();
+  Rng rng(2);
+  for (auto _ : state) {
+    FixedWindowSynthesizer::Options opt;
+    opt.horizon = T;
+    opt.window_k = k;
+    opt.rho = 0.005;
+    auto synth = FixedWindowSynthesizer::Create(opt).value();
+    for (int64_t t = 1; t <= T; ++t) {
+      benchmark::DoNotOptimize(synth->ObserveRound(ds.Round(t), &rng).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * T);
+}
+BENCHMARK(BM_FixedWindowFullRun)
+    ->Args({1000, 12, 3})
+    ->Args({23374, 12, 3})
+    ->Args({100000, 12, 3})
+    ->Args({23374, 12, 5})
+    ->Args({23374, 12, 8})
+    ->Args({23374, 48, 3})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CumulativeFullRun(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t T = state.range(1);
+  Rng data_rng(3);
+  auto ds = longdp::data::BernoulliIid(n, T, 0.2, &data_rng).value();
+  Rng rng(4);
+  for (auto _ : state) {
+    CumulativeSynthesizer::Options opt;
+    opt.horizon = T;
+    opt.rho = 0.005;
+    auto synth = CumulativeSynthesizer::Create(opt).value();
+    for (int64_t t = 1; t <= T; ++t) {
+      benchmark::DoNotOptimize(synth->ObserveRound(ds.Round(t), &rng).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * T);
+}
+BENCHMARK(BM_CumulativeFullRun)
+    ->Args({1000, 12})
+    ->Args({23374, 12})
+    ->Args({100000, 12})
+    ->Args({23374, 48})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FixedWindowSingleRound(benchmark::State& state) {
+  // Steady-state per-round cost at SIPP scale (T large so rounds dominate).
+  const int64_t n = state.range(0);
+  const int64_t T = 1 << 20;
+  Rng data_rng(5);
+  std::vector<uint8_t> round(static_cast<size_t>(n));
+  for (auto& b : round) b = data_rng.Bernoulli(0.2) ? 1 : 0;
+  FixedWindowSynthesizer::Options opt;
+  opt.horizon = T;
+  opt.window_k = 3;
+  opt.rho = 0.5;
+  auto synth = FixedWindowSynthesizer::Create(opt).value();
+  Rng rng(6);
+  for (auto _ : state) {
+    if (synth->t() >= T) break;
+    benchmark::DoNotOptimize(synth->ObserveRound(round, &rng).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FixedWindowSingleRound)->Arg(23374)->Arg(100000);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Ablation A2: Algorithm 2's measured max fraction error vs the Corollary
+// B.1 closed form, and the cubic-log budget split vs a uniform split.
+//
+// Flags: --reps=N (default 200) --n=N --rho=R
+#include "bench_common.h"
+
+namespace longdp {
+namespace bench {
+namespace {
+
+Result<std::vector<double>> MeasureMaxErrors(
+    const data::LongitudinalDataset& ds, int64_t reps, double rho,
+    stream::BudgetSplit split) {
+  const int64_t T = ds.rounds();
+  std::vector<double> max_errors(static_cast<size_t>(reps), 0.0);
+  // Precompute truths.
+  std::vector<std::vector<double>> truth(static_cast<size_t>(T) + 1);
+  for (int64_t t = 1; t <= T; ++t) {
+    truth[static_cast<size_t>(t)].resize(static_cast<size_t>(T) + 1);
+    for (int64_t b = 1; b <= T; ++b) {
+      LONGDP_ASSIGN_OR_RETURN(
+          truth[static_cast<size_t>(t)][static_cast<size_t>(b)],
+          query::EvaluateCumulativeOnDataset(ds, t, b));
+    }
+  }
+  LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+      reps, kRunSeed + 200, [&](int64_t rep, util::Rng* rng) {
+        core::CumulativeSynthesizer::Options opt;
+        opt.horizon = T;
+        opt.rho = rho;
+        opt.split = split;
+        LONGDP_ASSIGN_OR_RETURN(auto synth,
+                                core::CumulativeSynthesizer::Create(opt));
+        double max_err = 0.0;
+        for (int64_t t = 1; t <= T; ++t) {
+          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+          for (int64_t b = 1; b <= t; ++b) {
+            LONGDP_ASSIGN_OR_RETURN(double est, synth->Answer(b));
+            max_err = std::max(
+                max_err,
+                std::fabs(est - truth[static_cast<size_t>(t)]
+                                      [static_cast<size_t>(b)]));
+          }
+        }
+        max_errors[static_cast<size_t>(rep)] = max_err;
+        return Status::OK();
+      }));
+  return max_errors;
+}
+
+Status Run(const harness::Flags& flags) {
+  const int64_t reps = flags.Reps(200);
+  const double rho = flags.GetDouble("rho", 0.005);
+  const double beta = 0.05;
+  LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
+
+  std::cout << "== A2: Corollary B.1 bound & budget-split ablation ==\n"
+            << "SIPP-like data, n=" << ds.num_users() << " T=12 rho=" << rho
+            << " reps=" << reps << "\n\n";
+
+  LONGDP_ASSIGN_OR_RETURN(
+      double bound, core::theory::CumulativeFractionErrorBound(
+                        ds.rounds(), rho, beta, ds.num_users()));
+
+  harness::Table table({"budget_split", "median_max_err", "q97.5_max_err",
+                        "mean_max_err", "theory_bound(beta=0.05)"});
+  for (auto split : {stream::BudgetSplit::kCubicLogLevels,
+                     stream::BudgetSplit::kUniform}) {
+    LONGDP_ASSIGN_OR_RETURN(auto errors,
+                            MeasureMaxErrors(ds, reps, rho, split));
+    auto s = harness::Summarize(errors);
+    LONGDP_RETURN_NOT_OK(table.AddRow(
+        {stream::BudgetSplitName(split), harness::Table::Num(s.median),
+         harness::Table::Num(s.q975), harness::Table::Num(s.mean),
+         harness::Table::Num(bound)}));
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe cubic-log split (Corollary B.1) equalizes per-counter "
+               "worst cases;\nthe uniform split over-provisions "
+               "short-stream counters.\n";
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace longdp
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+}

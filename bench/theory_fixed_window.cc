@@ -1,0 +1,89 @@
+// Ablation A1: empirical max bin error of Algorithm 1 vs the Theorem 3.2
+// closed form, across a (T, k, rho) grid, plus the empirical failure rate
+// (how often the max error exceeds the bound; should be < beta).
+//
+// Flags: --reps=N (default 100) --n=N
+#include "bench_common.h"
+
+namespace longdp {
+namespace bench {
+namespace {
+
+Status Run(const harness::Flags& flags) {
+  const int64_t reps = flags.Reps(100);
+  const int64_t n = flags.GetInt("n", 10000);
+  const double beta = 0.05;
+
+  struct GridPoint {
+    int64_t T;
+    int k;
+    double rho;
+  };
+  std::vector<GridPoint> grid = {
+      {12, 3, 0.001}, {12, 3, 0.005}, {12, 3, 0.05}, {12, 2, 0.005},
+      {12, 5, 0.005}, {24, 3, 0.005}, {6, 3, 0.005},
+  };
+
+  std::cout << "== A1: Theorem 3.2 bound vs measured max bin error ==\n"
+            << "all-ones data, n=" << n << ", reps=" << reps
+            << ", beta=" << beta << "\n\n";
+  harness::Table table({"T", "k", "rho", "theory_bound", "median_max_err",
+                        "q97.5_max_err", "exceed_rate"});
+
+  for (const auto& g : grid) {
+    LONGDP_ASSIGN_OR_RETURN(auto ds, data::ExtremeAllOnes(n, g.T));
+    LONGDP_ASSIGN_OR_RETURN(
+        double bound,
+        core::theory::MaxBinCountErrorBound(g.T, g.k, g.rho, beta));
+    std::vector<double> max_errors(static_cast<size_t>(reps), 0.0);
+    LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+        reps, kRunSeed + 100, [&](int64_t rep, util::Rng* rng) {
+          core::FixedWindowSynthesizer::Options opt;
+          opt.horizon = g.T;
+          opt.window_k = g.k;
+          opt.rho = g.rho;
+          LONGDP_ASSIGN_OR_RETURN(
+              auto synth, core::FixedWindowSynthesizer::Create(opt));
+          double max_err = 0.0;
+          for (int64_t t = 1; t <= g.T; ++t) {
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            if (!synth->has_release()) continue;
+            auto hist = synth->SyntheticHistogram();
+            LONGDP_ASSIGN_OR_RETURN(auto truth,
+                                    ds.WindowHistogram(t, g.k));
+            for (size_t s = 0; s < hist.size(); ++s) {
+              max_err = std::max(
+                  max_err,
+                  std::fabs(static_cast<double>(
+                      hist[s] - (truth[s] + synth->npad()))));
+            }
+          }
+          max_errors[static_cast<size_t>(rep)] = max_err;
+          return Status::OK();
+        }));
+    auto s = harness::Summarize(max_errors);
+    int64_t exceed = 0;
+    for (double e : max_errors) {
+      if (e > bound) ++exceed;
+    }
+    LONGDP_RETURN_NOT_OK(table.AddRow(
+        {std::to_string(g.T), std::to_string(g.k), harness::Table::Num(g.rho, 4),
+         harness::Table::Num(bound, 1), harness::Table::Num(s.median, 1),
+         harness::Table::Num(s.q975, 1),
+         harness::Table::Num(
+             static_cast<double>(exceed) / static_cast<double>(reps), 3)}));
+  }
+  table.Print(std::cout);
+  std::cout << "\nexceed_rate should stay below beta = " << beta
+            << " (the bound is a high-probability guarantee).\n";
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace longdp
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+}

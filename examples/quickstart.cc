@@ -1,0 +1,70 @@
+// Quickstart: continually release private synthetic data from a small
+// longitudinal panel and answer a window query at every release.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the full API surface in ~60 lines: generate data, create a
+// FixedWindowSynthesizer (Algorithm 1), stream the rounds in, and read off
+// biased / debiased answers plus the privacy ledger.
+
+#include <cstdio>
+
+#include "longdp.h"
+
+int main() {
+  using namespace longdp;
+
+  // 1. A longitudinal panel: 5000 people, 12 monthly binary reports,
+  //    two-state Markov trajectories ("in poverty" / "not in poverty").
+  util::Rng rng(/*seed=*/42);
+  data::MarkovParams params;
+  params.initial_rate = 0.10;  // 10% start in poverty
+  params.entry_prob = 0.03;    // 3%/month enter
+  params.exit_prob = 0.25;     // 25%/month exit
+  auto dataset = data::TwoStateMarkov(5000, 12, params, &rng).value();
+
+  // 2. A continual synthesizer for quarterly (k = 3) window queries under
+  //    0.05-zCDP over the whole 12-month horizon.
+  core::FixedWindowSynthesizer::Options options;
+  options.horizon = 12;
+  options.window_k = 3;
+  options.rho = 0.05;
+  auto synth = core::FixedWindowSynthesizer::Create(options).value();
+  std::printf("padding per bin (public): %lld records\n\n",
+              static_cast<long long>(synth->npad()));
+
+  // 3. Stream the months in; from month k = 3 on, every call updates the
+  //    persistent synthetic cohort.
+  auto in_poverty_all_quarter = query::MakeAllOnes(3);
+  std::printf("%-6s %-12s %-12s %-12s\n", "month", "truth", "debiased",
+              "biased");
+  for (int64_t t = 1; t <= 12; ++t) {
+    Status st = synth->ObserveRound(dataset.Round(t), &rng);
+    if (!st.ok()) {
+      std::fprintf(stderr, "release failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!synth->has_release()) continue;
+    double truth =
+        query::EvaluateOnDataset(*in_poverty_all_quarter, dataset, t).value();
+    double debiased = synth->DebiasedAnswer(*in_poverty_all_quarter).value();
+    double biased = synth->BiasedAnswer(*in_poverty_all_quarter).value();
+    std::printf("%-6lld %-12.4f %-12.4f %-12.4f\n",
+                static_cast<long long>(t), truth, debiased, biased);
+  }
+
+  // 4. Privacy accounting: the full run consumed exactly rho.
+  std::printf("\nzCDP spent: %.6f of %.6f (%zu ledger entries)\n",
+              synth->accountant().spent(), options.rho,
+              synth->accountant().ledger().size());
+  std::printf("equivalent (eps, delta=1e-6)-DP: eps = %.3f\n",
+              dp::ZCdpToApproxDpEpsilon(options.rho, 1e-6));
+
+  // 5. The synthetic cohort is a real dataset: materialize and reuse it in
+  //    any existing pipeline.
+  auto synthetic = synth->cohort().ToDataset(12).value();
+  std::printf("synthetic panel: %lld records x %lld months\n",
+              static_cast<long long>(synthetic.num_users()),
+              static_cast<long long>(synthetic.rounds()));
+  return 0;
+}

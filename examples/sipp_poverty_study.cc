@@ -1,0 +1,99 @@
+// The paper's Section 5 case study as a runnable program: quarterly poverty
+// statistics from a SIPP-like panel of 23,374 households under 0.005-zCDP,
+// with the debiasing post-processing step an analyst would apply.
+//
+//   $ ./build/examples/sipp_poverty_study [--rho=0.005] [--sipp_csv=path]
+//
+// Pass --sipp_csv to run on a real preprocessed SIPP extract (one row per
+// household: id plus 12 binary monthly poverty indicators).
+
+#include <cstdio>
+#include <string>
+
+#include "harness/flags.h"
+#include "longdp.h"
+
+int main(int argc, char** argv) {
+  using namespace longdp;
+  auto flags = harness::Flags::Parse(argc, argv);
+  const double rho = flags.GetDouble("rho", 0.005);
+
+  // Ground-truth panel: real extract if provided, calibrated simulation
+  // otherwise (see DESIGN.md section 3 for the substitution rationale).
+  util::Rng rng(2021);
+  data::LongitudinalDataset dataset = [&] {
+    std::string path = flags.GetString("sipp_csv", "");
+    if (!path.empty()) {
+      auto loaded = data::LoadSippBitsCsv(path);
+      if (loaded.ok()) return std::move(loaded).value();
+      std::fprintf(stderr, "failed to load %s: %s; simulating instead\n",
+                   path.c_str(), loaded.status().ToString().c_str());
+    }
+    return data::SimulateSippDefault(&rng).value();
+  }();
+  std::printf("panel: %lld households x %lld months, rho = %g\n\n",
+              static_cast<long long>(dataset.num_users()),
+              static_cast<long long>(dataset.rounds()), rho);
+
+  core::FixedWindowSynthesizer::Options options;
+  options.horizon = dataset.rounds();
+  options.window_k = 3;
+  options.rho = rho;
+  auto synth = core::FixedWindowSynthesizer::Create(options).value();
+
+  struct QueryDef {
+    const char* label;
+    query::WindowPredicatePtr pred;
+  };
+  QueryDef queries[] = {
+      {"in poverty >= 1 month of quarter", query::MakeAtLeastOnes(3, 1)},
+      {"in poverty >= 2 months", query::MakeAtLeastOnes(3, 2)},
+      {"in poverty >= 2 consecutive months", query::MakeConsecutiveOnes(3, 2)},
+      {"in poverty all 3 months", query::MakeAllOnes(3)},
+  };
+
+  util::Rng noise_rng(7);
+  int quarter = 0;
+  for (int64_t t = 1; t <= dataset.rounds(); ++t) {
+    Status st = synth->ObserveRound(dataset.Round(t), &noise_rng);
+    if (!st.ok()) {
+      std::fprintf(stderr, "release failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (t % 3 != 0) continue;
+    ++quarter;
+    std::printf("Quarter %d (months %lld-%lld)\n", quarter,
+                static_cast<long long>(t - 2), static_cast<long long>(t));
+    std::printf("  %-38s %-9s %-10s %-9s\n", "query", "truth", "debiased",
+                "biased");
+    for (const auto& q : queries) {
+      double truth = query::EvaluateOnDataset(*q.pred, dataset, t).value();
+      double debiased = synth->DebiasedAnswer(*q.pred).value();
+      double biased = synth->BiasedAnswer(*q.pred).value();
+      std::printf("  %-38s %-9.4f %-10.4f %-9.4f\n", q.label, truth,
+                  debiased, biased);
+    }
+  }
+
+  // Bonus: a weighted linear-combination query ("expected months in poverty
+  // this quarter") answered from the same release at no extra privacy cost.
+  std::vector<double> weights(8);
+  for (util::Pattern s = 0; s < 8; ++s) {
+    weights[s] = static_cast<double>(util::Popcount(s));
+  }
+  auto months_query = query::LinearWindowQuery::Create(3, weights).value();
+  double synth_val =
+      months_query.EvaluateOnHistogram(synth->SyntheticHistogram()).value();
+  double debiased =
+      query::DebiasedLinearValue(synth_val, months_query,
+                                 synth->padding_spec())
+          .value();
+  double truth = months_query.EvaluateOnDataset(dataset, 12).value();
+  std::printf("\nexpected months in poverty, Q4: truth %.4f, debiased DP "
+              "estimate %.4f\n",
+              truth, debiased);
+  std::printf("negative-count clamps over the whole run: %lld (padding did "
+              "its job if 0)\n",
+              static_cast<long long>(synth->stats().negative_clamps));
+  return 0;
+}

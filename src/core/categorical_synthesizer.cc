@@ -1,0 +1,248 @@
+#include "core/categorical_synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/discrete_gaussian.h"
+
+namespace longdp {
+namespace core {
+
+namespace {
+// Floor division for possibly-negative numerators.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b) != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+}  // namespace
+
+Result<uint64_t> CategoricalWindowSynthesizer::NumBins(int window_k,
+                                                       int alphabet) {
+  if (window_k < 1) {
+    return Status::InvalidArgument("window k must be >= 1");
+  }
+  if (alphabet < 2) {
+    return Status::InvalidArgument("alphabet size must be >= 2");
+  }
+  uint64_t bins = 1;
+  for (int j = 0; j < window_k; ++j) {
+    bins *= static_cast<uint64_t>(alphabet);
+    if (bins > (uint64_t{1} << 24)) {
+      return Status::InvalidArgument(
+          "A^k exceeds 2^24 bins; reduce k or the alphabet");
+    }
+  }
+  return bins;
+}
+
+CategoricalWindowSynthesizer::CategoricalWindowSynthesizer(
+    const Options& options, int64_t npad, double sigma2, double rho_per_step)
+    : options_(options),
+      npad_(npad),
+      sigma2_(sigma2),
+      rho_per_step_(rho_per_step),
+      accountant_(options.rho) {}
+
+Result<std::unique_ptr<CategoricalWindowSynthesizer>>
+CategoricalWindowSynthesizer::Create(const Options& options) {
+  LONGDP_ASSIGN_OR_RETURN(uint64_t bins,
+                          NumBins(options.window_k, options.alphabet));
+  if (options.horizon < options.window_k) {
+    return Status::InvalidArgument("horizon T must be >= window k");
+  }
+  if (!(options.rho > 0.0)) {
+    return Status::InvalidArgument("rho must be > 0");
+  }
+  double steps = static_cast<double>(options.horizon - options.window_k + 1);
+  double sigma2 = std::isinf(options.rho) ? 0.0 : steps / (2.0 * options.rho);
+  int64_t npad = options.npad;
+  if (npad < 0) {
+    if (!(options.beta_target > 0.0) || options.beta_target >= 1.0) {
+      return Status::InvalidArgument("beta_target must be in (0,1)");
+    }
+    if (std::isinf(options.rho)) {
+      npad = 0;
+    } else {
+      // Generalized Theorem 3.2 padding: 2^k -> A^k inside the log.
+      double lead = std::sqrt(steps / options.rho) + 1.0 / std::sqrt(2.0);
+      double bound = lead * std::sqrt(std::log(static_cast<double>(bins) *
+                                               steps /
+                                               options.beta_target));
+      npad = static_cast<int64_t>(std::ceil(bound));
+    }
+  }
+  double rho_per_step = std::isinf(options.rho) ? 0.0 : options.rho / steps;
+  auto synth = std::unique_ptr<CategoricalWindowSynthesizer>(
+      new CategoricalWindowSynthesizer(options, npad, sigma2, rho_per_step));
+  synth->num_bins_ = bins;
+  synth->num_overlaps_ = bins / static_cast<uint64_t>(options.alphabet);
+  return synth;
+}
+
+Status CategoricalWindowSynthesizer::ObserveRound(
+    const std::vector<uint8_t>& symbols, util::Rng* rng) {
+  if (t_ >= options_.horizon) {
+    return Status::OutOfRange("synthesizer past its horizon");
+  }
+  if (n_ < 0) {
+    n_ = static_cast<int64_t>(symbols.size());
+    user_window_.assign(symbols.size(), 0);
+  } else if (symbols.size() != static_cast<size_t>(n_)) {
+    return Status::InvalidArgument("round size changed");
+  }
+  const uint64_t a = static_cast<uint64_t>(options_.alphabet);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i] >= options_.alphabet) {
+      return Status::InvalidArgument("symbol out of alphabet range");
+    }
+    user_window_[i] = (user_window_[i] * a + symbols[i]) % num_bins_;
+  }
+  ++t_;
+  if (t_ < options_.window_k) return Status::OK();
+  if (t_ == options_.window_k) return InitialRelease(rng);
+  return SlideRelease(rng);
+}
+
+std::vector<int64_t> CategoricalWindowSynthesizer::NoisyPaddedHistogram(
+    util::Rng* rng) {
+  std::vector<int64_t> hist(num_bins_, 0);
+  for (uint64_t w : user_window_) ++hist[w];
+  for (auto& c : hist) {
+    c += npad_ + dp::SampleDiscreteGaussian(sigma2_, rng);
+  }
+  return hist;
+}
+
+Status CategoricalWindowSynthesizer::InitialRelease(util::Rng* rng) {
+  LONGDP_RETURN_NOT_OK(accountant_.Charge(
+      rho_per_step_, "categorical histogram t=" + std::to_string(t_)));
+  std::vector<int64_t> noisy = NoisyPaddedHistogram(rng);
+  ++stats_.releases;
+  for (auto& c : noisy) {
+    if (c < 0) {
+      c = 0;
+      ++stats_.negative_clamps;
+    }
+  }
+  counts_ = noisy;
+  groups_.assign(num_overlaps_, {});
+  num_records_ = 0;
+  for (int64_t c : noisy) num_records_ += c;
+  histories_.clear();
+  histories_.reserve(static_cast<size_t>(num_records_));
+  const int k = options_.window_k;
+  const uint64_t a = static_cast<uint64_t>(options_.alphabet);
+  for (uint64_t s = 0; s < num_bins_; ++s) {
+    std::vector<uint8_t> history(static_cast<size_t>(k));
+    uint64_t code = s;
+    for (int j = k - 1; j >= 0; --j) {
+      history[static_cast<size_t>(j)] = static_cast<uint8_t>(code % a);
+      code /= a;
+    }
+    uint64_t overlap = s % num_overlaps_;
+    for (int64_t c = 0; c < noisy[s]; ++c) {
+      groups_[overlap].push_back(static_cast<int64_t>(histories_.size()));
+      histories_.push_back(history);
+    }
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
+  LONGDP_RETURN_NOT_OK(accountant_.Charge(
+      rho_per_step_, "categorical histogram t=" + std::to_string(t_)));
+  std::vector<int64_t> noisy = NoisyPaddedHistogram(rng);
+  ++stats_.releases;
+
+  const int64_t a = options_.alphabet;
+  std::vector<std::vector<int64_t>> new_groups(num_overlaps_);
+  std::vector<int64_t> new_counts(num_bins_, 0);
+  std::vector<int64_t> targets(static_cast<size_t>(a));
+  std::vector<size_t> child_order(static_cast<size_t>(a));
+
+  for (uint64_t z = 0; z < num_overlaps_; ++z) {
+    std::vector<int64_t>& members = groups_[z];
+    int64_t group = static_cast<int64_t>(members.size());
+    // Children bins of overlap z: codes z*A + a'.
+    int64_t noisy_sum = 0;
+    for (int64_t c = 0; c < a; ++c) {
+      noisy_sum += noisy[z * static_cast<uint64_t>(a) +
+                         static_cast<uint64_t>(c)];
+    }
+    int64_t num = group - noisy_sum;  // A * Delta_z
+    int64_t base = FloorDiv(num, a);
+    int64_t rem = num - base * a;  // in [0, A)
+    for (int64_t c = 0; c < a; ++c) {
+      targets[static_cast<size_t>(c)] =
+          noisy[z * static_cast<uint64_t>(a) + static_cast<uint64_t>(c)] +
+          base;
+    }
+    if (rem != 0) {
+      ++stats_.remainder_draws;
+      // Give +1 to `rem` uniformly chosen distinct children.
+      for (size_t c = 0; c < child_order.size(); ++c) child_order[c] = c;
+      rng->Shuffle(&child_order);
+      for (int64_t r = 0; r < rem; ++r) {
+        ++targets[child_order[static_cast<size_t>(r)]];
+      }
+    }
+    // Water-fill any negatives back from the positive targets, preserving
+    // the group sum (the categorical analogue of the pairwise clamp).
+    for (size_t c = 0; c < targets.size(); ++c) {
+      if (targets[c] < 0) {
+        int64_t deficit = -targets[c];
+        targets[c] = 0;
+        ++stats_.negative_clamps;
+        for (size_t d = 0; d < targets.size() && deficit > 0; ++d) {
+          if (targets[d] > 0) {
+            int64_t take = std::min(targets[d], deficit);
+            targets[d] -= take;
+            deficit -= take;
+          }
+        }
+      }
+    }
+    // Assign members to children: shuffle once, then slice by target.
+    rng->Shuffle(&members);
+    size_t idx = 0;
+    for (int64_t c = 0; c < a; ++c) {
+      uint64_t child = z * static_cast<uint64_t>(a) + static_cast<uint64_t>(c);
+      int64_t take = targets[static_cast<size_t>(c)];
+      for (int64_t j = 0; j < take && idx < members.size(); ++j, ++idx) {
+        int64_t rec = members[idx];
+        histories_[static_cast<size_t>(rec)].push_back(
+            static_cast<uint8_t>(c));
+        ++new_counts[child];
+        new_groups[child % num_overlaps_].push_back(rec);
+      }
+    }
+    // Leftover members (possible only if clamping reduced the total below
+    // the group size, which the water-fill prevents) go to child 0.
+    for (; idx < members.size(); ++idx) {
+      int64_t rec = members[idx];
+      uint64_t child = z * static_cast<uint64_t>(a);
+      histories_[static_cast<size_t>(rec)].push_back(0);
+      ++new_counts[child];
+      new_groups[child % num_overlaps_].push_back(rec);
+    }
+  }
+  groups_ = std::move(new_groups);
+  counts_ = std::move(new_counts);
+  return Status::OK();
+}
+
+Result<double> CategoricalWindowSynthesizer::DebiasedBinFraction(
+    uint64_t s) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition("no release yet");
+  }
+  if (s >= num_bins_) {
+    return Status::OutOfRange("pattern code out of range");
+  }
+  return static_cast<double>(counts_[s] - npad_) / static_cast<double>(n_);
+}
+
+}  // namespace core
+}  // namespace longdp

@@ -1,0 +1,115 @@
+// Categorical generalization of Algorithm 1.
+//
+// The paper notes (Section 1, "Our results") that the fixed-time-window
+// solution "naturally extends to handle categorical data with more than 2
+// categories". This module implements that extension for an alphabet of
+// size A: window patterns are base-A strings of length k (A^k histogram
+// bins), and the sliding-window consistency constraint generalizes to
+//
+//   sum_{a in A} p^t_{z a}  =  sum_{a in A} p^{t-1}_{a z}
+//
+// for every overlap z in A^{k-1}. The correction term Delta_z spreads the
+// discrepancy evenly over the A children with the integer remainder
+// assigned to uniformly chosen children (the A = 2 case reduces exactly to
+// Algorithm 1's +-1/2 rounding).
+
+#ifndef LONGDP_CORE_CATEGORICAL_SYNTHESIZER_H_
+#define LONGDP_CORE_CATEGORICAL_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace core {
+
+class CategoricalWindowSynthesizer {
+ public:
+  struct Options {
+    int64_t horizon = 0;   ///< T
+    int window_k = 0;      ///< window width k
+    int alphabet = 2;      ///< A >= 2; bins = A^k (must stay <= 2^24)
+    double rho = 0.0;      ///< total zCDP budget
+    int64_t npad = -1;     ///< -1: auto-size from beta_target
+    double beta_target = 0.05;
+  };
+
+  struct Stats {
+    int64_t negative_clamps = 0;
+    int64_t remainder_draws = 0;
+    int64_t releases = 0;
+  };
+
+  static Result<std::unique_ptr<CategoricalWindowSynthesizer>> Create(
+      const Options& options);
+
+  /// Consumes round t's symbols (each in [0, A)).
+  Status ObserveRound(const std::vector<uint8_t>& symbols, util::Rng* rng);
+
+  bool has_release() const { return initialized_; }
+  int64_t t() const { return t_; }
+  int64_t npad() const { return npad_; }
+  int64_t population() const { return n_; }
+  int64_t synthetic_population() const { return num_records_; }
+  int window_k() const { return options_.window_k; }
+  int alphabet() const { return options_.alphabet; }
+  double sigma2() const { return sigma2_; }
+
+  /// Current synthetic histogram over the A^k window patterns (base-A codes,
+  /// oldest symbol most significant).
+  const std::vector<int64_t>& SyntheticHistogram() const { return counts_; }
+
+  /// Debiased estimate of the fraction of the original population whose
+  /// current window equals base-A pattern code `s`.
+  Result<double> DebiasedBinFraction(uint64_t s) const;
+
+  /// Symbol of synthetic record `r` at round `tt` (1-based, tt <= t()).
+  int Symbol(int64_t r, int64_t tt) const {
+    return histories_[static_cast<size_t>(r)][static_cast<size_t>(tt - 1)];
+  }
+
+  const Stats& stats() const { return stats_; }
+  const dp::ZCdpAccountant& accountant() const { return accountant_; }
+
+  /// Number of width-k base-A patterns, A^k.
+  static Result<uint64_t> NumBins(int window_k, int alphabet);
+
+ private:
+  CategoricalWindowSynthesizer(const Options& options, int64_t npad,
+                               double sigma2, double rho_per_step);
+
+  Status InitialRelease(util::Rng* rng);
+  Status SlideRelease(util::Rng* rng);
+  std::vector<int64_t> NoisyPaddedHistogram(util::Rng* rng);
+
+  Options options_;
+  int64_t npad_;
+  double sigma2_;
+  double rho_per_step_;
+  dp::ZCdpAccountant accountant_;
+
+  uint64_t num_bins_ = 0;      ///< A^k
+  uint64_t num_overlaps_ = 0;  ///< A^(k-1)
+  int64_t n_ = -1;
+  int64_t t_ = 0;
+  bool initialized_ = false;
+  int64_t num_records_ = 0;
+  std::vector<uint64_t> user_window_;  ///< base-A window code per user
+
+  // Synthetic cohort state (flattened into the synthesizer: categorical
+  // grouping logic differs enough from the binary cohort to keep separate).
+  std::vector<std::vector<uint8_t>> histories_;
+  std::vector<std::vector<int64_t>> groups_;  ///< by overlap code
+  std::vector<int64_t> counts_;               ///< current histogram p_s
+  Stats stats_;
+};
+
+}  // namespace core
+}  // namespace longdp
+
+#endif  // LONGDP_CORE_CATEGORICAL_SYNTHESIZER_H_

@@ -1,0 +1,296 @@
+#include "core/cumulative_synthesizer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "stream/counter_factory.h"
+
+namespace longdp {
+namespace core {
+
+Result<std::unique_ptr<CumulativeSynthesizer>> CumulativeSynthesizer::Create(
+    const Options& options) {
+  if (options.horizon < 1) {
+    return Status::InvalidArgument("horizon T must be >= 1");
+  }
+  if (!(options.rho > 0.0)) {
+    return Status::InvalidArgument("rho must be > 0");
+  }
+  return std::unique_ptr<CumulativeSynthesizer>(
+      new CumulativeSynthesizer(options));
+}
+
+Status CumulativeSynthesizer::InitializeForPopulation(int64_t n) {
+  n_ = n;
+  orig_weight_.assign(static_cast<size_t>(n), 0);
+  histories_.assign(static_cast<size_t>(n), {});
+  weight_groups_.assign(static_cast<size_t>(options_.horizon) + 1, {});
+  auto& zero_group = weight_groups_[0];
+  zero_group.reserve(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) zero_group.push_back(r);
+
+  stream::CounterBank::Options bank_options;
+  bank_options.horizon = options_.horizon;
+  bank_options.population = n;
+  bank_options.total_rho = options_.rho;
+  bank_options.split = options_.split;
+  bank_options.factory = options_.counter_factory;
+  LONGDP_ASSIGN_OR_RETURN(
+      bank_, stream::CounterBank::Create(bank_options, &accountant_));
+
+  prev_released_.assign(static_cast<size_t>(options_.horizon) + 1, 0);
+  prev_released_[0] = n;
+  released_ = prev_released_;
+  return Status::OK();
+}
+
+Status CumulativeSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
+                                           util::Rng* rng) {
+  if (t_ >= options_.horizon) {
+    return Status::OutOfRange("synthesizer past its horizon T=" +
+                              std::to_string(options_.horizon));
+  }
+  if (n_ < 0) {
+    LONGDP_RETURN_NOT_OK(
+        InitializeForPopulation(static_cast<int64_t>(bits.size())));
+  } else if (bits.size() != static_cast<size_t>(n_)) {
+    return Status::InvalidArgument(
+        "round size changed; the population is fixed over the horizon");
+  }
+
+  // Stage 1 input: z^t_b = #{ i : weight_i(t-1) = b-1 and x^t_i = 1 }.
+  std::vector<int64_t> z(static_cast<size_t>(options_.horizon), 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] > 1) {
+      return Status::InvalidArgument("round entries must be 0 or 1");
+    }
+    if (bits[i]) {
+      ++z[static_cast<size_t>(orig_weight_[i])];
+      ++orig_weight_[i];
+    }
+  }
+  ++t_;
+  LONGDP_ASSIGN_OR_RETURN(released_, bank_->ObserveRound(z, rng));
+
+  // Stage 2: extend every record with a provisional 0, then flip the
+  // promoted records. Descending b keeps selections against the
+  // time-(t-1) weight groups (promotions only move records upward into
+  // groups already processed).
+  for (auto& h : histories_) h.push_back(0);
+  for (int64_t b = std::min<int64_t>(t_, options_.horizon); b >= 1; --b) {
+    size_t ib = static_cast<size_t>(b);
+    int64_t zhat = released_[ib] - prev_released_[ib];
+    if (zhat < 0) {
+      return Status::Internal(
+          "monotonization violated: zhat < 0 at b=" + std::to_string(b));
+    }
+    if (zhat == 0) continue;
+    auto& source = weight_groups_[ib - 1];
+    if (zhat > static_cast<int64_t>(source.size())) {
+      return Status::Internal(
+          "monotonization violated: zhat exceeds weight-(b-1) group at b=" +
+          std::to_string(b));
+    }
+    // Uniformly choose zhat records to promote: partial Fisher-Yates.
+    int64_t group = static_cast<int64_t>(source.size());
+    for (int64_t i = 0; i < zhat; ++i) {
+      int64_t j = i + static_cast<int64_t>(
+                          rng->UniformInt(static_cast<uint64_t>(group - i)));
+      std::swap(source[static_cast<size_t>(i)],
+                source[static_cast<size_t>(j)]);
+    }
+    auto& target = weight_groups_[ib];
+    for (int64_t i = 0; i < zhat; ++i) {
+      int64_t rec = source[static_cast<size_t>(i)];
+      histories_[static_cast<size_t>(rec)].back() = 1;
+      target.push_back(rec);
+    }
+    source.erase(source.begin(), source.begin() + zhat);
+  }
+  prev_released_ = released_;
+  return Status::OK();
+}
+
+const std::vector<int64_t>& CumulativeSynthesizer::raw_thresholds() const {
+  static const std::vector<int64_t> kEmpty;
+  return bank_ ? bank_->raw_row() : kEmpty;
+}
+
+Result<double> CumulativeSynthesizer::Answer(int64_t b) const {
+  if (t_ < 1) {
+    return Status::FailedPrecondition("no rounds observed yet");
+  }
+  if (b < 0 || b > options_.horizon) {
+    return Status::OutOfRange("threshold b must be in [0, T]");
+  }
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(released_[static_cast<size_t>(b)]) /
+         static_cast<double>(n_);
+}
+
+std::vector<int64_t> CumulativeSynthesizer::SyntheticThresholdCounts() const {
+  std::vector<int64_t> counts(static_cast<size_t>(options_.horizon) + 1, 0);
+  if (n_ < 0) return counts;
+  // Group sizes give the exact-weight histogram; suffix-sum to thresholds.
+  int64_t running = 0;
+  for (int64_t b = options_.horizon; b >= 0; --b) {
+    running += static_cast<int64_t>(weight_groups_[static_cast<size_t>(b)]
+                                        .size());
+    counts[static_cast<size_t>(b)] = running;
+  }
+  return counts;
+}
+
+Result<data::LongitudinalDataset> CumulativeSynthesizer::ToDataset() const {
+  if (t_ < 1) {
+    return Status::FailedPrecondition("no rounds observed yet");
+  }
+  LONGDP_ASSIGN_OR_RETURN(
+      auto ds, data::LongitudinalDataset::Create(n_, options_.horizon));
+  std::vector<uint8_t> round(static_cast<size_t>(n_));
+  for (int64_t tt = 1; tt <= t_; ++tt) {
+    for (int64_t r = 0; r < n_; ++r) {
+      round[static_cast<size_t>(r)] =
+          histories_[static_cast<size_t>(r)][static_cast<size_t>(tt - 1)];
+    }
+    LONGDP_RETURN_NOT_OK(ds.AppendRound(round));
+  }
+  return ds;
+}
+
+
+namespace {
+constexpr char kCumulativeMagic[] = "longdp-cumulative-checkpoint-v1";
+
+std::string CumulativeDoubleToken(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+}  // namespace
+
+Status CumulativeSynthesizer::SaveCheckpoint(std::ostream& out) const {
+  out << kCumulativeMagic << "\n";
+  std::string counter_name =
+      options_.counter_factory ? options_.counter_factory->name() : "tree";
+  out << options_.horizon << " " << CumulativeDoubleToken(options_.rho)
+      << " " << stream::BudgetSplitName(options_.split) << " "
+      << counter_name << "\n";
+  out << t_ << " " << n_ << "\n";
+  if (n_ >= 0) {
+    out << "weights";
+    for (int32_t w : orig_weight_) out << " " << w;
+    out << "\n";
+    out << "released";
+    for (int64_t v : released_) out << " " << v;
+    out << "\n";
+    out << "histories " << histories_.size() << " " << t_ << "\n";
+    for (const auto& h : histories_) {
+      std::string line(h.size(), '0');
+      for (size_t j = 0; j < h.size(); ++j) {
+        if (h[j]) line[j] = '1';
+      }
+      out << line << "\n";
+    }
+    out << "bank\n";
+    LONGDP_RETURN_NOT_OK(bank_->SaveState(out));
+  }
+  out << "end\n";
+  return out.good() ? Status::OK()
+                    : Status::IOError("checkpoint write failed");
+}
+
+Result<std::unique_ptr<CumulativeSynthesizer>>
+CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kCumulativeMagic) {
+    return Status::InvalidArgument("not a cumulative checkpoint");
+  }
+  Options options;
+  std::string rho_tok, split_name, counter_name;
+  if (!(in >> options.horizon >> rho_tok >> split_name >> counter_name)) {
+    return Status::InvalidArgument("corrupt checkpoint header");
+  }
+  options.rho = std::strtod(rho_tok.c_str(), nullptr);
+  LONGDP_ASSIGN_OR_RETURN(options.split,
+                          stream::BudgetSplitFromName(split_name));
+  LONGDP_ASSIGN_OR_RETURN(options.counter_factory,
+                          stream::MakeCounterFactory(counter_name));
+  LONGDP_ASSIGN_OR_RETURN(auto synth, Create(options));
+  int64_t t = 0, n = 0;
+  if (!(in >> t >> n)) {
+    return Status::InvalidArgument("corrupt checkpoint state line");
+  }
+  if (t < 0 || t > options.horizon) {
+    return Status::InvalidArgument("checkpoint time out of range");
+  }
+  if (n >= 0) {
+    // InitializeForPopulation creates the bank and charges the full budget,
+    // exactly as the original run did at its first round.
+    LONGDP_RETURN_NOT_OK(synth->InitializeForPopulation(n));
+    std::string tag;
+    if (!(in >> tag) || tag != "weights") {
+      return Status::InvalidArgument("corrupt checkpoint: expected weights");
+    }
+    for (auto& w : synth->orig_weight_) {
+      if (!(in >> w) || w < 0 || w > t) {
+        return Status::InvalidArgument("corrupt checkpoint weights");
+      }
+    }
+    if (!(in >> tag) || tag != "released") {
+      return Status::InvalidArgument("corrupt checkpoint: expected released");
+    }
+    for (auto& v : synth->released_) {
+      if (!(in >> v)) {
+        return Status::InvalidArgument("corrupt checkpoint released row");
+      }
+    }
+    synth->prev_released_ = synth->released_;
+    int64_t num_records = 0, rounds = 0;
+    if (!(in >> tag >> num_records >> rounds) || tag != "histories" ||
+        num_records != n || rounds != t) {
+      return Status::InvalidArgument("corrupt checkpoint histories header");
+    }
+    std::string line;
+    std::getline(in, line);
+    for (auto& group : synth->weight_groups_) group.clear();
+    for (int64_t r = 0; r < n; ++r) {
+      if (!std::getline(in, line) ||
+          line.size() != static_cast<size_t>(t)) {
+        return Status::InvalidArgument("corrupt checkpoint history line");
+      }
+      auto& h = synth->histories_[static_cast<size_t>(r)];
+      h.assign(static_cast<size_t>(t), 0);
+      int64_t weight = 0;
+      for (size_t j = 0; j < h.size(); ++j) {
+        if (line[j] != '0' && line[j] != '1') {
+          return Status::InvalidArgument("history bits must be 0/1");
+        }
+        h[j] = line[j] == '1' ? 1 : 0;
+        weight += h[j];
+      }
+      synth->weight_groups_[static_cast<size_t>(weight)].push_back(r);
+    }
+    if (!(in >> tag) || tag != "bank") {
+      return Status::InvalidArgument("corrupt checkpoint: expected bank");
+    }
+    LONGDP_RETURN_NOT_OK(synth->bank_->RestoreState(in));
+    // Consistency: materialized records must reproduce the released row.
+    synth->t_ = t;
+    if (synth->SyntheticThresholdCounts() != synth->released_) {
+      return Status::InvalidArgument(
+          "checkpoint histories inconsistent with released thresholds");
+    }
+  }
+  synth->t_ = t;
+  std::string tag;
+  if (!(in >> tag) || tag != "end") {
+    return Status::InvalidArgument("corrupt checkpoint: missing end marker");
+  }
+  return synth;
+}
+
+}  // namespace core
+}  // namespace longdp

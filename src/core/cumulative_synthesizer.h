@@ -1,0 +1,113 @@
+// Algorithm 2 of the paper: continual private synthetic data preserving
+// cumulative time queries (Hamming-weight thresholds).
+//
+// Stage 1 (stream/CounterBank): T stream counters — one per threshold b —
+// consume the increment streams z^t_b and release monotonized threshold
+// counts Shat^t_b with Shat^{t-1}_b <= Shat^t_b <= Shat^{t-1}_{b-1}.
+//
+// Stage 2 (here): the synthetic cohort of m = n records is updated so that
+// exactly Shat^t_b records have Hamming weight >= b at every time t: for b
+// descending, zhat^t_b = Shat^t_b - Shat^{t-1}_b randomly chosen records of
+// weight b-1 are extended by a 1; everyone else gets a 0. Monotonization
+// guarantees zhat^t_b >= 0 and never exceeds the weight-(b-1) group size, so
+// the update is always feasible (Section 4.1).
+
+#ifndef LONGDP_CORE_CUMULATIVE_SYNTHESIZER_H_
+#define LONGDP_CORE_CUMULATIVE_SYNTHESIZER_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "data/longitudinal_dataset.h"
+#include "dp/accountant.h"
+#include "stream/counter_bank.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace core {
+
+class CumulativeSynthesizer {
+ public:
+  struct Options {
+    int64_t horizon = 0;  ///< T
+    double rho = 0.0;     ///< total zCDP budget (+infinity = zero-noise)
+    stream::BudgetSplit split = stream::BudgetSplit::kCubicLogLevels;
+    /// Stream counter implementation; tree counter when null.
+    std::shared_ptr<const stream::StreamCounterFactory> counter_factory;
+  };
+
+  static Result<std::unique_ptr<CumulativeSynthesizer>> Create(
+      const Options& options);
+
+  /// Consumes round t's original-data bits; population size n is fixed by
+  /// the first call. Every round produces a release.
+  Status ObserveRound(const std::vector<uint8_t>& bits, util::Rng* rng);
+
+  int64_t t() const { return t_; }
+  int64_t horizon() const { return options_.horizon; }
+  int64_t population() const { return n_; }
+
+  /// The released (monotonized) threshold counts Shat^t_b, indexed b = 0..T,
+  /// from the most recent round.
+  const std::vector<int64_t>& released_thresholds() const {
+    return released_;
+  }
+
+  /// Raw pre-monotonization counter outputs from the most recent round
+  /// (exposed for the Lemma 4.2 experiments).
+  const std::vector<int64_t>& raw_thresholds() const;
+
+  /// The cumulative query answer c^t_b on the synthetic data:
+  /// Shat^t_b / n. Requires at least one round and 0 <= b <= T.
+  Result<double> Answer(int64_t b) const;
+
+  /// Threshold counts recomputed from the materialized synthetic records;
+  /// tests assert this equals released_thresholds() exactly (invariant 4).
+  std::vector<int64_t> SyntheticThresholdCounts() const;
+
+  /// Bit of synthetic record `r` at round `tt` (1-based, tt <= t()).
+  int Bit(int64_t r, int64_t tt) const {
+    return histories_[static_cast<size_t>(r)][static_cast<size_t>(tt - 1)];
+  }
+
+  /// Materializes the synthetic records as a dataset (n users, t() rounds).
+  Result<data::LongitudinalDataset> ToDataset() const;
+
+  const dp::ZCdpAccountant& accountant() const { return accountant_; }
+
+  /// Serializes the complete synthesizer state — options, original-data
+  /// weight state, synthetic records, and every stream counter's internal
+  /// (noise-bearing) state — so a release spanning months of wall clock can
+  /// resume in a later process. Checkpoints are curator state, not
+  /// releases: protect them like the input data.
+  Status SaveCheckpoint(std::ostream& out) const;
+
+  /// Restores a synthesizer from SaveCheckpoint output.
+  static Result<std::unique_ptr<CumulativeSynthesizer>> LoadCheckpoint(
+      std::istream& in);
+
+ private:
+  explicit CumulativeSynthesizer(const Options& options)
+      : options_(options), accountant_(options.rho) {}
+
+  Status InitializeForPopulation(int64_t n);
+
+  Options options_;
+  dp::ZCdpAccountant accountant_;
+  std::unique_ptr<stream::CounterBank> bank_;
+
+  int64_t n_ = -1;
+  int64_t t_ = 0;
+  std::vector<int32_t> orig_weight_;               ///< true prefix weights
+  std::vector<std::vector<uint8_t>> histories_;    ///< synthetic records
+  std::vector<std::vector<int64_t>> weight_groups_;  ///< records by weight
+  std::vector<int64_t> released_;       ///< Shat^t (b = 0..T)
+  std::vector<int64_t> prev_released_;  ///< Shat^{t-1}
+};
+
+}  // namespace core
+}  // namespace longdp
+
+#endif  // LONGDP_CORE_CUMULATIVE_SYNTHESIZER_H_

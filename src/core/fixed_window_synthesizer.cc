@@ -1,0 +1,313 @@
+#include "core/fixed_window_synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/theory.h"
+#include "dp/discrete_gaussian.h"
+
+namespace longdp {
+namespace core {
+
+FixedWindowSynthesizer::FixedWindowSynthesizer(const Options& options,
+                                               int64_t npad, double sigma2,
+                                               double rho_per_step)
+    : options_(options),
+      npad_(npad),
+      sigma2_(sigma2),
+      rho_per_step_(rho_per_step),
+      accountant_(options.rho) {}
+
+Result<std::unique_ptr<FixedWindowSynthesizer>> FixedWindowSynthesizer::Create(
+    const Options& options) {
+  LONGDP_RETURN_NOT_OK(util::ValidateWindow(options.window_k));
+  if (options.horizon < options.window_k) {
+    return Status::InvalidArgument("horizon T must be >= window k");
+  }
+  if (!(options.rho > 0.0)) {
+    return Status::InvalidArgument("rho must be > 0");
+  }
+  LONGDP_ASSIGN_OR_RETURN(
+      double sigma2, theory::FixedWindowSigma2(options.horizon,
+                                               options.window_k, options.rho));
+  int64_t npad = options.npad;
+  if (npad < 0) {
+    if (!(options.beta_target > 0.0) || options.beta_target >= 1.0) {
+      return Status::InvalidArgument("beta_target must be in (0,1)");
+    }
+    LONGDP_ASSIGN_OR_RETURN(
+        npad, theory::RecommendedNpad(options.horizon, options.window_k,
+                                      options.rho, options.beta_target));
+  }
+  double steps = static_cast<double>(options.horizon - options.window_k + 1);
+  double rho_per_step =
+      std::isinf(options.rho) ? 0.0 : options.rho / steps;
+  return std::unique_ptr<FixedWindowSynthesizer>(new FixedWindowSynthesizer(
+      options, npad, sigma2, rho_per_step));
+}
+
+Status FixedWindowSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
+                                            util::Rng* rng) {
+  if (t_ >= options_.horizon) {
+    return Status::OutOfRange("synthesizer past its horizon T=" +
+                              std::to_string(options_.horizon));
+  }
+  if (n_ < 0) {
+    n_ = static_cast<int64_t>(bits.size());
+    user_window_.assign(bits.size(), 0);
+  } else if (bits.size() != static_cast<size_t>(n_)) {
+    return Status::InvalidArgument(
+        "round size changed; the population is fixed over the horizon");
+  }
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] > 1) {
+      return Status::InvalidArgument("round entries must be 0 or 1");
+    }
+    user_window_[i] =
+        util::SlideAppend(user_window_[i], options_.window_k, bits[i]);
+  }
+  ++t_;
+  if (t_ < options_.window_k) return Status::OK();
+  if (t_ == options_.window_k) return InitialRelease(rng);
+  return SlideRelease(rng);
+}
+
+std::vector<int64_t> FixedWindowSynthesizer::NoisyPaddedHistogram(
+    util::Rng* rng) {
+  std::vector<int64_t> hist(util::NumPatterns(options_.window_k), 0);
+  for (util::Pattern w : user_window_) ++hist[w];
+  for (auto& c : hist) {
+    c += npad_ + dp::SampleDiscreteGaussian(sigma2_, rng);
+  }
+  return hist;
+}
+
+Status FixedWindowSynthesizer::InitialRelease(util::Rng* rng) {
+  LONGDP_RETURN_NOT_OK(accountant_.Charge(
+      rho_per_step_, "fixed-window histogram t=" + std::to_string(t_)));
+  std::vector<int64_t> noisy = NoisyPaddedHistogram(rng);
+  ++stats_.releases;
+  // Negative initial counts cannot seed records; clamp to zero and record
+  // the failure event (Theorem 3.2 makes this improbable given n_pad).
+  for (auto& c : noisy) {
+    if (c < 0) {
+      c = 0;
+      ++stats_.negative_clamps;
+    }
+  }
+  LONGDP_ASSIGN_OR_RETURN(auto cohort,
+                          SyntheticCohort::Create(options_.window_k, noisy));
+  cohort_.emplace(std::move(cohort));
+  return Status::OK();
+}
+
+Status FixedWindowSynthesizer::SlideRelease(util::Rng* rng) {
+  LONGDP_RETURN_NOT_OK(accountant_.Charge(
+      rho_per_step_, "fixed-window histogram t=" + std::to_string(t_)));
+  std::vector<int64_t> noisy = NoisyPaddedHistogram(rng);
+  ++stats_.releases;
+
+  const int k = options_.window_k;
+  const size_t num_overlaps = util::NumPatterns(k - 1);
+  std::vector<int64_t> ones_target(num_overlaps, 0);
+  for (util::Pattern z = 0; z < num_overlaps; ++z) {
+    // Records currently ending in overlap z must split between z0 and z1.
+    int64_t group = cohort_->GroupSize(z);
+    util::Pattern z0 = (z << 1);          // width-k pattern z then 0
+    util::Pattern z1 = (z << 1) | 1;      // width-k pattern z then 1
+    int64_t c_z0 = noisy[z0];
+    int64_t c_z1 = noisy[z1];
+    // Delta_z = (group - (Chat_{z0} + Chat_{z1})) / 2, possibly half-integer.
+    int64_t num = group - c_z0 - c_z1;  // 2 * Delta_z
+    int64_t p_z0;
+    if ((num % 2) == 0) {
+      p_z0 = c_z0 + num / 2;
+    } else {
+      ++stats_.rounding_draws;
+      int64_t b = rng->Coin() ? 1 : -1;  // b_z = +-1/2, scaled by 2
+      // Integer form of p_z0 = Chat_z0 + Delta_z + b_z.
+      p_z0 = c_z0 + (num + b) / 2;
+    }
+    int64_t p_z1 = group - p_z0;
+    // Pairwise clamp: keep the group-sum constraint, forbid negatives.
+    if (p_z1 < 0) {
+      p_z1 = 0;
+      ++stats_.negative_clamps;
+    } else if (p_z1 > group) {
+      p_z1 = group;
+      ++stats_.negative_clamps;  // p_z0 would have been negative
+    }
+    ones_target[z] = p_z1;
+  }
+  return cohort_->AdvanceRound(ones_target, rng);
+}
+
+std::vector<int64_t> FixedWindowSynthesizer::SyntheticHistogram() const {
+  if (!cohort_.has_value()) {
+    return std::vector<int64_t>(util::NumPatterns(options_.window_k), 0);
+  }
+  return cohort_->WindowHistogram();
+}
+
+query::PaddingSpec FixedWindowSynthesizer::padding_spec() const {
+  query::PaddingSpec spec;
+  spec.synth_width = options_.window_k;
+  spec.npad = npad_;
+  spec.true_n = n_ > 0 ? n_ : 1;
+  return spec;
+}
+
+Result<int64_t> FixedWindowSynthesizer::SyntheticCount(
+    const query::WindowPredicate& pred) const {
+  if (!has_release()) {
+    return Status::FailedPrecondition(
+        "no release yet: fewer than k rounds observed");
+  }
+  return query::CountOnHistogram(pred, cohort_->WindowHistogram(),
+                                 options_.window_k);
+}
+
+Result<double> FixedWindowSynthesizer::BiasedAnswer(
+    const query::WindowPredicate& pred) const {
+  LONGDP_ASSIGN_OR_RETURN(int64_t count, SyntheticCount(pred));
+  return query::BiasedFraction(count, cohort_->num_records());
+}
+
+Result<double> FixedWindowSynthesizer::DebiasedAnswer(
+    const query::WindowPredicate& pred) const {
+  LONGDP_ASSIGN_OR_RETURN(int64_t count, SyntheticCount(pred));
+  return query::DebiasedFraction(count, pred, padding_spec());
+}
+
+namespace {
+constexpr char kCheckpointMagic[] = "longdp-fixed-window-checkpoint-v1";
+
+std::string DoubleToken(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+}  // namespace
+
+Status FixedWindowSynthesizer::SaveCheckpoint(std::ostream& out) const {
+  out << kCheckpointMagic << "\n";
+  out << options_.horizon << " " << options_.window_k << " "
+      << DoubleToken(options_.rho) << " " << npad_ << " "
+      << DoubleToken(options_.beta_target) << "\n";
+  out << t_ << " " << n_ << " " << stats_.releases << " "
+      << stats_.negative_clamps << " " << stats_.rounding_draws << " "
+      << DoubleToken(accountant_.spent()) << "\n";
+  out << "windows";
+  for (util::Pattern w : user_window_) out << " " << w;
+  out << "\n";
+  if (cohort_.has_value()) {
+    out << "cohort " << cohort_->num_records() << " " << cohort_->rounds()
+        << "\n";
+    for (int64_t r = 0; r < cohort_->num_records(); ++r) {
+      std::string line(static_cast<size_t>(cohort_->rounds()), '0');
+      for (int64_t tt = 1; tt <= cohort_->rounds(); ++tt) {
+        if (cohort_->Bit(r, tt)) line[static_cast<size_t>(tt - 1)] = '1';
+      }
+      out << line << "\n";
+    }
+  } else {
+    out << "cohort 0 0\n";
+  }
+  out << "end\n";
+  return out.good() ? Status::OK()
+                    : Status::IOError("checkpoint write failed");
+}
+
+Result<std::unique_ptr<FixedWindowSynthesizer>>
+FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a fixed-window checkpoint");
+  }
+  Options options;
+  std::string rho_tok, beta_tok;
+  if (!(in >> options.horizon >> options.window_k >> rho_tok >>
+        options.npad >> beta_tok)) {
+    return Status::InvalidArgument("corrupt checkpoint header");
+  }
+  options.rho = std::strtod(rho_tok.c_str(), nullptr);
+  options.beta_target = std::strtod(beta_tok.c_str(), nullptr);
+
+  LONGDP_ASSIGN_OR_RETURN(auto synth, Create(options));
+  std::string spent_tok;
+  Stats stats;
+  int64_t t = 0, n = 0;
+  if (!(in >> t >> n >> stats.releases >> stats.negative_clamps >>
+        stats.rounding_draws >> spent_tok)) {
+    return Status::InvalidArgument("corrupt checkpoint state line");
+  }
+  double spent = std::strtod(spent_tok.c_str(), nullptr);
+  if (spent > 0.0) {
+    LONGDP_RETURN_NOT_OK(
+        synth->accountant_.Charge(spent, "restored-checkpoint"));
+  }
+  std::string tag;
+  if (!(in >> tag) || tag != "windows") {
+    return Status::InvalidArgument("corrupt checkpoint: expected windows");
+  }
+  if (n >= 0) {
+    synth->user_window_.resize(static_cast<size_t>(n));
+    for (auto& w : synth->user_window_) {
+      if (!(in >> w)) {
+        return Status::InvalidArgument("corrupt checkpoint windows");
+      }
+      if (w >= util::NumPatterns(options.window_k)) {
+        return Status::InvalidArgument("window pattern out of range");
+      }
+    }
+  }
+  int64_t num_records = 0, rounds = 0;
+  if (!(in >> tag >> num_records >> rounds) || tag != "cohort") {
+    return Status::InvalidArgument("corrupt checkpoint: expected cohort");
+  }
+  if (num_records < 0 || rounds < 0) {
+    return Status::InvalidArgument("corrupt checkpoint cohort header");
+  }
+  if (t >= options.window_k) {
+    if (rounds != t) {
+      return Status::InvalidArgument(
+          "cohort rounds inconsistent with time t");
+    }
+    std::vector<std::vector<uint8_t>> histories;
+    histories.reserve(static_cast<size_t>(num_records));
+    std::string line;
+    std::getline(in, line);  // consume end of cohort header line
+    for (int64_t r = 0; r < num_records; ++r) {
+      if (!std::getline(in, line) ||
+          line.size() != static_cast<size_t>(rounds)) {
+        return Status::InvalidArgument("corrupt checkpoint history line");
+      }
+      std::vector<uint8_t> h(static_cast<size_t>(rounds));
+      for (size_t j = 0; j < h.size(); ++j) {
+        if (line[j] != '0' && line[j] != '1') {
+          return Status::InvalidArgument("history bits must be 0/1");
+        }
+        h[j] = line[j] == '1' ? 1 : 0;
+      }
+      histories.push_back(std::move(h));
+    }
+    LONGDP_ASSIGN_OR_RETURN(
+        auto cohort,
+        SyntheticCohort::Restore(options.window_k, std::move(histories)));
+    synth->cohort_.emplace(std::move(cohort));
+  }
+  if (!(in >> tag) || tag != "end") {
+    return Status::InvalidArgument("corrupt checkpoint: missing end marker");
+  }
+  synth->t_ = t;
+  synth->n_ = n;
+  synth->stats_ = stats;
+  return synth;
+}
+
+}  // namespace core
+}  // namespace longdp

@@ -1,0 +1,144 @@
+// Algorithm 1 of the paper: continual private synthetic data preserving
+// fixed time window queries.
+//
+// Per round t = k..T the synthesizer
+//   (stage 1) releases a padded noisy histogram of the original data's
+//             width-k window:  Chat^t_s = C^t_s + n_pad + N_Z(0, sigma^2),
+//             sigma^2 = (T-k+1)/(2 rho); and
+//   (stage 2) solves the sliding-window consistency constraints
+//             p^t_{z0} + p^t_{z1} = p^{t-1}_{0z} + p^{t-1}_{1z} via the
+//             correction terms Delta_z (+/- the random half-integer
+//             rounding), then extends the persistent synthetic cohort.
+//
+// The entire run is rho-zCDP (Theorem 3.1): each of the T-k+1 histogram
+// releases is charged rho/(T-k+1) against an internal accountant.
+//
+// Negative targets — which the n_pad padding makes improbable (Theorem 3.2)
+// but not impossible — are clamped pairwise (preserving the consistency
+// sums) and counted in stats(); experiments report that count as the
+// algorithm's empirical failure indicator.
+
+#ifndef LONGDP_CORE_FIXED_WINDOW_SYNTHESIZER_H_
+#define LONGDP_CORE_FIXED_WINDOW_SYNTHESIZER_H_
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/synthetic_cohort.h"
+#include "dp/accountant.h"
+#include "query/debias.h"
+#include "query/window_query.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace core {
+
+class FixedWindowSynthesizer {
+ public:
+  struct Options {
+    int64_t horizon = 0;  ///< T (known in advance, as in the paper's model)
+    int window_k = 0;     ///< window width k
+    double rho = 0.0;     ///< total zCDP budget (+infinity = zero-noise path)
+    /// Padding per bin; -1 selects theory::RecommendedNpad(beta_target).
+    int64_t npad = -1;
+    /// Target failure probability used to auto-size npad.
+    double beta_target = 0.05;
+  };
+
+  struct Stats {
+    /// Target pairs (p_{z0}, p_{z1}) clamped because a value went negative.
+    int64_t negative_clamps = 0;
+    /// Random half-integer roundings performed (the b_z draws).
+    int64_t rounding_draws = 0;
+    /// Histogram releases performed so far (update steps).
+    int64_t releases = 0;
+  };
+
+  static Result<std::unique_ptr<FixedWindowSynthesizer>> Create(
+      const Options& options);
+
+  /// Consumes round t's original-data bits (one 0/1 entry per individual;
+  /// the population size n is fixed by the first call). Before t = k the
+  /// data is only buffered; from t = k onward each call performs one
+  /// release + cohort update.
+  Status ObserveRound(const std::vector<uint8_t>& bits, util::Rng* rng);
+
+  /// True once the initial synthetic dataset exists (t >= k).
+  bool has_release() const { return cohort_.has_value(); }
+
+  /// Rounds observed so far.
+  int64_t t() const { return t_; }
+  int64_t horizon() const { return options_.horizon; }
+  int window_k() const { return options_.window_k; }
+  int64_t npad() const { return npad_; }
+  int64_t population() const { return n_; }
+  double sigma2() const { return sigma2_; }
+
+  /// The persistent synthetic cohort (valid once has_release()).
+  const SyntheticCohort& cohort() const { return *cohort_; }
+
+  /// Current synthetic histogram p^t over width-k patterns.
+  std::vector<int64_t> SyntheticHistogram() const;
+
+  /// Public padding facts for the debiaser.
+  query::PaddingSpec padding_spec() const;
+
+  /// Count of synthetic records currently matching `pred` (width <= k).
+  Result<int64_t> SyntheticCount(const query::WindowPredicate& pred) const;
+
+  /// pred's proportion computed directly on the synthetic data
+  /// (count / n*) — the paper's "Synthetic Data Results" panels.
+  Result<double> BiasedAnswer(const query::WindowPredicate& pred) const;
+
+  /// pred's proportion after subtracting the padding query answer and
+  /// normalizing by n — the paper's "Debiased Results" panels.
+  Result<double> DebiasedAnswer(const query::WindowPredicate& pred) const;
+
+  const Stats& stats() const { return stats_; }
+  const dp::ZCdpAccountant& accountant() const { return accountant_; }
+
+  /// Serializes the complete synthesizer state — options, consumed budget,
+  /// the buffered per-user window state of the ORIGINAL data, and the
+  /// synthetic cohort — so a continual release spanning months of wall
+  /// clock can resume in a later process. The checkpoint embeds raw input
+  /// state: protect the file like the survey data itself (it is not a
+  /// release). Restoring and continuing consumes the remaining budget
+  /// normally; the accountant's ledger records the restored charge.
+  Status SaveCheckpoint(std::ostream& out) const;
+
+  /// Restores a synthesizer from SaveCheckpoint output.
+  static Result<std::unique_ptr<FixedWindowSynthesizer>> LoadCheckpoint(
+      std::istream& in);
+
+ private:
+  explicit FixedWindowSynthesizer(const Options& options, int64_t npad,
+                                  double sigma2, double rho_per_step);
+
+  /// Performs the t = k initialization release.
+  Status InitialRelease(util::Rng* rng);
+  /// Performs one t > k sliding-window release.
+  Status SlideRelease(util::Rng* rng);
+
+  /// Stage 1: noisy padded histogram of the current true window counts.
+  std::vector<int64_t> NoisyPaddedHistogram(util::Rng* rng);
+
+  Options options_;
+  int64_t npad_;
+  double sigma2_;
+  double rho_per_step_;
+  dp::ZCdpAccountant accountant_;
+
+  int64_t n_ = -1;  ///< original population size; fixed by first round
+  int64_t t_ = 0;
+  std::vector<util::Pattern> user_window_;  ///< each user's last-k-bits code
+  std::optional<SyntheticCohort> cohort_;
+  Stats stats_;
+};
+
+}  // namespace core
+}  // namespace longdp
+
+#endif  // LONGDP_CORE_FIXED_WINDOW_SYNTHESIZER_H_

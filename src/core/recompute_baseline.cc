@@ -1,0 +1,72 @@
+#include "core/recompute_baseline.h"
+
+#include <cmath>
+
+#include "dp/discrete_gaussian.h"
+
+namespace longdp {
+namespace core {
+
+Result<std::unique_ptr<RecomputeBaseline>> RecomputeBaseline::Create(
+    const Options& options) {
+  LONGDP_RETURN_NOT_OK(util::ValidateWindow(options.window_k));
+  if (options.horizon < options.window_k) {
+    return Status::InvalidArgument("horizon T must be >= window k");
+  }
+  if (!(options.rho > 0.0)) {
+    return Status::InvalidArgument("rho must be > 0");
+  }
+  auto baseline =
+      std::unique_ptr<RecomputeBaseline>(new RecomputeBaseline(options));
+  double steps = static_cast<double>(options.horizon - options.window_k + 1);
+  baseline->sigma2_ =
+      std::isinf(options.rho) ? 0.0 : steps / (2.0 * options.rho);
+  baseline->rho_per_step_ =
+      std::isinf(options.rho) ? 0.0 : options.rho / steps;
+  return baseline;
+}
+
+Status RecomputeBaseline::ObserveRound(const std::vector<uint8_t>& bits,
+                                       util::Rng* rng) {
+  if (t_ >= options_.horizon) {
+    return Status::OutOfRange("baseline past its horizon");
+  }
+  if (n_ < 0) {
+    n_ = static_cast<int64_t>(bits.size());
+    user_window_.assign(bits.size(), 0);
+  } else if (bits.size() != static_cast<size_t>(n_)) {
+    return Status::InvalidArgument("round size changed");
+  }
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] > 1) {
+      return Status::InvalidArgument("round entries must be 0 or 1");
+    }
+    user_window_[i] =
+        util::SlideAppend(user_window_[i], options_.window_k, bits[i]);
+  }
+  ++t_;
+  if (t_ < options_.window_k) return Status::OK();
+
+  LONGDP_RETURN_NOT_OK(accountant_.Charge(
+      rho_per_step_, "recompute histogram t=" + std::to_string(t_)));
+  std::vector<int64_t> hist(util::NumPatterns(options_.window_k), 0);
+  for (util::Pattern w : user_window_) ++hist[w];
+  for (auto& c : hist) {
+    c += dp::SampleDiscreteGaussian(sigma2_, rng);
+    if (c < 0) {
+      c = 0;
+      ++clamped_;
+    }
+  }
+  current_ = std::move(hist);
+  return Status::OK();
+}
+
+int64_t RecomputeBaseline::SyntheticPopulation() const {
+  int64_t total = 0;
+  for (int64_t c : current_) total += c;
+  return total;
+}
+
+}  // namespace core
+}  // namespace longdp

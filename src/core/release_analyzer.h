@@ -1,0 +1,57 @@
+// Analyst-side query interface over a ReleaseLog: answers fixed-window and
+// cumulative queries AT ANY RELEASED TIME from the persisted artifacts
+// alone — no synthesizer, no raw data, pure post-processing. This is the
+// API an analyst who only ever receives the releases programs against.
+
+#ifndef LONGDP_CORE_RELEASE_ANALYZER_H_
+#define LONGDP_CORE_RELEASE_ANALYZER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "core/release_log.h"
+#include "query/debias.h"
+#include "query/window_query.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace core {
+
+class ReleaseAnalyzer {
+ public:
+  /// Indexes the log's releases by time. The log must outlive the analyzer.
+  explicit ReleaseAnalyzer(const ReleaseLog& log);
+
+  /// Times with a window (fixed-window histogram) release, ascending.
+  std::vector<int64_t> WindowTimes() const;
+  /// Times with a cumulative (threshold row) release, ascending.
+  std::vector<int64_t> CumulativeTimes() const;
+
+  /// Debiased estimate of pred's population fraction at released time t.
+  /// pred.width() must not exceed the release's k. NotFound if no window
+  /// release exists at t.
+  Result<double> WindowFraction(int64_t t,
+                                const query::WindowPredicate& pred) const;
+
+  /// Raw (biased) fraction computed on the padded synthetic counts.
+  Result<double> BiasedWindowFraction(
+      int64_t t, const query::WindowPredicate& pred) const;
+
+  /// Cumulative fraction c^t_b from the threshold row released at time t,
+  /// normalized by the (released) population Shat^t_0.
+  Result<double> CumulativeFraction(int64_t t, int64_t b) const;
+
+  /// The Ghazi et al. CountOcc_{=b} reduction between two released times
+  /// t1 < t2, as a count (paper Section 1.1).
+  Result<int64_t> CountOccExact(int64_t t1, int64_t t2, int64_t b) const;
+
+ private:
+  const ReleaseLog& log_;
+  std::map<int64_t, const WindowRelease*> window_by_t_;
+  std::map<int64_t, const CumulativeRelease*> cumulative_by_t_;
+};
+
+}  // namespace core
+}  // namespace longdp
+
+#endif  // LONGDP_CORE_RELEASE_ANALYZER_H_

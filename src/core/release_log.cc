@@ -1,0 +1,112 @@
+#include "core/release_log.h"
+
+#include <fstream>
+#include <map>
+
+#include "util/csv.h"
+
+namespace longdp {
+namespace core {
+
+Status ReleaseLog::Capture(const FixedWindowSynthesizer& synth) {
+  if (!synth.has_release()) return Status::OK();
+  WindowRelease release;
+  release.t = synth.t();
+  release.window_k = synth.window_k();
+  release.npad = synth.npad();
+  release.true_n = synth.population();
+  release.histogram = synth.SyntheticHistogram();
+  if (!window_.empty() && window_.back().t == release.t) {
+    return Status::AlreadyExists("release for t=" + std::to_string(release.t) +
+                                 " already captured");
+  }
+  window_.push_back(std::move(release));
+  return Status::OK();
+}
+
+Status ReleaseLog::Capture(const CumulativeSynthesizer& synth) {
+  if (synth.t() < 1) {
+    return Status::FailedPrecondition("no cumulative release yet");
+  }
+  if (!cumulative_.empty() && cumulative_.back().t == synth.t()) {
+    return Status::AlreadyExists("release for t=" + std::to_string(synth.t()) +
+                                 " already captured");
+  }
+  CumulativeRelease release;
+  release.t = synth.t();
+  release.thresholds = synth.released_thresholds();
+  cumulative_.push_back(std::move(release));
+  return Status::OK();
+}
+
+Status ReleaseLog::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  util::CsvWriter writer(&out);
+  writer.WriteRow({"kind", "t", "k", "npad", "true_n", "index", "value"});
+  for (const auto& r : window_) {
+    for (size_t s = 0; s < r.histogram.size(); ++s) {
+      writer.WriteRow({"window", std::to_string(r.t),
+                       std::to_string(r.window_k), std::to_string(r.npad),
+                       std::to_string(r.true_n), std::to_string(s),
+                       std::to_string(r.histogram[s])});
+    }
+  }
+  for (const auto& r : cumulative_) {
+    for (size_t b = 0; b < r.thresholds.size(); ++b) {
+      writer.WriteRow({"cumulative", std::to_string(r.t), "0", "0", "0",
+                       std::to_string(b), std::to_string(r.thresholds[b])});
+    }
+  }
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<ReleaseLog> ReleaseLog::LoadCsv(const std::string& path) {
+  LONGDP_ASSIGN_OR_RETURN(auto rows, util::ReadCsvFile(path));
+  if (rows.empty() || rows[0].size() != 7) {
+    return Status::InvalidArgument("not a release log CSV: " + path);
+  }
+  ReleaseLog log;
+  // (kind, t) -> accumulating rows; rows for one release are contiguous in
+  // files we write, but accept any order.
+  std::map<int64_t, WindowRelease> window_by_t;
+  std::map<int64_t, CumulativeRelease> cumulative_by_t;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 7) {
+      return Status::InvalidArgument("malformed row " + std::to_string(r + 1));
+    }
+    const std::string& kind = row[0];
+    int64_t t = std::strtoll(row[1].c_str(), nullptr, 10);
+    size_t index = static_cast<size_t>(
+        std::strtoull(row[5].c_str(), nullptr, 10));
+    int64_t value = std::strtoll(row[6].c_str(), nullptr, 10);
+    if (kind == "window") {
+      auto& rel = window_by_t[t];
+      rel.t = t;
+      rel.window_k = static_cast<int>(std::strtol(row[2].c_str(), nullptr,
+                                                  10));
+      rel.npad = std::strtoll(row[3].c_str(), nullptr, 10);
+      rel.true_n = std::strtoll(row[4].c_str(), nullptr, 10);
+      if (rel.histogram.size() <= index) rel.histogram.resize(index + 1, 0);
+      rel.histogram[index] = value;
+    } else if (kind == "cumulative") {
+      auto& rel = cumulative_by_t[t];
+      rel.t = t;
+      if (rel.thresholds.size() <= index) rel.thresholds.resize(index + 1, 0);
+      rel.thresholds[index] = value;
+    } else {
+      return Status::InvalidArgument("unknown release kind '" + kind + "'");
+    }
+  }
+  for (auto& [t, rel] : window_by_t) log.window_.push_back(std::move(rel));
+  for (auto& [t, rel] : cumulative_by_t) {
+    log.cumulative_.push_back(std::move(rel));
+  }
+  return log;
+}
+
+}  // namespace core
+}  // namespace longdp

@@ -1,0 +1,68 @@
+// Release log: a durable record of everything a synthesizer published.
+//
+// In a deployment the continual releases are what analysts actually
+// receive, so the library captures them in a replayable, CSV-serializable
+// log: per round, the fixed-window synthetic histogram (plus the public
+// padding facts) or the cumulative threshold row. Because the log contains
+// only released (post-DP) values, persisting and sharing it costs no
+// additional privacy — it is pure post-processing.
+
+#ifndef LONGDP_CORE_RELEASE_LOG_H_
+#define LONGDP_CORE_RELEASE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cumulative_synthesizer.h"
+#include "core/fixed_window_synthesizer.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace core {
+
+/// One fixed-window release: the width-k synthetic histogram at time t.
+struct WindowRelease {
+  int64_t t = 0;
+  int window_k = 0;
+  int64_t npad = 0;
+  int64_t true_n = 0;
+  std::vector<int64_t> histogram;  ///< 2^k synthetic pattern counts p^t_s
+};
+
+/// One cumulative release: the monotonized threshold row at time t.
+struct CumulativeRelease {
+  int64_t t = 0;
+  std::vector<int64_t> thresholds;  ///< Shat^t_b for b = 0..T
+};
+
+class ReleaseLog {
+ public:
+  /// Appends the synthesizer's current release (no-op before the first
+  /// release at t = k).
+  Status Capture(const FixedWindowSynthesizer& synth);
+  /// Appends the synthesizer's current release (requires t >= 1).
+  Status Capture(const CumulativeSynthesizer& synth);
+
+  const std::vector<WindowRelease>& window_releases() const {
+    return window_;
+  }
+  const std::vector<CumulativeRelease>& cumulative_releases() const {
+    return cumulative_;
+  }
+
+  /// Serializes to CSV with rows: kind,t,k,npad,true_n,index,value.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Loads a log previously written by WriteCsv.
+  static Result<ReleaseLog> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<WindowRelease> window_;
+  std::vector<CumulativeRelease> cumulative_;
+};
+
+}  // namespace core
+}  // namespace longdp
+
+#endif  // LONGDP_CORE_RELEASE_LOG_H_

@@ -1,0 +1,158 @@
+#include "core/synthetic_cohort.h"
+
+#include <algorithm>
+
+namespace longdp {
+namespace core {
+
+Result<SyntheticCohort> SyntheticCohort::Create(
+    int window_k, const std::vector<int64_t>& initial_counts) {
+  LONGDP_RETURN_NOT_OK(util::ValidateWindow(window_k));
+  if (initial_counts.size() != util::NumPatterns(window_k)) {
+    return Status::InvalidArgument("initial_counts size must be 2^k");
+  }
+  for (int64_t c : initial_counts) {
+    if (c < 0) {
+      return Status::InvalidArgument(
+          "initial cohort counts must be non-negative (pad the histogram)");
+    }
+  }
+  SyntheticCohort cohort;
+  cohort.k_ = window_k;
+  cohort.rounds_ = window_k;
+  cohort.pattern_count_ = initial_counts;
+  cohort.groups_.assign(util::NumPatterns(window_k - 1), {});
+  int64_t total = 0;
+  for (int64_t c : initial_counts) total += c;
+  cohort.num_records_ = total;
+  cohort.histories_.reserve(static_cast<size_t>(total));
+  for (util::Pattern s = 0; s < initial_counts.size(); ++s) {
+    std::vector<uint8_t> history(static_cast<size_t>(window_k));
+    for (int j = 0; j < window_k; ++j) {
+      history[static_cast<size_t>(j)] =
+          static_cast<uint8_t>((s >> (window_k - 1 - j)) & 1);
+    }
+    util::Pattern overlap = util::Overlap(s, window_k);
+    for (int64_t c = 0; c < initial_counts[s]; ++c) {
+      cohort.groups_[overlap].push_back(
+          static_cast<int64_t>(cohort.histories_.size()));
+      cohort.histories_.push_back(history);
+    }
+  }
+  return cohort;
+}
+
+Result<SyntheticCohort> SyntheticCohort::Restore(
+    int window_k, std::vector<std::vector<uint8_t>> histories) {
+  LONGDP_RETURN_NOT_OK(util::ValidateWindow(window_k));
+  SyntheticCohort cohort;
+  cohort.k_ = window_k;
+  cohort.num_records_ = static_cast<int64_t>(histories.size());
+  cohort.groups_.assign(util::NumPatterns(window_k - 1), {});
+  cohort.pattern_count_.assign(util::NumPatterns(window_k), 0);
+  size_t rounds = histories.empty() ? static_cast<size_t>(window_k)
+                                    : histories[0].size();
+  if (rounds < static_cast<size_t>(window_k)) {
+    return Status::InvalidArgument(
+        "restored histories must span at least k rounds");
+  }
+  for (size_t r = 0; r < histories.size(); ++r) {
+    const auto& h = histories[r];
+    if (h.size() != rounds) {
+      return Status::InvalidArgument(
+          "restored histories must all have equal length");
+    }
+    util::Pattern p = 0;
+    for (size_t j = rounds - static_cast<size_t>(window_k); j < rounds;
+         ++j) {
+      if (h[j] > 1) {
+        return Status::InvalidArgument("history bits must be 0 or 1");
+      }
+      p = (p << 1) | static_cast<util::Pattern>(h[j]);
+    }
+    ++cohort.pattern_count_[p];
+    cohort.groups_[util::Overlap(p, window_k)].push_back(
+        static_cast<int64_t>(r));
+  }
+  cohort.rounds_ = static_cast<int64_t>(rounds);
+  cohort.histories_ = std::move(histories);
+  return cohort;
+}
+
+Status SyntheticCohort::AdvanceRound(const std::vector<int64_t>& ones_target,
+                                     util::Rng* rng) {
+  size_t num_overlaps = util::NumPatterns(k_ - 1);
+  if (ones_target.size() != num_overlaps) {
+    return Status::InvalidArgument("ones_target size must be 2^(k-1)");
+  }
+  for (util::Pattern z = 0; z < num_overlaps; ++z) {
+    int64_t target = ones_target[z];
+    int64_t group = GroupSize(z);
+    if (target < 0 || target > group) {
+      return Status::InvalidArgument(
+          "ones_target[" + util::PatternToString(z, k_ - 1) + "]=" +
+          std::to_string(target) + " outside [0, group=" +
+          std::to_string(group) + "]");
+    }
+  }
+
+  // Select extensions per overlap group against the *current* groups, then
+  // rebuild the group index for the next round.
+  std::vector<std::vector<int64_t>> new_groups(num_overlaps);
+  std::vector<int64_t> new_counts(util::NumPatterns(k_), 0);
+  for (util::Pattern z = 0; z < num_overlaps; ++z) {
+    std::vector<int64_t>& members = groups_[z];
+    int64_t target = ones_target[z];
+    int64_t group = static_cast<int64_t>(members.size());
+    if (group == 0) continue;
+    // Uniformly choose which records get the 1-extension: partial shuffle
+    // puts a random `target`-subset at the front.
+    if (target > 0 && target < group) {
+      for (int64_t i = 0; i < target; ++i) {
+        int64_t j = i + static_cast<int64_t>(rng->UniformInt(
+                            static_cast<uint64_t>(group - i)));
+        std::swap(members[static_cast<size_t>(i)],
+                  members[static_cast<size_t>(j)]);
+      }
+    }
+    for (int64_t i = 0; i < group; ++i) {
+      int bit = (i < target) ? 1 : 0;
+      int64_t rec = members[static_cast<size_t>(i)];
+      histories_[static_cast<size_t>(rec)].push_back(
+          static_cast<uint8_t>(bit));
+      util::Pattern new_pattern =
+          (z << 1) | static_cast<util::Pattern>(bit);  // width k
+      ++new_counts[new_pattern];
+      new_groups[util::Overlap(new_pattern, k_)].push_back(rec);
+    }
+  }
+  groups_ = std::move(new_groups);
+  pattern_count_ = std::move(new_counts);
+  ++rounds_;
+  return Status::OK();
+}
+
+std::vector<int64_t> SyntheticCohort::WindowHistogram() const {
+  return pattern_count_;
+}
+
+Result<data::LongitudinalDataset> SyntheticCohort::ToDataset(
+    int64_t horizon) const {
+  if (horizon < rounds_) {
+    return Status::InvalidArgument("horizon must be >= rounds()");
+  }
+  LONGDP_ASSIGN_OR_RETURN(
+      auto ds, data::LongitudinalDataset::Create(num_records_, horizon));
+  std::vector<uint8_t> round(static_cast<size_t>(num_records_));
+  for (int64_t t = 1; t <= rounds_; ++t) {
+    for (int64_t r = 0; r < num_records_; ++r) {
+      round[static_cast<size_t>(r)] =
+          histories_[static_cast<size_t>(r)][static_cast<size_t>(t - 1)];
+    }
+    LONGDP_RETURN_NOT_OK(ds.AppendRound(round));
+  }
+  return ds;
+}
+
+}  // namespace core
+}  // namespace longdp

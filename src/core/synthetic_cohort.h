@@ -1,0 +1,85 @@
+// The persistent synthetic population maintained by FixedWindowSynthesizer.
+//
+// A cohort is a set of synthetic records whose bit histories are append-only
+// (the paper's central consistency requirement: records persist and are only
+// extended, never rewritten). The cohort indexes records by their current
+// (k-1)-bit window overlap so that Algorithm 1's stage 2 — "extend p^t_{z1}
+// of the records ending in z by 1 and the rest by 0" — is O(group size) per
+// overlap.
+
+#ifndef LONGDP_CORE_SYNTHETIC_COHORT_H_
+#define LONGDP_CORE_SYNTHETIC_COHORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/longitudinal_dataset.h"
+#include "util/bits.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace core {
+
+class SyntheticCohort {
+ public:
+  /// Creates the initial cohort at time t = k from a per-pattern census:
+  /// `initial_counts[s]` records are created with history equal to the k
+  /// bits of pattern s. Counts must be non-negative; size must be 2^k.
+  static Result<SyntheticCohort> Create(
+      int window_k, const std::vector<int64_t>& initial_counts);
+
+  /// Rebuilds a cohort from fully materialized record histories (used by
+  /// checkpoint restore). Every history must have the same length >= k;
+  /// the overlap index and histogram are reconstructed from the last k
+  /// bits.
+  static Result<SyntheticCohort> Restore(
+      int window_k, std::vector<std::vector<uint8_t>> histories);
+
+  int window_k() const { return k_; }
+  int64_t num_records() const { return num_records_; }
+  /// Rounds of history each record currently carries (>= k).
+  int64_t rounds() const { return rounds_; }
+
+  /// Advances one round. `ones_target[z]` says how many of the records whose
+  /// current overlap is z must be extended by 1 (selected uniformly at
+  /// random); the remainder get 0. Requires 0 <= ones_target[z] <=
+  /// group size for every z (the synthesizer's consistency solve guarantees
+  /// this). Size must be 2^(k-1).
+  Status AdvanceRound(const std::vector<int64_t>& ones_target,
+                      util::Rng* rng);
+
+  /// Current histogram over width-k suffix patterns; result[s] = number of
+  /// records whose last k bits equal s. O(2^k).
+  std::vector<int64_t> WindowHistogram() const;
+
+  /// Number of records whose current overlap (last k-1 bits) equals z.
+  int64_t GroupSize(util::Pattern z) const {
+    return static_cast<int64_t>(groups_[z].size());
+  }
+
+  /// Bit of record `r` at round `t` (both 1-based times; t <= rounds()).
+  int Bit(int64_t r, int64_t t) const {
+    return histories_[static_cast<size_t>(r)][static_cast<size_t>(t - 1)];
+  }
+
+  /// Materializes the cohort as a LongitudinalDataset of num_records()
+  /// users and rounds() rounds (horizon is set to `horizon`, which must be
+  /// >= rounds()).
+  Result<data::LongitudinalDataset> ToDataset(int64_t horizon) const;
+
+ private:
+  SyntheticCohort() = default;
+
+  int k_ = 0;
+  int64_t num_records_ = 0;
+  int64_t rounds_ = 0;
+  std::vector<std::vector<uint8_t>> histories_;       // [record][round-1]
+  std::vector<std::vector<int64_t>> groups_;          // [overlap z] -> records
+  std::vector<int64_t> pattern_count_;                // current histogram p_s
+};
+
+}  // namespace core
+}  // namespace longdp
+
+#endif  // LONGDP_CORE_SYNTHETIC_COHORT_H_

@@ -1,0 +1,110 @@
+#include "data/longitudinal_dataset.h"
+
+namespace longdp {
+namespace data {
+
+Result<LongitudinalDataset> LongitudinalDataset::Create(int64_t num_users,
+                                                        int64_t horizon) {
+  if (num_users < 0) {
+    return Status::InvalidArgument("num_users must be >= 0");
+  }
+  if (horizon < 1) {
+    return Status::InvalidArgument("horizon must be >= 1");
+  }
+  return LongitudinalDataset(num_users, horizon);
+}
+
+Status LongitudinalDataset::AppendRound(const std::vector<uint8_t>& bits) {
+  if (rounds() >= horizon_) {
+    return Status::OutOfRange("dataset already holds all " +
+                              std::to_string(horizon_) + " rounds");
+  }
+  if (bits.size() != static_cast<size_t>(num_users_)) {
+    return Status::InvalidArgument(
+        "round must contain exactly one bit per user (" +
+        std::to_string(num_users_) + "), got " + std::to_string(bits.size()));
+  }
+  for (uint8_t b : bits) {
+    if (b > 1) {
+      return Status::InvalidArgument("round entries must be 0 or 1");
+    }
+  }
+  std::vector<int32_t> w(static_cast<size_t>(num_users_), 0);
+  if (!weights_.empty()) {
+    const auto& prev = weights_.back();
+    for (size_t i = 0; i < w.size(); ++i) w[i] = prev[i] + bits[i];
+  } else {
+    for (size_t i = 0; i < w.size(); ++i) w[i] = bits[i];
+  }
+  bits_.push_back(bits);
+  weights_.push_back(std::move(w));
+  return Status::OK();
+}
+
+util::Pattern LongitudinalDataset::SuffixPattern(int64_t user, int64_t t,
+                                                 int k) const {
+  util::Pattern p = 0;
+  for (int64_t tt = t - k + 1; tt <= t; ++tt) {
+    int bit = (tt >= 1 && tt <= rounds()) ? Bit(user, tt) : 0;
+    p = (p << 1) | static_cast<util::Pattern>(bit);
+  }
+  return p;
+}
+
+int64_t LongitudinalDataset::HammingWeight(int64_t user, int64_t t) const {
+  if (t <= 0) return 0;
+  return weights_[static_cast<size_t>(t - 1)][static_cast<size_t>(user)];
+}
+
+Result<std::vector<int64_t>> LongitudinalDataset::WindowHistogram(
+    int64_t t, int k) const {
+  LONGDP_RETURN_NOT_OK(util::ValidateWindow(k));
+  if (t < k || t > rounds()) {
+    return Status::OutOfRange("WindowHistogram requires k <= t <= rounds()");
+  }
+  std::vector<int64_t> hist(util::NumPatterns(k), 0);
+  for (int64_t i = 0; i < num_users_; ++i) {
+    ++hist[SuffixPattern(i, t, k)];
+  }
+  return hist;
+}
+
+Result<std::vector<int64_t>> LongitudinalDataset::CumulativeCounts(
+    int64_t t) const {
+  if (t < 1 || t > rounds()) {
+    return Status::OutOfRange("CumulativeCounts requires 1 <= t <= rounds()");
+  }
+  std::vector<int64_t> exact(static_cast<size_t>(horizon_) + 1, 0);
+  const auto& w = weights_[static_cast<size_t>(t - 1)];
+  for (int64_t i = 0; i < num_users_; ++i) {
+    ++exact[static_cast<size_t>(w[static_cast<size_t>(i)])];
+  }
+  // Suffix-sum the exact-weight histogram into >=-threshold counts.
+  std::vector<int64_t> cum(static_cast<size_t>(horizon_) + 1, 0);
+  int64_t running = 0;
+  for (int64_t b = horizon_; b >= 0; --b) {
+    running += exact[static_cast<size_t>(b)];
+    cum[static_cast<size_t>(b)] = running;
+  }
+  return cum;
+}
+
+Result<std::vector<int64_t>> LongitudinalDataset::WeightIncrements(
+    int64_t t) const {
+  if (t < 1 || t > rounds()) {
+    return Status::OutOfRange("WeightIncrements requires 1 <= t <= rounds()");
+  }
+  std::vector<int64_t> z(static_cast<size_t>(horizon_), 0);
+  const auto& round = bits_[static_cast<size_t>(t - 1)];
+  for (int64_t i = 0; i < num_users_; ++i) {
+    if (round[static_cast<size_t>(i)]) {
+      int64_t w_prev = HammingWeight(i, t - 1);
+      // The user reaches weight w_prev + 1 = b exactly at time t.
+      z[static_cast<size_t>(w_prev)] += 1;
+    }
+  }
+  return z;
+}
+
+}  // namespace data
+}  // namespace longdp

@@ -1,0 +1,81 @@
+// The longitudinal data model of Section 2.1: n individuals, each reporting
+// one bit per period t = 1..T. The dataset is stored column-major (one
+// vector per round) because both synthesizers consume it one round at a
+// time; per-user prefix Hamming weights are maintained incrementally so the
+// cumulative-query statistics of Algorithm 2 are O(n) per round.
+//
+// The same container is used for original data and for materialized
+// synthetic data (the synthetic population size m may differ from n).
+
+#ifndef LONGDP_DATA_LONGITUDINAL_DATASET_H_
+#define LONGDP_DATA_LONGITUDINAL_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace data {
+
+class LongitudinalDataset {
+ public:
+  /// An empty dataset over `num_users` individuals and a horizon of at most
+  /// `horizon` rounds. Rounds are appended via AppendRound.
+  static Result<LongitudinalDataset> Create(int64_t num_users,
+                                            int64_t horizon);
+
+  int64_t num_users() const { return num_users_; }
+  int64_t horizon() const { return horizon_; }
+  /// Rounds appended so far (the current time t).
+  int64_t rounds() const { return static_cast<int64_t>(bits_.size()); }
+
+  /// Appends round t+1. `bits` must have one 0/1 entry per user.
+  Status AppendRound(const std::vector<uint8_t>& bits);
+
+  /// Bit of `user` at round `t` (1-based, t <= rounds()).
+  int Bit(int64_t user, int64_t t) const {
+    return bits_[static_cast<size_t>(t - 1)][static_cast<size_t>(user)];
+  }
+
+  /// The user's most recent k bits at time t, encoded oldest-bit-first
+  /// (util::Pattern convention). Bits before t = 1 are taken as 0, matching
+  /// the paper's convention x^t = 0 for t <= 0.
+  util::Pattern SuffixPattern(int64_t user, int64_t t, int k) const;
+
+  /// Prefix Hamming weight of `user` through round t (0 for t == 0).
+  int64_t HammingWeight(int64_t user, int64_t t) const;
+
+  /// Histogram over {0,1}^k of users' length-k suffixes at time t:
+  /// result[s] = #{ i : (x^{t-k+1}_i, ..., x^t_i) = s }. Requires t >= k.
+  Result<std::vector<int64_t>> WindowHistogram(int64_t t, int k) const;
+
+  /// Cumulative threshold counts S^t_b = #{ i : weight_i(t) >= b } for
+  /// b = 0..horizon (so the result has horizon+1 entries; entry 0 is n).
+  Result<std::vector<int64_t>> CumulativeCounts(int64_t t) const;
+
+  /// The Algorithm-2 increments for round t:
+  /// result[b-1] = z^t_b = #{ i : weight_i(t-1) = b-1 and x^t_i = 1 },
+  /// for b = 1..horizon. Requires 1 <= t <= rounds().
+  Result<std::vector<int64_t>> WeightIncrements(int64_t t) const;
+
+  /// The full row of bits reported at round t.
+  const std::vector<uint8_t>& Round(int64_t t) const {
+    return bits_[static_cast<size_t>(t - 1)];
+  }
+
+ private:
+  LongitudinalDataset(int64_t num_users, int64_t horizon)
+      : num_users_(num_users), horizon_(horizon) {}
+
+  int64_t num_users_;
+  int64_t horizon_;
+  std::vector<std::vector<uint8_t>> bits_;     // [t-1][user]
+  std::vector<std::vector<int32_t>> weights_;  // [t-1][user] prefix weights
+};
+
+}  // namespace data
+}  // namespace longdp
+
+#endif  // LONGDP_DATA_LONGITUDINAL_DATASET_H_

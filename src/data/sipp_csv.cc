@@ -1,0 +1,113 @@
+#include "data/sipp_csv.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+
+namespace longdp {
+namespace data {
+
+namespace {
+bool IsBitField(const std::string& f) { return f == "0" || f == "1"; }
+
+bool LooksLikeHeader(const std::vector<std::string>& row) {
+  // A header contains at least one field that is neither a bit nor a number.
+  for (const auto& f : row) {
+    if (f.empty()) continue;
+    bool numeric = true;
+    for (char c : f) {
+      if (!std::isdigit(static_cast<unsigned char>(c)) && c != '-' &&
+          c != '.') {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) return true;
+  }
+  return false;
+}
+}  // namespace
+
+Result<LongitudinalDataset> LoadSippBitsCsv(const std::string& path) {
+  LONGDP_ASSIGN_OR_RETURN(auto rows, util::ReadCsvFile(path));
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV file is empty: " + path);
+  }
+  size_t first = 0;
+  if (LooksLikeHeader(rows[0])) first = 1;
+  if (first >= rows.size()) {
+    return Status::InvalidArgument("CSV has a header but no data rows: " +
+                                   path);
+  }
+  // Detect an id column: present iff any data row's first field is not a
+  // bit (ids like "0" and "1" are ambiguous row by row, so scan them all).
+  const auto& probe = rows[first];
+  if (probe.empty()) {
+    return Status::InvalidArgument("empty data row in " + path);
+  }
+  size_t skip = 0;
+  for (size_t r = first; r < rows.size(); ++r) {
+    if (!rows[r].empty() && !IsBitField(rows[r][0])) {
+      skip = 1;
+      break;
+    }
+  }
+  if (probe.size() <= skip) {
+    return Status::InvalidArgument("no period columns found in " + path);
+  }
+  size_t horizon = probe.size() - skip;
+
+  int64_t n = static_cast<int64_t>(rows.size() - first);
+  LONGDP_ASSIGN_OR_RETURN(
+      auto ds, LongitudinalDataset::Create(n, static_cast<int64_t>(horizon)));
+  // The dataset is column-major; buffer rows then append per round.
+  std::vector<std::vector<uint8_t>> cols(
+      horizon, std::vector<uint8_t>(static_cast<size_t>(n), 0));
+  for (size_t r = first; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != skip + horizon) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r + 1) + " has " +
+          std::to_string(row.size()) + " fields, expected " +
+          std::to_string(skip + horizon));
+    }
+    for (size_t t = 0; t < horizon; ++t) {
+      const std::string& f = row[skip + t];
+      if (!IsBitField(f)) {
+        return Status::InvalidArgument("non-binary value '" + f + "' at row " +
+                                       std::to_string(r + 1));
+      }
+      cols[t][r - first] = (f == "1") ? 1 : 0;
+    }
+  }
+  for (size_t t = 0; t < horizon; ++t) {
+    LONGDP_RETURN_NOT_OK(ds.AppendRound(cols[t]));
+  }
+  return ds;
+}
+
+Status WriteSippBitsCsv(const LongitudinalDataset& dataset,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  util::CsvWriter writer(&out);
+  std::vector<std::string> header = {"id"};
+  for (int64_t t = 1; t <= dataset.rounds(); ++t) {
+    header.push_back("month" + std::to_string(t));
+  }
+  writer.WriteRow(header);
+  for (int64_t i = 0; i < dataset.num_users(); ++i) {
+    std::vector<std::string> row = {std::to_string(i)};
+    for (int64_t t = 1; t <= dataset.rounds(); ++t) {
+      row.push_back(dataset.Bit(i, t) ? "1" : "0");
+    }
+    writer.WriteRow(row);
+  }
+  return out.good() ? Status::OK()
+                    : Status::IOError("write failed: " + path);
+}
+
+}  // namespace data
+}  // namespace longdp

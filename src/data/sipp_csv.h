@@ -1,0 +1,31 @@
+// CSV ingestion/export for preprocessed longitudinal bit panels.
+//
+// Format: one row per individual; an optional leading non-numeric header
+// row is skipped; an optional first "id" column is detected and skipped; the
+// remaining fields must all be 0/1 and every row must have the same number
+// of periods. This matches the preprocessed SIPP extract described in the
+// paper's Section 5 (one binarized poverty indicator per household-month),
+// so users holding the real data can reproduce the figures on it directly.
+
+#ifndef LONGDP_DATA_SIPP_CSV_H_
+#define LONGDP_DATA_SIPP_CSV_H_
+
+#include <string>
+
+#include "data/longitudinal_dataset.h"
+
+namespace longdp {
+namespace data {
+
+/// Loads a bit panel from `path`. Fails with IOError if unreadable and
+/// InvalidArgument on malformed rows.
+Result<LongitudinalDataset> LoadSippBitsCsv(const std::string& path);
+
+/// Writes `dataset` as id,month1..monthT rows with a header.
+Status WriteSippBitsCsv(const LongitudinalDataset& dataset,
+                        const std::string& path);
+
+}  // namespace data
+}  // namespace longdp
+
+#endif  // LONGDP_DATA_SIPP_CSV_H_

@@ -1,0 +1,153 @@
+#include "data/sipp_preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/csv.h"
+
+namespace longdp {
+namespace data {
+
+Result<SippPreprocessResult> PreprocessSipp(
+    const std::vector<SippRawRecord>& records, int64_t horizon) {
+  if (horizon < 1) {
+    return Status::InvalidArgument("horizon must be >= 1");
+  }
+  SippPreprocessStats stats;
+  stats.raw_records = static_cast<int64_t>(records.size());
+
+  // Per household: the first person id seen and that person's month series.
+  struct Series {
+    int64_t person_id;
+    std::vector<double> ratio;   // indexed month-1; NaN until observed
+    std::vector<bool> observed;
+  };
+  std::map<int64_t, Series> by_household;
+
+  for (const auto& r : records) {
+    if (r.month < 1 || r.month > horizon) {
+      return Status::OutOfRange(
+          "month " + std::to_string(r.month) + " outside [1, " +
+          std::to_string(horizon) + "] for household " +
+          std::to_string(r.household_id));
+    }
+    auto [it, inserted] = by_household.try_emplace(r.household_id);
+    Series& s = it->second;
+    if (inserted) {
+      s.person_id = r.person_id;
+      s.ratio.assign(static_cast<size_t>(horizon),
+                     std::nan(""));
+      s.observed.assign(static_cast<size_t>(horizon), false);
+    }
+    if (r.person_id != s.person_id) {
+      // Paper step 1: one series per household; keep the first person.
+      ++stats.dropped_extra_person_series;
+      continue;
+    }
+    size_t idx = static_cast<size_t>(r.month - 1);
+    if (s.observed[idx]) {
+      bool same = (std::isnan(s.ratio[idx]) && std::isnan(r.poverty_ratio)) ||
+                  s.ratio[idx] == r.poverty_ratio;
+      if (!same) {
+        return Status::InvalidArgument(
+            "conflicting duplicate observation for household " +
+            std::to_string(r.household_id) + " month " +
+            std::to_string(r.month));
+      }
+      continue;
+    }
+    s.observed[idx] = true;
+    s.ratio[idx] = r.poverty_ratio;
+  }
+  stats.households_seen = static_cast<int64_t>(by_household.size());
+
+  // Paper steps 3-4: drop households with any missing or unobserved month.
+  std::vector<int64_t> kept_ids;
+  std::vector<const Series*> kept_series;
+  for (const auto& [id, s] : by_household) {
+    bool complete = true;
+    bool missing = false;
+    for (int64_t m = 0; m < horizon; ++m) {
+      if (!s.observed[static_cast<size_t>(m)]) {
+        complete = false;
+      } else if (std::isnan(s.ratio[static_cast<size_t>(m)])) {
+        missing = true;
+      }
+    }
+    if (missing) {
+      ++stats.dropped_missing_value;
+      continue;
+    }
+    if (!complete) {
+      ++stats.dropped_incomplete_series;
+      continue;
+    }
+    kept_ids.push_back(id);
+    kept_series.push_back(&s);
+  }
+  stats.households_kept = static_cast<int64_t>(kept_ids.size());
+
+  LONGDP_ASSIGN_OR_RETURN(
+      auto ds, LongitudinalDataset::Create(stats.households_kept, horizon));
+  std::vector<uint8_t> round(kept_series.size());
+  for (int64_t m = 0; m < horizon; ++m) {
+    for (size_t i = 0; i < kept_series.size(); ++i) {
+      // Paper step 2: binarize — ratio < 1 means in poverty.
+      round[i] =
+          kept_series[i]->ratio[static_cast<size_t>(m)] < 1.0 ? 1 : 0;
+    }
+    LONGDP_RETURN_NOT_OK(ds.AppendRound(round));
+  }
+  SippPreprocessResult result{std::move(ds), stats, std::move(kept_ids)};
+  return result;
+}
+
+Result<std::vector<SippRawRecord>> LoadSippLongCsv(const std::string& path) {
+  LONGDP_ASSIGN_OR_RETURN(auto rows, util::ReadCsvFile(path));
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV: " + path);
+  }
+  const auto& header = rows[0];
+  auto find_col = [&](const std::string& name) -> int {
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (header[c] == name) return static_cast<int>(c);
+    }
+    return -1;
+  };
+  int c_hh = find_col("SSUID");
+  int c_pn = find_col("PNUM");
+  int c_month = find_col("MONTHCODE");
+  int c_ratio = find_col("THINCPOVT2");
+  if (c_hh < 0 || c_pn < 0 || c_month < 0 || c_ratio < 0) {
+    return Status::InvalidArgument(
+        "CSV header must contain SSUID, PNUM, MONTHCODE, THINCPOVT2");
+  }
+  std::vector<SippRawRecord> records;
+  records.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    size_t needed = static_cast<size_t>(
+        std::max(std::max(c_hh, c_pn), std::max(c_month, c_ratio)));
+    if (row.size() <= needed) {
+      return Status::InvalidArgument("short row " + std::to_string(r + 1) +
+                                     " in " + path);
+    }
+    SippRawRecord rec;
+    rec.household_id = std::strtoll(row[static_cast<size_t>(c_hh)].c_str(),
+                                    nullptr, 10);
+    rec.person_id = std::strtoll(row[static_cast<size_t>(c_pn)].c_str(),
+                                 nullptr, 10);
+    rec.month = std::strtoll(row[static_cast<size_t>(c_month)].c_str(),
+                             nullptr, 10);
+    const std::string& ratio_str = row[static_cast<size_t>(c_ratio)];
+    rec.poverty_ratio =
+        ratio_str.empty() ? std::nan("") : std::strtod(ratio_str.c_str(),
+                                                       nullptr);
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace data
+}  // namespace longdp

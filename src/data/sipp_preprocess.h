@@ -1,0 +1,69 @@
+// Preprocessing pipeline mirroring the paper's Section 5 exactly:
+//
+//   1. subset to one longitudinal series per household (multiple persons
+//      per household may be surveyed; keep the first series seen);
+//   2. binarize THINCPOVT2 (household income-to-poverty-threshold ratio):
+//      ratio < 1 codes as 1 ("in poverty this month");
+//   3. delete every household that has at least one missing value;
+//   4. require a complete T-month series for the survey year.
+//
+// Input is a long-format record stream (household id, month, ratio), with
+// NaN marking a missing ratio — the shape of the raw SIPP pu2021 extract
+// after column selection. The output is the LongitudinalDataset the
+// synthesizers consume, plus drop statistics so an analyst can audit the
+// selection step.
+
+#ifndef LONGDP_DATA_SIPP_PREPROCESS_H_
+#define LONGDP_DATA_SIPP_PREPROCESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/longitudinal_dataset.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace data {
+
+/// One raw observation: (household, person, month, income/poverty ratio).
+struct SippRawRecord {
+  int64_t household_id = 0;
+  int64_t person_id = 0;
+  int64_t month = 0;      ///< 1-based reference month
+  double poverty_ratio = 0.0;  ///< THINCPOVT2; NaN = missing
+};
+
+struct SippPreprocessStats {
+  int64_t raw_records = 0;
+  int64_t households_seen = 0;
+  int64_t dropped_extra_person_series = 0;  ///< records from non-first persons
+  int64_t dropped_missing_value = 0;        ///< households with >=1 missing
+  int64_t dropped_incomplete_series = 0;    ///< households missing months
+  int64_t households_kept = 0;
+};
+
+struct SippPreprocessResult {
+  LongitudinalDataset dataset;
+  SippPreprocessStats stats;
+  /// Kept household ids in dataset row order (for joins back to microdata).
+  std::vector<int64_t> household_ids;
+};
+
+/// Runs the full pipeline for a survey year of `horizon` months. Records
+/// may arrive in any order. Fails on months outside [1, horizon] or on
+/// duplicate (household, person, month) observations with conflicting
+/// values.
+Result<SippPreprocessResult> PreprocessSipp(
+    const std::vector<SippRawRecord>& records, int64_t horizon);
+
+/// Parses a long-format CSV with a header naming at least the columns
+/// SSUID (household), PNUM (person), MONTHCODE (month), THINCPOVT2
+/// (ratio; empty field = missing), in any column order — the raw SIPP CSV
+/// shape. Other columns are ignored.
+Result<std::vector<SippRawRecord>> LoadSippLongCsv(const std::string& path);
+
+}  // namespace data
+}  // namespace longdp
+
+#endif  // LONGDP_DATA_SIPP_PREPROCESS_H_

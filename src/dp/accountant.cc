@@ -1,0 +1,38 @@
+#include "dp/accountant.h"
+
+#include <cmath>
+#include <limits>
+
+namespace longdp {
+namespace dp {
+
+ZCdpAccountant::ZCdpAccountant(double total_rho) : total_(total_rho) {}
+
+Status ZCdpAccountant::Charge(double rho, std::string label) {
+  if (rho < 0.0 || std::isnan(rho)) {
+    return Status::InvalidArgument("cannot charge negative/NaN rho under '" +
+                                   label + "'");
+  }
+  if (!std::isinf(total_)) {
+    double allowance = total_ * (1.0 + kRelTolerance) +
+                       std::numeric_limits<double>::epsilon();
+    if (spent_ + rho > allowance) {
+      return Status::ResourceExhausted(
+          "zCDP budget exhausted: spent " + std::to_string(spent_) +
+          " + charge " + std::to_string(rho) + " > total " +
+          std::to_string(total_) + " (label: " + label + ")");
+    }
+  }
+  spent_ += rho;
+  ledger_.push_back(LedgerEntry{rho, std::move(label)});
+  return Status::OK();
+}
+
+double ZCdpAccountant::remaining() const {
+  if (std::isinf(total_)) return total_;
+  double r = total_ - spent_;
+  return r > 0.0 ? r : 0.0;
+}
+
+}  // namespace dp
+}  // namespace longdp

@@ -1,0 +1,45 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+#include <limits>
+
+namespace longdp {
+namespace dp {
+
+Result<double> GaussianSigma2ForZCdp(double rho, double sensitivity) {
+  if (!(rho > 0.0)) {
+    return Status::InvalidArgument("privacy parameter rho must be > 0, got " +
+                                   std::to_string(rho));
+  }
+  if (sensitivity < 0.0) {
+    return Status::InvalidArgument("sensitivity must be >= 0");
+  }
+  if (std::isinf(rho) || sensitivity == 0.0) return 0.0;
+  return sensitivity * sensitivity / (2.0 * rho);
+}
+
+double ZCdpCostOfGaussian(double sigma2, double sensitivity) {
+  if (sigma2 <= 0.0) {
+    return sensitivity == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return sensitivity * sensitivity / (2.0 * sigma2);
+}
+
+double ZCdpToApproxDpEpsilon(double rho, double delta) {
+  if (rho <= 0.0) return 0.0;
+  if (delta <= 0.0 || delta >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta));
+}
+
+std::vector<int64_t> NoisyHistogramMechanism::Release(
+    const std::vector<int64_t>& counts, int64_t offset,
+    util::Rng* rng) const {
+  std::vector<int64_t> out(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    out[i] = counts[i] + offset + SampleDiscreteGaussian(sigma2_, rng);
+  }
+  return out;
+}
+
+}  // namespace dp
+}  // namespace longdp

@@ -1,0 +1,80 @@
+// Basic zCDP mechanisms built on the discrete Gaussian sampler: noisy
+// counts, noisy histograms, and the sigma^2 calibration rules the paper
+// uses (Section 2.2 and Section 3.1).
+
+#ifndef LONGDP_DP_MECHANISMS_H_
+#define LONGDP_DP_MECHANISMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/discrete_gaussian.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace dp {
+
+/// Variance of the discrete Gaussian mechanism achieving rho-zCDP for a
+/// query with L2 sensitivity `sensitivity`:
+///     sigma^2 = sensitivity^2 / (2 rho).
+/// rho == +infinity (or <= 0 sensitivity) yields 0 (the zero-noise test
+/// path). Returns InvalidArgument for rho <= 0.
+Result<double> GaussianSigma2ForZCdp(double rho, double sensitivity);
+
+/// zCDP cost of adding discrete Gaussian noise with variance sigma2 to a
+/// sensitivity-`sensitivity` query: rho = sensitivity^2 / (2 sigma2).
+/// sigma2 == 0 costs infinity.
+double ZCdpCostOfGaussian(double sigma2, double sensitivity);
+
+/// Converts a rho-zCDP guarantee into an (epsilon, delta)-DP guarantee via
+/// epsilon = rho + 2 sqrt(rho log(1/delta))  (Bun-Steinke'16 Prop. 1.3).
+double ZCdpToApproxDpEpsilon(double rho, double delta);
+
+/// \brief Adds discrete Gaussian noise to a single integer count.
+///
+/// The noise variance is fixed at construction; the mechanism is stateless
+/// across calls (fresh noise each invocation).
+class NoisyCountMechanism {
+ public:
+  /// sigma2 >= 0; sigma2 == 0 is the exact (non-private) test path.
+  explicit NoisyCountMechanism(double sigma2) : sigma2_(sigma2) {}
+
+  int64_t Release(int64_t true_count, util::Rng* rng) const {
+    return true_count + SampleDiscreteGaussian(sigma2_, rng);
+  }
+
+  double sigma2() const { return sigma2_; }
+
+ private:
+  double sigma2_;
+};
+
+/// \brief Adds independent discrete Gaussian noise to every bin of a
+/// histogram (the paper's stage-1 primitive for Algorithm 1).
+///
+/// A single individual changes at most one bin of the histogram per release
+/// by +/-1... in the longitudinal setting of Algorithm 1 an individual
+/// changes one bin at each of the T-k+1 update steps, which is accounted by
+/// the caller via composition (each release here is charged
+/// rho_step = 1/(2 sigma2)).
+class NoisyHistogramMechanism {
+ public:
+  explicit NoisyHistogramMechanism(double sigma2) : sigma2_(sigma2) {}
+
+  /// Returns counts[i] + N_Z(0, sigma2) + offset for every bin. `offset`
+  /// carries the paper's n_pad padding so padded and noised counts are
+  /// produced in one pass.
+  std::vector<int64_t> Release(const std::vector<int64_t>& counts,
+                               int64_t offset, util::Rng* rng) const;
+
+  double sigma2() const { return sigma2_; }
+
+ private:
+  double sigma2_;
+};
+
+}  // namespace dp
+}  // namespace longdp
+
+#endif  // LONGDP_DP_MECHANISMS_H_

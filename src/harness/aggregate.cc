@@ -1,0 +1,33 @@
+#include "harness/aggregate.h"
+
+#include <cmath>
+
+namespace longdp {
+namespace harness {
+
+QuantileSummary Summarize(const std::vector<double>& samples) {
+  QuantileSummary s;
+  s.count = static_cast<int64_t>(samples.size());
+  if (samples.empty()) return s;
+  util::MomentAccumulator acc;
+  for (double v : samples) acc.Add(v);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = util::Median(samples);
+  s.q025 = util::Quantile(samples, 0.025);
+  s.q975 = util::Quantile(samples, 0.975);
+  return s;
+}
+
+QuantileSummary SummarizeAbsError(const std::vector<double>& samples,
+                                  double truth) {
+  std::vector<double> errors;
+  errors.reserve(samples.size());
+  for (double v : samples) errors.push_back(std::fabs(v - truth));
+  return Summarize(errors);
+}
+
+}  // namespace harness
+}  // namespace longdp

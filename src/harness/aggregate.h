@@ -1,0 +1,38 @@
+// Aggregation of per-repetition experiment samples into the summary
+// statistics the paper's figures display: median with 2.5/97.5 percentile
+// envelopes (Figures 3-4) and empirical densities around ground truth
+// (Figures 1-2, 5-8, summarized here by mean/quantiles).
+
+#ifndef LONGDP_HARNESS_AGGREGATE_H_
+#define LONGDP_HARNESS_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/mathutil.h"
+
+namespace longdp {
+namespace harness {
+
+struct QuantileSummary {
+  int64_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double q025 = 0.0;   ///< 2.5th percentile
+  double q975 = 0.0;   ///< 97.5th percentile
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+};
+
+/// Summarizes a vector of repetition samples.
+QuantileSummary Summarize(const std::vector<double>& samples);
+
+/// Summarizes |sample - truth| across repetitions (error-curve figures).
+QuantileSummary SummarizeAbsError(const std::vector<double>& samples,
+                                  double truth);
+
+}  // namespace harness
+}  // namespace longdp
+
+#endif  // LONGDP_HARNESS_AGGREGATE_H_

@@ -1,0 +1,59 @@
+#include "harness/flags.h"
+
+#include <cstdlib>
+
+namespace longdp {
+namespace harness {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "1";  // boolean flag
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+int64_t Flags::Reps(int64_t def) const {
+  if (Has("reps")) return GetInt("reps", def);
+  const char* env = std::getenv("LONGDP_REPS");
+  if (env != nullptr) {
+    int64_t v = std::strtoll(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+}  // namespace harness
+}  // namespace longdp

@@ -1,0 +1,38 @@
+// Minimal --key=value flag parsing for bench/example binaries. Environment
+// variable LONGDP_REPS, when set, overrides the default repetition count of
+// every bench (handy for quick smoke runs: LONGDP_REPS=10 ./fig1_...).
+
+#ifndef LONGDP_HARNESS_FLAGS_H_
+#define LONGDP_HARNESS_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace longdp {
+namespace harness {
+
+class Flags {
+ public:
+  /// Parses argv entries of the form --key=value (or --key value). Unknown
+  /// positional arguments are ignored.
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+
+  /// Default repetition count: --reps flag, else LONGDP_REPS env var, else
+  /// `def`.
+  int64_t Reps(int64_t def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace harness
+}  // namespace longdp
+
+#endif  // LONGDP_HARNESS_FLAGS_H_

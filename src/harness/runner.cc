@@ -1,0 +1,57 @@
+#include "harness/runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace longdp {
+namespace harness {
+
+Status RunRepetitions(int64_t reps, uint64_t base_seed,
+                      const std::function<Status(int64_t, util::Rng*)>& body,
+                      int max_threads) {
+  if (reps <= 0) return Status::OK();
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  unsigned threads = (max_threads > 0)
+                         ? static_cast<unsigned>(max_threads)
+                         : hw;
+  if (threads > static_cast<unsigned>(reps)) {
+    threads = static_cast<unsigned>(reps);
+  }
+
+  std::atomic<int64_t> next{0};
+  std::mutex status_mu;
+  Status first_error;
+
+  auto worker = [&]() {
+    for (;;) {
+      int64_t rep = next.fetch_add(1);
+      if (rep >= reps) return;
+      // Deterministic per-repetition seed independent of scheduling.
+      uint64_t seed_state = base_seed ^ (0x9E3779B97F4A7C15ULL *
+                                         (static_cast<uint64_t>(rep) + 1));
+      util::Rng rng(util::SplitMix64Next(&seed_state));
+      Status st = body(rep, &rng);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(status_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return first_error;
+}
+
+}  // namespace harness
+}  // namespace longdp

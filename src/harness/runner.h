@@ -1,0 +1,30 @@
+// Parallel repetition runner. The paper's figures aggregate 1000
+// repetitions of each synthesizer; repetitions are embarrassingly parallel,
+// so we shard them across hardware threads, each with an independently
+// seeded Rng (deterministic per (base_seed, repetition)).
+
+#ifndef LONGDP_HARNESS_RUNNER_H_
+#define LONGDP_HARNESS_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace harness {
+
+/// Runs `body(rep, &rng)` for rep = 0..reps-1, sharded across up to
+/// `max_threads` threads (0 = hardware concurrency). Each repetition gets
+/// Rng(base_seed hashed with rep), so results are independent of the thread
+/// schedule. The body must only write to per-repetition slots. Returns the
+/// first non-OK status produced, if any.
+Status RunRepetitions(int64_t reps, uint64_t base_seed,
+                      const std::function<Status(int64_t, util::Rng*)>& body,
+                      int max_threads = 0);
+
+}  // namespace harness
+}  // namespace longdp
+
+#endif  // LONGDP_HARNESS_RUNNER_H_

@@ -1,0 +1,67 @@
+#include "harness/table.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.h"
+
+namespace longdp {
+namespace harness {
+
+Status Table::AddRow(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != header arity " +
+        std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(int64_t v) { return std::to_string(v); }
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  util::CsvWriter writer(&out);
+  writer.WriteRow(headers_);
+  for (const auto& row : rows_) writer.WriteRow(row);
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace harness
+}  // namespace longdp

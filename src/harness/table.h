@@ -1,0 +1,45 @@
+// Aligned-column table printer for bench output, with optional CSV export,
+// so every figure's series is readable in a terminal and loadable in R /
+// pandas for plotting.
+
+#ifndef LONGDP_HARNESS_TABLE_H_
+#define LONGDP_HARNESS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longdp {
+namespace harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; must match the header arity.
+  Status AddRow(std::vector<std::string> row);
+
+  /// Convenience formatting helpers.
+  static std::string Num(double v, int precision = 6);
+  static std::string Int(int64_t v);
+
+  /// Prints with aligned columns.
+  void Print(std::ostream& out) const;
+
+  /// Writes as CSV to `path` (headers first).
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harness
+}  // namespace longdp
+
+#endif  // LONGDP_HARNESS_TABLE_H_

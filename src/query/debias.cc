@@ -1,0 +1,65 @@
+#include "query/debias.h"
+
+namespace longdp {
+namespace query {
+
+namespace {
+Status ValidateSpec(const PaddingSpec& spec, int pred_width) {
+  LONGDP_RETURN_NOT_OK(util::ValidateWindow(spec.synth_width));
+  if (pred_width > spec.synth_width) {
+    return Status::InvalidArgument(
+        "cannot debias a query wider than the synthesizer window");
+  }
+  if (spec.npad < 0) {
+    return Status::InvalidArgument("npad must be >= 0");
+  }
+  if (spec.true_n <= 0) {
+    return Status::InvalidArgument("true population size must be > 0");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<int64_t> PaddingCount(const WindowPredicate& pred,
+                             const PaddingSpec& spec) {
+  LONGDP_RETURN_NOT_OK(ValidateSpec(spec, pred.width()));
+  int64_t lift = static_cast<int64_t>(
+      util::NumPatterns(spec.synth_width - pred.width()));
+  return spec.npad * lift * pred.MatchingPatternCount();
+}
+
+Result<double> DebiasedFraction(int64_t synthetic_count,
+                                const WindowPredicate& pred,
+                                const PaddingSpec& spec) {
+  LONGDP_ASSIGN_OR_RETURN(int64_t pad, PaddingCount(pred, spec));
+  return static_cast<double>(synthetic_count - pad) /
+         static_cast<double>(spec.true_n);
+}
+
+double BiasedFraction(int64_t synthetic_count, int64_t synthetic_population) {
+  if (synthetic_population <= 0) return 0.0;
+  return static_cast<double>(synthetic_count) /
+         static_cast<double>(synthetic_population);
+}
+
+Result<double> PaddingValue(const LinearWindowQuery& q,
+                            const PaddingSpec& spec) {
+  LONGDP_RETURN_NOT_OK(ValidateSpec(spec, q.width()));
+  if (q.width() != spec.synth_width) {
+    return Status::InvalidArgument(
+        "linear queries must be expressed over the synthesizer width k");
+  }
+  double sum_w = 0.0;
+  for (double w : q.weights()) sum_w += w;
+  return static_cast<double>(spec.npad) * sum_w;
+}
+
+Result<double> DebiasedLinearValue(double synthetic_value,
+                                   const LinearWindowQuery& q,
+                                   const PaddingSpec& spec) {
+  LONGDP_ASSIGN_OR_RETURN(double pad, PaddingValue(q, spec));
+  return (synthetic_value - pad) / static_cast<double>(spec.true_n);
+}
+
+}  // namespace query
+}  // namespace longdp

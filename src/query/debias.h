@@ -1,0 +1,60 @@
+// Padding debiaser (paper Section 3.2, Corollary 3.3 discussion).
+//
+// Algorithm 1 pads every width-k histogram bin with n_pad fake records, so a
+// raw proportion computed on the synthetic data is biased upward. The
+// padding parameters (n_pad, k) are public, so an analyst can subtract the
+// query's answer on the padding data:
+//
+//   debiased count  =  count on synthetic data  -  n_pad * (number of
+//                      width-k patterns the query matches)
+//
+// and normalize by the true population size n (also public in the paper's
+// setting). For a width-k' predicate lifted to width k, the padding matches
+// 2^(k-k') * |{k'-patterns satisfying the predicate}| bins.
+
+#ifndef LONGDP_QUERY_DEBIAS_H_
+#define LONGDP_QUERY_DEBIAS_H_
+
+#include <cstdint>
+
+#include "query/window_query.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace query {
+
+/// Public padding facts of a fixed-window synthesizer release.
+struct PaddingSpec {
+  int synth_width = 0;   ///< the synthesizer's k
+  int64_t npad = 0;      ///< fake records added per width-k bin
+  int64_t true_n = 0;    ///< original population size n
+};
+
+/// The number of synthetic records the padding alone contributes to the
+/// predicate's count (n_pad per matching extended width-k bin).
+Result<int64_t> PaddingCount(const WindowPredicate& pred,
+                             const PaddingSpec& spec);
+
+/// Debiased proportion estimate: (synthetic_count - PaddingCount) / true_n.
+Result<double> DebiasedFraction(int64_t synthetic_count,
+                                const WindowPredicate& pred,
+                                const PaddingSpec& spec);
+
+/// Raw (biased) proportion: synthetic_count / synthetic_population. Provided
+/// for symmetry so experiment code reads declaratively.
+double BiasedFraction(int64_t synthetic_count, int64_t synthetic_population);
+
+/// Padding contribution to a real-weighted linear query: n_pad * sum_s w_s.
+Result<double> PaddingValue(const LinearWindowQuery& q,
+                            const PaddingSpec& spec);
+
+/// Debiased value of a linear query: (value_on_synth - PaddingValue)/true_n,
+/// where value_on_synth is the unnormalized sum over synthetic records.
+Result<double> DebiasedLinearValue(double synthetic_value,
+                                   const LinearWindowQuery& q,
+                                   const PaddingSpec& spec);
+
+}  // namespace query
+}  // namespace longdp
+
+#endif  // LONGDP_QUERY_DEBIAS_H_

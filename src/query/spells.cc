@@ -1,0 +1,90 @@
+#include "query/spells.h"
+
+namespace longdp {
+namespace query {
+
+namespace {
+Status ValidateTime(const data::LongitudinalDataset& dataset, int64_t t) {
+  if (t < 1 || t > dataset.rounds()) {
+    return Status::OutOfRange("time t must be in [1, rounds()]");
+  }
+  return Status::OK();
+}
+
+// Invokes fn(user, spell_length) for every maximal 1-run in rounds 1..t.
+template <typename Fn>
+void ForEachSpell(const data::LongitudinalDataset& dataset, int64_t t,
+                  Fn&& fn) {
+  for (int64_t i = 0; i < dataset.num_users(); ++i) {
+    int64_t run = 0;
+    for (int64_t tt = 1; tt <= t; ++tt) {
+      if (dataset.Bit(i, tt)) {
+        ++run;
+      } else if (run > 0) {
+        fn(i, run);
+        run = 0;
+      }
+    }
+    if (run > 0) fn(i, run);  // spell ongoing at t
+  }
+}
+}  // namespace
+
+Result<std::vector<int64_t>> SpellLengthHistogram(
+    const data::LongitudinalDataset& dataset, int64_t t) {
+  LONGDP_RETURN_NOT_OK(ValidateTime(dataset, t));
+  std::vector<int64_t> hist(static_cast<size_t>(t) + 1, 0);
+  ForEachSpell(dataset, t, [&](int64_t, int64_t len) {
+    ++hist[static_cast<size_t>(len)];
+  });
+  return hist;
+}
+
+Result<double> EverHadSpell(const data::LongitudinalDataset& dataset,
+                            int64_t t, int64_t min_len) {
+  LONGDP_RETURN_NOT_OK(ValidateTime(dataset, t));
+  if (min_len < 1) {
+    return Status::InvalidArgument("min_len must be >= 1");
+  }
+  if (dataset.num_users() == 0) return 0.0;
+  std::vector<uint8_t> hit(static_cast<size_t>(dataset.num_users()), 0);
+  ForEachSpell(dataset, t, [&](int64_t user, int64_t len) {
+    if (len >= min_len) hit[static_cast<size_t>(user)] = 1;
+  });
+  int64_t count = 0;
+  for (uint8_t h : hit) count += h;
+  return static_cast<double>(count) /
+         static_cast<double>(dataset.num_users());
+}
+
+Result<double> OngoingSpellAtLeast(const data::LongitudinalDataset& dataset,
+                                   int64_t t, int64_t min_len) {
+  LONGDP_RETURN_NOT_OK(ValidateTime(dataset, t));
+  if (min_len < 1) {
+    return Status::InvalidArgument("min_len must be >= 1");
+  }
+  if (dataset.num_users() == 0) return 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < dataset.num_users(); ++i) {
+    int64_t run = 0;
+    for (int64_t tt = t; tt >= 1 && dataset.Bit(i, tt); --tt) ++run;
+    if (run >= min_len) ++count;
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(dataset.num_users());
+}
+
+Result<double> MeanSpellLength(const data::LongitudinalDataset& dataset,
+                               int64_t t) {
+  LONGDP_RETURN_NOT_OK(ValidateTime(dataset, t));
+  int64_t total_len = 0, spells = 0;
+  ForEachSpell(dataset, t, [&](int64_t, int64_t len) {
+    total_len += len;
+    ++spells;
+  });
+  if (spells == 0) return 0.0;
+  return static_cast<double>(total_len) / static_cast<double>(spells);
+}
+
+}  // namespace query
+}  // namespace longdp

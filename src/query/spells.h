@@ -1,0 +1,46 @@
+// Spell statistics — the individual-level trend queries the paper's
+// introduction motivates ("lengths of unemployment spells", "number of
+// synthetic individuals who have ever experienced a 6-month unemployment
+// spell"). These are evaluated on any LongitudinalDataset, so the same
+// analysis code runs on original and synthetic panels; on Algorithm 1's
+// persistent cohort they are monotone over time by construction, the
+// property the recompute baseline destroys.
+
+#ifndef LONGDP_QUERY_SPELLS_H_
+#define LONGDP_QUERY_SPELLS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/longitudinal_dataset.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace query {
+
+/// Histogram of maximal-run ("spell") lengths among 1-runs completed or
+/// ongoing in rounds 1..t: result[l] = number of spells of length exactly
+/// l, for l = 1..t (index 0 unused). A user contributes one entry per
+/// maximal run of consecutive 1s.
+Result<std::vector<int64_t>> SpellLengthHistogram(
+    const data::LongitudinalDataset& dataset, int64_t t);
+
+/// Fraction of users who have EVER (within rounds 1..t) experienced a spell
+/// of at least `min_len` consecutive 1s.
+Result<double> EverHadSpell(const data::LongitudinalDataset& dataset,
+                            int64_t t, int64_t min_len);
+
+/// Fraction of users whose CURRENT spell (a 1-run ending exactly at round
+/// t) has length at least `min_len`.
+Result<double> OngoingSpellAtLeast(const data::LongitudinalDataset& dataset,
+                                   int64_t t, int64_t min_len);
+
+/// Mean spell length among all maximal 1-runs within rounds 1..t; 0 when no
+/// spells exist.
+Result<double> MeanSpellLength(const data::LongitudinalDataset& dataset,
+                               int64_t t);
+
+}  // namespace query
+}  // namespace longdp
+
+#endif  // LONGDP_QUERY_SPELLS_H_

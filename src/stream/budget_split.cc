@@ -1,0 +1,82 @@
+#include "stream/budget_split.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/mathutil.h"
+
+namespace longdp {
+namespace stream {
+
+const char* BudgetSplitName(BudgetSplit split) {
+  switch (split) {
+    case BudgetSplit::kCubicLogLevels:
+      return "cubic-log";
+    case BudgetSplit::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+Result<BudgetSplit> BudgetSplitFromName(const std::string& name) {
+  if (name == "cubic-log") return BudgetSplit::kCubicLogLevels;
+  if (name == "uniform") return BudgetSplit::kUniform;
+  return Status::NotFound("unknown budget split '" + name +
+                          "'; known: cubic-log, uniform");
+}
+
+int LevelsForThreshold(int64_t horizon, int64_t b) {
+  int64_t len = horizon - b + 1;
+  if (len < 1) len = 1;
+  return util::TreeLevels(static_cast<uint64_t>(len));
+}
+
+Result<std::vector<double>> SplitBudget(BudgetSplit split, int64_t horizon,
+                                        double total_rho) {
+  if (horizon < 1) {
+    return Status::InvalidArgument("horizon must be >= 1, got " +
+                                   std::to_string(horizon));
+  }
+  if (!(total_rho > 0.0)) {
+    return Status::InvalidArgument("total rho must be > 0");
+  }
+  size_t n = static_cast<size_t>(horizon);
+  std::vector<double> shares(n);
+  if (std::isinf(total_rho)) {
+    for (auto& s : shares) s = std::numeric_limits<double>::infinity();
+    return shares;
+  }
+  switch (split) {
+    case BudgetSplit::kUniform: {
+      for (auto& s : shares) s = total_rho / static_cast<double>(n);
+      break;
+    }
+    case BudgetSplit::kCubicLogLevels: {
+      double denom = 0.0;
+      std::vector<double> w(n);
+      for (size_t i = 0; i < n; ++i) {
+        double l = static_cast<double>(
+            LevelsForThreshold(horizon, static_cast<int64_t>(i) + 1));
+        w[i] = l * l * l;
+        denom += w[i];
+      }
+      for (size_t i = 0; i < n; ++i) {
+        shares[i] = total_rho * w[i] / denom;
+      }
+      break;
+    }
+  }
+  // Make the shares re-sum to the total exactly: the largest share absorbs
+  // the (tiny) floating-point residue so accountants see a clean budget.
+  double sum = 0.0;
+  size_t imax = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += shares[i];
+    if (shares[i] > shares[imax]) imax = i;
+  }
+  shares[imax] += total_rho - sum;
+  return shares;
+}
+
+}  // namespace stream
+}  // namespace longdp

@@ -1,0 +1,45 @@
+// Privacy budget splits across the T per-threshold stream counters of
+// Algorithm 2.
+//
+// Corollary B.1 of the paper equalizes the worst-case error bounds of all T
+// tree counters by giving counter b (which runs over a stream of length
+// T - b + 1) a share proportional to the cube of its level count:
+//
+//   rho_b = rho * L_b^3 / sum_{b'} L_{b'}^3,   L_b = max(ceil(log2(T-b+1)), 1).
+//
+// The uniform split rho_b = rho / T is also provided; bench/theory_cumulative
+// compares the two.
+
+#ifndef LONGDP_STREAM_BUDGET_SPLIT_H_
+#define LONGDP_STREAM_BUDGET_SPLIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longdp {
+namespace stream {
+
+enum class BudgetSplit {
+  kCubicLogLevels,  // Corollary B.1 (default)
+  kUniform,
+};
+
+const char* BudgetSplitName(BudgetSplit split);
+Result<BudgetSplit> BudgetSplitFromName(const std::string& name);
+
+/// Returns (rho_1, ..., rho_T) summing to total_rho (exactly, up to double
+/// rounding; the last share absorbs residue). total_rho may be +infinity,
+/// in which case every share is +infinity (zero-noise test path).
+Result<std::vector<double>> SplitBudget(BudgetSplit split, int64_t horizon,
+                                        double total_rho);
+
+/// The level count L_b = max(ceil(log2(T-b+1)), 1) for counter b in 1..T.
+int LevelsForThreshold(int64_t horizon, int64_t b);
+
+}  // namespace stream
+}  // namespace longdp
+
+#endif  // LONGDP_STREAM_BUDGET_SPLIT_H_

@@ -1,0 +1,137 @@
+#include "stream/counter_bank.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "stream/state_io.h"
+#include "stream/tree_counter.h"
+
+namespace longdp {
+namespace stream {
+
+Result<std::unique_ptr<CounterBank>> CounterBank::Create(
+    const Options& options, dp::ZCdpAccountant* accountant) {
+  if (options.horizon < 1) {
+    return Status::InvalidArgument("CounterBank horizon must be >= 1");
+  }
+  if (options.population < 0) {
+    return Status::InvalidArgument("CounterBank population must be >= 0");
+  }
+  if (!(options.total_rho > 0.0)) {
+    return Status::InvalidArgument("CounterBank total_rho must be > 0");
+  }
+  std::shared_ptr<const StreamCounterFactory> factory = options.factory;
+  if (!factory) factory = std::make_shared<TreeCounterFactory>();
+
+  LONGDP_ASSIGN_OR_RETURN(
+      auto shares,
+      SplitBudget(options.split, options.horizon, options.total_rho));
+
+  auto bank = std::unique_ptr<CounterBank>(new CounterBank());
+  bank->horizon_ = options.horizon;
+  bank->population_ = options.population;
+  bank->shares_ = shares;
+  bank->counters_.reserve(static_cast<size_t>(options.horizon));
+  for (int64_t b = 1; b <= options.horizon; ++b) {
+    int64_t stream_len = options.horizon - b + 1;
+    double rho_b = shares[static_cast<size_t>(b - 1)];
+    if (accountant != nullptr) {
+      LONGDP_RETURN_NOT_OK(accountant->Charge(
+          rho_b, "stream-counter b=" + std::to_string(b)));
+    }
+    LONGDP_ASSIGN_OR_RETURN(auto counter, factory->Create(stream_len, rho_b));
+    bank->counters_.push_back(std::move(counter));
+  }
+  size_t row = static_cast<size_t>(options.horizon) + 1;
+  bank->raw_.assign(row, 0);
+  bank->monotone_.assign(row, 0);
+  bank->prev_monotone_.assign(row, 0);
+  bank->raw_[0] = options.population;
+  bank->monotone_[0] = options.population;
+  // Shat^0: row (n, 0, 0, ..., 0) — nobody has >= 1 ones before any data.
+  bank->prev_monotone_[0] = options.population;
+  return bank;
+}
+
+Result<std::vector<int64_t>> CounterBank::ObserveRound(
+    const std::vector<int64_t>& z, util::Rng* rng) {
+  if (t_ >= horizon_) {
+    return Status::OutOfRange("CounterBank past its horizon T=" +
+                              std::to_string(horizon_));
+  }
+  if (z.size() != static_cast<size_t>(horizon_)) {
+    return Status::InvalidArgument(
+        "ObserveRound expects one increment per threshold b=1..T");
+  }
+  ++t_;
+  for (int64_t b = t_ + 1; b <= horizon_; ++b) {
+    if (z[static_cast<size_t>(b - 1)] != 0) {
+      return Status::InvalidArgument(
+          "increment for threshold b=" + std::to_string(b) +
+          " must be 0 at time t=" + std::to_string(t_) +
+          " (weight cannot exceed elapsed time)");
+    }
+  }
+
+  raw_[0] = population_;
+  monotone_[0] = population_;
+  for (int64_t b = 1; b <= horizon_; ++b) {
+    size_t ib = static_cast<size_t>(b);
+    if (t_ < b) {
+      // Counter b has not started: its stream begins at t = b.
+      raw_[ib] = 0;
+    } else {
+      LONGDP_ASSIGN_OR_RETURN(
+          int64_t s, counters_[ib - 1]->Observe(z[ib - 1], rng));
+      raw_[ib] = s;
+    }
+    // Monotonize: Shat^{t-1}_b <= Shat^t_b <= Shat^{t-1}_{b-1}.
+    int64_t lower = prev_monotone_[ib];
+    int64_t upper = prev_monotone_[ib - 1];
+    monotone_[ib] = std::min(std::max(raw_[ib], lower), upper);
+  }
+  prev_monotone_ = monotone_;
+  return monotone_;
+}
+
+Status CounterBank::SaveState(std::ostream& out) const {
+  out << t_ << " ";
+  state_io::WriteIntVector(out, raw_);
+  out << " ";
+  state_io::WriteIntVector(out, monotone_);
+  out << " ";
+  state_io::WriteIntVector(out, prev_monotone_);
+  out << "\n";
+  for (const auto& counter : counters_) {
+    LONGDP_RETURN_NOT_OK(counter->SaveState(out));
+  }
+  return out.good() ? Status::OK() : Status::IOError("bank state write");
+}
+
+Status CounterBank::RestoreState(std::istream& in) {
+  LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
+  LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &raw_));
+  LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &monotone_));
+  LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &prev_monotone_));
+  size_t row = static_cast<size_t>(horizon_) + 1;
+  if (t_ < 0 || t_ > horizon_ || raw_.size() != row ||
+      monotone_.size() != row || prev_monotone_.size() != row) {
+    return Status::InvalidArgument("counter bank state inconsistent");
+  }
+  for (const auto& counter : counters_) {
+    LONGDP_RETURN_NOT_OK(counter->RestoreState(in));
+  }
+  return Status::OK();
+}
+
+double CounterBank::CounterErrorBound(int64_t b, int64_t t,
+                                      double beta) const {
+  if (b < 1 || b > horizon_) return 0.0;
+  int64_t local_t = t - b + 1;  // counter b's own clock
+  if (local_t < 1) return 0.0;
+  return counters_[static_cast<size_t>(b - 1)]->ErrorBound(beta, local_t);
+}
+
+}  // namespace stream
+}  // namespace longdp

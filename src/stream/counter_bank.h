@@ -1,0 +1,95 @@
+// Stage 1 of the paper's Algorithm 2: a bank of T stream counters (one per
+// Hamming-weight threshold b = 1..T) plus the cross-counter monotonization
+// of Section 4.1 / Lemma 4.2.
+//
+// Counter b tracks S^t_b = #{ users whose first t bits contain >= b ones }
+// via the increment stream z^t_b (users reaching weight b exactly at time
+// t). Counter b's stream effectively starts at t = b and has length
+// T - b + 1, which the Corollary B.1 budget split exploits.
+//
+// Monotonization (computed here, releasing both raw and clamped rows):
+//
+//   Shat^t_b = min( max( Stilde^t_b, Shat^{t-1}_b ), Shat^{t-1}_{b-1} ),
+//
+// with boundary rows Shat^t_0 = n (every user trivially has >= 0 ones) and
+// Shat^0_b = 0 for b >= 1. The clamp guarantees, for every t:
+//   (a) Shat^t_b >= Shat^{t-1}_b        (weights only grow), and
+//   (b) Shat^t_b <= Shat^{t-1}_{b-1}    (weights grow by at most 1/step),
+// which is exactly what makes consistent synthetic data exist in stage 2.
+
+#ifndef LONGDP_STREAM_COUNTER_BANK_H_
+#define LONGDP_STREAM_COUNTER_BANK_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "stream/budget_split.h"
+#include "stream/stream_counter.h"
+
+namespace longdp {
+namespace stream {
+
+class CounterBank {
+ public:
+  struct Options {
+    int64_t horizon = 0;     ///< T, number of reporting periods
+    int64_t population = 0;  ///< n, number of (synthetic) individuals
+    double total_rho = 0.0;  ///< zCDP budget across all counters
+    BudgetSplit split = BudgetSplit::kCubicLogLevels;
+    /// Counter implementation; defaults to the tree counter when null.
+    std::shared_ptr<const StreamCounterFactory> factory;
+  };
+
+  /// Validates options, splits the budget, creates the T counters, and (if
+  /// an accountant is supplied) charges each counter's share.
+  static Result<std::unique_ptr<CounterBank>> Create(
+      const Options& options, dp::ZCdpAccountant* accountant = nullptr);
+
+  /// Consumes round t's increments: z[b-1] = z^t_b for b = 1..T (entries for
+  /// b > t must be 0). Returns the monotonized row Shat^t indexed by b =
+  /// 0..T (so the result has T+1 entries, entry 0 fixed at n).
+  Result<std::vector<int64_t>> ObserveRound(const std::vector<int64_t>& z,
+                                            util::Rng* rng);
+
+  /// Raw (pre-monotonization) row Stilde^t from the last ObserveRound,
+  /// indexed b = 0..T. Used by tests of Lemma 4.2.
+  const std::vector<int64_t>& raw_row() const { return raw_; }
+
+  /// Monotonized row Shat^t from the last ObserveRound, indexed b = 0..T.
+  const std::vector<int64_t>& monotone_row() const { return monotone_; }
+
+  int64_t steps() const { return t_; }
+  int64_t horizon() const { return horizon_; }
+  const std::vector<double>& budget_shares() const { return shares_; }
+
+  /// High-probability error bound of counter b at its step count when the
+  /// global time is t (paper Appendix B form). beta is per-(b, t).
+  double CounterErrorBound(int64_t b, int64_t t, double beta) const;
+
+  /// Serializes the bank's mutable state (round clock, monotonization rows,
+  /// every counter's state) for checkpointing. Construction parameters are
+  /// the caller's to persist.
+  Status SaveState(std::ostream& out) const;
+
+  /// Restores SaveState output into a bank created with identical options.
+  Status RestoreState(std::istream& in);
+
+ private:
+  CounterBank() = default;
+
+  int64_t horizon_ = 0;
+  int64_t population_ = 0;
+  int64_t t_ = 0;
+  std::vector<double> shares_;
+  std::vector<std::unique_ptr<StreamCounter>> counters_;  // index b-1
+  std::vector<int64_t> raw_;
+  std::vector<int64_t> monotone_;
+  std::vector<int64_t> prev_monotone_;
+};
+
+}  // namespace stream
+}  // namespace longdp
+
+#endif  // LONGDP_STREAM_COUNTER_BANK_H_

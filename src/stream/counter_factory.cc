@@ -1,0 +1,49 @@
+#include "stream/counter_factory.h"
+
+#include "stream/honaker_counter.h"
+#include "stream/laplace_tree_counter.h"
+#include "stream/matrix_counter.h"
+#include "stream/naive_counters.h"
+#include "stream/tree_counter.h"
+
+namespace longdp {
+namespace stream {
+
+Result<std::shared_ptr<const StreamCounterFactory>> MakeCounterFactory(
+    const std::string& name) {
+  if (name == "tree") {
+    return std::shared_ptr<const StreamCounterFactory>(
+        std::make_shared<TreeCounterFactory>());
+  }
+  if (name == "honaker") {
+    return std::shared_ptr<const StreamCounterFactory>(
+        std::make_shared<HonakerCounterFactory>());
+  }
+  if (name == "input-perturbation") {
+    return std::shared_ptr<const StreamCounterFactory>(
+        std::make_shared<InputPerturbationCounterFactory>());
+  }
+  if (name == "recompute") {
+    return std::shared_ptr<const StreamCounterFactory>(
+        std::make_shared<RecomputeCounterFactory>());
+  }
+  if (name == "laplace-tree") {
+    return std::shared_ptr<const StreamCounterFactory>(
+        std::make_shared<LaplaceTreeCounterFactory>());
+  }
+  if (name == "sqrt-matrix") {
+    return std::shared_ptr<const StreamCounterFactory>(
+        std::make_shared<MatrixCounterFactory>());
+  }
+  return Status::NotFound("unknown stream counter '" + name +
+                          "'; known: tree, honaker, input-perturbation, "
+                          "recompute, laplace-tree, sqrt-matrix");
+}
+
+std::vector<std::string> RegisteredCounterNames() {
+  return {"tree", "honaker", "input-perturbation", "recompute",
+          "laplace-tree", "sqrt-matrix"};
+}
+
+}  // namespace stream
+}  // namespace longdp

@@ -1,0 +1,27 @@
+// Name-based registry for stream counter implementations, so experiment
+// configs and CLI flags can select a counter by string.
+
+#ifndef LONGDP_STREAM_COUNTER_FACTORY_H_
+#define LONGDP_STREAM_COUNTER_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/stream_counter.h"
+
+namespace longdp {
+namespace stream {
+
+/// Returns a factory for "tree", "honaker", "input-perturbation", or
+/// "recompute"; NotFound otherwise.
+Result<std::shared_ptr<const StreamCounterFactory>> MakeCounterFactory(
+    const std::string& name);
+
+/// All registered counter names (for ablation sweeps and --help text).
+std::vector<std::string> RegisteredCounterNames();
+
+}  // namespace stream
+}  // namespace longdp
+
+#endif  // LONGDP_STREAM_COUNTER_FACTORY_H_

@@ -1,0 +1,95 @@
+#include "stream/laplace_tree_counter.h"
+
+#include <cmath>
+
+#include "dp/discrete_gaussian.h"
+#include "stream/state_io.h"
+#include "util/bits.h"
+#include "util/mathutil.h"
+
+namespace longdp {
+namespace stream {
+
+LaplaceTreeCounter::LaplaceTreeCounter(int64_t horizon, double rho)
+    : horizon_(horizon),
+      rho_(rho),
+      epsilon_(std::isinf(rho) ? 0.0 : std::sqrt(2.0 * rho)),
+      levels_(util::FloorLog2(static_cast<uint64_t>(horizon)) + 1),
+      scale_(std::isinf(rho) ? 0.0
+                             : static_cast<double>(levels_) / epsilon_),
+      alpha_(static_cast<size_t>(levels_), 0),
+      alpha_noisy_(static_cast<size_t>(levels_), 0) {}
+
+Result<int64_t> LaplaceTreeCounter::Observe(int64_t z, util::Rng* rng) {
+  if (t_ >= horizon_) {
+    return Status::OutOfRange("laplace tree counter past its horizon T=" +
+                              std::to_string(horizon_));
+  }
+  ++t_;
+  int i = 0;
+  while (((t_ >> i) & 1) == 0) ++i;
+  int64_t acc = z;
+  for (int j = 0; j < i; ++j) {
+    acc += alpha_[static_cast<size_t>(j)];
+    alpha_[static_cast<size_t>(j)] = 0;
+    alpha_noisy_[static_cast<size_t>(j)] = 0;
+  }
+  alpha_[static_cast<size_t>(i)] = acc;
+  int64_t noise =
+      scale_ > 0.0 ? dp::SampleDiscreteLaplace(scale_, rng) : 0;
+  alpha_noisy_[static_cast<size_t>(i)] = acc + noise;
+  int64_t s = 0;
+  for (int j = 0; j < levels_; ++j) {
+    if ((t_ >> j) & 1) s += alpha_noisy_[static_cast<size_t>(j)];
+  }
+  return s;
+}
+
+double LaplaceTreeCounter::ErrorBound(double beta, int64_t t) const {
+  if (scale_ <= 0.0) return 0.0;
+  if (t < 1) t = 1;
+  if (beta <= 0.0) beta = 1e-12;
+  // Sum of m independent discrete Laplace(scale) variables. Each is
+  // subexponential; a simple per-term union bound gives
+  // |X_i| <= scale * ln(2m/beta) each with prob 1 - beta/m.
+  int m = util::Popcount(static_cast<uint64_t>(t));
+  return static_cast<double>(m) * scale_ *
+         std::log(2.0 * static_cast<double>(m) / beta);
+}
+
+Status LaplaceTreeCounter::SaveState(std::ostream& out) const {
+  out << t_ << " ";
+  state_io::WriteIntVector(out, alpha_);
+  out << " ";
+  state_io::WriteIntVector(out, alpha_noisy_);
+  out << "\n";
+  return out.good() ? Status::OK() : Status::IOError("state write failed");
+}
+
+Status LaplaceTreeCounter::RestoreState(std::istream& in) {
+  LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
+  LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &alpha_));
+  LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &alpha_noisy_));
+  if (t_ < 0 || t_ > horizon_ ||
+      alpha_.size() != static_cast<size_t>(levels_) ||
+      alpha_noisy_.size() != static_cast<size_t>(levels_)) {
+    return Status::InvalidArgument("laplace tree counter state inconsistent");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StreamCounter>> LaplaceTreeCounterFactory::Create(
+    int64_t horizon, double rho) const {
+  if (horizon < 1) {
+    return Status::InvalidArgument("stream horizon must be >= 1, got " +
+                                   std::to_string(horizon));
+  }
+  if (!(rho > 0.0)) {
+    return Status::InvalidArgument("stream counter rho must be > 0");
+  }
+  return std::unique_ptr<StreamCounter>(
+      new LaplaceTreeCounter(horizon, rho));
+}
+
+}  // namespace stream
+}  // namespace longdp

@@ -1,0 +1,110 @@
+#include "stream/naive_counters.h"
+
+#include <cmath>
+
+#include "dp/discrete_gaussian.h"
+#include "stream/state_io.h"
+
+namespace longdp {
+namespace stream {
+
+namespace {
+Status ValidateCounterArgs(int64_t horizon, double rho) {
+  if (horizon < 1) {
+    return Status::InvalidArgument("stream horizon must be >= 1, got " +
+                                   std::to_string(horizon));
+  }
+  if (!(rho > 0.0)) {
+    return Status::InvalidArgument("stream counter rho must be > 0");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+InputPerturbationCounter::InputPerturbationCounter(int64_t horizon, double rho)
+    : horizon_(horizon),
+      rho_(rho),
+      sigma2_(std::isinf(rho) ? 0.0 : 1.0 / (2.0 * rho)) {}
+
+Result<int64_t> InputPerturbationCounter::Observe(int64_t z, util::Rng* rng) {
+  if (t_ >= horizon_) {
+    return Status::OutOfRange("counter past its horizon");
+  }
+  ++t_;
+  noisy_sum_ += z + dp::SampleDiscreteGaussian(sigma2_, rng);
+  return noisy_sum_;
+}
+
+double InputPerturbationCounter::ErrorBound(double beta, int64_t t) const {
+  if (sigma2_ == 0.0) return 0.0;
+  if (t < 1) t = 1;
+  if (beta <= 0.0) beta = 1e-12;
+  double var = static_cast<double>(t) * sigma2_;
+  return std::sqrt(2.0 * var * std::log(2.0 / beta));
+}
+
+RecomputeCounter::RecomputeCounter(int64_t horizon, double rho)
+    : horizon_(horizon),
+      rho_(rho),
+      sigma2_(std::isinf(rho) ? 0.0
+                              : static_cast<double>(horizon) / (2.0 * rho)) {}
+
+Result<int64_t> RecomputeCounter::Observe(int64_t z, util::Rng* rng) {
+  if (t_ >= horizon_) {
+    return Status::OutOfRange("counter past its horizon");
+  }
+  ++t_;
+  true_sum_ += z;
+  return true_sum_ + dp::SampleDiscreteGaussian(sigma2_, rng);
+}
+
+double RecomputeCounter::ErrorBound(double beta, int64_t t) const {
+  (void)t;
+  if (sigma2_ == 0.0) return 0.0;
+  if (beta <= 0.0) beta = 1e-12;
+  return std::sqrt(2.0 * sigma2_ * std::log(2.0 / beta));
+}
+
+Status InputPerturbationCounter::SaveState(std::ostream& out) const {
+  out << t_ << " " << noisy_sum_ << "\n";
+  return out.good() ? Status::OK() : Status::IOError("state write failed");
+}
+
+Status InputPerturbationCounter::RestoreState(std::istream& in) {
+  LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(noisy_sum_, state_io::ReadInt(in));
+  if (t_ < 0 || t_ > horizon_) {
+    return Status::InvalidArgument("counter state inconsistent");
+  }
+  return Status::OK();
+}
+
+Status RecomputeCounter::SaveState(std::ostream& out) const {
+  out << t_ << " " << true_sum_ << "\n";
+  return out.good() ? Status::OK() : Status::IOError("state write failed");
+}
+
+Status RecomputeCounter::RestoreState(std::istream& in) {
+  LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(true_sum_, state_io::ReadInt(in));
+  if (t_ < 0 || t_ > horizon_) {
+    return Status::InvalidArgument("counter state inconsistent");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StreamCounter>> InputPerturbationCounterFactory::Create(
+    int64_t horizon, double rho) const {
+  LONGDP_RETURN_NOT_OK(ValidateCounterArgs(horizon, rho));
+  return std::unique_ptr<StreamCounter>(
+      new InputPerturbationCounter(horizon, rho));
+}
+
+Result<std::unique_ptr<StreamCounter>> RecomputeCounterFactory::Create(
+    int64_t horizon, double rho) const {
+  LONGDP_RETURN_NOT_OK(ValidateCounterArgs(horizon, rho));
+  return std::unique_ptr<StreamCounter>(new RecomputeCounter(horizon, rho));
+}
+
+}  // namespace stream
+}  // namespace longdp

@@ -1,0 +1,86 @@
+// Token-based state (de)serialization helpers shared by the stream counter
+// checkpoint implementations. Doubles round-trip via %.17g so restored
+// noise values are bit-identical.
+
+#ifndef LONGDP_STREAM_STATE_IO_H_
+#define LONGDP_STREAM_STATE_IO_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longdp {
+namespace stream {
+namespace state_io {
+
+inline void WriteDouble(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+inline Result<double> ReadDouble(std::istream& in) {
+  std::string tok;
+  if (!(in >> tok)) {
+    return Status::InvalidArgument("truncated counter state (double)");
+  }
+  return std::strtod(tok.c_str(), nullptr);
+}
+
+inline Result<int64_t> ReadInt(std::istream& in) {
+  int64_t v;
+  if (!(in >> v)) {
+    return Status::InvalidArgument("truncated counter state (int)");
+  }
+  return v;
+}
+
+inline void WriteIntVector(std::ostream& out,
+                           const std::vector<int64_t>& v) {
+  out << v.size();
+  for (int64_t x : v) out << " " << x;
+}
+
+inline Status ReadIntVector(std::istream& in, std::vector<int64_t>* v) {
+  LONGDP_ASSIGN_OR_RETURN(int64_t count, ReadInt(in));
+  if (count < 0 || count > (int64_t{1} << 32)) {
+    return Status::InvalidArgument("implausible counter state vector size");
+  }
+  v->resize(static_cast<size_t>(count));
+  for (auto& x : *v) {
+    LONGDP_ASSIGN_OR_RETURN(x, ReadInt(in));
+  }
+  return Status::OK();
+}
+
+inline void WriteDoubleVector(std::ostream& out,
+                              const std::vector<double>& v) {
+  out << v.size();
+  for (double x : v) {
+    out << " ";
+    WriteDouble(out, x);
+  }
+}
+
+inline Status ReadDoubleVector(std::istream& in, std::vector<double>* v) {
+  LONGDP_ASSIGN_OR_RETURN(int64_t count, ReadInt(in));
+  if (count < 0 || count > (int64_t{1} << 32)) {
+    return Status::InvalidArgument("implausible counter state vector size");
+  }
+  v->resize(static_cast<size_t>(count));
+  for (auto& x : *v) {
+    LONGDP_ASSIGN_OR_RETURN(x, ReadDouble(in));
+  }
+  return Status::OK();
+}
+
+}  // namespace state_io
+}  // namespace stream
+}  // namespace longdp
+
+#endif  // LONGDP_STREAM_STATE_IO_H_

@@ -1,0 +1,87 @@
+// Generic private stream counter interface (paper Appendix A).
+//
+// A stream counter consumes a stream z_1, z_2, ..., z_T of non-negative
+// integers and, at every step, releases a private estimate of the prefix sum
+// S_t = z_1 + ... + z_t. Neighboring streams differ in one entry by at most
+// 1, and the released sequence must be rho-zCDP with respect to that
+// relation.
+//
+// Algorithm 2 of the paper is written against this interface (its Section
+// 1.1 explicitly notes the tree counter can be swapped for any stream
+// counter); bench/counter_ablation exercises all implementations.
+
+#ifndef LONGDP_STREAM_STREAM_COUNTER_H_
+#define LONGDP_STREAM_STREAM_COUNTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace stream {
+
+/// \brief Interface for rho-zCDP continual counting.
+///
+/// Implementations are single-use: construct, then call Observe exactly once
+/// per time step in order. They are deliberately not thread-safe (one counter
+/// per stream; the experiment harness parallelizes across repetitions).
+class StreamCounter {
+ public:
+  virtual ~StreamCounter() = default;
+
+  /// Feeds the next stream element (z_t >= 0) and returns the noisy running
+  /// sum estimate S~_t. Returns OutOfRange once more than T elements have
+  /// been observed.
+  virtual Result<int64_t> Observe(int64_t z, util::Rng* rng) = 0;
+
+  /// Time steps observed so far.
+  virtual int64_t steps() const = 0;
+
+  /// The stream length bound this counter was built for.
+  virtual int64_t horizon() const = 0;
+
+  /// The total zCDP cost of the counter's entire output sequence.
+  virtual double rho() const = 0;
+
+  /// Per-time-step high-probability additive error bound: with probability
+  /// at least 1 - beta, |S~_t - S_t| <= ErrorBound(beta, t) for the single
+  /// step t (union-bounding across steps is the caller's job).
+  virtual double ErrorBound(double beta, int64_t t) const = 0;
+
+  /// Implementation name for reports ("tree", "honaker", ...).
+  virtual std::string name() const = 0;
+
+  /// Serializes the counter's mutable state (NOT its construction
+  /// parameters) as whitespace-separated tokens, for checkpointing a
+  /// continual release mid-horizon. The stream may contain already-drawn
+  /// noise values — a checkpoint is curator state, not a release.
+  virtual Status SaveState(std::ostream& out) const = 0;
+
+  /// Restores state previously written by SaveState into a counter that
+  /// was constructed with the same (horizon, rho).
+  virtual Status RestoreState(std::istream& in) = 0;
+};
+
+/// Factory signature used by CounterBank / CumulativeSynthesizer so the
+/// counter implementation is a run-time choice.
+class StreamCounterFactory {
+ public:
+  virtual ~StreamCounterFactory() = default;
+
+  /// Creates a counter for streams of length at most `horizon` with total
+  /// privacy cost `rho`. Returns InvalidArgument for horizon < 1 or rho <= 0
+  /// (rho == +infinity is the zero-noise test path).
+  virtual Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
+                                                        double rho) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace stream
+}  // namespace longdp
+
+#endif  // LONGDP_STREAM_STREAM_COUNTER_H_

@@ -1,0 +1,94 @@
+#include "stream/tree_counter.h"
+
+#include <cmath>
+
+#include "dp/discrete_gaussian.h"
+#include "stream/state_io.h"
+#include "util/bits.h"
+#include "util/mathutil.h"
+
+namespace longdp {
+namespace stream {
+
+TreeCounter::TreeCounter(int64_t horizon, double rho)
+    : horizon_(horizon),
+      rho_(rho),
+      levels_(util::FloorLog2(static_cast<uint64_t>(horizon)) + 1),
+      sigma2_(std::isinf(rho) ? 0.0
+                              : static_cast<double>(levels_) / (2.0 * rho)),
+      alpha_(static_cast<size_t>(levels_), 0),
+      alpha_noisy_(static_cast<size_t>(levels_), 0) {}
+
+Result<int64_t> TreeCounter::Observe(int64_t z, util::Rng* rng) {
+  if (t_ >= horizon_) {
+    return Status::OutOfRange("tree counter past its horizon T=" +
+                              std::to_string(horizon_));
+  }
+  ++t_;
+  // Level of the node that completes at time t: lowest set bit of t.
+  int i = 0;
+  while (((t_ >> i) & 1) == 0) ++i;
+  // alpha_i <- sum of all lower pending sums + z_t; lower levels reset.
+  int64_t acc = z;
+  for (int j = 0; j < i; ++j) {
+    acc += alpha_[static_cast<size_t>(j)];
+    alpha_[static_cast<size_t>(j)] = 0;
+    alpha_noisy_[static_cast<size_t>(j)] = 0;
+  }
+  alpha_[static_cast<size_t>(i)] = acc;
+  alpha_noisy_[static_cast<size_t>(i)] =
+      acc + dp::SampleDiscreteGaussian(sigma2_, rng);
+  // Prefix sum = sum of noisy nodes at the set bits of t.
+  int64_t s = 0;
+  for (int j = 0; j < levels_; ++j) {
+    if ((t_ >> j) & 1) s += alpha_noisy_[static_cast<size_t>(j)];
+  }
+  return s;
+}
+
+double TreeCounter::ErrorBound(double beta, int64_t t) const {
+  if (sigma2_ == 0.0) return 0.0;
+  if (t < 1) t = 1;
+  if (beta <= 0.0) beta = 1e-12;
+  // S~_t - S_t is a sum of popcount(t) independent discrete Gaussians, each
+  // subgaussian with parameter sigma^2; two-sided tail bound.
+  int m = util::Popcount(static_cast<uint64_t>(t));
+  double var = static_cast<double>(m) * sigma2_;
+  return std::sqrt(2.0 * var * std::log(2.0 / beta));
+}
+
+Status TreeCounter::SaveState(std::ostream& out) const {
+  out << t_ << " ";
+  state_io::WriteIntVector(out, alpha_);
+  out << " ";
+  state_io::WriteIntVector(out, alpha_noisy_);
+  out << "\n";
+  return out.good() ? Status::OK() : Status::IOError("state write failed");
+}
+
+Status TreeCounter::RestoreState(std::istream& in) {
+  LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
+  LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &alpha_));
+  LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &alpha_noisy_));
+  if (t_ < 0 || t_ > horizon_ ||
+      alpha_.size() != static_cast<size_t>(levels_) ||
+      alpha_noisy_.size() != static_cast<size_t>(levels_)) {
+    return Status::InvalidArgument("tree counter state inconsistent");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StreamCounter>> TreeCounterFactory::Create(
+    int64_t horizon, double rho) const {
+  if (horizon < 1) {
+    return Status::InvalidArgument("stream horizon must be >= 1, got " +
+                                   std::to_string(horizon));
+  }
+  if (!(rho > 0.0)) {
+    return Status::InvalidArgument("stream counter rho must be > 0");
+  }
+  return std::unique_ptr<StreamCounter>(new TreeCounter(horizon, rho));
+}
+
+}  // namespace stream
+}  // namespace longdp

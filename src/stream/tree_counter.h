@@ -1,0 +1,65 @@
+// Tree-based aggregation stream counter (paper Algorithm 3; Dwork-Naor-
+// Pitassi-Rothblum '10, Chan-Shi-Song '11), with discrete Gaussian noise.
+//
+// The streaming formulation keeps one pending partial sum alpha_j per binary
+// level j. At step t, the lowest set bit of t determines the level i whose
+// node completes: alpha_i absorbs all lower pending sums plus z_t, receives
+// fresh noise, and the noisy prefix sum is the sum of noisy nodes at the set
+// bits of t.
+//
+// Privacy: one user changes one z_t by 1, which touches at most L =
+// floor(log2 T) + 1 noisy nodes (one per level containing leaf t). With
+// per-node variance sigma^2 = L / (2 rho), composition gives rho-zCDP for
+// the whole output sequence. (The paper states sigma^2 = log T / (2 rho);
+// we use the exact level count.)
+
+#ifndef LONGDP_STREAM_TREE_COUNTER_H_
+#define LONGDP_STREAM_TREE_COUNTER_H_
+
+#include <vector>
+
+#include "stream/stream_counter.h"
+
+namespace longdp {
+namespace stream {
+
+class TreeCounter : public StreamCounter {
+ public:
+  /// Prefer TreeCounterFactory::Create, which validates arguments.
+  TreeCounter(int64_t horizon, double rho);
+
+  Result<int64_t> Observe(int64_t z, util::Rng* rng) override;
+  int64_t steps() const override { return t_; }
+  int64_t horizon() const override { return horizon_; }
+  double rho() const override { return rho_; }
+  double ErrorBound(double beta, int64_t t) const override;
+  std::string name() const override { return "tree"; }
+  Status SaveState(std::ostream& out) const override;
+  Status RestoreState(std::istream& in) override;
+
+  /// Number of binary levels L = floor(log2 T) + 1.
+  int levels() const { return levels_; }
+  /// Per-node noise variance L / (2 rho).
+  double node_sigma2() const { return sigma2_; }
+
+ private:
+  int64_t horizon_;
+  double rho_;
+  int levels_;
+  double sigma2_;
+  int64_t t_ = 0;
+  std::vector<int64_t> alpha_;        // pending true partial sums per level
+  std::vector<int64_t> alpha_noisy_;  // their released noisy values
+};
+
+class TreeCounterFactory : public StreamCounterFactory {
+ public:
+  Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
+                                                double rho) const override;
+  std::string name() const override { return "tree"; }
+};
+
+}  // namespace stream
+}  // namespace longdp
+
+#endif  // LONGDP_STREAM_TREE_COUNTER_H_

@@ -1,0 +1,64 @@
+#include "util/bits.h"
+
+#include <bit>
+#include <sstream>
+
+namespace longdp {
+namespace util {
+
+int Popcount(Pattern p) { return std::popcount(p); }
+
+std::string PatternToString(Pattern p, int k) {
+  std::string out(static_cast<size_t>(k), '0');
+  for (int j = 0; j < k; ++j) {
+    if ((p >> (k - 1 - j)) & 1) out[static_cast<size_t>(j)] = '1';
+  }
+  return out;
+}
+
+Result<Pattern> PatternFromString(const std::string& s) {
+  if (s.empty() || s.size() > static_cast<size_t>(kMaxWindow)) {
+    return Status::InvalidArgument("pattern string length must be in [1, " +
+                                   std::to_string(kMaxWindow) + "]");
+  }
+  Pattern p = 0;
+  for (char c : s) {
+    if (c != '0' && c != '1') {
+      return Status::InvalidArgument("pattern string must be binary, got '" +
+                                     s + "'");
+    }
+    p = (p << 1) | static_cast<Pattern>(c == '1');
+  }
+  return p;
+}
+
+bool HasOnesRun(Pattern p, int k, int run) {
+  if (run <= 0) return true;
+  if (run > k) return false;
+  int current = 0;
+  for (int j = 0; j < k; ++j) {
+    if ((p >> j) & 1) {
+      if (++current >= run) return true;
+    } else {
+      current = 0;
+    }
+  }
+  return false;
+}
+
+bool HasAtLeastOnes(Pattern p, int k, int m) {
+  (void)k;
+  return Popcount(p) >= m;
+}
+
+Status ValidateWindow(int k) {
+  if (k < 1 || k > 30) {
+    return Status::InvalidArgument(
+        "window width k must be in [1, 30] for 2^k-bin histograms, got " +
+        std::to_string(k));
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace longdp

@@ -1,0 +1,105 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace longdp {
+namespace util {
+
+namespace {
+bool NeedsQuoting(const std::string& f) {
+  return f.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string Quote(const std::string& f) {
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    if (NeedsQuoting(fields[i])) {
+      *out_ << Quote(fields[i]);
+    } else {
+      *out_ << fields[i];
+    }
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::Field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string CsvWriter::Field(int64_t v) { return std::to_string(v); }
+std::string CsvWriter::Field(uint64_t v) { return std::to_string(v); }
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::InvalidArgument("stray quote mid-field in CSV line");
+        }
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+      } else if (c == '\r') {
+        // Ignore carriage returns (CRLF files).
+      } else {
+        cur += c;
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line");
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    LONGDP_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace util
+}  // namespace longdp

@@ -1,0 +1,47 @@
+// Minimal CSV reader/writer used by the data loaders and the benchmark
+// harness (experiment outputs are emitted both as aligned text and CSV).
+
+#ifndef LONGDP_UTIL_CSV_H_
+#define LONGDP_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longdp {
+namespace util {
+
+/// \brief Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Writes one row; fields containing commas, quotes, or newlines are
+  /// quoted and inner quotes doubled.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  static std::string Field(double v);
+  static std::string Field(int64_t v);
+  static std::string Field(uint64_t v);
+  static std::string Field(int v) { return Field(static_cast<int64_t>(v)); }
+  static std::string Field(const std::string& s) { return s; }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parses one CSV line into fields, honoring RFC-4180 quoting.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Reads an entire CSV file into rows of fields.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace util
+}  // namespace longdp
+
+#endif  // LONGDP_UTIL_CSV_H_

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace longdp {
+namespace util {
+
+namespace {
+std::mutex g_mu;
+LogLevel g_min_level = LogLevel::kInfo;
+LogSink g_sink = [](LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[longdp %s] %s\n", LogLevelName(level), msg.c_str());
+};
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  LogSink prev = g_sink;
+  g_sink = std::move(sink);
+  return prev;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_min_level = level;
+}
+
+LogLevel MinLogLevel() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_min_level;
+}
+
+namespace internal {
+void Emit(LogLevel level, const std::string& msg) {
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (level < g_min_level) return;
+    sink = g_sink;
+  }
+  if (sink) sink(level, msg);
+}
+}  // namespace internal
+
+}  // namespace util
+}  // namespace longdp

@@ -1,0 +1,56 @@
+// Lightweight leveled logging. Experiments and library internals log through
+// this; tests can capture or silence output by swapping the sink.
+
+#ifndef LONGDP_UTIL_LOGGING_H_
+#define LONGDP_UTIL_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace longdp {
+namespace util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// Sink invoked for each emitted record. Defaults to stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the global sink; returns the previous one.
+LogSink SetLogSink(LogSink sink);
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& msg);
+
+/// Stream-style accumulator that emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Emit(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace util
+}  // namespace longdp
+
+#define LONGDP_LOG(level)                                          \
+  if (::longdp::util::LogLevel::level < ::longdp::util::MinLogLevel()) { \
+  } else                                                           \
+    ::longdp::util::internal::LogMessage(::longdp::util::LogLevel::level)
+
+#endif  // LONGDP_UTIL_LOGGING_H_

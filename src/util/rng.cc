@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace longdp {
+namespace util {
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64Next(&sm);
+  // xoshiro256++ requires a not-all-zero state; SplitMix64 cannot emit four
+  // zeros in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(Next());
+  }
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+Rng Rng::Fork() {
+  uint64_t seed = Next();
+  // Mix once more so a fork and the parent's next draw are decorrelated.
+  uint64_t sm = seed ^ 0xD1B54A32D192ED03ULL;
+  return Rng(SplitMix64Next(&sm));
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t universe,
+                                                  size_t count) {
+  if (count > universe) count = universe;
+  std::vector<size_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+
+  if (count * 3 >= universe) {
+    // Dense case: partial Fisher-Yates over the full index range.
+    std::vector<size_t> idx(universe);
+    for (size_t i = 0; i < universe; ++i) idx[i] = i;
+    for (size_t i = 0; i < count; ++i) {
+      size_t j = i + static_cast<size_t>(UniformInt(universe - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+
+  // Sparse case: Floyd's algorithm, O(count) expected.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(count * 2);
+  for (size_t j = universe - count; j < universe; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  return out;
+}
+
+}  // namespace util
+}  // namespace longdp

@@ -1,0 +1,41 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace longdp {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+namespace internal {
+void FatalResultAccess(const std::string& why) {
+  std::fprintf(stderr, "[longdp] fatal Result misuse: %s\n", why.c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace longdp

@@ -1,0 +1,214 @@
+// Status / Result error-handling primitives for longdp.
+//
+// Follows the Arrow/RocksDB idiom: fallible functions return a Status (or a
+// Result<T> carrying a value), never throw across the public API boundary.
+// Statuses are cheap to copy in the OK case (no allocation).
+
+#ifndef LONGDP_UTIL_STATUS_H_
+#define LONGDP_UTIL_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace longdp {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,  // e.g. privacy budget exhausted
+  kInternal = 7,
+  kIOError = 8,
+  kNotImplemented = 9,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// An OK status carries no message and no allocation. Error statuses carry a
+/// code and a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : state_(nullptr) {}
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// True iff this status represents success.
+  bool ok() const noexcept { return state_ == nullptr; }
+
+  StatusCode code() const noexcept {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const noexcept {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeToString(code());
+    out += ": ";
+    out += message();
+    return out;
+  }
+
+  // --- Factory helpers -----------------------------------------------------
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared (not unique) so Status is copyable; error paths are cold.
+  std::shared_ptr<const State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// aborts (in line with the "crash early on misuse" database-engine idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      Fail("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(std::get<T>(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alt` if errored.
+  T value_or(T alt) const {
+    if (ok()) return std::get<T>(var_);
+    return alt;
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) Fail(std::get<Status>(var_).ToString());
+  }
+  [[noreturn]] static void Fail(const std::string& why);
+
+  std::variant<T, Status> var_;
+};
+
+namespace internal {
+[[noreturn]] void FatalResultAccess(const std::string& why);
+}  // namespace internal
+
+template <typename T>
+[[noreturn]] void Result<T>::Fail(const std::string& why) {
+  internal::FatalResultAccess(why);
+}
+
+/// Propagates a non-OK status to the caller.
+#define LONGDP_RETURN_NOT_OK(expr)           \
+  do {                                       \
+    ::longdp::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define LONGDP_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define LONGDP_INTERNAL_CONCAT(a, b) LONGDP_INTERNAL_CONCAT_IMPL(a, b)
+#define LONGDP_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, rexpr) \
+  auto&& tmp = (rexpr);                                   \
+  if (!tmp.ok()) {                                        \
+    return tmp.status();                                  \
+  }                                                       \
+  lhs = std::move(tmp).value()
+
+/// Assigns the value of a Result to `lhs`, or propagates its error status.
+#define LONGDP_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  LONGDP_INTERNAL_ASSIGN_OR_RETURN(                                      \
+      LONGDP_INTERNAL_CONCAT(_longdp_result_, __LINE__), lhs, (rexpr))
+
+}  // namespace longdp
+
+#endif  // LONGDP_UTIL_STATUS_H_

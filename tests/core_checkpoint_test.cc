@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "core/cumulative_synthesizer.h"
+#include "core/fixed_window_synthesizer.h"
+#include "data/generators.h"
+#include "query/window_query.h"
+#include "stream/counter_factory.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FixedWindowSynthesizer::Options Opt(int64_t horizon, int k, double rho,
+                                    int64_t npad = -1) {
+  FixedWindowSynthesizer::Options options;
+  options.horizon = horizon;
+  options.window_k = k;
+  options.rho = rho;
+  options.npad = npad;
+  return options;
+}
+
+TEST(CheckpointTest, RoundTripPreservesEverything) {
+  util::Rng rng(1);
+  auto ds = data::BernoulliIid(400, 12, 0.3, &rng).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.02)).value();
+  for (int64_t t = 1; t <= 7; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = FixedWindowSynthesizer::LoadCheckpoint(stream);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto& r = *restored.value();
+  EXPECT_EQ(r.t(), 7);
+  EXPECT_EQ(r.population(), 400);
+  EXPECT_EQ(r.npad(), synth->npad());
+  EXPECT_EQ(r.stats().releases, synth->stats().releases);
+  EXPECT_NEAR(r.accountant().spent(), synth->accountant().spent(), 1e-12);
+  EXPECT_EQ(r.SyntheticHistogram(), synth->SyntheticHistogram());
+  // Cohort records identical bit for bit.
+  ASSERT_EQ(r.cohort().num_records(), synth->cohort().num_records());
+  for (int64_t rec = 0; rec < r.cohort().num_records(); ++rec) {
+    for (int64_t t = 1; t <= r.cohort().rounds(); ++t) {
+      ASSERT_EQ(r.cohort().Bit(rec, t), synth->cohort().Bit(rec, t));
+    }
+  }
+}
+
+TEST(CheckpointTest, RestoredRunContinuesCorrectly) {
+  // Zero-noise path: a straight run and a checkpoint/restore run must end
+  // with identical histograms (the consistency solve is deterministic at
+  // the histogram level when sigma = 0).
+  util::Rng rng(2);
+  auto ds = data::BernoulliIid(300, 10, 0.4, &rng).value();
+
+  auto straight =
+      FixedWindowSynthesizer::Create(Opt(10, 3, kInf, 20)).value();
+  util::Rng rng_a(7);
+  for (int64_t t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(straight->ObserveRound(ds.Round(t), &rng_a).ok());
+  }
+
+  auto first_half =
+      FixedWindowSynthesizer::Create(Opt(10, 3, kInf, 20)).value();
+  util::Rng rng_b(7);
+  for (int64_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(first_half->ObserveRound(ds.Round(t), &rng_b).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(first_half->SaveCheckpoint(stream).ok());
+  auto second_half = FixedWindowSynthesizer::LoadCheckpoint(stream).value();
+  util::Rng rng_c(99);  // different generator: histogram path is noise-free
+  for (int64_t t = 6; t <= 10; ++t) {
+    ASSERT_TRUE(second_half->ObserveRound(ds.Round(t), &rng_c).ok());
+  }
+  EXPECT_EQ(second_half->SyntheticHistogram(),
+            straight->SyntheticHistogram());
+  EXPECT_EQ(second_half->t(), 10);
+}
+
+TEST(CheckpointTest, RestoredRunKeepsInvariantsUnderNoise) {
+  util::Rng rng(3);
+  auto ds = data::BernoulliIid(1000, 12, 0.25, &rng).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.01)).value();
+  for (int64_t t = 1; t <= 6; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = FixedWindowSynthesizer::LoadCheckpoint(stream).value();
+  std::vector<int64_t> prev = restored->SyntheticHistogram();
+  int64_t population = restored->cohort().num_records();
+  for (int64_t t = 7; t <= 12; ++t) {
+    ASSERT_TRUE(restored->ObserveRound(ds.Round(t), &rng).ok());
+    auto cur = restored->SyntheticHistogram();
+    // Consistency constraint across the restore boundary and beyond.
+    for (util::Pattern z = 0; z < 4; ++z) {
+      EXPECT_EQ(cur[(z << 1)] + cur[(z << 1) | 1], prev[z] + prev[z | 4])
+          << "t=" << t << " z=" << z;
+    }
+    int64_t total = 0;
+    for (int64_t c : cur) total += c;
+    EXPECT_EQ(total, population);
+    prev = cur;
+  }
+  // Budget fully consumed by the end, not double-charged.
+  EXPECT_NEAR(restored->accountant().spent(), 0.01, 1e-10);
+}
+
+TEST(CheckpointTest, PreReleaseCheckpointWorks) {
+  // Checkpointing before t = k (no cohort yet) must round-trip.
+  util::Rng rng(4);
+  auto ds = data::BernoulliIid(50, 6, 0.5, &rng).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(6, 4, 0.1)).value();
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(1), &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(2), &rng).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = FixedWindowSynthesizer::LoadCheckpoint(stream).value();
+  EXPECT_EQ(restored->t(), 2);
+  EXPECT_FALSE(restored->has_release());
+  for (int64_t t = 3; t <= 6; ++t) {
+    ASSERT_TRUE(restored->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  EXPECT_TRUE(restored->has_release());
+}
+
+TEST(CheckpointTest, FreshSynthesizerCheckpointWorks) {
+  auto synth = FixedWindowSynthesizer::Create(Opt(5, 2, 0.1)).value();
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = FixedWindowSynthesizer::LoadCheckpoint(stream).value();
+  EXPECT_EQ(restored->t(), 0);
+  EXPECT_EQ(restored->population(), -1);
+}
+
+TEST(CheckpointTest, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(empty).ok());
+  std::stringstream wrong("some other file\n1 2 3\n");
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(wrong).ok());
+  std::stringstream truncated(
+      "longdp-fixed-window-checkpoint-v1\n12 3 0.005 124 0.05\n");
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(truncated).ok());
+}
+
+TEST(CheckpointTest, RejectsTamperedCohort) {
+  util::Rng rng(5);
+  auto ds = data::BernoulliIid(40, 6, 0.5, &rng).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(6, 2, 0.1)).value();
+  for (int64_t t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  std::string text = stream.str();
+  // Corrupt one history bit into a non-binary character.
+  auto pos = text.rfind('\n', text.size() - 6);
+  text[pos - 1] = 'x';
+  std::stringstream corrupted(text);
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(corrupted).ok());
+}
+
+TEST(CheckpointTest, InfiniteRhoRoundTrips) {
+  util::Rng rng(6);
+  auto ds = data::BernoulliIid(30, 4, 0.5, &rng).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(4, 2, kInf, 0)).value();
+  for (int64_t t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = FixedWindowSynthesizer::LoadCheckpoint(stream);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value()->SyntheticHistogram(),
+            synth->SyntheticHistogram());
+}
+
+// ---------------------------------------------------------------------------
+// Cumulative synthesizer checkpointing (stream counter noise state included)
+// ---------------------------------------------------------------------------
+
+CumulativeSynthesizer::Options COpt(int64_t horizon, double rho,
+                                    const std::string& counter = "tree") {
+  CumulativeSynthesizer::Options options;
+  options.horizon = horizon;
+  options.rho = rho;
+  options.counter_factory = stream::MakeCounterFactory(counter).value();
+  return options;
+}
+
+TEST(CumulativeCheckpointTest, RoundTripPreservesState) {
+  util::Rng rng(11);
+  auto ds = data::BernoulliIid(500, 12, 0.3, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(COpt(12, 0.02)).value();
+  for (int64_t t = 1; t <= 7; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = CumulativeSynthesizer::LoadCheckpoint(stream);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto& r = *restored.value();
+  EXPECT_EQ(r.t(), 7);
+  EXPECT_EQ(r.population(), 500);
+  EXPECT_EQ(r.released_thresholds(), synth->released_thresholds());
+  EXPECT_EQ(r.SyntheticThresholdCounts(), synth->SyntheticThresholdCounts());
+  for (int64_t rec = 0; rec < 500; ++rec) {
+    for (int64_t t = 1; t <= 7; ++t) {
+      ASSERT_EQ(r.Bit(rec, t), synth->Bit(rec, t));
+    }
+  }
+  EXPECT_NEAR(r.accountant().spent(), 0.02, 1e-12);
+}
+
+TEST(CumulativeCheckpointTest, RestoredRunContinuesWithInvariants) {
+  // Continue a restored run and require monotonization invariants across
+  // the restore boundary — this exercises the serialized tree counter
+  // internals (pending partial sums and their noisy values).
+  util::Rng rng(13);
+  auto ds = data::BernoulliIid(800, 12, 0.25, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(COpt(12, 0.01)).value();
+  for (int64_t t = 1; t <= 6; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = CumulativeSynthesizer::LoadCheckpoint(stream).value();
+  std::vector<int64_t> prev = restored->released_thresholds();
+  for (int64_t t = 7; t <= 12; ++t) {
+    ASSERT_TRUE(restored->ObserveRound(ds.Round(t), &rng).ok());
+    const auto& row = restored->released_thresholds();
+    for (int64_t b = 1; b <= 12; ++b) {
+      ASSERT_GE(row[b], prev[b]) << "t=" << t << " b=" << b;
+      ASSERT_LE(row[b], prev[b - 1]) << "t=" << t << " b=" << b;
+    }
+    ASSERT_EQ(restored->SyntheticThresholdCounts(), row);
+    prev = row;
+  }
+}
+
+TEST(CumulativeCheckpointTest, ZeroNoiseRestoredRunMatchesStraightRun) {
+  util::Rng rng(17);
+  auto ds = data::BernoulliIid(300, 10, 0.4, &rng).value();
+  auto straight = CumulativeSynthesizer::Create(COpt(10, kInf)).value();
+  util::Rng rng_a(5);
+  for (int64_t t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(straight->ObserveRound(ds.Round(t), &rng_a).ok());
+  }
+  auto half = CumulativeSynthesizer::Create(COpt(10, kInf)).value();
+  util::Rng rng_b(5);
+  for (int64_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(half->ObserveRound(ds.Round(t), &rng_b).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(half->SaveCheckpoint(stream).ok());
+  auto resumed = CumulativeSynthesizer::LoadCheckpoint(stream).value();
+  util::Rng rng_c(123);
+  for (int64_t t = 6; t <= 10; ++t) {
+    ASSERT_TRUE(resumed->ObserveRound(ds.Round(t), &rng_c).ok());
+  }
+  EXPECT_EQ(resumed->released_thresholds(),
+            straight->released_thresholds());
+}
+
+TEST(CumulativeCheckpointTest, AllCounterImplementationsRoundTrip) {
+  util::Rng rng(19);
+  auto ds = data::BernoulliIid(200, 8, 0.3, &rng).value();
+  for (const auto& name : stream::RegisteredCounterNames()) {
+    auto synth = CumulativeSynthesizer::Create(COpt(8, 0.05, name)).value();
+    for (int64_t t = 1; t <= 4; ++t) {
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok()) << name;
+    }
+    std::stringstream stream;
+    ASSERT_TRUE(synth->SaveCheckpoint(stream).ok()) << name;
+    auto restored = CumulativeSynthesizer::LoadCheckpoint(stream);
+    ASSERT_TRUE(restored.ok()) << name << ": "
+                               << restored.status().ToString();
+    EXPECT_EQ(restored.value()->released_thresholds(),
+              synth->released_thresholds())
+        << name;
+    for (int64_t t = 5; t <= 8; ++t) {
+      ASSERT_TRUE(restored.value()->ObserveRound(ds.Round(t), &rng).ok())
+          << name;
+      ASSERT_EQ(restored.value()->SyntheticThresholdCounts(),
+                restored.value()->released_thresholds())
+          << name;
+    }
+  }
+}
+
+TEST(CumulativeCheckpointTest, FreshSynthesizerRoundTrips) {
+  auto synth = CumulativeSynthesizer::Create(COpt(5, 0.1)).value();
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = CumulativeSynthesizer::LoadCheckpoint(stream);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value()->t(), 0);
+}
+
+TEST(CumulativeCheckpointTest, RejectsGarbageAndTampering) {
+  std::stringstream empty;
+  EXPECT_FALSE(CumulativeSynthesizer::LoadCheckpoint(empty).ok());
+  std::stringstream wrong("longdp-fixed-window-checkpoint-v1\n");
+  EXPECT_FALSE(CumulativeSynthesizer::LoadCheckpoint(wrong).ok());
+
+  // Tampering with a history line must be caught by the released-counts
+  // consistency check.
+  util::Rng rng(23);
+  auto ds = data::BernoulliIid(50, 6, 0.5, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(COpt(6, kInf)).value();
+  for (int64_t t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  std::string text = stream.str();
+  auto pos = text.find("histories");
+  pos = text.find('\n', pos) + 1;  // first history line
+  text[pos] = text[pos] == '0' ? '1' : '0';
+  std::stringstream corrupted(text);
+  EXPECT_FALSE(CumulativeSynthesizer::LoadCheckpoint(corrupted).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace longdp

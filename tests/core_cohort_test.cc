@@ -1,0 +1,154 @@
+#include "core/synthetic_cohort.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace longdp {
+namespace core {
+namespace {
+
+TEST(CohortTest, CreateValidates) {
+  EXPECT_FALSE(SyntheticCohort::Create(0, {}).ok());
+  EXPECT_FALSE(SyntheticCohort::Create(2, {1, 2, 3}).ok());    // not 2^k
+  EXPECT_FALSE(SyntheticCohort::Create(2, {1, -1, 0, 0}).ok());  // negative
+  EXPECT_TRUE(SyntheticCohort::Create(2, {1, 2, 3, 4}).ok());
+}
+
+TEST(CohortTest, InitialHistogramMatchesCounts) {
+  auto cohort = SyntheticCohort::Create(2, {3, 0, 2, 5}).value();
+  EXPECT_EQ(cohort.num_records(), 10);
+  EXPECT_EQ(cohort.rounds(), 2);
+  EXPECT_EQ(cohort.WindowHistogram(), (std::vector<int64_t>{3, 0, 2, 5}));
+}
+
+TEST(CohortTest, InitialHistoriesSpellPatterns) {
+  auto cohort = SyntheticCohort::Create(2, {1, 1, 1, 1}).value();
+  // Records are created in pattern order 00, 01, 10, 11 (oldest bit first).
+  EXPECT_EQ(cohort.Bit(0, 1), 0);
+  EXPECT_EQ(cohort.Bit(0, 2), 0);
+  EXPECT_EQ(cohort.Bit(1, 1), 0);
+  EXPECT_EQ(cohort.Bit(1, 2), 1);
+  EXPECT_EQ(cohort.Bit(2, 1), 1);
+  EXPECT_EQ(cohort.Bit(2, 2), 0);
+  EXPECT_EQ(cohort.Bit(3, 1), 1);
+  EXPECT_EQ(cohort.Bit(3, 2), 1);
+}
+
+TEST(CohortTest, GroupSizesByOverlap) {
+  auto cohort = SyntheticCohort::Create(2, {3, 1, 2, 4}).value();
+  // Overlap = newest bit for k=2: patterns 00,10 end in 0 (3+2=5);
+  // 01,11 end in 1 (1+4=5).
+  EXPECT_EQ(cohort.GroupSize(0), 5);
+  EXPECT_EQ(cohort.GroupSize(1), 5);
+}
+
+TEST(CohortTest, AdvanceValidatesTargets) {
+  auto cohort = SyntheticCohort::Create(2, {3, 1, 2, 4}).value();
+  util::Rng rng(1);
+  EXPECT_TRUE(
+      cohort.AdvanceRound({0, 0, 0}, &rng).IsInvalidArgument());  // arity
+  EXPECT_TRUE(cohort.AdvanceRound({6, 0}, &rng)
+                  .IsInvalidArgument());  // exceeds group
+  EXPECT_TRUE(cohort.AdvanceRound({-1, 0}, &rng).IsInvalidArgument());
+}
+
+TEST(CohortTest, AdvancePreservesPopulationAndConsistency) {
+  auto cohort = SyntheticCohort::Create(3, {2, 1, 0, 3, 1, 0, 2, 1}).value();
+  util::Rng rng(2);
+  std::vector<int64_t> before = cohort.WindowHistogram();
+  // Overlap z gets groups from patterns {0z, 1z}. Choose any valid targets.
+  std::vector<int64_t> targets(4);
+  for (util::Pattern z = 0; z < 4; ++z) {
+    targets[z] = cohort.GroupSize(z) / 2;
+  }
+  ASSERT_TRUE(cohort.AdvanceRound(targets, &rng).ok());
+  std::vector<int64_t> after = cohort.WindowHistogram();
+  // Consistency: p^{t}_{z0} + p^{t}_{z1} == group size at t-1 (= sum of
+  // patterns ending in z).
+  for (util::Pattern z = 0; z < 4; ++z) {
+    int64_t group_before = before[z] + before[z | 4];  // 0z and 1z (k=3)
+    EXPECT_EQ(after[(z << 1)] + after[(z << 1) | 1], group_before)
+        << "z=" << z;
+    EXPECT_EQ(after[(z << 1) | 1], targets[z]);
+  }
+  // Total population unchanged.
+  int64_t total_before = 0, total_after = 0;
+  for (auto c : before) total_before += c;
+  for (auto c : after) total_after += c;
+  EXPECT_EQ(total_before, total_after);
+  EXPECT_EQ(cohort.rounds(), 4);
+}
+
+TEST(CohortTest, HistoriesAreAppendOnly) {
+  // Record persistence: the prefix of every record is unchanged by
+  // AdvanceRound (the paper's core consistency requirement).
+  auto cohort = SyntheticCohort::Create(2, {2, 2, 2, 2}).value();
+  util::Rng rng(3);
+  std::vector<std::vector<int>> prefixes(8);
+  for (int64_t r = 0; r < 8; ++r) {
+    prefixes[r] = {cohort.Bit(r, 1), cohort.Bit(r, 2)};
+  }
+  for (int round = 0; round < 5; ++round) {
+    std::vector<int64_t> targets = {cohort.GroupSize(0) / 2,
+                                    cohort.GroupSize(1) / 2};
+    ASSERT_TRUE(cohort.AdvanceRound(targets, &rng).ok());
+    for (int64_t r = 0; r < 8; ++r) {
+      for (size_t j = 0; j < prefixes[r].size(); ++j) {
+        ASSERT_EQ(cohort.Bit(r, static_cast<int64_t>(j + 1)), prefixes[r][j])
+            << "record " << r << " round " << j + 1;
+      }
+      prefixes[r].push_back(cohort.Bit(r, cohort.rounds()));
+    }
+  }
+}
+
+TEST(CohortTest, HistogramTracksMaterializedRecords) {
+  // The incrementally maintained histogram equals a recount from records.
+  auto cohort = SyntheticCohort::Create(3, {5, 3, 2, 7, 1, 0, 4, 6}).value();
+  util::Rng rng(4);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<int64_t> targets(4);
+    for (util::Pattern z = 0; z < 4; ++z) {
+      targets[z] = (cohort.GroupSize(z) * (round + 1)) / 7;
+    }
+    ASSERT_TRUE(cohort.AdvanceRound(targets, &rng).ok());
+    std::vector<int64_t> recount(8, 0);
+    int64_t t = cohort.rounds();
+    for (int64_t r = 0; r < cohort.num_records(); ++r) {
+      util::Pattern p = 0;
+      for (int64_t tt = t - 2; tt <= t; ++tt) {
+        p = (p << 1) | static_cast<util::Pattern>(cohort.Bit(r, tt));
+      }
+      ++recount[p];
+    }
+    EXPECT_EQ(cohort.WindowHistogram(), recount) << "round " << round;
+  }
+}
+
+TEST(CohortTest, ToDatasetRoundTrip) {
+  auto cohort = SyntheticCohort::Create(2, {1, 2, 3, 4}).value();
+  util::Rng rng(5);
+  ASSERT_TRUE(cohort.AdvanceRound({2, 3}, &rng).ok());
+  auto ds = cohort.ToDataset(10).value();
+  EXPECT_EQ(ds.num_users(), 10);
+  EXPECT_EQ(ds.rounds(), 3);
+  for (int64_t r = 0; r < 10; ++r) {
+    for (int64_t t = 1; t <= 3; ++t) {
+      EXPECT_EQ(ds.Bit(r, t), cohort.Bit(r, t));
+    }
+  }
+  EXPECT_FALSE(cohort.ToDataset(2).ok());  // horizon < rounds
+}
+
+TEST(CohortTest, EmptyCohortIsLegal) {
+  auto cohort = SyntheticCohort::Create(2, {0, 0, 0, 0}).value();
+  util::Rng rng(6);
+  EXPECT_EQ(cohort.num_records(), 0);
+  EXPECT_TRUE(cohort.AdvanceRound({0, 0}, &rng).ok());
+  EXPECT_EQ(cohort.rounds(), 3);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace longdp

@@ -1,0 +1,250 @@
+#include "core/cumulative_synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/theory.h"
+#include "data/generators.h"
+#include "query/cumulative_query.h"
+#include "stream/counter_factory.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+CumulativeSynthesizer::Options Opt(int64_t horizon, double rho) {
+  CumulativeSynthesizer::Options options;
+  options.horizon = horizon;
+  options.rho = rho;
+  return options;
+}
+
+Status FeedDataset(CumulativeSynthesizer* synth,
+                   const data::LongitudinalDataset& ds, util::Rng* rng) {
+  for (int64_t t = 1; t <= ds.rounds(); ++t) {
+    LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+  }
+  return Status::OK();
+}
+
+TEST(CumulativeTest, CreateValidates) {
+  EXPECT_FALSE(CumulativeSynthesizer::Create(Opt(0, 0.5)).ok());
+  EXPECT_FALSE(CumulativeSynthesizer::Create(Opt(5, 0.0)).ok());
+  EXPECT_TRUE(CumulativeSynthesizer::Create(Opt(5, 0.5)).ok());
+}
+
+TEST(CumulativeTest, ZeroNoiseReproducesTrueCounts) {
+  util::Rng rng(1);
+  auto ds = data::BernoulliIid(400, 10, 0.3, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(10, kInf)).value();
+  for (int64_t t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    auto truth = ds.CumulativeCounts(t).value();
+    EXPECT_EQ(synth->released_thresholds(), truth) << "t=" << t;
+  }
+}
+
+TEST(CumulativeTest, ZeroNoiseAnswersAreExactFractions) {
+  util::Rng rng(2);
+  auto ds = data::BernoulliIid(500, 8, 0.4, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(8, kInf)).value();
+  for (int64_t t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    for (int64_t b = 0; b <= 8; ++b) {
+      double truth = query::EvaluateCumulativeOnDataset(ds, t, b).value();
+      EXPECT_DOUBLE_EQ(synth->Answer(b).value(), truth)
+          << "t=" << t << " b=" << b;
+    }
+  }
+}
+
+TEST(CumulativeTest, SyntheticRecordsMatchReleasedCountsExactly) {
+  // Invariant 4: #synthetic records with weight >= b equals Shat^t_b, even
+  // under real noise.
+  util::Rng rng(3);
+  auto ds = data::BernoulliIid(1000, 12, 0.25, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.01)).value();
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    EXPECT_EQ(synth->SyntheticThresholdCounts(),
+              synth->released_thresholds())
+        << "t=" << t;
+  }
+}
+
+TEST(CumulativeTest, ReleasedRowsAreMonotone) {
+  // Invariant 3 at the synthesizer level.
+  util::Rng rng(5);
+  auto ds = data::BernoulliIid(2000, 12, 0.15, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.005)).value();
+  std::vector<int64_t> prev(13, 0);
+  prev[0] = 2000;
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    const auto& row = synth->released_thresholds();
+    for (int64_t b = 1; b <= 12; ++b) {
+      EXPECT_GE(row[b], prev[b]) << "t=" << t << " b=" << b;
+      EXPECT_LE(row[b], prev[b - 1]) << "t=" << t << " b=" << b;
+    }
+    prev = row;
+  }
+}
+
+TEST(CumulativeTest, SyntheticHistoriesAreAppendOnly) {
+  util::Rng rng(7);
+  auto ds = data::BernoulliIid(300, 8, 0.3, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(8, 0.05)).value();
+  std::vector<std::vector<int>> prefixes(300);
+  for (int64_t t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    for (int64_t r = 0; r < 300; ++r) {
+      auto& p = prefixes[static_cast<size_t>(r)];
+      for (size_t j = 0; j < p.size(); ++j) {
+        ASSERT_EQ(synth->Bit(r, static_cast<int64_t>(j + 1)), p[j])
+            << "record " << r;
+      }
+      p.push_back(synth->Bit(r, t));
+    }
+  }
+}
+
+TEST(CumulativeTest, AccountantChargesExactlyRho) {
+  util::Rng rng(11);
+  auto ds = data::BernoulliIid(200, 12, 0.3, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.005)).value();
+  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  EXPECT_NEAR(synth->accountant().spent(), 0.005, 1e-12);
+  EXPECT_EQ(synth->accountant().ledger().size(), 12u);
+}
+
+TEST(CumulativeTest, PopulationPreserved) {
+  util::Rng rng(13);
+  auto ds = data::BernoulliIid(750, 6, 0.5, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(6, 0.05)).value();
+  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  EXPECT_EQ(synth->population(), 750);
+  auto synth_ds = synth->ToDataset().value();
+  EXPECT_EQ(synth_ds.num_users(), 750);
+  EXPECT_EQ(synth_ds.rounds(), 6);
+}
+
+TEST(CumulativeTest, ToDatasetMatchesAnswers) {
+  // The materialized dataset's cumulative fractions equal the released
+  // answers at the final time.
+  util::Rng rng(17);
+  auto ds = data::BernoulliIid(600, 9, 0.35, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(9, 0.02)).value();
+  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  auto synth_ds = synth->ToDataset().value();
+  for (int64_t b = 0; b <= 9; ++b) {
+    double from_ds =
+        query::EvaluateCumulativeOnDataset(synth_ds, 9, b).value();
+    EXPECT_DOUBLE_EQ(from_ds, synth->Answer(b).value()) << "b=" << b;
+  }
+}
+
+TEST(CumulativeTest, ErrorWithinCorollaryBound) {
+  // Corollary B.1 bound with generous multiples: the max fraction error
+  // over (t, b) should rarely exceed alpha*.
+  util::Rng rng(19);
+  auto ds = data::SubpopulationMixture(
+                23374, 12,
+                {{0.07, {0.92, 0.6, 0.04}}, {0.93, {0.035, 0.02, 0.45}}},
+                &rng)
+                .value();
+  double alpha =
+      theory::CumulativeFractionErrorBound(12, 0.005, 0.05, 23374).value();
+  int violations = 0;
+  const int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto synth = CumulativeSynthesizer::Create(Opt(12, 0.005)).value();
+    double max_err = 0.0;
+    for (int64_t t = 1; t <= 12; ++t) {
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      for (int64_t b = 1; b <= t; ++b) {
+        double truth =
+            query::EvaluateCumulativeOnDataset(ds, t, b).value();
+        max_err = std::max(max_err,
+                           std::fabs(synth->Answer(b).value() - truth));
+      }
+    }
+    if (max_err > alpha) ++violations;
+  }
+  EXPECT_LE(violations, 2);
+}
+
+TEST(CumulativeTest, WorksWithAllCounterImplementations) {
+  util::Rng rng(23);
+  auto ds = data::BernoulliIid(500, 8, 0.3, &rng).value();
+  for (const auto& name : stream::RegisteredCounterNames()) {
+    auto options = Opt(8, 0.05);
+    options.counter_factory = stream::MakeCounterFactory(name).value();
+    auto synth = CumulativeSynthesizer::Create(options).value();
+    ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok()) << name;
+    EXPECT_EQ(synth->SyntheticThresholdCounts(),
+              synth->released_thresholds())
+        << name;
+  }
+}
+
+TEST(CumulativeTest, UniformSplitAlsoWorks) {
+  util::Rng rng(29);
+  auto ds = data::BernoulliIid(400, 10, 0.2, &rng).value();
+  auto options = Opt(10, 0.01);
+  options.split = stream::BudgetSplit::kUniform;
+  auto synth = CumulativeSynthesizer::Create(options).value();
+  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  EXPECT_NEAR(synth->accountant().spent(), 0.01, 1e-12);
+}
+
+TEST(CumulativeTest, RejectsBadInputs) {
+  auto synth = CumulativeSynthesizer::Create(Opt(2, kInf)).value();
+  util::Rng rng(31);
+  std::vector<uint8_t> round = {0, 1, 0};
+  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  std::vector<uint8_t> wrong_size = {0, 1};
+  EXPECT_TRUE(synth->ObserveRound(wrong_size, &rng).IsInvalidArgument());
+  std::vector<uint8_t> bad_bit = {0, 1, 7};
+  EXPECT_TRUE(synth->ObserveRound(bad_bit, &rng).IsInvalidArgument());
+  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  EXPECT_TRUE(synth->ObserveRound(round, &rng).IsOutOfRange());
+}
+
+TEST(CumulativeTest, AnswerValidation) {
+  auto synth = CumulativeSynthesizer::Create(Opt(3, kInf)).value();
+  EXPECT_TRUE(synth->Answer(1).status().IsFailedPrecondition());
+  util::Rng rng(37);
+  std::vector<uint8_t> round = {1, 0};
+  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  EXPECT_TRUE(synth->Answer(-1).status().IsOutOfRange());
+  EXPECT_TRUE(synth->Answer(4).status().IsOutOfRange());
+  EXPECT_DOUBLE_EQ(synth->Answer(0).value(), 1.0);
+}
+
+// Parameterized horizon sweep: invariants hold across stream lengths.
+class CumulativeHorizonTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CumulativeHorizonTest, InvariantsAcrossHorizons) {
+  const int64_t kT = GetParam();
+  util::Rng rng(41 + static_cast<uint64_t>(kT));
+  auto ds = data::BernoulliIid(200, kT, 0.3, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(kT, 0.05)).value();
+  for (int64_t t = 1; t <= kT; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_EQ(synth->SyntheticThresholdCounts(),
+              synth->released_thresholds());
+  }
+  EXPECT_NEAR(synth->accountant().spent(), 0.05, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, CumulativeHorizonTest,
+                         ::testing::Values(1, 2, 3, 5, 12, 16, 25));
+
+}  // namespace
+}  // namespace core
+}  // namespace longdp

@@ -1,0 +1,115 @@
+#include "core/recompute_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "data/generators.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+RecomputeBaseline::Options Opt(int64_t horizon, int k, double rho) {
+  RecomputeBaseline::Options options;
+  options.horizon = horizon;
+  options.window_k = k;
+  options.rho = rho;
+  return options;
+}
+
+TEST(RecomputeBaselineTest, CreateValidates) {
+  EXPECT_FALSE(RecomputeBaseline::Create(Opt(2, 3, 0.5)).ok());
+  EXPECT_FALSE(RecomputeBaseline::Create(Opt(12, 3, 0.0)).ok());
+  EXPECT_TRUE(RecomputeBaseline::Create(Opt(12, 3, 0.5)).ok());
+}
+
+TEST(RecomputeBaselineTest, NoReleaseBeforeK) {
+  auto baseline = RecomputeBaseline::Create(Opt(6, 3, kInf)).value();
+  util::Rng rng(1);
+  std::vector<uint8_t> round(10, 1);
+  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  EXPECT_FALSE(baseline->has_release());
+  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  EXPECT_TRUE(baseline->has_release());
+}
+
+TEST(RecomputeBaselineTest, ZeroNoiseMatchesTrueHistogram) {
+  util::Rng rng(2);
+  auto ds = data::BernoulliIid(400, 8, 0.3, &rng).value();
+  auto baseline = RecomputeBaseline::Create(Opt(8, 3, kInf)).value();
+  for (int64_t t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t), &rng).ok());
+    if (t >= 3) {
+      EXPECT_EQ(baseline->CurrentHistogram(),
+                ds.WindowHistogram(t, 3).value());
+    }
+  }
+  EXPECT_EQ(baseline->clamped_bins(), 0);
+}
+
+TEST(RecomputeBaselineTest, ChargesFullBudget) {
+  util::Rng rng(3);
+  auto ds = data::BernoulliIid(300, 12, 0.3, &rng).value();
+  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005)).value();
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  EXPECT_NEAR(baseline->accountant().spent(), 0.005, 1e-12);
+}
+
+TEST(RecomputeBaselineTest, ClampsNegativeBinsWithoutPadding) {
+  // All-zeros data concentrates everything in bin 000; the other bins have
+  // true count 0 and will go negative under noise roughly half the time —
+  // the failure Algorithm 1's padding prevents.
+  util::Rng rng(5);
+  auto ds = data::ExtremeAllZeros(100, 12).value();
+  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005)).value();
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  EXPECT_GT(baseline->clamped_bins(), 0);
+}
+
+TEST(RecomputeBaselineTest, PopulationFluctuatesAcrossReleases) {
+  // Unlike Algorithm 1's constant n*, the baseline's synthetic population
+  // jumps release to release — one face of the inconsistency the paper
+  // describes.
+  util::Rng rng(7);
+  auto ds = data::BernoulliIid(5000, 12, 0.3, &rng).value();
+  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005)).value();
+  std::vector<int64_t> populations;
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t), &rng).ok());
+    if (baseline->has_release()) {
+      populations.push_back(baseline->SyntheticPopulation());
+    }
+  }
+  bool all_same = true;
+  for (size_t i = 1; i < populations.size(); ++i) {
+    if (populations[i] != populations[0]) all_same = false;
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(RecomputeBaselineTest, RejectsBadInputs) {
+  auto baseline = RecomputeBaseline::Create(Opt(3, 2, kInf)).value();
+  util::Rng rng(11);
+  std::vector<uint8_t> round = {0, 1};
+  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  std::vector<uint8_t> bad = {0, 2};
+  EXPECT_TRUE(baseline->ObserveRound(bad, &rng).IsInvalidArgument());
+  std::vector<uint8_t> wrong = {0, 1, 1};
+  EXPECT_TRUE(baseline->ObserveRound(wrong, &rng).IsInvalidArgument());
+  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  EXPECT_TRUE(baseline->ObserveRound(round, &rng).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace longdp

@@ -1,0 +1,138 @@
+#include "core/release_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "data/generators.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ReleaseLogTest, CapturesWindowReleasesFromK) {
+  util::Rng rng(1);
+  auto ds = data::BernoulliIid(100, 6, 0.3, &rng).value();
+  FixedWindowSynthesizer::Options opt;
+  opt.horizon = 6;
+  opt.window_k = 3;
+  opt.rho = kInf;
+  opt.npad = 5;
+  auto synth = FixedWindowSynthesizer::Create(opt).value();
+  ReleaseLog log;
+  for (int64_t t = 1; t <= 6; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(log.Capture(*synth).ok());
+  }
+  // Releases exist only from t = 3 (no-op before).
+  ASSERT_EQ(log.window_releases().size(), 4u);
+  EXPECT_EQ(log.window_releases().front().t, 3);
+  EXPECT_EQ(log.window_releases().back().t, 6);
+  EXPECT_EQ(log.window_releases().front().npad, 5);
+  EXPECT_EQ(log.window_releases().front().true_n, 100);
+  EXPECT_EQ(log.window_releases().front().histogram.size(), 8u);
+}
+
+TEST(ReleaseLogTest, RejectsDoubleCapture) {
+  util::Rng rng(2);
+  auto ds = data::BernoulliIid(50, 3, 0.5, &rng).value();
+  FixedWindowSynthesizer::Options opt;
+  opt.horizon = 3;
+  opt.window_k = 2;
+  opt.rho = kInf;
+  opt.npad = 0;
+  auto synth = FixedWindowSynthesizer::Create(opt).value();
+  ReleaseLog log;
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(1), &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(2), &rng).ok());
+  ASSERT_TRUE(log.Capture(*synth).ok());
+  EXPECT_EQ(log.Capture(*synth).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ReleaseLogTest, CapturesCumulativeReleases) {
+  util::Rng rng(3);
+  auto ds = data::BernoulliIid(80, 5, 0.4, &rng).value();
+  CumulativeSynthesizer::Options opt;
+  opt.horizon = 5;
+  opt.rho = kInf;
+  auto synth = CumulativeSynthesizer::Create(opt).value();
+  ReleaseLog log;
+  EXPECT_TRUE(log.Capture(*synth).IsFailedPrecondition());  // before t=1
+  for (int64_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(log.Capture(*synth).ok());
+  }
+  ASSERT_EQ(log.cumulative_releases().size(), 5u);
+  EXPECT_EQ(log.cumulative_releases().back().thresholds,
+            ds.CumulativeCounts(5).value());  // zero-noise path is exact
+}
+
+TEST(ReleaseLogTest, CsvRoundTrip) {
+  util::Rng rng(4);
+  auto ds = data::BernoulliIid(60, 4, 0.3, &rng).value();
+  ReleaseLog log;
+  {
+    FixedWindowSynthesizer::Options opt;
+    opt.horizon = 4;
+    opt.window_k = 2;
+    opt.rho = 0.1;
+    auto synth = FixedWindowSynthesizer::Create(opt).value();
+    CumulativeSynthesizer::Options copt;
+    copt.horizon = 4;
+    copt.rho = 0.1;
+    auto cumulative = CumulativeSynthesizer::Create(copt).value();
+    for (int64_t t = 1; t <= 4; ++t) {
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(cumulative->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(log.Capture(*synth).ok());
+      ASSERT_TRUE(log.Capture(*cumulative).ok());
+    }
+  }
+  std::string path = ::testing::TempDir() + "/longdp_release_log.csv";
+  ASSERT_TRUE(log.WriteCsv(path).ok());
+  auto loaded = ReleaseLog::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().window_releases().size(),
+            log.window_releases().size());
+  ASSERT_EQ(loaded.value().cumulative_releases().size(),
+            log.cumulative_releases().size());
+  for (size_t i = 0; i < log.window_releases().size(); ++i) {
+    const auto& a = log.window_releases()[i];
+    const auto& b = loaded.value().window_releases()[i];
+    EXPECT_EQ(a.t, b.t);
+    EXPECT_EQ(a.window_k, b.window_k);
+    EXPECT_EQ(a.npad, b.npad);
+    EXPECT_EQ(a.true_n, b.true_n);
+    EXPECT_EQ(a.histogram, b.histogram);
+  }
+  for (size_t i = 0; i < log.cumulative_releases().size(); ++i) {
+    EXPECT_EQ(log.cumulative_releases()[i].thresholds,
+              loaded.value().cumulative_releases()[i].thresholds);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseLogTest, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/longdp_release_garbage.csv";
+  {
+    std::ofstream out(path);
+    out << "kind,t,k,npad,true_n,index,value\n";
+    out << "mystery,1,2,3,4,5,6\n";
+  }
+  EXPECT_FALSE(ReleaseLog::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseLogTest, LoadMissingFileIsIOError) {
+  EXPECT_TRUE(
+      ReleaseLog::LoadCsv("/no/such/log.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace longdp

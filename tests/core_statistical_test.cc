@@ -1,0 +1,198 @@
+// Statistical property tests for the synthesizers — the distributional
+// claims of the paper's analysis, checked over many repetitions:
+//
+//  * Theorem 3.2's key structural fact: the per-bin error of Algorithm 1 is
+//    mean-zero with (approximately) TIME-UNIFORM variance — the noise does
+//    not accumulate across update steps despite the incremental
+//    projections.
+//  * Determinism: identical seeds produce identical synthetic cohorts.
+//  * Unbiasedness of debiased answers and of Algorithm 2's released
+//    fractions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cumulative_synthesizer.h"
+#include "core/fixed_window_synthesizer.h"
+#include "data/generators.h"
+#include "query/cumulative_query.h"
+#include "query/window_query.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace core {
+namespace {
+
+TEST(StatisticalTest, FixedWindowErrorIsTimeUniform) {
+  // Collect the error of one fixed bin at the first release (t = k) and at
+  // the last (t = T) over many runs; Theorem 3.2 says both are mean-zero
+  // with the same variance sigma^2 = (T-k+1)/(2 rho) (plus the bounded
+  // rounding term).
+  const int64_t kN = 2000, kT = 12;
+  const int kK = 3;
+  const double kRho = 0.05;
+  const int kTrials = 1200;
+  util::Rng data_rng(1);
+  auto ds = data::BernoulliIid(kN, kT, 0.5, &data_rng).value();
+  auto truth_first = ds.WindowHistogram(kK, kK).value();
+  auto truth_last = ds.WindowHistogram(kT, kK).value();
+
+  util::Rng rng(2);
+  util::MomentAccumulator first, last;
+  const util::Pattern kBin = 0b010;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    FixedWindowSynthesizer::Options opt;
+    opt.horizon = kT;
+    opt.window_k = kK;
+    opt.rho = kRho;
+    auto synth = FixedWindowSynthesizer::Create(opt).value();
+    for (int64_t t = 1; t <= kT; ++t) {
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      if (t == kK) {
+        first.Add(static_cast<double>(
+            synth->SyntheticHistogram()[kBin] -
+            (truth_first[kBin] + synth->npad())));
+      }
+      if (t == kT) {
+        last.Add(static_cast<double>(
+            synth->SyntheticHistogram()[kBin] -
+            (truth_last[kBin] + synth->npad())));
+      }
+    }
+  }
+  const double sigma2 = (kT - kK + 1) / (2.0 * kRho);
+  // Mean zero within 5 standard errors.
+  EXPECT_NEAR(first.mean(), 0.0, 5.0 * std::sqrt(sigma2 / kTrials));
+  EXPECT_NEAR(last.mean(), 0.0, 5.0 * std::sqrt(sigma2 / kTrials));
+  // Variance at the last step within 25% of the first step's (both should
+  // be ~sigma^2; tolerance covers sampling noise of a variance estimate).
+  EXPECT_NEAR(last.variance(), first.variance(), 0.25 * first.variance());
+  EXPECT_NEAR(first.variance(), sigma2, 0.25 * sigma2);
+}
+
+TEST(StatisticalTest, FixedWindowDeterministicGivenSeed) {
+  const int64_t kN = 300, kT = 8;
+  util::Rng data_rng(3);
+  auto ds = data::BernoulliIid(kN, kT, 0.3, &data_rng).value();
+  auto run = [&](uint64_t seed) {
+    util::Rng rng(seed);
+    FixedWindowSynthesizer::Options opt;
+    opt.horizon = kT;
+    opt.window_k = 3;
+    opt.rho = 0.01;
+    auto synth = FixedWindowSynthesizer::Create(opt).value();
+    for (int64_t t = 1; t <= kT; ++t) {
+      EXPECT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    }
+    return synth->cohort().ToDataset(kT).value();
+  };
+  auto a = run(99);
+  auto b = run(99);
+  ASSERT_EQ(a.num_users(), b.num_users());
+  for (int64_t r = 0; r < a.num_users(); ++r) {
+    for (int64_t t = 1; t <= a.rounds(); ++t) {
+      ASSERT_EQ(a.Bit(r, t), b.Bit(r, t));
+    }
+  }
+  // A different seed gives a different cohort (overwhelmingly likely).
+  auto c = run(100);
+  bool any_diff = c.num_users() != a.num_users();
+  if (!any_diff) {
+    for (int64_t r = 0; r < a.num_users() && !any_diff; ++r) {
+      for (int64_t t = 1; t <= a.rounds() && !any_diff; ++t) {
+        any_diff = a.Bit(r, t) != c.Bit(r, t);
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(StatisticalTest, DebiasedAnswersUnbiasedOverRuns) {
+  const int64_t kN = 3000, kT = 10;
+  const double kRho = 0.02;
+  const int kTrials = 800;
+  util::Rng data_rng(5);
+  auto ds = data::TwoStateMarkov(kN, kT, {0.15, 0.05, 0.3}, &data_rng)
+                .value();
+  auto pred = query::MakeConsecutiveOnes(3, 2);
+  double truth = query::EvaluateOnDataset(*pred, ds, kT).value();
+
+  util::Rng rng(7);
+  util::MomentAccumulator acc;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    FixedWindowSynthesizer::Options opt;
+    opt.horizon = kT;
+    opt.window_k = 3;
+    opt.rho = kRho;
+    auto synth = FixedWindowSynthesizer::Create(opt).value();
+    for (int64_t t = 1; t <= kT; ++t) {
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    }
+    acc.Add(synth->DebiasedAnswer(*pred).value());
+  }
+  double se = acc.stddev() / std::sqrt(static_cast<double>(kTrials));
+  EXPECT_NEAR(acc.mean(), truth, 5.0 * se + 1e-5);
+}
+
+TEST(StatisticalTest, CumulativeAnswersUnbiasedMidStream) {
+  // Check unbiasedness at an interior time (t = 7), not only at T, since
+  // monotonization could in principle introduce drift.
+  const int64_t kN = 3000, kT = 12;
+  const double kRho = 0.02;
+  const int kTrials = 800;
+  util::Rng data_rng(11);
+  auto ds = data::TwoStateMarkov(kN, kT, {0.12, 0.04, 0.35}, &data_rng)
+                .value();
+  double truth = query::EvaluateCumulativeOnDataset(ds, 7, 2).value();
+
+  util::Rng rng(13);
+  util::MomentAccumulator acc;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CumulativeSynthesizer::Options opt;
+    opt.horizon = kT;
+    opt.rho = kRho;
+    auto synth = CumulativeSynthesizer::Create(opt).value();
+    for (int64_t t = 1; t <= 7; ++t) {
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    }
+    acc.Add(synth->Answer(2).value());
+  }
+  double se = acc.stddev() / std::sqrt(static_cast<double>(kTrials));
+  // Monotonization clamps rarely at this rho/n, so bias should be tiny.
+  EXPECT_NEAR(acc.mean(), truth, 5.0 * se + 5e-5);
+}
+
+TEST(StatisticalTest, RoundingTermsAreFair) {
+  // The +-1/2 rounding draws must not introduce drift: over a long run on
+  // symmetric data, the net difference between "extend by 1" and the
+  // noisy-count target stays mean-zero. Proxy: the synthetic count of the
+  // all-ones bin stays centered on truth + npad.
+  const int64_t kN = 1000, kT = 16;
+  const double kRho = 0.1;
+  const int kTrials = 600;
+  util::Rng data_rng(17);
+  auto ds = data::BernoulliIid(kN, kT, 0.5, &data_rng).value();
+  util::Rng rng(19);
+  util::MomentAccumulator acc;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    FixedWindowSynthesizer::Options opt;
+    opt.horizon = kT;
+    opt.window_k = 2;
+    opt.rho = kRho;
+    auto synth = FixedWindowSynthesizer::Create(opt).value();
+    for (int64_t t = 1; t <= kT; ++t) {
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    }
+    auto truth = ds.WindowHistogram(kT, 2).value();
+    acc.Add(static_cast<double>(synth->SyntheticHistogram()[0b11] -
+                                (truth[0b11] + synth->npad())));
+  }
+  double sigma2 = (kT - 2 + 1) / (2.0 * kRho);
+  EXPECT_NEAR(acc.mean(), 0.0, 5.0 * std::sqrt(sigma2 / kTrials));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace longdp

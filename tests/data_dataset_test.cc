@@ -1,0 +1,173 @@
+#include "data/longitudinal_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace longdp {
+namespace data {
+namespace {
+
+LongitudinalDataset MakeSmall() {
+  // 4 users x 5 rounds:
+  //   u0: 1 1 1 1 1
+  //   u1: 0 1 0 1 0
+  //   u2: 0 0 0 0 0
+  //   u3: 1 0 0 1 1
+  auto ds = LongitudinalDataset::Create(4, 5).value();
+  EXPECT_TRUE(ds.AppendRound({1, 0, 0, 1}).ok());
+  EXPECT_TRUE(ds.AppendRound({1, 1, 0, 0}).ok());
+  EXPECT_TRUE(ds.AppendRound({1, 0, 0, 0}).ok());
+  EXPECT_TRUE(ds.AppendRound({1, 1, 0, 1}).ok());
+  EXPECT_TRUE(ds.AppendRound({1, 0, 0, 1}).ok());
+  return ds;
+}
+
+TEST(DatasetTest, CreateValidates) {
+  EXPECT_FALSE(LongitudinalDataset::Create(-1, 5).ok());
+  EXPECT_FALSE(LongitudinalDataset::Create(5, 0).ok());
+  EXPECT_TRUE(LongitudinalDataset::Create(0, 1).ok());
+}
+
+TEST(DatasetTest, AppendRoundValidates) {
+  auto ds = LongitudinalDataset::Create(3, 2).value();
+  EXPECT_TRUE(ds.AppendRound({0, 1, 0}).ok());
+  EXPECT_TRUE(ds.AppendRound({2, 0, 0}).IsInvalidArgument());
+  EXPECT_TRUE(ds.AppendRound({0, 1}).IsInvalidArgument());
+  EXPECT_TRUE(ds.AppendRound({1, 1, 1}).ok());
+  EXPECT_TRUE(ds.AppendRound({0, 0, 0}).IsOutOfRange());
+}
+
+TEST(DatasetTest, BitAccess) {
+  auto ds = MakeSmall();
+  EXPECT_EQ(ds.Bit(0, 1), 1);
+  EXPECT_EQ(ds.Bit(1, 1), 0);
+  EXPECT_EQ(ds.Bit(1, 2), 1);
+  EXPECT_EQ(ds.Bit(3, 5), 1);
+  EXPECT_EQ(ds.rounds(), 5);
+  EXPECT_EQ(ds.num_users(), 4);
+}
+
+TEST(DatasetTest, HammingWeights) {
+  auto ds = MakeSmall();
+  EXPECT_EQ(ds.HammingWeight(0, 5), 5);
+  EXPECT_EQ(ds.HammingWeight(1, 5), 2);
+  EXPECT_EQ(ds.HammingWeight(2, 5), 0);
+  EXPECT_EQ(ds.HammingWeight(3, 5), 3);
+  EXPECT_EQ(ds.HammingWeight(3, 1), 1);
+  EXPECT_EQ(ds.HammingWeight(3, 0), 0);
+}
+
+TEST(DatasetTest, SuffixPatternOldestFirst) {
+  auto ds = MakeSmall();
+  // u1 = 0 1 0 1 0; window of 3 ending at t=4 is (0,1,0)... rounds 2..4 =
+  // (1,0,1) -> "101" = 0b101.
+  EXPECT_EQ(ds.SuffixPattern(1, 4, 3), util::Pattern{0b101});
+  // u3 rounds 3..5 = (0,1,1) -> 0b011.
+  EXPECT_EQ(ds.SuffixPattern(3, 5, 3), util::Pattern{0b011});
+}
+
+TEST(DatasetTest, SuffixPatternPadsBeforeStart) {
+  auto ds = MakeSmall();
+  // Window of 3 ending at t=1: bits (x^{-1}, x^0, x^1) = (0, 0, x^1).
+  EXPECT_EQ(ds.SuffixPattern(0, 1, 3), util::Pattern{0b001});
+  EXPECT_EQ(ds.SuffixPattern(2, 1, 3), util::Pattern{0b000});
+}
+
+TEST(DatasetTest, WindowHistogramCountsAllUsers) {
+  auto ds = MakeSmall();
+  auto hist = ds.WindowHistogram(3, 3);
+  ASSERT_TRUE(hist.ok());
+  int64_t total = 0;
+  for (int64_t c : hist.value()) total += c;
+  EXPECT_EQ(total, 4);
+  // u0 window rounds 1-3 = 111; u1 = 010; u2 = 000; u3 = 100.
+  EXPECT_EQ(hist.value()[0b111], 1);
+  EXPECT_EQ(hist.value()[0b010], 1);
+  EXPECT_EQ(hist.value()[0b000], 1);
+  EXPECT_EQ(hist.value()[0b100], 1);
+}
+
+TEST(DatasetTest, WindowHistogramValidatesRange) {
+  auto ds = MakeSmall();
+  EXPECT_FALSE(ds.WindowHistogram(2, 3).ok());  // t < k
+  EXPECT_FALSE(ds.WindowHistogram(6, 3).ok());  // t > rounds
+  EXPECT_FALSE(ds.WindowHistogram(3, 0).ok());
+}
+
+TEST(DatasetTest, CumulativeCounts) {
+  auto ds = MakeSmall();
+  auto counts = ds.CumulativeCounts(5);
+  ASSERT_TRUE(counts.ok());
+  // Weights at t=5: 5, 2, 0, 3.
+  EXPECT_EQ(counts.value()[0], 4);
+  EXPECT_EQ(counts.value()[1], 3);
+  EXPECT_EQ(counts.value()[2], 3);
+  EXPECT_EQ(counts.value()[3], 2);
+  EXPECT_EQ(counts.value()[4], 1);
+  EXPECT_EQ(counts.value()[5], 1);
+}
+
+TEST(DatasetTest, WeightIncrementsMatchDefinition) {
+  auto ds = MakeSmall();
+  // Round 4 bits: u0=1 (weight 3->4), u1=1 (1->2), u2=0, u3=1 (1->2).
+  auto z = ds.WeightIncrements(4);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z.value()[3], 1);  // z_4: one user reached weight 4 (index b-1=3)
+  EXPECT_EQ(z.value()[1], 2);  // z_2: two users reached weight 2
+  EXPECT_EQ(z.value()[0], 0);
+}
+
+TEST(DatasetTest, IncrementsSumToCumulativeProperty) {
+  // Property: for every b, sum_{j<=t} z^j_b == S^t_b (the Algorithm 2
+  // representation S^t_b = sum z^j_b), on random data.
+  util::Rng rng(42);
+  const int64_t kN = 200, kT = 10;
+  auto ds = LongitudinalDataset::Create(kN, kT).value();
+  std::vector<uint8_t> round(kN);
+  for (int64_t t = 1; t <= kT; ++t) {
+    for (auto& b : round) b = rng.Bernoulli(0.3) ? 1 : 0;
+    ASSERT_TRUE(ds.AppendRound(round).ok());
+  }
+  std::vector<int64_t> running(kT, 0);
+  for (int64_t t = 1; t <= kT; ++t) {
+    auto z = ds.WeightIncrements(t);
+    ASSERT_TRUE(z.ok());
+    for (int64_t b = 1; b <= kT; ++b) {
+      running[static_cast<size_t>(b - 1)] +=
+          z.value()[static_cast<size_t>(b - 1)];
+    }
+    auto counts = ds.CumulativeCounts(t);
+    ASSERT_TRUE(counts.ok());
+    for (int64_t b = 1; b <= kT; ++b) {
+      EXPECT_EQ(running[static_cast<size_t>(b - 1)],
+                counts.value()[static_cast<size_t>(b)])
+          << "t=" << t << " b=" << b;
+    }
+  }
+}
+
+TEST(DatasetTest, WindowHistogramMatchesSuffixPatternsProperty) {
+  // Property: the histogram at (t, k) recounts SuffixPattern exactly.
+  util::Rng rng(7);
+  const int64_t kN = 150, kT = 8;
+  const int kK = 3;
+  auto ds = LongitudinalDataset::Create(kN, kT).value();
+  std::vector<uint8_t> round(kN);
+  for (int64_t t = 1; t <= kT; ++t) {
+    for (auto& b : round) b = rng.Bernoulli(0.5) ? 1 : 0;
+    ASSERT_TRUE(ds.AppendRound(round).ok());
+  }
+  for (int64_t t = kK; t <= kT; ++t) {
+    auto hist = ds.WindowHistogram(t, kK).value();
+    std::vector<int64_t> expected(util::NumPatterns(kK), 0);
+    for (int64_t i = 0; i < kN; ++i) {
+      ++expected[ds.SuffixPattern(i, t, kK)];
+    }
+    EXPECT_EQ(hist, expected) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace longdp

@@ -1,0 +1,196 @@
+#include "dp/discrete_gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace dp {
+namespace {
+
+TEST(BernoulliExpNegTest, GammaZeroAlwaysTrue) {
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(SampleBernoulliExpNeg(0.0, &rng));
+    EXPECT_TRUE(SampleBernoulliExpNeg(-1.0, &rng));
+  }
+}
+
+TEST(BernoulliExpNegTest, MatchesExpMinusGammaSmall) {
+  util::Rng rng(2);
+  const int kDraws = 200000;
+  for (double gamma : {0.1, 0.5, 1.0}) {
+    int successes = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      if (SampleBernoulliExpNeg(gamma, &rng)) ++successes;
+    }
+    double p_hat = static_cast<double>(successes) / kDraws;
+    EXPECT_NEAR(p_hat, std::exp(-gamma), 0.005) << "gamma=" << gamma;
+  }
+}
+
+TEST(BernoulliExpNegTest, MatchesExpMinusGammaLarge) {
+  util::Rng rng(3);
+  const int kDraws = 200000;
+  for (double gamma : {1.5, 2.3, 4.0}) {
+    int successes = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      if (SampleBernoulliExpNeg(gamma, &rng)) ++successes;
+    }
+    double p_hat = static_cast<double>(successes) / kDraws;
+    EXPECT_NEAR(p_hat, std::exp(-gamma), 0.005) << "gamma=" << gamma;
+  }
+}
+
+TEST(DiscreteLaplaceTest, SymmetricZeroMean) {
+  util::Rng rng(5);
+  const int kDraws = 100000;
+  for (double s : {0.7, 1.0, 3.3, 10.0}) {
+    util::MomentAccumulator acc;
+    for (int i = 0; i < kDraws; ++i) {
+      acc.Add(static_cast<double>(SampleDiscreteLaplace(s, &rng)));
+    }
+    // Var = 2 e^{1/s} / (e^{1/s} - 1)^2; stderr of mean = sqrt(var/n).
+    double e = std::exp(1.0 / s);
+    double var = 2.0 * e / ((e - 1.0) * (e - 1.0));
+    EXPECT_NEAR(acc.mean(), 0.0, 5.0 * std::sqrt(var / kDraws))
+        << "s=" << s;
+    EXPECT_NEAR(acc.variance(), var, 0.1 * var) << "s=" << s;
+  }
+}
+
+TEST(DiscreteLaplaceTest, GeometricTailRatio) {
+  // Pr[X = x+1] / Pr[X = x] = exp(-1/s) for x >= 0.
+  util::Rng rng(7);
+  const double s = 2.0;
+  const int kDraws = 300000;
+  std::map<int64_t, int> hist;
+  for (int i = 0; i < kDraws; ++i) ++hist[SampleDiscreteLaplace(s, &rng)];
+  double expected_ratio = std::exp(-1.0 / s);
+  for (int64_t x = 0; x <= 2; ++x) {
+    ASSERT_GT(hist[x], 1000);
+    double ratio = static_cast<double>(hist[x + 1]) / hist[x];
+    EXPECT_NEAR(ratio, expected_ratio, 0.05) << "x=" << x;
+  }
+}
+
+TEST(DiscreteGaussianTest, ZeroSigmaIsDeterministicZero) {
+  util::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleDiscreteGaussian(0.0, &rng), 0);
+  }
+}
+
+TEST(DiscreteGaussianTest, MeanAndVarianceMatchTheory) {
+  util::Rng rng(13);
+  const int kDraws = 200000;
+  for (double sigma2 : {0.5, 1.0, 4.0, 25.0, 400.0}) {
+    util::MomentAccumulator acc;
+    for (int i = 0; i < kDraws; ++i) {
+      acc.Add(static_cast<double>(SampleDiscreteGaussian(sigma2, &rng)));
+    }
+    EXPECT_NEAR(acc.mean(), 0.0, 5.0 * std::sqrt(sigma2 / kDraws))
+        << "sigma2=" << sigma2;
+    // Discrete Gaussian variance is at most sigma2 and close to it for
+    // sigma2 >= 1 (CKS'20); allow 10% relative + small absolute slack.
+    EXPECT_LT(acc.variance(), sigma2 * 1.05 + 0.05) << "sigma2=" << sigma2;
+    EXPECT_GT(acc.variance(), sigma2 * 0.80 - 0.05) << "sigma2=" << sigma2;
+  }
+}
+
+TEST(DiscreteGaussianTest, PmfNormalizes) {
+  for (double sigma2 : {0.5, 2.0, 10.0}) {
+    double total = 0.0;
+    int64_t radius =
+        static_cast<int64_t>(std::ceil(25.0 * std::sqrt(sigma2))) + 1;
+    for (int64_t x = -radius; x <= radius; ++x) {
+      total += DiscreteGaussianPmf(x, sigma2);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "sigma2=" << sigma2;
+  }
+}
+
+TEST(DiscreteGaussianTest, PmfSymmetric) {
+  for (int64_t x = 0; x <= 5; ++x) {
+    EXPECT_DOUBLE_EQ(DiscreteGaussianPmf(x, 3.0),
+                     DiscreteGaussianPmf(-x, 3.0));
+  }
+}
+
+TEST(DiscreteGaussianTest, ChiSquareGoodnessOfFit) {
+  // Compare empirical frequencies against the exact pmf over a central
+  // window; a crude chi-square with a generous threshold catches gross
+  // sampler bugs without flaking.
+  util::Rng rng(17);
+  const double sigma2 = 4.0;
+  const int kDraws = 200000;
+  std::map<int64_t, int> hist;
+  for (int i = 0; i < kDraws; ++i) ++hist[SampleDiscreteGaussian(sigma2, &rng)];
+  double chi2 = 0.0;
+  int cells = 0;
+  for (int64_t x = -5; x <= 5; ++x) {
+    double expected = DiscreteGaussianPmf(x, sigma2) * kDraws;
+    ASSERT_GT(expected, 50.0);
+    double observed = static_cast<double>(hist[x]);
+    chi2 += (observed - expected) * (observed - expected) / expected;
+    ++cells;
+  }
+  // 11 cells -> 10 dof; 99.9th percentile ~ 29.6. Use 40 for slack.
+  EXPECT_LT(chi2, 40.0) << "cells=" << cells;
+}
+
+TEST(DiscreteGaussianTest, TailBoundHolds) {
+  util::Rng rng(19);
+  const double sigma2 = 9.0;
+  const int kDraws = 100000;
+  const double lambda = 9.0;  // 3 sigma
+  int exceed = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (SampleDiscreteGaussian(sigma2, &rng) >= lambda) ++exceed;
+  }
+  double bound = DiscreteGaussianTailBound(lambda, sigma2);
+  EXPECT_LE(static_cast<double>(exceed) / kDraws, bound * 1.5 + 1e-3);
+}
+
+TEST(DiscreteGaussianTest, TailBoundEdgeCases) {
+  EXPECT_EQ(DiscreteGaussianTailBound(1.0, 0.0), 0.0);
+  EXPECT_EQ(DiscreteGaussianTailBound(-1.0, 0.0), 1.0);
+  EXPECT_EQ(DiscreteGaussianTailBound(0.0, 2.0), 1.0);
+  EXPECT_LT(DiscreteGaussianTailBound(10.0, 1.0), 1e-20);
+}
+
+TEST(DiscreteGaussianTest, DeterministicGivenSeed) {
+  util::Rng a(23), b(23);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(SampleDiscreteGaussian(7.0, &a),
+              SampleDiscreteGaussian(7.0, &b));
+  }
+}
+
+// Parameterized sweep: the sampler stays well-behaved across the sigma
+// range the experiments actually use (sigma^2 = (T-k+1)/(2 rho) for rho in
+// {0.001..0.05}, T=12 -> sigma^2 in [100, 5000]).
+class DiscreteGaussianSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscreteGaussianSweep, ExperimentRegimeMoments) {
+  const double sigma2 = GetParam();
+  util::Rng rng(static_cast<uint64_t>(sigma2 * 1000) + 31);
+  const int kDraws = 30000;
+  util::MomentAccumulator acc;
+  for (int i = 0; i < kDraws; ++i) {
+    acc.Add(static_cast<double>(SampleDiscreteGaussian(sigma2, &rng)));
+  }
+  EXPECT_NEAR(acc.mean(), 0.0, 5.0 * std::sqrt(sigma2 / kDraws));
+  EXPECT_NEAR(acc.variance(), sigma2, 0.1 * sigma2);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExperimentSigmas, DiscreteGaussianSweep,
+                         ::testing::Values(100.0, 500.0, 1000.0, 5000.0));
+
+}  // namespace
+}  // namespace dp
+}  // namespace longdp

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/aggregate.h"
+#include "harness/flags.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace longdp {
+namespace harness {
+namespace {
+
+TEST(AggregateTest, SummaryStats) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  auto s = Summarize(v);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.q025, 3.475, 1e-9);   // R type-7
+  EXPECT_NEAR(s.q975, 97.525, 1e-9);
+}
+
+TEST(AggregateTest, EmptySummary) {
+  auto s = Summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(AggregateTest, AbsErrorSummary) {
+  auto s = SummarizeAbsError({1.0, 3.0}, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+}
+
+TEST(TableTest, AlignmentAndArity) {
+  Table t({"a", "long-header", "c"});
+  ASSERT_TRUE(t.AddRow({"1", "2", "3"}).ok());
+  EXPECT_TRUE(t.AddRow({"1", "2"}).IsInvalidArgument());
+  std::ostringstream out;
+  t.Print(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, Formatting) {
+  EXPECT_EQ(Table::Num(0.123456789, 4), "0.1235");
+  EXPECT_EQ(Table::Int(-12), "-12");
+}
+
+TEST(TableTest, CsvExport) {
+  Table t({"x", "y"});
+  ASSERT_TRUE(t.AddRow({"1", "a,b"}).ok());
+  std::string path = ::testing::TempDir() + "/longdp_table.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"a,b\"");
+  std::remove(path.c_str());
+}
+
+TEST(RunnerTest, RunsAllRepetitions) {
+  std::atomic<int64_t> count{0};
+  ASSERT_TRUE(RunRepetitions(100, 7,
+                             [&](int64_t, util::Rng*) {
+                               count.fetch_add(1);
+                               return Status::OK();
+                             })
+                  .ok());
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(RunnerTest, DeterministicPerRepetitionSeeds) {
+  std::vector<uint64_t> first(16, 0), second(16, 0);
+  auto run = [&](std::vector<uint64_t>* sink, int threads) {
+    return RunRepetitions(
+        16, 99,
+        [&](int64_t rep, util::Rng* rng) {
+          (*sink)[static_cast<size_t>(rep)] = rng->Next();
+          return Status::OK();
+        },
+        threads);
+  };
+  ASSERT_TRUE(run(&first, 1).ok());
+  ASSERT_TRUE(run(&second, 8).ok());
+  EXPECT_EQ(first, second);  // schedule-independent
+}
+
+TEST(RunnerTest, PropagatesErrors) {
+  Status st = RunRepetitions(10, 1, [](int64_t rep, util::Rng*) {
+    if (rep == 5) return Status::Internal("rep 5 failed");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(RunnerTest, ZeroRepsIsOk) {
+  EXPECT_TRUE(RunRepetitions(0, 1, [](int64_t, util::Rng*) {
+                return Status::OK();
+              }).ok());
+}
+
+TEST(FlagsTest, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--reps=50", "--rho", "0.01", "--verbose"};
+  auto flags = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("reps", 0), 50);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rho", 0.0), 0.01);
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_EQ(flags.GetString("missing", "def"), "def");
+  EXPECT_EQ(flags.GetInt("missing", 3), 3);
+}
+
+TEST(FlagsTest, RepsFlagWinsOverDefault) {
+  const char* argv[] = {"prog", "--reps=9"};
+  auto flags = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.Reps(100), 9);
+}
+
+TEST(FlagsTest, RepsDefault) {
+  const char* argv[] = {"prog"};
+  unsetenv("LONGDP_REPS");
+  auto flags = Flags::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.Reps(100), 100);
+}
+
+TEST(FlagsTest, RepsEnvOverride) {
+  const char* argv[] = {"prog"};
+  setenv("LONGDP_REPS", "17", 1);
+  auto flags = Flags::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.Reps(100), 17);
+  unsetenv("LONGDP_REPS");
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace longdp

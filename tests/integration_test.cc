@@ -1,0 +1,226 @@
+// End-to-end integration tests: the SIPP-like workload run through both
+// synthesizers at the paper's parameters, checking cross-module behaviour —
+// unbiasedness of the averaged answers, error bounds, accounting, and the
+// consistency invariants at scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cumulative_synthesizer.h"
+#include "core/fixed_window_synthesizer.h"
+#include "core/theory.h"
+#include "data/sipp_simulator.h"
+#include "harness/aggregate.h"
+#include "harness/runner.h"
+#include "query/cumulative_query.h"
+#include "query/window_query.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace {
+
+class SippIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Rng rng(2024);
+    data::SippOptions opt;
+    opt.num_households = 8000;  // scaled down for test runtime
+    dataset_ = new data::LongitudinalDataset(
+        data::SimulateSipp(opt, &rng).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static data::LongitudinalDataset* dataset_;
+};
+
+data::LongitudinalDataset* SippIntegrationTest::dataset_ = nullptr;
+
+TEST_F(SippIntegrationTest, FixedWindowDebiasedAnswersAreUnbiased) {
+  // Averaged over repetitions, the debiased quarterly answers converge on
+  // ground truth (the paper's "unbiased estimate" claim for Figs 5-7 right
+  // panels).
+  const auto& ds = *dataset_;
+  auto pred = query::MakeAtLeastOnes(3, 1);
+  const int64_t kReps = 60;
+  std::vector<double> estimates(static_cast<size_t>(kReps), 0.0);
+  ASSERT_TRUE(harness::RunRepetitions(
+                  kReps, 11,
+                  [&](int64_t rep, util::Rng* rng) {
+                    core::FixedWindowSynthesizer::Options opt;
+                    opt.horizon = 12;
+                    opt.window_k = 3;
+                    opt.rho = 0.005;
+                    LONGDP_ASSIGN_OR_RETURN(
+                        auto synth, core::FixedWindowSynthesizer::Create(opt));
+                    for (int64_t t = 1; t <= 12; ++t) {
+                      LONGDP_RETURN_NOT_OK(
+                          synth->ObserveRound(ds.Round(t), rng));
+                    }
+                    LONGDP_ASSIGN_OR_RETURN(
+                        estimates[static_cast<size_t>(rep)],
+                        synth->DebiasedAnswer(*pred));
+                    return Status::OK();
+                  })
+                  .ok());
+  double truth = query::EvaluateOnDataset(*pred, ds, 12).value();
+  auto summary = harness::Summarize(estimates);
+  // Noise stdev of a single 7-bin debiased answer ~ sqrt(7)*sigma/n; with
+  // 60 reps the mean should be well within 5 standard errors.
+  double se = summary.stddev / std::sqrt(static_cast<double>(kReps));
+  EXPECT_NEAR(summary.mean, truth, 5.0 * se + 1e-4);
+}
+
+TEST_F(SippIntegrationTest, FixedWindowBiasMatchesPaddingPrediction) {
+  // The biased answer exceeds the truth by ~ (#matching bins * npad)/n*,
+  // the bias the paper's Fig 5-7 left panels display.
+  // Use the widest query (7 of 8 bins match): padding contributes
+  // 7 * npad fake matches, a bias far above the noise floor.
+  const auto& ds = *dataset_;
+  auto pred = query::MakeAtLeastOnes(3, 1);
+  util::Rng rng(13);
+  core::FixedWindowSynthesizer::Options opt;
+  opt.horizon = 12;
+  opt.window_k = 3;
+  opt.rho = 0.005;
+  auto synth = core::FixedWindowSynthesizer::Create(opt).value();
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  double truth = query::EvaluateOnDataset(*pred, ds, 12).value();
+  double biased = synth->BiasedAnswer(*pred).value();
+  double debiased = synth->DebiasedAnswer(*pred).value();
+  EXPECT_GT(biased - truth, 0.0);
+  EXPECT_LT(std::fabs(debiased - truth), std::fabs(biased - truth));
+}
+
+TEST_F(SippIntegrationTest, CumulativeAnswersUnbiasedOverReps) {
+  const auto& ds = *dataset_;
+  const int64_t kReps = 60;
+  std::vector<double> estimates(static_cast<size_t>(kReps), 0.0);
+  ASSERT_TRUE(harness::RunRepetitions(
+                  kReps, 17,
+                  [&](int64_t rep, util::Rng* rng) {
+                    core::CumulativeSynthesizer::Options opt;
+                    opt.horizon = 12;
+                    opt.rho = 0.005;
+                    LONGDP_ASSIGN_OR_RETURN(
+                        auto synth, core::CumulativeSynthesizer::Create(opt));
+                    for (int64_t t = 1; t <= 12; ++t) {
+                      LONGDP_RETURN_NOT_OK(
+                          synth->ObserveRound(ds.Round(t), rng));
+                    }
+                    LONGDP_ASSIGN_OR_RETURN(
+                        estimates[static_cast<size_t>(rep)],
+                        synth->Answer(3));
+                    return Status::OK();
+                  })
+                  .ok());
+  double truth = query::EvaluateCumulativeOnDataset(ds, 12, 3).value();
+  auto summary = harness::Summarize(estimates);
+  double se = summary.stddev / std::sqrt(static_cast<double>(kReps));
+  EXPECT_NEAR(summary.mean, truth, 5.0 * se + 2e-4);
+}
+
+TEST_F(SippIntegrationTest, BothAlgorithmsStayWithinTheoryEnvelope) {
+  const auto& ds = *dataset_;
+  util::Rng rng(19);
+  // Fixed window, debiased per-bin error vs Theorem 3.2 / Corollary 3.3.
+  double lambda =
+      core::theory::MaxBinCountErrorBound(12, 3, 0.005, 0.05).value();
+  core::FixedWindowSynthesizer::Options fopt;
+  fopt.horizon = 12;
+  fopt.window_k = 3;
+  fopt.rho = 0.005;
+  auto fixed = core::FixedWindowSynthesizer::Create(fopt).value();
+  double max_bin_err = 0.0;
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(fixed->ObserveRound(ds.Round(t), &rng).ok());
+    if (!fixed->has_release()) continue;
+    auto hist = fixed->SyntheticHistogram();
+    auto truth = ds.WindowHistogram(t, 3).value();
+    for (util::Pattern s = 0; s < 8; ++s) {
+      max_bin_err = std::max(
+          max_bin_err, std::fabs(static_cast<double>(
+                           hist[s] - (truth[s] + fixed->npad()))));
+    }
+  }
+  EXPECT_LE(max_bin_err, lambda * 1.5);  // soft check, single run
+
+  // Cumulative max error vs Corollary B.1.
+  double alpha =
+      core::theory::CumulativeFractionErrorBound(12, 0.005, 0.05,
+                                                 ds.num_users())
+          .value();
+  core::CumulativeSynthesizer::Options copt;
+  copt.horizon = 12;
+  copt.rho = 0.005;
+  auto cumulative = core::CumulativeSynthesizer::Create(copt).value();
+  double max_frac_err = 0.0;
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(cumulative->ObserveRound(ds.Round(t), &rng).ok());
+    for (int64_t b = 1; b <= t; ++b) {
+      double truth = query::EvaluateCumulativeOnDataset(ds, t, b).value();
+      max_frac_err =
+          std::max(max_frac_err,
+                   std::fabs(cumulative->Answer(b).value() - truth));
+    }
+  }
+  EXPECT_LE(max_frac_err, alpha * 1.5);
+}
+
+TEST_F(SippIntegrationTest, LinearCombinationQueriesAtNoExtraCost) {
+  // Any linear combination over the k-window histogram is answerable from
+  // the one release — demonstrated with a weighted "months in poverty this
+  // quarter" expectation query.
+  const auto& ds = *dataset_;
+  util::Rng rng(23);
+  std::vector<double> weights(8, 0.0);
+  for (util::Pattern s = 0; s < 8; ++s) {
+    weights[s] = static_cast<double>(util::Popcount(s)) / 3.0;
+  }
+  auto q = query::LinearWindowQuery::Create(3, weights).value();
+  core::FixedWindowSynthesizer::Options opt;
+  opt.horizon = 12;
+  opt.window_k = 3;
+  opt.rho = 0.05;
+  auto synth = core::FixedWindowSynthesizer::Create(opt).value();
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  double truth = q.EvaluateOnDataset(ds, 12).value();
+  double synth_value =
+      q.EvaluateOnHistogram(synth->SyntheticHistogram()).value();
+  double debiased =
+      query::DebiasedLinearValue(synth_value, q, synth->padding_spec())
+          .value();
+  EXPECT_NEAR(debiased, truth, 0.01);
+}
+
+TEST_F(SippIntegrationTest, CountOccReductionFromSynthesizerReleases) {
+  // The Ghazi et al. CountOcc reduction (paper Section 1.1) evaluated on
+  // the released threshold rows, zero-noise path: matches direct
+  // evaluation on the data.
+  const auto& ds = *dataset_;
+  util::Rng rng(29);
+  core::CumulativeSynthesizer::Options opt;
+  opt.horizon = 12;
+  opt.rho = std::numeric_limits<double>::infinity();
+  auto synth = core::CumulativeSynthesizer::Create(opt).value();
+  std::vector<std::vector<int64_t>> rows;
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    rows.push_back(synth->released_thresholds());
+  }
+  // For the zero-noise path the reduction's inputs are exact threshold
+  // counts; spot-check its arithmetic for b = 3 between t1 = 6 and t2 = 12.
+  auto direct = query::CountOccExactFromThresholds(rows[11], rows[5], 3);
+  ASSERT_TRUE(direct.ok());
+  int64_t expected = rows[11][3] - rows[5][2];
+  EXPECT_EQ(direct.value(), expected);
+}
+
+}  // namespace
+}  // namespace longdp

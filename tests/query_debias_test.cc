@@ -1,0 +1,95 @@
+#include "query/debias.h"
+
+#include <gtest/gtest.h>
+
+namespace longdp {
+namespace query {
+namespace {
+
+PaddingSpec Spec(int k, int64_t npad, int64_t n) {
+  PaddingSpec spec;
+  spec.synth_width = k;
+  spec.npad = npad;
+  spec.true_n = n;
+  return spec;
+}
+
+TEST(PaddingCountTest, FullWidthPredicate) {
+  // Predicate over the full k=3 window matching 4 patterns: padding adds
+  // npad per matching bin.
+  auto pred = MakeAtLeastOnes(3, 2);  // 4 patterns
+  EXPECT_EQ(PaddingCount(*pred, Spec(3, 10, 1000)).value(), 40);
+}
+
+TEST(PaddingCountTest, NarrowPredicateLifted) {
+  // k'=2 predicate on a k=3 synthesizer: each matching 2-pattern extends to
+  // 2^(3-2)=2 bins.
+  auto pred = MakeAllOnes(2);  // 1 pattern
+  EXPECT_EQ(PaddingCount(*pred, Spec(3, 10, 1000)).value(), 20);
+}
+
+TEST(PaddingCountTest, RejectsWiderPredicate) {
+  auto pred = MakeAllOnes(4);
+  EXPECT_TRUE(
+      PaddingCount(*pred, Spec(3, 10, 1000)).status().IsInvalidArgument());
+}
+
+TEST(PaddingCountTest, RejectsBadSpec) {
+  auto pred = MakeAllOnes(2);
+  EXPECT_FALSE(PaddingCount(*pred, Spec(0, 10, 1000)).ok());
+  EXPECT_FALSE(PaddingCount(*pred, Spec(3, -1, 1000)).ok());
+  EXPECT_FALSE(PaddingCount(*pred, Spec(3, 10, 0)).ok());
+}
+
+TEST(DebiasedFractionTest, RemovesPaddingExactly) {
+  auto pred = MakeAllOnes(3);  // 1 pattern -> padding npad
+  // Synthetic count 150 with npad=50 padding: debiased = (150-50)/1000.
+  EXPECT_DOUBLE_EQ(
+      DebiasedFraction(150, *pred, Spec(3, 50, 1000)).value(), 0.1);
+}
+
+TEST(DebiasedFractionTest, CanGoNegative) {
+  // Noise can push below the padding; the debiased estimate is allowed to
+  // be negative (unbiasedness over clamping).
+  auto pred = MakeAllOnes(3);
+  EXPECT_LT(DebiasedFraction(30, *pred, Spec(3, 50, 1000)).value(), 0.0);
+}
+
+TEST(BiasedFractionTest, SimpleRatio) {
+  EXPECT_DOUBLE_EQ(BiasedFraction(25, 100), 0.25);
+  EXPECT_EQ(BiasedFraction(25, 0), 0.0);
+}
+
+TEST(PaddingValueTest, LinearQuerySumsWeights) {
+  auto q = LinearWindowQuery::Create(2, {1.0, 0.5, 0.0, 2.0}).value();
+  EXPECT_DOUBLE_EQ(PaddingValue(q, Spec(2, 10, 100)).value(), 35.0);
+}
+
+TEST(PaddingValueTest, RequiresFullWidth) {
+  auto q = LinearWindowQuery::Create(2, {1, 0, 0, 1}).value();
+  EXPECT_TRUE(PaddingValue(q, Spec(3, 10, 100)).status().IsInvalidArgument());
+}
+
+TEST(DebiasedLinearValueTest, RemovesPadding) {
+  auto q = LinearWindowQuery::Create(2, {0, 1, 0, 1}).value();
+  // padding value = 2 * npad = 20; (120 - 20)/100 = 1.0.
+  EXPECT_DOUBLE_EQ(DebiasedLinearValue(120.0, q, Spec(2, 10, 100)).value(),
+                   1.0);
+}
+
+TEST(DebiasConsistencyTest, PredicateAndLinearFormAgree) {
+  // Debiasing a predicate and debiasing its indicator linear query give the
+  // same result.
+  auto pred = MakeAtLeastOnes(3, 2);
+  auto q = LinearWindowQuery::FromPredicate(*pred, 3).value();
+  auto spec = Spec(3, 25, 500);
+  int64_t count = 240;
+  double via_pred = DebiasedFraction(count, *pred, spec).value();
+  double via_linear =
+      DebiasedLinearValue(static_cast<double>(count), q, spec).value();
+  EXPECT_DOUBLE_EQ(via_pred, via_linear);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace longdp

@@ -1,0 +1,174 @@
+#include "query/window_query.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace query {
+namespace {
+
+TEST(PredicateTest, PatternEquals) {
+  auto pred = MakePatternEquals(0b101, 3);
+  EXPECT_EQ(pred->width(), 3);
+  EXPECT_TRUE(pred->Matches(0b101));
+  EXPECT_FALSE(pred->Matches(0b100));
+  EXPECT_EQ(pred->MatchingPatternCount(), 1);
+  EXPECT_EQ(pred->name(), "pattern=101");
+}
+
+TEST(PredicateTest, AtLeastOnesCounts) {
+  auto pred = MakeAtLeastOnes(3, 2);
+  // Patterns with >= 2 ones among 3 bits: 011,101,110,111 -> 4.
+  EXPECT_EQ(pred->MatchingPatternCount(), 4);
+  EXPECT_TRUE(pred->Matches(0b110));
+  EXPECT_FALSE(pred->Matches(0b100));
+}
+
+TEST(PredicateTest, ConsecutiveOnesCounts) {
+  auto pred = MakeConsecutiveOnes(3, 2);
+  // Patterns with >= 2 consecutive ones: 011, 110, 111 -> 3.
+  EXPECT_EQ(pred->MatchingPatternCount(), 3);
+  EXPECT_TRUE(pred->Matches(0b011));
+  EXPECT_FALSE(pred->Matches(0b101));
+}
+
+TEST(PredicateTest, AllOnes) {
+  auto pred = MakeAllOnes(3);
+  EXPECT_EQ(pred->MatchingPatternCount(), 1);
+  EXPECT_TRUE(pred->Matches(0b111));
+  EXPECT_FALSE(pred->Matches(0b110));
+}
+
+TEST(PredicateTest, CustomPredicate) {
+  auto pred = MakeCustomPredicate(2, "newest-is-1", [](util::Pattern p) {
+    return (p & 1) == 1;
+  });
+  EXPECT_EQ(pred->MatchingPatternCount(), 2);
+  EXPECT_EQ(pred->name(), "newest-is-1");
+}
+
+TEST(EvaluateOnDatasetTest, SimpleCounts) {
+  // 3 users x 3 rounds: u0 = 111, u1 = 010, u2 = 011.
+  auto ds = data::LongitudinalDataset::Create(3, 3).value();
+  ASSERT_TRUE(ds.AppendRound({1, 0, 0}).ok());
+  ASSERT_TRUE(ds.AppendRound({1, 1, 1}).ok());
+  ASSERT_TRUE(ds.AppendRound({1, 0, 1}).ok());
+  auto at_least_2 = MakeAtLeastOnes(3, 2);
+  EXPECT_NEAR(EvaluateOnDataset(*at_least_2, ds, 3).value(), 2.0 / 3.0,
+              1e-12);
+  auto all = MakeAllOnes(3);
+  EXPECT_NEAR(EvaluateOnDataset(*all, ds, 3).value(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateOnDatasetTest, RangeChecks) {
+  auto ds = data::LongitudinalDataset::Create(2, 3).value();
+  ASSERT_TRUE(ds.AppendRound({1, 0}).ok());
+  auto pred = MakeAllOnes(2);
+  EXPECT_FALSE(EvaluateOnDataset(*pred, ds, 0).ok());
+  EXPECT_FALSE(EvaluateOnDataset(*pred, ds, 2).ok());  // only 1 round so far
+  EXPECT_TRUE(EvaluateOnDataset(*pred, ds, 1).ok());
+}
+
+TEST(CountOnHistogramTest, LiftsNarrowPredicates) {
+  // Histogram over k=3, predicate over k'=2 (suffix): count bins whose low
+  // 2 bits match.
+  std::vector<int64_t> hist(8, 0);
+  hist[0b011] = 5;  // suffix 11
+  hist[0b111] = 2;  // suffix 11
+  hist[0b001] = 7;  // suffix 01
+  auto pred = MakeAllOnes(2);  // suffix 11
+  EXPECT_EQ(CountOnHistogram(*pred, hist, 3).value(), 7);
+}
+
+TEST(CountOnHistogramTest, RejectsWiderPredicate) {
+  std::vector<int64_t> hist(4, 0);
+  auto pred = MakeAllOnes(3);
+  EXPECT_TRUE(CountOnHistogram(*pred, hist, 2).status().IsInvalidArgument());
+}
+
+TEST(CountOnHistogramTest, RejectsWrongSize) {
+  std::vector<int64_t> hist(5, 0);
+  auto pred = MakeAllOnes(2);
+  EXPECT_TRUE(CountOnHistogram(*pred, hist, 2).status().IsInvalidArgument());
+}
+
+TEST(LinearQueryTest, CreateValidates) {
+  EXPECT_FALSE(LinearWindowQuery::Create(2, {1.0, 0.0}).ok());
+  EXPECT_TRUE(LinearWindowQuery::Create(2, {1, 0, 0, 0.5}).ok());
+}
+
+TEST(LinearQueryTest, FromPredicateBuildsIndicatorWeights) {
+  auto pred = MakeAtLeastOnes(2, 2);  // only pattern 11
+  auto q = LinearWindowQuery::FromPredicate(*pred, 3).value();
+  // Lifted to k=3: bins with suffix 11 are 011 and 111.
+  double sum = 0.0;
+  for (double w : q.weights()) sum += w;
+  EXPECT_EQ(sum, 2.0);
+  EXPECT_EQ(q.weights()[0b011], 1.0);
+  EXPECT_EQ(q.weights()[0b111], 1.0);
+  EXPECT_EQ(q.weights()[0b110], 0.0);
+}
+
+TEST(LinearQueryTest, EvaluateOnHistogram) {
+  auto q = LinearWindowQuery::Create(2, {0.0, 1.0, 2.0, 3.0}).value();
+  std::vector<int64_t> hist = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(q.EvaluateOnHistogram(hist).value(),
+                   20.0 + 60.0 + 120.0);
+  EXPECT_FALSE(q.EvaluateOnHistogram({1, 2}).ok());
+}
+
+TEST(LinearQueryTest, WeightNorm) {
+  auto q = LinearWindowQuery::Create(2, {3.0, 4.0, 0.0, 0.0}).value();
+  EXPECT_DOUBLE_EQ(q.WeightL2Norm(), 5.0);
+}
+
+TEST(LinearQueryTest, DatasetAndHistogramAgree) {
+  util::Rng rng(3);
+  auto ds = data::BernoulliIid(500, 6, 0.4, &rng).value();
+  auto q = LinearWindowQuery::Create(
+               3, {0.5, 0, 1, 0, 2, 0, 0, 1.5})
+               .value();
+  auto hist = ds.WindowHistogram(6, 3).value();
+  double via_hist =
+      q.EvaluateOnHistogram(hist).value() / static_cast<double>(500);
+  double via_ds = q.EvaluateOnDataset(ds, 6).value();
+  EXPECT_NEAR(via_hist, via_ds, 1e-12);
+}
+
+// Property sweep: predicate counts computed from the histogram always match
+// direct dataset evaluation, for every predicate family and time.
+class WindowQueryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowQueryPropertyTest, HistogramAndDatasetAgree) {
+  const int k = GetParam();
+  util::Rng rng(100 + static_cast<uint64_t>(k));
+  const int64_t kN = 300, kT = 9;
+  auto ds = data::BernoulliIid(kN, kT, 0.35, &rng).value();
+  std::vector<WindowPredicatePtr> preds;
+  for (int m = 0; m <= k; ++m) preds.push_back(MakeAtLeastOnes(k, m));
+  for (int run = 1; run <= k; ++run) {
+    preds.push_back(MakeConsecutiveOnes(k, run));
+  }
+  for (int64_t t = k; t <= kT; ++t) {
+    auto hist = ds.WindowHistogram(t, k).value();
+    for (const auto& pred : preds) {
+      double direct = EvaluateOnDataset(*pred, ds, t).value();
+      double via_hist =
+          static_cast<double>(CountOnHistogram(*pred, hist, k).value()) /
+          static_cast<double>(kN);
+      EXPECT_NEAR(direct, via_hist, 1e-12)
+          << "k=" << k << " t=" << t << " pred=" << pred->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WindowQueryPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace query
+}  // namespace longdp

@@ -1,0 +1,286 @@
+// Cross-implementation tests: every registered stream counter must satisfy
+// the StreamCounter contract. TEST_P sweeps the registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stream/counter_factory.h"
+#include "stream/honaker_counter.h"
+#include "stream/laplace_tree_counter.h"
+#include "stream/matrix_counter.h"
+#include "stream/naive_counters.h"
+#include "stream/tree_counter.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace stream {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class CounterContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<StreamCounter> Make(int64_t horizon, double rho) {
+    auto f = MakeCounterFactory(GetParam());
+    EXPECT_TRUE(f.ok());
+    auto c = f.value()->Create(horizon, rho);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  }
+};
+
+TEST_P(CounterContractTest, NameMatchesRegistry) {
+  auto counter = Make(8, 1.0);
+  EXPECT_EQ(counter->name(), GetParam());
+}
+
+TEST_P(CounterContractTest, ZeroNoiseIsExact) {
+  auto counter = Make(40, kInf);
+  util::Rng rng(1);
+  int64_t truth = 0;
+  for (int64_t t = 1; t <= 40; ++t) {
+    int64_t z = (t * 7) % 4;
+    truth += z;
+    auto r = counter->Observe(z, &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), truth) << "t=" << t;
+  }
+}
+
+TEST_P(CounterContractTest, TracksStepsAndHorizon) {
+  auto counter = Make(5, 1.0);
+  util::Rng rng(2);
+  EXPECT_EQ(counter->steps(), 0);
+  EXPECT_EQ(counter->horizon(), 5);
+  ASSERT_TRUE(counter->Observe(1, &rng).ok());
+  EXPECT_EQ(counter->steps(), 1);
+}
+
+TEST_P(CounterContractTest, RejectsPastHorizon) {
+  auto counter = Make(2, 1.0);
+  util::Rng rng(3);
+  ASSERT_TRUE(counter->Observe(0, &rng).ok());
+  ASSERT_TRUE(counter->Observe(0, &rng).ok());
+  EXPECT_TRUE(counter->Observe(0, &rng).status().IsOutOfRange());
+}
+
+TEST_P(CounterContractTest, ReportsConfiguredRho) {
+  auto counter = Make(8, 0.25);
+  EXPECT_DOUBLE_EQ(counter->rho(), 0.25);
+}
+
+TEST_P(CounterContractTest, ErrorBoundIsMonotoneInBeta) {
+  auto counter = Make(16, 0.1);
+  // Smaller beta -> larger bound.
+  EXPECT_GE(counter->ErrorBound(0.01, 7), counter->ErrorBound(0.1, 7));
+  EXPECT_GE(counter->ErrorBound(0.1, 7), 0.0);
+}
+
+TEST_P(CounterContractTest, EmpiricalErrorWithinBound) {
+  const int64_t kT = 16;
+  const double kRho = 0.5;
+  const double kBeta = 0.05;
+  const int kTrials = 300;
+  util::Rng rng(5);
+  int violations = 0, checks = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto counter = Make(kT, kRho);
+    int64_t truth = 0;
+    for (int64_t t = 1; t <= kT; ++t) {
+      int64_t z = static_cast<int64_t>(rng.UniformInt(3));
+      truth += z;
+      auto r = counter->Observe(z, &rng);
+      ASSERT_TRUE(r.ok());
+      if (std::fabs(static_cast<double>(r.value() - truth)) >
+          counter->ErrorBound(kBeta, t)) {
+        ++violations;
+      }
+      ++checks;
+    }
+  }
+  EXPECT_LT(static_cast<double>(violations) / checks, kBeta * 1.5 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCounters, CounterContractTest,
+    ::testing::ValuesIn(RegisteredCounterNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(CounterFactoryTest, UnknownNameIsNotFound) {
+  EXPECT_TRUE(MakeCounterFactory("bogus").status().IsNotFound());
+}
+
+TEST(CounterFactoryTest, RegistryListsAllImplementations) {
+  EXPECT_EQ(RegisteredCounterNames().size(), 6u);
+  for (const auto& name : RegisteredCounterNames()) {
+    EXPECT_TRUE(MakeCounterFactory(name).ok()) << name;
+  }
+}
+
+TEST(LaplaceTreeCounterTest, PureDpCalibration) {
+  // epsilon = sqrt(2 rho); per-node scale = L / epsilon.
+  LaplaceTreeCounter c(12, 0.02);
+  EXPECT_NEAR(c.epsilon(), 0.2, 1e-12);
+  EXPECT_EQ(c.levels(), 4);
+  EXPECT_NEAR(c.node_scale(), 4.0 / 0.2, 1e-12);
+}
+
+TEST(LaplaceTreeCounterTest, HeavierTailsThanGaussianTree) {
+  // At equal rho the Laplace tree's noise variance per node,
+  // 2 e^{1/s}/(e^{1/s}-1)^2 ~ 2 s^2 = 2 L^2 / (2 rho) = L^2/rho, exceeds
+  // the Gaussian tree's L/(2 rho) for L >= 1; check empirically at the
+  // final step.
+  const int64_t kT = 16;
+  const double kRho = 0.125;
+  const int kTrials = 1500;
+  util::Rng rng(61);
+  util::MomentAccumulator gaussian_err, laplace_err;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto g = TreeCounterFactory().Create(kT, kRho).value();
+    auto l = LaplaceTreeCounterFactory().Create(kT, kRho).value();
+    int64_t truth = 0;
+    int64_t rg = 0, rl = 0;
+    for (int64_t t = 1; t <= 15; ++t) {
+      truth += 2;
+      rg = g->Observe(2, &rng).value();
+      rl = l->Observe(2, &rng).value();
+    }
+    gaussian_err.Add(static_cast<double>(rg - truth));
+    laplace_err.Add(static_cast<double>(rl - truth));
+  }
+  EXPECT_GT(laplace_err.variance(), gaussian_err.variance());
+}
+
+TEST(HonakerCounterTest, RefinedVarianceBeatsPlainTree) {
+  // Level-j refined variance must be strictly below the raw node variance
+  // for every internal level.
+  HonakerCounter c(64, 0.1);
+  double sigma2 = 64.0;  // irrelevant; use c's own accessor
+  (void)sigma2;
+  double raw = c.LevelVariance(0);
+  for (int j = 1; j < 6; ++j) {
+    EXPECT_LT(c.LevelVariance(j), raw) << "level " << j;
+  }
+}
+
+TEST(HonakerCounterTest, EmpiricallyTighterThanTree) {
+  // With the same budget, Honaker's final-step error variance should not
+  // exceed the plain tree's (it combines strictly more information).
+  const int64_t kT = 32;
+  const double kRho = 0.25;
+  const int kTrials = 3000;
+  util::Rng rng(7);
+  util::MomentAccumulator tree_err, honaker_err;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto tree = TreeCounterFactory().Create(kT, kRho).value();
+    auto honaker = HonakerCounterFactory().Create(kT, kRho).value();
+    int64_t truth = 0;
+    int64_t last_tree = 0, last_honaker = 0;
+    for (int64_t t = 1; t <= 31; ++t) {  // t=31: 5 set bits, worst case
+      truth += 3;
+      last_tree = tree->Observe(3, &rng).value();
+      last_honaker = honaker->Observe(3, &rng).value();
+    }
+    tree_err.Add(static_cast<double>(last_tree - truth));
+    honaker_err.Add(static_cast<double>(last_honaker - truth));
+  }
+  EXPECT_LT(honaker_err.variance(), tree_err.variance());
+}
+
+TEST(InputPerturbationTest, ErrorGrowsWithTime) {
+  InputPerturbationCounter c(1024, 0.5);
+  EXPECT_LT(c.ErrorBound(0.05, 1), c.ErrorBound(0.05, 1024));
+}
+
+TEST(RecomputeCounterTest, ErrorFlatInTime) {
+  RecomputeCounter c(1024, 0.5);
+  EXPECT_DOUBLE_EQ(c.ErrorBound(0.05, 1), c.ErrorBound(0.05, 1024));
+}
+
+TEST(MatrixCounterTest, CoefficientsAreCentralBinomialRatios) {
+  // f_k = binom(2k, k) / 4^k: 1, 1/2, 3/8, 5/16, 35/128.
+  MatrixCounter c(8, 0.5);
+  EXPECT_DOUBLE_EQ(c.Coefficient(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Coefficient(1), 0.5);
+  EXPECT_DOUBLE_EQ(c.Coefficient(2), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(c.Coefficient(3), 5.0 / 16.0);
+  EXPECT_DOUBLE_EQ(c.Coefficient(4), 35.0 / 128.0);
+}
+
+TEST(MatrixCounterTest, FactorizationReconstructsPrefixSums) {
+  // M * M must equal the all-ones lower-triangular A: with zero noise the
+  // released values are exact prefix sums (also covered by the contract
+  // sweep; asserted here with a longer adversarial stream).
+  MatrixCounter c(200, kInf);
+  util::Rng rng(71);
+  int64_t truth = 0;
+  for (int64_t t = 1; t <= 200; ++t) {
+    int64_t z = static_cast<int64_t>(rng.UniformInt(1000));
+    truth += z;
+    auto r = c.Observe(z, &rng);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value(), truth) << "t=" << t;
+  }
+}
+
+TEST(MatrixCounterTest, SensitivityGrowsLogarithmically) {
+  // Delta^2 = sum f_k^2 ~ ln(T)/pi + c; ratios between horizons follow.
+  MatrixCounter small(16, 0.5), big(4096, 0.5);
+  EXPECT_GT(big.sensitivity2(), small.sensitivity2());
+  EXPECT_LT(big.sensitivity2(), small.sensitivity2() + 2.0);  // ~ln(256)/pi
+}
+
+TEST(MatrixCounterTest, BeatsTreeConstantsAtModerateHorizons) {
+  // The whole point of the factorization: smaller error at equal budget.
+  const int64_t kT = 256;
+  const double kRho = 0.25;
+  const int kTrials = 1200;
+  util::Rng rng(73);
+  util::MomentAccumulator tree_err, matrix_err;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto tree = TreeCounterFactory().Create(kT, kRho).value();
+    auto matrix = MatrixCounterFactory().Create(kT, kRho).value();
+    int64_t truth = 0;
+    int64_t rt = 0, rm = 0;
+    for (int64_t t = 1; t <= 255; ++t) {
+      truth += 1;
+      rt = tree->Observe(1, &rng).value();
+      rm = matrix->Observe(1, &rng).value();
+    }
+    tree_err.Add(static_cast<double>(rt - truth));
+    matrix_err.Add(static_cast<double>(rm - truth));
+  }
+  EXPECT_LT(matrix_err.variance(), tree_err.variance());
+}
+
+TEST(MatrixCounterTest, FactoryRejectsHugeHorizon) {
+  EXPECT_TRUE(MatrixCounterFactory()
+                  .Create((int64_t{1} << 16) + 1, 0.5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CounterComparisonTest, TreeBeatsNaiveAtLongHorizons) {
+  // The tree's final-step bound is asymptotically polylog(T) vs sqrt(T)
+  // (input perturbation) and sqrt(T) calibration (recompute).
+  const int64_t kT = 1024;
+  const double kRho = 0.5, kBeta = 0.05;
+  TreeCounter tree(kT, kRho);
+  InputPerturbationCounter ip(kT, kRho);
+  RecomputeCounter rc(kT, kRho);
+  EXPECT_LT(tree.ErrorBound(kBeta, kT), ip.ErrorBound(kBeta, kT));
+  EXPECT_LT(tree.ErrorBound(kBeta, kT), rc.ErrorBound(kBeta, kT));
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace longdp

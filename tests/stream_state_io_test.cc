@@ -1,0 +1,80 @@
+#include "stream/state_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace longdp {
+namespace stream {
+namespace state_io {
+namespace {
+
+TEST(StateIoTest, DoubleRoundTripIsBitExact) {
+  for (double v : {0.0, 1.0, -3.5, 0.1, 1e-300, 1e300, 4.9406564584124654e-324,
+                   3.141592653589793, -2.718281828459045}) {
+    std::stringstream s;
+    WriteDouble(s, v);
+    auto r = ReadDouble(s);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), v) << v;
+  }
+}
+
+TEST(StateIoTest, InfinityRoundTrips) {
+  std::stringstream s;
+  WriteDouble(s, std::numeric_limits<double>::infinity());
+  auto r = ReadDouble(s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::isinf(r.value()));
+}
+
+TEST(StateIoTest, TruncatedDoubleFails) {
+  std::stringstream s("");
+  EXPECT_FALSE(ReadDouble(s).ok());
+}
+
+TEST(StateIoTest, IntVectorRoundTrip) {
+  std::vector<int64_t> v = {0, -5, 123456789012345, 7};
+  std::stringstream s;
+  WriteIntVector(s, v);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(ReadIntVector(s, &out).ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(StateIoTest, EmptyVectorsRoundTrip) {
+  std::stringstream s;
+  WriteIntVector(s, {});
+  std::vector<int64_t> out = {1, 2, 3};
+  ASSERT_TRUE(ReadIntVector(s, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StateIoTest, DoubleVectorRoundTrip) {
+  std::vector<double> v = {0.5, -1e-9, 42.0};
+  std::stringstream s;
+  WriteDoubleVector(s, v);
+  std::vector<double> out;
+  ASSERT_TRUE(ReadDoubleVector(s, &out).ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(StateIoTest, RejectsImplausibleSizes) {
+  std::stringstream s("-1");
+  std::vector<int64_t> out;
+  EXPECT_FALSE(ReadIntVector(s, &out).ok());
+  std::stringstream huge("999999999999999");
+  EXPECT_FALSE(ReadIntVector(huge, &out).ok());
+}
+
+TEST(StateIoTest, RejectsTruncatedVectors) {
+  std::stringstream s("3 1 2");  // promises 3 elements, provides 2
+  std::vector<int64_t> out;
+  EXPECT_FALSE(ReadIntVector(s, &out).ok());
+}
+
+}  // namespace
+}  // namespace state_io
+}  // namespace stream
+}  // namespace longdp

@@ -1,0 +1,98 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace longdp {
+namespace util {
+namespace {
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecials) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteRow({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, FieldFormatting) {
+  EXPECT_EQ(CsvWriter::Field(int64_t{42}), "42");
+  EXPECT_EQ(CsvWriter::Field(uint64_t{7}), "7");
+  EXPECT_EQ(CsvWriter::Field(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::Field(std::string("x")), "x");
+}
+
+TEST(ParseCsvLineTest, Simple) {
+  auto r = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  auto r = ParseCsvLine(",,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+  for (const auto& f : r.value()) EXPECT_TRUE(f.empty());
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithComma) {
+  auto r = ParseCsvLine("\"a,b\",c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsvLineTest, DoubledQuotes) {
+  auto r = ParseCsvLine("\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(ParseCsvLineTest, StripsCarriageReturn) {
+  auto r = ParseCsvLine("a,b\r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("\"abc").ok());
+}
+
+TEST(ParseCsvLineTest, StrayQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("ab\"c\"").ok());
+}
+
+TEST(CsvRoundTripTest, WriteThenRead) {
+  std::string path = ::testing::TempDir() + "/longdp_csv_roundtrip.csv";
+  {
+    std::ofstream out(path);
+    CsvWriter w(&out);
+    w.WriteRow({"id", "value"});
+    w.WriteRow({"1", "a,b"});
+    w.WriteRow({"2", "plain"});
+  }
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[1][1], "a,b");
+  EXPECT_EQ(rows.value()[2][1], "plain");
+  std::remove(path.c_str());
+}
+
+TEST(CsvReadTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace longdp

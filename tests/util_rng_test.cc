@@ -1,0 +1,191 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace longdp {
+namespace util {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the canonical SplitMix64 implementation with
+  // seed state 0.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64Next(&state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(SplitMix64Next(&state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(SplitMix64Next(&state), 0x06C45D188009454FULL);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(13);
+  const int kBuckets = 10, kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformInt(kBuckets)];
+  }
+  // Each bucket expects 10000 with stdev ~95; allow 5 sigma.
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnit) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int ones = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, CoinIsFair) {
+  Rng rng(31);
+  int heads = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Coin()) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(37);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(47);
+  for (size_t universe : {10UL, 100UL, 1000UL}) {
+    for (size_t count : {0UL, 1UL, 5UL, universe / 2, universe}) {
+      auto sample = rng.SampleWithoutReplacement(universe, count);
+      EXPECT_EQ(sample.size(), count);
+      std::set<size_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), count);
+      for (size_t idx : sample) EXPECT_LT(idx, universe);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsCount) {
+  Rng rng(53);
+  auto sample = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnbiased) {
+  // Each index should appear with probability count/universe.
+  Rng rng(59);
+  const size_t kUniverse = 20, kCount = 5;
+  const int kTrials = 20000;
+  std::vector<int> hits(kUniverse, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (size_t idx : rng.SampleWithoutReplacement(kUniverse, kCount)) {
+      ++hits[idx];
+    }
+  }
+  double expected = static_cast<double>(kTrials) * kCount / kUniverse;
+  for (int h : hits) {
+    EXPECT_NEAR(h, expected, 0.08 * expected);
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace longdp

@@ -1,0 +1,122 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace longdp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryOk) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_FALSE(st.IsNotFound());
+}
+
+TEST(StatusTest, AllFactories) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace {
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  LONGDP_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return 2 * x;
+}
+
+Status CheckPositive(int v) {
+  LONGDP_RETURN_NOT_OK(ParsePositive(v).status());
+  return Status::OK();
+}
+}  // namespace
+
+TEST(ResultMacrosTest, AssignOrReturnPropagatesValue) {
+  auto r = Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultMacrosTest, AssignOrReturnPropagatesError) {
+  auto r = Doubled(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultMacrosTest, ReturnNotOk) {
+  EXPECT_TRUE(CheckPositive(1).ok());
+  EXPECT_FALSE(CheckPositive(0).ok());
+}
+
+}  // namespace
+}  // namespace longdp
