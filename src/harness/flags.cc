@@ -8,16 +8,19 @@ namespace harness {
 Flags Flags::Parse(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
-    arg = arg.substr(2);
+    const std::string raw = argv[i];
+    if (raw.rfind("--", 0) != 0) continue;
+    std::string arg = raw.substr(2);
     auto eq = arg.find('=');
     if (eq != std::string::npos) {
       flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       flags.values_[arg] = argv[++i];
     } else {
-      flags.values_[arg] = "1";  // boolean flag
+      // Boolean flag. Move-assign a temporary: GCC 12 at -O3 mis-analyzes
+      // operator=(const char*) here and emits a bogus fatal -Wrestrict
+      // (GCC bug 105329).
+      flags.values_[arg] = std::string("1");
     }
   }
   return flags;

@@ -1,12 +1,34 @@
 #include "util/bits.h"
 
-#include <bit>
 #include <sstream>
+
+// <version> itself is missing from the old standard libraries the portable
+// fallback below targets, so probe for it before including.
+#ifdef __has_include
+#if __has_include(<version>)
+#include <version>
+#endif
+#endif
+
+#if defined(__cpp_lib_bitops) && __cpp_lib_bitops >= 201907L
+#include <bit>
+#define LONGDP_HAVE_STD_POPCOUNT 1
+#endif
 
 namespace longdp {
 namespace util {
 
+#if defined(LONGDP_HAVE_STD_POPCOUNT)
 int Popcount(Pattern p) { return std::popcount(p); }
+#else
+// Portable fallback (Kernighan) for toolchains whose standard library does
+// not ship <bit> bit operations yet; same contract as std::popcount.
+int Popcount(Pattern p) {
+  int n = 0;
+  for (; p != 0; p &= p - 1) ++n;
+  return n;
+}
+#endif
 
 std::string PatternToString(Pattern p, int k) {
   std::string out(static_cast<size_t>(k), '0');

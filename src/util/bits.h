@@ -15,6 +15,18 @@
 #ifndef LONGDP_UTIL_BITS_H_
 #define LONGDP_UTIL_BITS_H_
 
+// longdp is a C++20 codebase (bits.cc prefers std::popcount from <bit>, and
+// other subsystems use C++20 library features freely). Fail loudly here, at
+// the bottom of the include graph, so a toolchain configured for an older
+// standard produces one actionable diagnostic instead of a template spew.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "longdp requires C++20: compile with /std:c++20 (CMake sets this via CMAKE_CXX_STANDARD 20)"
+#endif
+#elif defined(__cplusplus) && __cplusplus < 202002L
+#error "longdp requires C++20: compile with -std=c++20 (CMake sets this via CMAKE_CXX_STANDARD 20)"
+#endif
+
 #include <cstdint>
 #include <string>
 
