@@ -18,12 +18,20 @@ namespace longdp {
 namespace bench {
 namespace {
 
-Status Run(const harness::Flags& flags) {
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   const int64_t reps = flags.Reps(200);
   const double rho = flags.GetDouble("rho", 0.005);
   LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
   const int64_t T = ds.rounds();
   const int k = 3;
+
+  report->set_description(
+      "A4: recompute-from-scratch baseline vs Algorithm 1");
+  report->SetParam("n", ds.num_users());
+  report->SetParam("T", T);
+  report->SetParam("k", k);
+  report->SetParam("rho", rho);
+  report->SetParam("reps", reps);
 
   std::cout << "== A4: recompute-from-scratch baseline vs Algorithm 1 ==\n"
             << "SIPP-like data, n=" << ds.num_users() << " T=" << T
@@ -106,11 +114,11 @@ Status Run(const harness::Flags& flags) {
   auto a = harness::Summarize(alg1_errors);
   auto b = harness::Summarize(base_errors);
   LONGDP_RETURN_NOT_OK(table.AddRow({"median max bin error",
-                                     harness::Table::Num(a.median, 1),
-                                     harness::Table::Num(b.median, 1)}));
+                                     harness::Table::Val(a.median, 1),
+                                     harness::Table::Val(b.median, 1)}));
   LONGDP_RETURN_NOT_OK(table.AddRow({"q97.5 max bin error",
-                                     harness::Table::Num(a.q975, 1),
-                                     harness::Table::Num(b.q975, 1)}));
+                                     harness::Table::Val(a.q975, 1),
+                                     harness::Table::Val(b.q975, 1)}));
   auto e = harness::Summarize(alg1_ever);
   LONGDP_RETURN_NOT_OK(
       table.AddRow({"'ever full-poverty-quarter' answerable?", "yes",
@@ -118,7 +126,15 @@ Status Run(const harness::Flags& flags) {
   LONGDP_RETURN_NOT_OK(table.AddRow(
       {"  mean answer (truth=" + harness::Table::Num(true_ever_frac, 4) +
            ")",
-       harness::Table::Num(e.mean, 4), "-"}));
+       harness::Table::Val(e.mean, 4), "-"}));
+  auto& err_series = report->AddSeries("max_bin_error");
+  err_series.AddRow().Label("algorithm", "algorithm1").Summary(a);
+  err_series.AddRow().Label("algorithm", "recompute-baseline").Summary(b);
+  report->AddSeries("ever_full_quarter")
+      .AddRow()
+      .Label("algorithm", "algorithm1")
+      .Value("truth", true_ever_frac)
+      .Summary(e);
   table.Print(std::cout);
   std::cout << "\nBoth pay the same sqrt(T-k+1) composition noise; the "
                "baseline additionally\nforfeits every cross-release "
@@ -132,5 +148,7 @@ Status Run(const harness::Flags& flags) {
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

@@ -7,7 +7,11 @@
 //     treat it as ground truth, exactly as the paper treats its SIPP sample;
 //   * run `reps` independent synthesizer executions in parallel;
 //   * print the figure's series as an aligned table (ground truth, mean,
-//     median, 2.5/97.5 percentiles of the DP estimates) and optionally CSV.
+//     median, 2.5/97.5 percentiles of the DP estimates) and optionally CSV;
+//   * populate a harness::BenchReport with the same series at full double
+//     precision, written as JSON when --json[=PATH] is passed (default
+//     path BENCH_<binary>.json) for the stored-baseline diff workflow
+//     (tools/bench_diff).
 
 #ifndef LONGDP_BENCH_BENCH_COMMON_H_
 #define LONGDP_BENCH_BENCH_COMMON_H_
@@ -27,10 +31,12 @@
 #include "data/sipp_simulator.h"
 #include "harness/aggregate.h"
 #include "harness/flags.h"
+#include "harness/report.h"
 #include "harness/runner.h"
 #include "harness/table.h"
 #include "query/cumulative_query.h"
 #include "query/window_query.h"
+#include "util/json.h"
 #include "util/status.h"
 
 namespace longdp {
@@ -38,6 +44,49 @@ namespace bench {
 
 inline constexpr uint64_t kDatasetSeed = 20240512;  // fixed ground truth
 inline constexpr uint64_t kRunSeed = 1234567;
+
+/// Resolves the --json flag: "" when absent, the given path when
+/// --json=PATH, and BENCH_<binary>.json when passed bare.
+inline std::string JsonOutputPath(const harness::Flags& flags) {
+  if (!flags.Has("json")) return "";
+  std::string v = flags.GetString("json", "");
+  if (v.empty() || v == "1") {
+    const std::string& name = flags.program_name();
+    return "BENCH_" + (name.empty() ? std::string("bench") : name) + ".json";
+  }
+  return v;
+}
+
+/// Builds the report every bench main hands to its driver: named after the
+/// binary, with the raw command line recorded.
+inline harness::BenchReport MakeReport(const harness::Flags& flags) {
+  const std::string& name = flags.program_name();
+  harness::BenchReport report(name.empty() ? std::string("bench") : name);
+  report.RecordFlags(flags);
+  return report;
+}
+
+/// Prints a status and converts to a process exit code.
+inline int ExitWith(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "bench failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Writes the report when --json was requested, then exits with `st`.
+inline int FinishAndExit(const harness::Flags& flags,
+                         const harness::BenchReport& report, Status st) {
+  if (st.ok()) {
+    std::string path = JsonOutputPath(flags);
+    if (!path.empty()) {
+      st = report.WriteJson(path);
+      if (st.ok()) std::cout << "# wrote JSON report to " << path << "\n";
+    }
+  }
+  return ExitWith(st);
+}
 
 /// Loads the real SIPP extract if --sipp_csv=... is given, otherwise
 /// simulates the calibrated SIPP-like panel (DESIGN.md substitution).
@@ -74,13 +123,21 @@ inline const char* QuarterlyPredicateLabel(size_t i) {
 /// k = 3, queries evaluated at quarter ends t = 3, 6, 9, 12, `reps`
 /// repetitions. Prints the biased ("Synthetic Data Results") and/or
 /// debiased panels.
-inline Status RunSippQuarterly(const harness::Flags& flags, double rho,
+inline Status RunSippQuarterly(const harness::Flags& flags,
+                               harness::BenchReport* report, double rho,
                                bool print_biased, bool print_debiased,
                                const std::string& figure_label) {
   const int64_t reps = flags.Reps(1000);
   LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
   const auto preds = QuarterlyPredicates();
   const std::vector<int64_t> quarter_ends = {3, 6, 9, 12};
+
+  report->set_description(figure_label);
+  report->SetParam("n", ds.num_users());
+  report->SetParam("T", static_cast<int64_t>(12));
+  report->SetParam("k", static_cast<int64_t>(3));
+  report->SetParam("rho", rho);
+  report->SetParam("reps", reps);
 
   std::cout << "== " << figure_label << " ==\n"
             << "SIPP quarterly poverty, n=" << ds.num_users()
@@ -96,39 +153,43 @@ inline Status RunSippQuarterly(const harness::Flags& flags, double rho,
   auto biased = make_store();
   auto debiased = make_store();
 
-  LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-      reps, kRunSeed, [&](int64_t rep, util::Rng* rng) {
-        core::FixedWindowSynthesizer::Options opt;
-        opt.horizon = 12;
-        opt.window_k = 3;
-        opt.rho = rho;
-        LONGDP_ASSIGN_OR_RETURN(auto synth,
-                                core::FixedWindowSynthesizer::Create(opt));
-        size_t quarter = 0;
-        for (int64_t t = 1; t <= 12; ++t) {
-          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
-          if (quarter < quarter_ends.size() && t == quarter_ends[quarter]) {
-            for (size_t p = 0; p < preds.size(); ++p) {
-              LONGDP_ASSIGN_OR_RETURN(
-                  double b, synth->BiasedAnswer(*preds[p]));
-              LONGDP_ASSIGN_OR_RETURN(
-                  double d, synth->DebiasedAnswer(*preds[p]));
-              biased[p][quarter][static_cast<size_t>(rep)] = b;
-              debiased[p][quarter][static_cast<size_t>(rep)] = d;
+  {
+    harness::BenchReport::PhaseTimer timer(report, "repetitions");
+    LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+        reps, kRunSeed, [&](int64_t rep, util::Rng* rng) {
+          core::FixedWindowSynthesizer::Options opt;
+          opt.horizon = 12;
+          opt.window_k = 3;
+          opt.rho = rho;
+          LONGDP_ASSIGN_OR_RETURN(auto synth,
+                                  core::FixedWindowSynthesizer::Create(opt));
+          size_t quarter = 0;
+          for (int64_t t = 1; t <= 12; ++t) {
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            if (quarter < quarter_ends.size() && t == quarter_ends[quarter]) {
+              for (size_t p = 0; p < preds.size(); ++p) {
+                LONGDP_ASSIGN_OR_RETURN(
+                    double b, synth->BiasedAnswer(*preds[p]));
+                LONGDP_ASSIGN_OR_RETURN(
+                    double d, synth->DebiasedAnswer(*preds[p]));
+                biased[p][quarter][static_cast<size_t>(rep)] = b;
+                debiased[p][quarter][static_cast<size_t>(rep)] = d;
+              }
+              ++quarter;
             }
-            ++quarter;
           }
-        }
-        return Status::OK();
-      }));
+          return Status::OK();
+        }));
+  }
 
   auto print_panel =
       [&](const char* title,
           const std::vector<std::vector<std::vector<double>>>& samples,
-          const std::string& csv_suffix) -> Status {
+          const std::string& series_name) -> Status {
     std::cout << "-- " << title << " --\n";
     harness::Table table({"query", "quarter", "truth", "mean", "median",
                           "q2.5", "q97.5"});
+    auto& series = report->AddSeries(series_name);
     for (size_t p = 0; p < preds.size(); ++p) {
       for (size_t q = 0; q < quarter_ends.size(); ++q) {
         LONGDP_ASSIGN_OR_RETURN(
@@ -137,16 +198,21 @@ inline Status RunSippQuarterly(const harness::Flags& flags, double rho,
         auto s = harness::Summarize(samples[p][q]);
         LONGDP_RETURN_NOT_OK(table.AddRow(
             {QuarterlyPredicateLabel(p), std::to_string(q + 1),
-             harness::Table::Num(truth), harness::Table::Num(s.mean),
-             harness::Table::Num(s.median), harness::Table::Num(s.q025),
-             harness::Table::Num(s.q975)}));
+             harness::Table::Val(truth), harness::Table::Val(s.mean),
+             harness::Table::Val(s.median), harness::Table::Val(s.q025),
+             harness::Table::Val(s.q975)}));
+        series.AddRow()
+            .Label("query", QuarterlyPredicateLabel(p))
+            .Label("quarter", std::to_string(q + 1))
+            .Value("truth", truth)
+            .Summary(s);
       }
     }
     table.Print(std::cout);
     std::cout << "\n";
     std::string csv = flags.GetString("csv", "");
     if (!csv.empty()) {
-      LONGDP_RETURN_NOT_OK(table.WriteCsv(csv + "." + csv_suffix + ".csv"));
+      LONGDP_RETURN_NOT_OK(table.WriteCsv(csv + "." + series_name + ".csv"));
     }
     return Status::OK();
   };
@@ -164,12 +230,20 @@ inline Status RunSippQuarterly(const harness::Flags& flags, double rho,
 
 /// Runs the paper's SIPP cumulative experiment (Figures 2 and 8): fraction
 /// of households in poverty for at least b = 3 months by month t = 1..12.
-inline Status RunSippCumulative(const harness::Flags& flags, double rho,
+inline Status RunSippCumulative(const harness::Flags& flags,
+                                harness::BenchReport* report, double rho,
                                 const std::string& figure_label) {
   const int64_t reps = flags.Reps(1000);
   const int64_t b = flags.GetInt("b", 3);
   LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
   const int64_t T = 12;
+
+  report->set_description(figure_label);
+  report->SetParam("n", ds.num_users());
+  report->SetParam("T", T);
+  report->SetParam("b", b);
+  report->SetParam("rho", rho);
+  report->SetParam("reps", reps);
 
   std::cout << "== " << figure_label << " ==\n"
             << "SIPP cumulative poverty (>= " << b << " months), n="
@@ -179,32 +253,40 @@ inline Status RunSippCumulative(const harness::Flags& flags, double rho,
   std::vector<std::vector<double>> samples(
       static_cast<size_t>(T),
       std::vector<double>(static_cast<size_t>(reps)));
-  LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-      reps, kRunSeed + 1, [&](int64_t rep, util::Rng* rng) {
-        core::CumulativeSynthesizer::Options opt;
-        opt.horizon = T;
-        opt.rho = rho;
-        LONGDP_ASSIGN_OR_RETURN(auto synth,
-                                core::CumulativeSynthesizer::Create(opt));
-        for (int64_t t = 1; t <= T; ++t) {
-          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
-          LONGDP_ASSIGN_OR_RETURN(
-              samples[static_cast<size_t>(t - 1)][static_cast<size_t>(rep)],
-              synth->Answer(b));
-        }
-        return Status::OK();
-      }));
+  {
+    harness::BenchReport::PhaseTimer timer(report, "repetitions");
+    LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+        reps, kRunSeed + 1, [&](int64_t rep, util::Rng* rng) {
+          core::CumulativeSynthesizer::Options opt;
+          opt.horizon = T;
+          opt.rho = rho;
+          LONGDP_ASSIGN_OR_RETURN(auto synth,
+                                  core::CumulativeSynthesizer::Create(opt));
+          for (int64_t t = 1; t <= T; ++t) {
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            LONGDP_ASSIGN_OR_RETURN(
+                samples[static_cast<size_t>(t - 1)][static_cast<size_t>(rep)],
+                synth->Answer(b));
+          }
+          return Status::OK();
+        }));
+  }
 
   harness::Table table(
       {"month", "truth", "mean", "median", "q2.5", "q97.5"});
+  auto& series = report->AddSeries("cumulative");
   for (int64_t t = 1; t <= T; ++t) {
     LONGDP_ASSIGN_OR_RETURN(double truth,
                             query::EvaluateCumulativeOnDataset(ds, t, b));
     auto s = harness::Summarize(samples[static_cast<size_t>(t - 1)]);
     LONGDP_RETURN_NOT_OK(table.AddRow(
-        {std::to_string(t), harness::Table::Num(truth),
-         harness::Table::Num(s.mean), harness::Table::Num(s.median),
-         harness::Table::Num(s.q025), harness::Table::Num(s.q975)}));
+        {std::to_string(t), harness::Table::Val(truth),
+         harness::Table::Val(s.mean), harness::Table::Val(s.median),
+         harness::Table::Val(s.q025), harness::Table::Val(s.q975)}));
+    series.AddRow()
+        .Label("month", std::to_string(t))
+        .Value("truth", truth)
+        .Summary(s);
   }
   table.Print(std::cout);
   std::cout << "\n";
@@ -219,7 +301,8 @@ inline Status RunSippCumulative(const harness::Flags& flags, double rho,
 /// n = 25000, T = 12, synthesizer k = 3, queries of width 3 / 2 / 4
 /// ("matching", "smaller", "larger"), per-timestep |error| percentiles
 /// against the theoretical bound. `debias` selects Figure 3 vs Figure 4.
-inline Status RunSimulatedError(const harness::Flags& flags, bool debias,
+inline Status RunSimulatedError(const harness::Flags& flags,
+                                harness::BenchReport* report, bool debias,
                                 const std::string& figure_label) {
   const int64_t reps = flags.Reps(1000);
   const int64_t n = flags.GetInt("n", 25000);
@@ -229,6 +312,15 @@ inline Status RunSimulatedError(const harness::Flags& flags, bool debias,
   const double beta = 0.05;
 
   LONGDP_ASSIGN_OR_RETURN(auto ds, data::ExtremeAllOnes(n, T));
+
+  report->set_description(figure_label);
+  report->SetParam("n", n);
+  report->SetParam("T", T);
+  report->SetParam("k", static_cast<int64_t>(synth_k));
+  report->SetParam("rho", rho);
+  report->SetParam("reps", reps);
+  report->SetParam("debias", debias ? "true" : "false");
+
   std::cout << "== " << figure_label << " ==\n"
             << "simulated all-ones data, n=" << n << " T=" << T
             << " synthesizer k=" << synth_k << " rho=" << rho
@@ -254,80 +346,86 @@ inline Status RunSimulatedError(const harness::Flags& flags, bool debias,
           static_cast<size_t>(T) + 1,
           std::vector<double>(static_cast<size_t>(reps), -1.0)));
 
-  LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-      reps, kRunSeed + 2, [&](int64_t rep, util::Rng* rng) {
-        core::FixedWindowSynthesizer::Options opt;
-        opt.horizon = T;
-        opt.window_k = synth_k;
-        opt.rho = rho;
-        LONGDP_ASSIGN_OR_RETURN(auto synth,
-                                core::FixedWindowSynthesizer::Create(opt));
-        for (int64_t t = 1; t <= T; ++t) {
-          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
-          if (!synth->has_release()) continue;
-          for (size_t c = 0; c < cases.size(); ++c) {
-            const auto& pred = cases[c].pred;
-            if (pred->width() > synth_k) {
-              // The "larger query" case: evaluate the best the analyst can
-              // do — chain the k-window release as if bits were
-              // exchangeable. We evaluate the all-ones width-4 query on the
-              // materialized synthetic records directly.
-              if (t < pred->width()) continue;
-              const auto& cohort = synth->cohort();
-              int64_t count = 0;
-              for (int64_t r = 0; r < cohort.num_records(); ++r) {
-                bool all = true;
-                for (int64_t tt = cohort.rounds() - pred->width() + 1;
-                     tt <= cohort.rounds(); ++tt) {
-                  if (cohort.Bit(r, tt) == 0) all = false;
+  {
+    harness::BenchReport::PhaseTimer timer(report, "repetitions");
+    LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
+        reps, kRunSeed + 2, [&](int64_t rep, util::Rng* rng) {
+          core::FixedWindowSynthesizer::Options opt;
+          opt.horizon = T;
+          opt.window_k = synth_k;
+          opt.rho = rho;
+          LONGDP_ASSIGN_OR_RETURN(auto synth,
+                                  core::FixedWindowSynthesizer::Create(opt));
+          for (int64_t t = 1; t <= T; ++t) {
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            if (!synth->has_release()) continue;
+            for (size_t c = 0; c < cases.size(); ++c) {
+              const auto& pred = cases[c].pred;
+              if (pred->width() > synth_k) {
+                // The "larger query" case: evaluate the best the analyst can
+                // do — chain the k-window release as if bits were
+                // exchangeable. We evaluate the all-ones width-4 query on the
+                // materialized synthetic records directly.
+                if (t < pred->width()) continue;
+                const auto& cohort = synth->cohort();
+                int64_t count = 0;
+                for (int64_t r = 0; r < cohort.num_records(); ++r) {
+                  bool all = true;
+                  for (int64_t tt = cohort.rounds() - pred->width() + 1;
+                       tt <= cohort.rounds(); ++tt) {
+                    if (cohort.Bit(r, tt) == 0) all = false;
+                  }
+                  if (all) ++count;
                 }
-                if (all) ++count;
+                double truth;
+                LONGDP_ASSIGN_OR_RETURN(
+                    truth, query::EvaluateOnDataset(*pred, ds, t));
+                double estimate;
+                if (debias) {
+                  // No exact debiaser exists beyond width k — the padding's
+                  // contribution to a width-4 count depends on the noise
+                  // path. Subtracting npad (the suffix-111 padding mass) is
+                  // the analyst's best guess; the figure's point is that the
+                  // error is large regardless.
+                  estimate = (static_cast<double>(count) -
+                              static_cast<double>(synth->npad())) /
+                             static_cast<double>(ds.num_users());
+                } else {
+                  estimate = static_cast<double>(count) /
+                             static_cast<double>(cohort.num_records());
+                }
+                errors[c][static_cast<size_t>(t)][static_cast<size_t>(rep)] =
+                    std::fabs(estimate - truth);
+                continue;
               }
+              if (t < synth_k) continue;
               double truth;
-              LONGDP_ASSIGN_OR_RETURN(
-                  truth, query::EvaluateOnDataset(*pred, ds, t));
+              LONGDP_ASSIGN_OR_RETURN(truth,
+                                      query::EvaluateOnDataset(*pred, ds, t));
               double estimate;
               if (debias) {
-                // No exact debiaser exists beyond width k — the padding's
-                // contribution to a width-4 count depends on the noise
-                // path. Subtracting npad (the suffix-111 padding mass) is
-                // the analyst's best guess; the figure's point is that the
-                // error is large regardless.
-                estimate = (static_cast<double>(count) -
-                            static_cast<double>(synth->npad())) /
-                           static_cast<double>(ds.num_users());
+                LONGDP_ASSIGN_OR_RETURN(estimate,
+                                        synth->DebiasedAnswer(*pred));
               } else {
-                estimate = static_cast<double>(count) /
-                           static_cast<double>(cohort.num_records());
+                LONGDP_ASSIGN_OR_RETURN(estimate,
+                                        synth->BiasedAnswer(*pred));
               }
               errors[c][static_cast<size_t>(t)][static_cast<size_t>(rep)] =
                   std::fabs(estimate - truth);
-              continue;
             }
-            if (t < synth_k) continue;
-            double truth;
-            LONGDP_ASSIGN_OR_RETURN(truth,
-                                    query::EvaluateOnDataset(*pred, ds, t));
-            double estimate;
-            if (debias) {
-              LONGDP_ASSIGN_OR_RETURN(estimate,
-                                      synth->DebiasedAnswer(*pred));
-            } else {
-              LONGDP_ASSIGN_OR_RETURN(estimate, synth->BiasedAnswer(*pred));
-            }
-            errors[c][static_cast<size_t>(t)][static_cast<size_t>(rep)] =
-                std::fabs(estimate - truth);
           }
-        }
-        return Status::OK();
-      }));
+          return Status::OK();
+        }));
+  }
 
   LONGDP_ASSIGN_OR_RETURN(
       double bound_debiased,
       core::theory::DebiasedFractionErrorBound(T, synth_k, rho, beta, n));
+  report->SetParam("theory_bound", bound_debiased);
 
   harness::Table table({"query", "t", "median|err|", "q2.5", "q97.5",
                         "theory_bound"});
+  auto& series = report->AddSeries("abs_error");
   for (size_t c = 0; c < cases.size(); ++c) {
     for (int64_t t = 1; t <= T; ++t) {
       std::vector<double> at_t;
@@ -337,9 +435,14 @@ inline Status RunSimulatedError(const harness::Flags& flags, bool debias,
       if (at_t.empty()) continue;
       auto s = harness::Summarize(at_t);
       LONGDP_RETURN_NOT_OK(table.AddRow(
-          {cases[c].label, std::to_string(t), harness::Table::Num(s.median),
-           harness::Table::Num(s.q025), harness::Table::Num(s.q975),
-           harness::Table::Num(bound_debiased)}));
+          {cases[c].label, std::to_string(t), harness::Table::Val(s.median),
+           harness::Table::Val(s.q025), harness::Table::Val(s.q975),
+           harness::Table::Val(bound_debiased)}));
+      series.AddRow()
+          .Label("query", cases[c].label)
+          .Label("t", std::to_string(t))
+          .Value("theory_bound", bound_debiased)
+          .Summary(s);
     }
   }
   table.Print(std::cout);
@@ -349,15 +452,6 @@ inline Status RunSimulatedError(const harness::Flags& flags, bool debias,
     LONGDP_RETURN_NOT_OK(table.WriteCsv(csv + ".csv"));
   }
   return Status::OK();
-}
-
-/// Prints a status and converts to a process exit code.
-inline int ExitWith(const Status& status) {
-  if (!status.ok()) {
-    std::cerr << "bench failed: " << status.ToString() << "\n";
-    return 1;
-  }
-  return 0;
 }
 
 }  // namespace bench

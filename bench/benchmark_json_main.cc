@@ -1,0 +1,49 @@
+// Replacement for benchmark_main in the micro benches so they honor the
+// repo-wide --json[=PATH] flag: it is translated into Google Benchmark's
+// native --benchmark_out=PATH --benchmark_out_format=json (same default
+// path convention as the figure benches: BENCH_<binary>.json), and every
+// other argument is forwarded untouched.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/flags.h"
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+
+  std::vector<std::string> forwarded;
+  forwarded.emplace_back(argc > 0 ? argv[0] : "bench");
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) continue;
+    if (arg == "--json") {
+      // Mirror Flags::Parse: a bare --json may consume the next token as
+      // its value (--json out.json).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) ++i;
+      continue;
+    }
+    forwarded.push_back(std::move(arg));
+  }
+  std::string path = longdp::bench::JsonOutputPath(flags);
+  if (!path.empty()) {
+    forwarded.push_back("--benchmark_out=" + path);
+    forwarded.push_back("--benchmark_out_format=json");
+  }
+
+  std::vector<char*> fwd_argv;
+  fwd_argv.reserve(forwarded.size());
+  for (auto& s : forwarded) fwd_argv.push_back(s.data());
+  int fwd_argc = static_cast<int>(fwd_argv.size());
+
+  benchmark::Initialize(&fwd_argc, fwd_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

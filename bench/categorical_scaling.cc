@@ -12,12 +12,20 @@ namespace longdp {
 namespace bench {
 namespace {
 
-Status Run(const harness::Flags& flags) {
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   const int64_t reps = flags.Reps(100);
   const double rho = flags.GetDouble("rho", 0.01);
   const int64_t n = flags.GetInt("n", 20000);
   const int64_t T = 12;
   const int k = 2;
+
+  report->set_description(
+      "A8: categorical window synthesis, alphabet sweep");
+  report->SetParam("n", n);
+  report->SetParam("T", T);
+  report->SetParam("k", k);
+  report->SetParam("rho", rho);
+  report->SetParam("reps", reps);
 
   std::cout << "== A8: categorical window synthesis, alphabet sweep ==\n"
             << "n=" << n << " T=" << T << " k=" << k << " rho=" << rho
@@ -25,6 +33,8 @@ Status Run(const harness::Flags& flags) {
 
   harness::Table table({"A", "bins(A^k)", "npad", "mean|bin err|(debiased)",
                         "q97.5|bin err|", "ms/run"});
+  auto& series = report->AddSeries("alphabet_sweep");
+  harness::BenchReport::PhaseTimer timer(report, "sweep");
   for (int alphabet : {2, 3, 4, 6, 8}) {
     // Stationary categorical rounds (uniform over the alphabet).
     util::Rng data_rng(kDatasetSeed + static_cast<uint64_t>(alphabet));
@@ -93,14 +103,21 @@ Status Run(const harness::Flags& flags) {
                        std::chrono::steady_clock::now() - start)
                        .count();
     auto s = harness::Summarize(errors);
+    double ms_per_run =
+        static_cast<double>(elapsed) / static_cast<double>(reps);
     LONGDP_RETURN_NOT_OK(table.AddRow(
         {std::to_string(alphabet), std::to_string(bins),
-         std::to_string(npad_used), harness::Table::Num(s.mean, 5),
-         harness::Table::Num(s.q975, 5),
-         harness::Table::Num(static_cast<double>(elapsed) /
-                                 static_cast<double>(reps),
-                             2)}));
+         std::to_string(npad_used), harness::Table::Val(s.mean, 5),
+         harness::Table::Val(s.q975, 5),
+         harness::Table::Val(ms_per_run, 2)}));
+    series.AddRow()
+        .Label("A", std::to_string(alphabet))
+        .Value("bins", static_cast<double>(bins))
+        .Value("npad", static_cast<double>(npad_used))
+        .Value("ms_per_run", ms_per_run)
+        .Summary(s);
   }
+  timer.Stop();
   table.Print(std::cout);
   std::cout << "\nPer-bin error grows only with log(A^k) (the union bound); "
                "the padding mass\nand runtime grow with A^k — the practical "
@@ -114,5 +131,7 @@ Status Run(const harness::Flags& flags) {
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

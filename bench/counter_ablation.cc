@@ -12,11 +12,17 @@ namespace longdp {
 namespace bench {
 namespace {
 
-Status Run(const harness::Flags& flags) {
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   const int64_t reps = flags.Reps(200);
   const double rho = flags.GetDouble("rho", 0.005);
   LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
   const int64_t T = ds.rounds();
+
+  report->set_description("A3: stream counter ablation inside Algorithm 2");
+  report->SetParam("n", ds.num_users());
+  report->SetParam("T", T);
+  report->SetParam("rho", rho);
+  report->SetParam("reps", reps);
 
   std::cout << "== A3: stream counter ablation inside Algorithm 2 ==\n"
             << "SIPP-like data, n=" << ds.num_users() << " T=" << T
@@ -35,6 +41,8 @@ Status Run(const harness::Flags& flags) {
 
   harness::Table table({"counter", "median_max_err", "q97.5_max_err",
                         "mean_err(b=3,t=12)"});
+  auto& synth_series = report->AddSeries("synthesizer_max_error");
+  harness::BenchReport::PhaseTimer synth_timer(report, "synthesizer");
   for (const auto& name : stream::RegisteredCounterNames()) {
     LONGDP_ASSIGN_OR_RETURN(auto factory, stream::MakeCounterFactory(name));
     std::vector<double> max_errors(static_cast<size_t>(reps), 0.0);
@@ -66,9 +74,14 @@ Status Run(const harness::Flags& flags) {
     auto s = harness::Summarize(max_errors);
     auto s3 = harness::Summarize(b3_errors);
     LONGDP_RETURN_NOT_OK(table.AddRow(
-        {name, harness::Table::Num(s.median), harness::Table::Num(s.q975),
-         harness::Table::Num(s3.mean)}));
+        {name, harness::Table::Val(s.median), harness::Table::Val(s.q975),
+         harness::Table::Val(s3.mean)}));
+    synth_series.AddRow()
+        .Label("counter", name)
+        .Value("mean_err_b3_t12", s3.mean)
+        .Summary(s);
   }
+  synth_timer.Stop();
   table.Print(std::cout);
 
   // Standalone counter comparison on a long stream, where the asymptotic
@@ -78,6 +91,8 @@ Status Run(const harness::Flags& flags) {
             << reps << " trials --\n";
   harness::Table solo({"counter", "median|err|", "q97.5|err|",
                        "bound(beta=.05)"});
+  auto& solo_series = report->AddSeries("standalone_counters");
+  harness::BenchReport::PhaseTimer solo_timer(report, "standalone");
   const int64_t kLongT = 1024;
   for (const auto& name : stream::RegisteredCounterNames()) {
     LONGDP_ASSIGN_OR_RETURN(auto factory, stream::MakeCounterFactory(name));
@@ -104,9 +119,14 @@ Status Run(const harness::Flags& flags) {
         }));
     auto s = harness::Summarize(errors);
     LONGDP_RETURN_NOT_OK(solo.AddRow(
-        {name, harness::Table::Num(s.median, 1),
-         harness::Table::Num(s.q975, 1), harness::Table::Num(bound, 1)}));
+        {name, harness::Table::Val(s.median, 1),
+         harness::Table::Val(s.q975, 1), harness::Table::Val(bound, 1)}));
+    solo_series.AddRow()
+        .Label("counter", name)
+        .Value("theory_bound", bound)
+        .Summary(s);
   }
+  solo_timer.Stop();
   solo.Print(std::cout);
   std::cout << "\ntree/honaker scale polylog(T); input-perturbation and "
                "recompute pay sqrt(T).\n";
@@ -119,5 +139,7 @@ Status Run(const harness::Flags& flags) {
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

@@ -6,9 +6,11 @@
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
+  auto report = longdp::bench::MakeReport(flags);
   double rho = flags.GetDouble("rho", 0.005);
-  return longdp::bench::ExitWith(longdp::bench::RunSippQuarterly(
-      flags, rho, /*print_biased=*/true, /*print_debiased=*/false,
+  auto st = longdp::bench::RunSippQuarterly(
+      flags, &report, rho, /*print_biased=*/true, /*print_debiased=*/false,
       "Figure 1: SIPP quarterly poverty, synthetic-data results, rho=" +
-          std::to_string(rho)));
+          std::to_string(rho));
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

@@ -6,9 +6,11 @@
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
+  auto report = longdp::bench::MakeReport(flags);
   double rho = flags.GetDouble("rho", 0.005);
-  return longdp::bench::ExitWith(longdp::bench::RunSippCumulative(
-      flags, rho,
+  auto st = longdp::bench::RunSippCumulative(
+      flags, &report, rho,
       "Figure 2: SIPP cumulative poverty (>= b months), rho=" +
-          std::to_string(rho)));
+          std::to_string(rho));
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

@@ -8,7 +8,9 @@
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::RunSimulatedError(
-      flags, /*debias=*/true,
-      "Figure 3: simulated data, debiased error vs timestep"));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::RunSimulatedError(
+      flags, &report, /*debias=*/true,
+      "Figure 3: simulated data, debiased error vs timestep");
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

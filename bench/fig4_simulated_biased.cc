@@ -7,7 +7,9 @@
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::RunSimulatedError(
-      flags, /*debias=*/false,
-      "Figure 4: simulated data, biased (no debias) error vs timestep"));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::RunSimulatedError(
+      flags, &report, /*debias=*/false,
+      "Figure 4: simulated data, biased (no debias) error vs timestep");
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

@@ -7,7 +7,10 @@
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::RunSippQuarterly(
-      flags, /*rho=*/0.001, /*print_biased=*/true, /*print_debiased=*/true,
-      "Figure 5: SIPP quarterly poverty, rho=0.001, biased + debiased"));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::RunSippQuarterly(
+      flags, &report, /*rho=*/0.001, /*print_biased=*/true,
+      /*print_debiased=*/true,
+      "Figure 5: SIPP quarterly poverty, rho=0.001, biased + debiased");
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

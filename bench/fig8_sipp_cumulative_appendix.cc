@@ -11,8 +11,12 @@ namespace bench {
 namespace {
 
 Status PrintFinalMonthThresholdSweep(const harness::Flags& flags,
+                                     harness::BenchReport* report,
                                      double rho) {
   const int64_t reps = std::min<int64_t>(flags.Reps(1000), 200);
+  // The sweep runs at its own (capped) repetition count; record it so the
+  // threshold_sweep quantiles aren't misread against params.reps.
+  report->SetParam("sweep_reps", reps);
   LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
   const int64_t T = 12;
   std::vector<std::vector<double>> samples(
@@ -38,14 +42,19 @@ Status PrintFinalMonthThresholdSweep(const harness::Flags& flags,
   std::cout << "-- all thresholds b at the final month (t = 12), "
             << reps << " reps --\n";
   harness::Table table({"b", "truth", "mean", "q2.5", "q97.5"});
+  auto& series = report->AddSeries("threshold_sweep");
   for (int64_t b = 0; b <= T; ++b) {
     LONGDP_ASSIGN_OR_RETURN(double truth,
                             query::EvaluateCumulativeOnDataset(ds, T, b));
     auto s = harness::Summarize(samples[static_cast<size_t>(b)]);
     LONGDP_RETURN_NOT_OK(table.AddRow(
-        {std::to_string(b), harness::Table::Num(truth),
-         harness::Table::Num(s.mean), harness::Table::Num(s.q025),
-         harness::Table::Num(s.q975)}));
+        {std::to_string(b), harness::Table::Val(truth),
+         harness::Table::Val(s.mean), harness::Table::Val(s.q025),
+         harness::Table::Val(s.q975)}));
+    series.AddRow()
+        .Label("b", std::to_string(b))
+        .Value("truth", truth)
+        .Summary(s);
   }
   table.Print(std::cout);
   std::cout << "\n";
@@ -58,13 +67,14 @@ Status PrintFinalMonthThresholdSweep(const harness::Flags& flags,
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
+  auto report = longdp::bench::MakeReport(flags);
   double rho = flags.GetDouble("rho", 0.005);
   longdp::Status st = longdp::bench::RunSippCumulative(
-      flags, rho,
+      flags, &report, rho,
       "Figure 8 (appendix): SIPP cumulative poverty, b=3, rho=" +
           std::to_string(rho));
   if (st.ok()) {
-    st = longdp::bench::PrintFinalMonthThresholdSweep(flags, rho);
+    st = longdp::bench::PrintFinalMonthThresholdSweep(flags, &report, rho);
   }
-  return longdp::bench::ExitWith(st);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

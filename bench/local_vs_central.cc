@@ -17,13 +17,22 @@ namespace longdp {
 namespace bench {
 namespace {
 
-Status Run(const harness::Flags& flags) {
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   const int64_t reps = flags.Reps(300);
   const double rho = flags.GetDouble("rho", 0.005);
   LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
   const int64_t T = ds.rounds();
   const double delta = 1e-6;
   const double epsilon = dp::ZCdpToApproxDpEpsilon(rho, delta);
+
+  report->set_description(
+      "A7: local randomized response vs central Algorithm 1 (k = 1)");
+  report->SetParam("n", ds.num_users());
+  report->SetParam("T", T);
+  report->SetParam("rho", rho);
+  report->SetParam("epsilon", epsilon);
+  report->SetParam("delta", delta);
+  report->SetParam("reps", reps);
 
   std::cout << "== A7: local randomized response vs central Algorithm 1 "
                "(k = 1: monthly poverty rate) ==\n"
@@ -96,11 +105,13 @@ Status Run(const harness::Flags& flags) {
       }));
 
   harness::Table table({"model", "median_max_err", "q97.5_max_err"});
+  auto& series = report->AddSeries("max_error");
   for (const auto& arm : arms) {
     auto s = harness::Summarize(arm.max_errors);
     LONGDP_RETURN_NOT_OK(table.AddRow({arm.label,
-                                       harness::Table::Num(s.median, 5),
-                                       harness::Table::Num(s.q975, 5)}));
+                                       harness::Table::Val(s.median, 5),
+                                       harness::Table::Val(s.q975, 5)}));
+    series.AddRow().Label("model", arm.label).Summary(s);
   }
   table.Print(std::cout);
   std::cout << "\nThe memoized variant is competitive on the k=1 mean (its "
@@ -117,5 +128,7 @@ Status Run(const harness::Flags& flags) {
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

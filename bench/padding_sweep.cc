@@ -11,7 +11,7 @@ namespace longdp {
 namespace bench {
 namespace {
 
-Status Run(const harness::Flags& flags) {
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   const int64_t reps = flags.Reps(200);
   const double rho = flags.GetDouble("rho", 0.005);
   const int64_t n = flags.GetInt("n", 25000);
@@ -21,6 +21,14 @@ Status Run(const harness::Flags& flags) {
   LONGDP_ASSIGN_OR_RETURN(int64_t recommended,
                           core::theory::RecommendedNpad(T, k, rho, 0.05));
 
+  report->set_description("A5: padding sweep on all-zeros data");
+  report->SetParam("n", n);
+  report->SetParam("T", T);
+  report->SetParam("k", k);
+  report->SetParam("rho", rho);
+  report->SetParam("reps", reps);
+  report->SetParam("recommended_npad", recommended);
+
   std::cout << "== A5: padding sweep (all-zeros data: 7 of 8 bins at true "
                "count 0, the hardest case for negativity) ==\n"
             << "n=" << n << " T=" << T << " k=" << k << " rho=" << rho
@@ -29,6 +37,8 @@ Status Run(const harness::Flags& flags) {
 
   harness::Table table({"npad", "runs_with_clamps", "mean_clamps/run",
                         "biased_err(all3)", "debiased_err(all3)"});
+  auto& series = report->AddSeries("padding_sweep");
+  harness::BenchReport::PhaseTimer timer(report, "sweep");
   std::vector<int64_t> npads = {0, recommended / 4, recommended / 2,
                                 recommended, recommended * 2};
   auto pred = query::MakeAllOnes(3);
@@ -61,12 +71,22 @@ Status Run(const harness::Flags& flags) {
     for (double c : clamps) {
       if (c > 0) ++runs_with_clamps;
     }
+    double mean_clamps = harness::Summarize(clamps).mean;
+    double mean_biased = harness::Summarize(biased_err).mean;
+    double mean_debiased = harness::Summarize(debiased_err).mean;
     LONGDP_RETURN_NOT_OK(table.AddRow(
         {std::to_string(npad), std::to_string(runs_with_clamps),
-         harness::Table::Num(harness::Summarize(clamps).mean, 2),
-         harness::Table::Num(harness::Summarize(biased_err).mean, 5),
-         harness::Table::Num(harness::Summarize(debiased_err).mean, 5)}));
+         harness::Table::Val(mean_clamps, 2),
+         harness::Table::Val(mean_biased, 5),
+         harness::Table::Val(mean_debiased, 5)}));
+    series.AddRow()
+        .Label("npad", std::to_string(npad))
+        .Value("runs_with_clamps", static_cast<double>(runs_with_clamps))
+        .Value("mean_clamps_per_run", mean_clamps)
+        .Value("biased_err_all3", mean_biased)
+        .Value("debiased_err_all3", mean_debiased);
   }
+  timer.Stop();
   table.Print(std::cout);
   std::cout << "\nDebiasing removes the padding bias regardless of npad; "
                "small npad trades\nbias for clamp failures that break the "
@@ -80,5 +100,7 @@ Status Run(const harness::Flags& flags) {
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

@@ -48,11 +48,18 @@ Result<std::vector<double>> MeasureMaxErrors(
   return max_errors;
 }
 
-Status Run(const harness::Flags& flags) {
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   const int64_t reps = flags.Reps(200);
   const double rho = flags.GetDouble("rho", 0.005);
   const double beta = 0.05;
   LONGDP_ASSIGN_OR_RETURN(auto ds, MakeSippDataset(flags));
+
+  report->set_description("A2: Corollary B.1 bound & budget-split ablation");
+  report->SetParam("n", ds.num_users());
+  report->SetParam("T", ds.rounds());
+  report->SetParam("rho", rho);
+  report->SetParam("reps", reps);
+  report->SetParam("beta", beta);
 
   std::cout << "== A2: Corollary B.1 bound & budget-split ablation ==\n"
             << "SIPP-like data, n=" << ds.num_users() << " T=12 rho=" << rho
@@ -64,16 +71,23 @@ Status Run(const harness::Flags& flags) {
 
   harness::Table table({"budget_split", "median_max_err", "q97.5_max_err",
                         "mean_max_err", "theory_bound(beta=0.05)"});
+  auto& series = report->AddSeries("budget_split");
+  harness::BenchReport::PhaseTimer timer(report, "repetitions");
   for (auto split : {stream::BudgetSplit::kCubicLogLevels,
                      stream::BudgetSplit::kUniform}) {
     LONGDP_ASSIGN_OR_RETURN(auto errors,
                             MeasureMaxErrors(ds, reps, rho, split));
     auto s = harness::Summarize(errors);
     LONGDP_RETURN_NOT_OK(table.AddRow(
-        {stream::BudgetSplitName(split), harness::Table::Num(s.median),
-         harness::Table::Num(s.q975), harness::Table::Num(s.mean),
-         harness::Table::Num(bound)}));
+        {stream::BudgetSplitName(split), harness::Table::Val(s.median),
+         harness::Table::Val(s.q975), harness::Table::Val(s.mean),
+         harness::Table::Val(bound)}));
+    series.AddRow()
+        .Label("budget_split", stream::BudgetSplitName(split))
+        .Value("theory_bound", bound)
+        .Summary(s);
   }
+  timer.Stop();
   table.Print(std::cout);
   std::cout << "\nThe cubic-log split (Corollary B.1) equalizes per-counter "
                "worst cases;\nthe uniform split over-provisions "
@@ -87,5 +101,7 @@ Status Run(const harness::Flags& flags) {
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

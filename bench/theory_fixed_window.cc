@@ -9,10 +9,16 @@ namespace longdp {
 namespace bench {
 namespace {
 
-Status Run(const harness::Flags& flags) {
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   const int64_t reps = flags.Reps(100);
   const int64_t n = flags.GetInt("n", 10000);
   const double beta = 0.05;
+
+  report->set_description(
+      "A1: Theorem 3.2 bound vs measured max bin error");
+  report->SetParam("n", n);
+  report->SetParam("reps", reps);
+  report->SetParam("beta", beta);
 
   struct GridPoint {
     int64_t T;
@@ -29,6 +35,8 @@ Status Run(const harness::Flags& flags) {
             << ", beta=" << beta << "\n\n";
   harness::Table table({"T", "k", "rho", "theory_bound", "median_max_err",
                         "q97.5_max_err", "exceed_rate"});
+  auto& series = report->AddSeries("max_bin_error");
+  harness::BenchReport::PhaseTimer timer(report, "grid");
 
   for (const auto& g : grid) {
     LONGDP_ASSIGN_OR_RETURN(auto ds, data::ExtremeAllOnes(n, g.T));
@@ -66,13 +74,22 @@ Status Run(const harness::Flags& flags) {
     for (double e : max_errors) {
       if (e > bound) ++exceed;
     }
+    double exceed_rate =
+        static_cast<double>(exceed) / static_cast<double>(reps);
     LONGDP_RETURN_NOT_OK(table.AddRow(
         {std::to_string(g.T), std::to_string(g.k), harness::Table::Num(g.rho, 4),
-         harness::Table::Num(bound, 1), harness::Table::Num(s.median, 1),
-         harness::Table::Num(s.q975, 1),
-         harness::Table::Num(
-             static_cast<double>(exceed) / static_cast<double>(reps), 3)}));
+         harness::Table::Val(bound, 1), harness::Table::Val(s.median, 1),
+         harness::Table::Val(s.q975, 1),
+         harness::Table::Val(exceed_rate, 3)}));
+    series.AddRow()
+        .Label("T", std::to_string(g.T))
+        .Label("k", std::to_string(g.k))
+        .Label("rho", util::FormatDoubleRoundTrip(g.rho))
+        .Value("theory_bound", bound)
+        .Value("exceed_rate", exceed_rate)
+        .Summary(s);
   }
+  timer.Stop();
   table.Print(std::cout);
   std::cout << "\nexceed_rate should stay below beta = " << beta
             << " (the bound is a high-probability guarantee).\n";
@@ -85,5 +102,7 @@ Status Run(const harness::Flags& flags) {
 
 int main(int argc, char** argv) {
   auto flags = longdp::harness::Flags::Parse(argc, argv);
-  return longdp::bench::ExitWith(longdp::bench::Run(flags));
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
 }

@@ -1,15 +1,57 @@
 #include "harness/flags.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <iostream>
 
 namespace longdp {
 namespace harness {
 
+namespace {
+
+// Parses `s` as a full base-10 integer token. Returns false (leaving *out
+// untouched) on empty input, trailing garbage, or overflow — strtoll alone
+// would silently return a prefix parse ("1o00" -> 1) or 0.
+bool ParseFullInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseFullDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  // ERANGE covers both overflow and underflow; a subnormal result (e.g.
+  // --tol=1e-310) is a valid double, so only reject overflow.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return false;
+  *out = v;
+  return true;
+}
+
+std::string Basename(const std::string& path) {
+  auto slash = path.find_last_of("/\\");
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
 Flags Flags::Parse(int argc, char** argv) {
   Flags flags;
+  if (argc > 0) flags.program_name_ = Basename(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string raw = argv[i];
-    if (raw.rfind("--", 0) != 0) continue;
+    if (raw.rfind("--", 0) != 0) {
+      flags.positional_.push_back(raw);
+      continue;
+    }
     std::string arg = raw.substr(2);
     auto eq = arg.find('=');
     if (eq != std::string::npos) {
@@ -39,21 +81,42 @@ std::string Flags::GetString(const std::string& key,
 int64_t Flags::GetInt(const std::string& key, int64_t def) const {
   auto it = values_.find(key);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  int64_t v = 0;
+  if (!ParseFullInt(it->second, &v)) {
+    std::cerr << "warning: malformed integer for --" << key << "='"
+              << it->second << "'; using default " << def << "\n";
+    return def;
+  }
+  return v;
 }
 
 double Flags::GetDouble(const std::string& key, double def) const {
   auto it = values_.find(key);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  double v = 0.0;
+  if (!ParseFullDouble(it->second, &v)) {
+    std::cerr << "warning: malformed double for --" << key << "='"
+              << it->second << "'; using default " << def << "\n";
+    return def;
+  }
+  return v;
 }
 
 int64_t Flags::Reps(int64_t def) const {
-  if (Has("reps")) return GetInt("reps", def);
+  if (Has("reps")) {
+    int64_t v = GetInt("reps", def);
+    if (v <= 0) {
+      std::cerr << "warning: --reps must be positive, got " << v
+                << "; using default " << def << "\n";
+      return def;
+    }
+    return v;
+  }
   const char* env = std::getenv("LONGDP_REPS");
   if (env != nullptr) {
-    int64_t v = std::strtoll(env, nullptr, 10);
-    if (v > 0) return v;
+    int64_t v = 0;
+    if (ParseFullInt(env, &v) && v > 0) return v;
+    std::cerr << "warning: ignoring invalid LONGDP_REPS='" << env << "'\n";
   }
   return def;
 }

@@ -1,6 +1,10 @@
 // Minimal --key=value flag parsing for bench/example binaries. Environment
 // variable LONGDP_REPS, when set, overrides the default repetition count of
 // every bench (handy for quick smoke runs: LONGDP_REPS=10 ./fig1_...).
+//
+// Malformed numeric values (--reps=1o00) and non-positive repetition counts
+// (--reps=-5) are rejected with a stderr warning and fall back to the
+// default instead of silently parsing to garbage.
 
 #ifndef LONGDP_HARNESS_FLAGS_H_
 #define LONGDP_HARNESS_FLAGS_H_
@@ -8,28 +12,50 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace longdp {
 namespace harness {
 
 class Flags {
  public:
-  /// Parses argv entries of the form --key=value (or --key value). Unknown
-  /// positional arguments are ignored.
+  /// Parses argv entries of the form --key=value (or --key value). A --key
+  /// followed by another --flag (or nothing) is a boolean flag with value
+  /// "1". Arguments not starting with "--" are collected as positionals.
   static Flags Parse(int argc, char** argv);
 
   bool Has(const std::string& key) const;
   std::string GetString(const std::string& key,
                         const std::string& def) const;
+
+  /// Returns the parsed integer value, or `def` (with a stderr warning) if
+  /// the value is not a fully-formed base-10 integer or is out of range.
   int64_t GetInt(const std::string& key, int64_t def) const;
+
+  /// Returns the parsed double value, or `def` (with a stderr warning) if
+  /// the value is not a fully-formed floating-point literal.
   double GetDouble(const std::string& key, double def) const;
 
   /// Default repetition count: --reps flag, else LONGDP_REPS env var, else
-  /// `def`.
+  /// `def`. Malformed or non-positive counts are rejected with a stderr
+  /// warning (a negative count would otherwise flow into vector sizes as a
+  /// ~2^64 allocation).
   int64_t Reps(int64_t def) const;
 
+  /// Basename of argv[0] ("" if argv was empty). Names the default JSON
+  /// report path (BENCH_<program_name>.json) and the report itself.
+  const std::string& program_name() const { return program_name_; }
+
+  /// Non-flag arguments, in order (e.g. the two report files of bench_diff).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All parsed --key=value pairs, for recording into bench reports.
+  const std::map<std::string, std::string>& values() const { return values_; }
+
  private:
+  std::string program_name_;
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
 };
 
 }  // namespace harness

@@ -1,0 +1,284 @@
+#include "harness/report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/build_info.h"
+#include "util/json.h"
+
+namespace longdp {
+namespace harness {
+
+namespace {
+constexpr const char* kSchemaName = "longdp-bench-report";
+constexpr int64_t kSchemaVersion = 1;
+}  // namespace
+
+BenchReport::Row& BenchReport::Row::Summary(const QuantileSummary& s) {
+  Value("mean", s.mean);
+  Value("median", s.median);
+  Value("q2.5", s.q025);
+  Value("q97.5", s.q975);
+  Value("count", static_cast<double>(s.count));
+  return *this;
+}
+
+void BenchReport::SetParam(const std::string& key, const std::string& value) {
+  for (auto& p : params_) {
+    if (p.key == key) {
+      p.text = value;
+      p.quoted = true;
+      return;
+    }
+  }
+  params_.push_back(Param{key, value, /*quoted=*/true});
+}
+
+void BenchReport::SetParam(const std::string& key, int64_t value) {
+  for (auto& p : params_) {
+    if (p.key == key) {
+      p.text = std::to_string(value);
+      p.quoted = false;
+      return;
+    }
+  }
+  params_.push_back(Param{key, std::to_string(value), /*quoted=*/false});
+}
+
+void BenchReport::SetParam(const std::string& key, double value) {
+  std::string text = util::FormatDoubleRoundTrip(value);
+  for (auto& p : params_) {
+    if (p.key == key) {
+      p.text = text;
+      p.quoted = false;
+      return;
+    }
+  }
+  params_.push_back(Param{key, std::move(text), /*quoted=*/false});
+}
+
+BenchReport::Series& BenchReport::AddSeries(const std::string& name) {
+  for (auto& s : series_) {
+    if (s.name == name) return s;
+  }
+  series_.push_back(Series{name, {}});
+  return series_.back();
+}
+
+const BenchReport::Series* BenchReport::FindSeries(
+    const std::string& name) const {
+  for (const auto& s : series_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void BenchReport::RecordPhaseSeconds(const std::string& name,
+                                     double seconds) {
+  phases_.push_back(Phase{name, seconds});
+}
+
+void BenchReport::PhaseTimer::Stop() {
+  if (report_ == nullptr) return;
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  report_->RecordPhaseSeconds(
+      name_,
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count());
+  report_ = nullptr;
+}
+
+std::string BenchReport::ToJsonString() const {
+  std::ostringstream out;
+  util::JsonWriter w(&out);
+  w.BeginObject();
+  w.KeyValue("schema", kSchemaName);
+  w.KeyValue("schema_version", kSchemaVersion);
+  w.KeyValue("bench", bench_name_);
+  w.KeyValue("description", description_);
+
+  w.Key("build");
+  w.BeginObject();
+  w.KeyValue("git_describe", LONGDP_BUILD_GIT_DESCRIBE);
+  w.KeyValue("compiler", LONGDP_BUILD_COMPILER);
+  w.KeyValue("build_type", LONGDP_BUILD_TYPE);
+  w.KeyValue("version", LONGDP_BUILD_VERSION);
+  w.EndObject();
+
+  w.Key("flags");
+  w.BeginObject();
+  for (const auto& [k, v] : flags_) w.KeyValue(k, v);
+  w.EndObject();
+
+  w.Key("params");
+  w.BeginObject();
+  for (const auto& p : params_) {
+    w.Key(p.key);
+    if (p.quoted) {
+      w.Value(p.text);
+    } else {
+      // Already serialized with round-trip formatting; emit verbatim as a
+      // JSON number by re-parsing (keeps the writer interface uniform).
+      w.Value(std::strtod(p.text.c_str(), nullptr));
+    }
+  }
+  w.EndObject();
+
+  w.Key("phases");
+  w.BeginArray();
+  for (const auto& ph : phases_) {
+    w.BeginObject();
+    w.KeyValue("name", ph.name);
+    w.KeyValue("seconds", ph.seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("series");
+  w.BeginArray();
+  for (const auto& s : series_) {
+    w.BeginObject();
+    w.KeyValue("name", s.name);
+    w.Key("rows");
+    w.BeginArray();
+    for (const auto& row : s.rows) {
+      w.BeginObject();
+      w.Key("labels");
+      w.BeginObject();
+      for (const auto& [k, v] : row.labels) w.KeyValue(k, v);
+      w.EndObject();
+      w.Key("values");
+      w.BeginObject();
+      for (const auto& [k, v] : row.values) w.KeyValue(k, v);
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  out << "\n";
+  return out.str();
+}
+
+Status BenchReport::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << ToJsonString();
+  out.flush();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<BenchReport> BenchReport::FromJsonString(const std::string& text) {
+  LONGDP_ASSIGN_OR_RETURN(util::JsonValue doc, util::ParseJson(text));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("bench report: document is not an object");
+  }
+  const util::JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value() != kSchemaName) {
+    return Status::InvalidArgument(
+        "bench report: missing or unexpected \"schema\" marker");
+  }
+  const util::JsonValue* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    return Status::InvalidArgument("bench report: missing \"bench\" name");
+  }
+  BenchReport report(bench->string_value());
+
+  if (const auto* desc = doc.Find("description");
+      desc != nullptr && desc->is_string()) {
+    report.set_description(desc->string_value());
+  }
+  if (const auto* flags = doc.Find("flags");
+      flags != nullptr && flags->is_object()) {
+    for (const auto& [k, v] : flags->object_items()) {
+      if (v.is_string()) report.flags_[k] = v.string_value();
+    }
+  }
+  if (const auto* params = doc.Find("params");
+      params != nullptr && params->is_object()) {
+    for (const auto& [k, v] : params->object_items()) {
+      if (v.is_string()) {
+        report.SetParam(k, v.string_value());
+      } else if (v.is_number()) {
+        report.SetParam(k, v.number_value());
+      }
+    }
+  }
+  if (const auto* phases = doc.Find("phases");
+      phases != nullptr && phases->is_array()) {
+    for (const auto& ph : phases->array_items()) {
+      const auto* name = ph.Find("name");
+      const auto* seconds = ph.Find("seconds");
+      double secs = 0.0;
+      if (name != nullptr && name->is_string() && seconds != nullptr &&
+          util::JsonNumberValue(*seconds, &secs)) {
+        report.RecordPhaseSeconds(name->string_value(), secs);
+      }
+    }
+  }
+  const util::JsonValue* series = doc.Find("series");
+  if (series == nullptr || !series->is_array()) {
+    return Status::InvalidArgument("bench report: missing \"series\" array");
+  }
+  for (const auto& s : series->array_items()) {
+    const auto* name = s.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return Status::InvalidArgument("bench report: series without a name");
+    }
+    Series& out = report.AddSeries(name->string_value());
+    const auto* rows = s.Find("rows");
+    if (rows == nullptr || !rows->is_array()) {
+      return Status::InvalidArgument("bench report: series \"" +
+                                     out.name + "\" without a rows array");
+    }
+    for (const auto& r : rows->array_items()) {
+      Row& row = out.AddRow();
+      if (const auto* labels = r.Find("labels");
+          labels != nullptr && labels->is_object()) {
+        for (const auto& [k, v] : labels->object_items()) {
+          if (!v.is_string()) {
+            return Status::InvalidArgument(
+                "bench report: non-string label \"" + k + "\"");
+          }
+          row.Label(k, v.string_value());
+        }
+      }
+      if (const auto* values = r.Find("values");
+          values != nullptr && values->is_object()) {
+        for (const auto& [k, v] : values->object_items()) {
+          double d = 0.0;
+          if (!util::JsonNumberValue(v, &d)) {
+            return Status::InvalidArgument(
+                "bench report: non-numeric value \"" + k + "\"");
+          }
+          row.Value(k, d);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Result<BenchReport> BenchReport::FromJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failed: " + path);
+  }
+  LONGDP_ASSIGN_OR_RETURN(BenchReport report, FromJsonString(buf.str()));
+  return report;
+}
+
+}  // namespace harness
+}  // namespace longdp

@@ -1,0 +1,164 @@
+// Machine-readable benchmark reports. Each bench driver populates a
+// BenchReport alongside its aligned-text tables: named series of labeled
+// rows (truth/mean/median/quantiles per query x timestep), run parameters
+// (n/T/k/rho/reps), the raw command-line flags, per-phase wall-clock, and
+// build provenance (git describe, compiler, build type). The report
+// serializes as stable, round-trip-precision JSON so future perf PRs diff
+// against a stored baseline with tools/bench_diff instead of eyeballing
+// aligned text.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema": "longdp-bench-report", "schema_version": 1,
+//     "bench": "<name>", "description": "<figure label>",
+//     "build": {"git_describe", "compiler", "build_type", "version"},
+//     "flags": {"<flag>": "<raw value>", ...},
+//     "params": {"n": 23374, "rho": 0.005, ...},
+//     "phases": [{"name": "repetitions", "seconds": 1.25}, ...],
+//     "series": [{"name": "biased", "rows": [
+//        {"labels": {"query": ">=1 month", "quarter": "1"},
+//         "values": {"truth": ..., "mean": ..., "median": ...,
+//                    "q2.5": ..., "q97.5": ...}}]}]
+//   }
+//
+// Non-finite doubles travel as the strings "NaN"/"Infinity"/"-Infinity"
+// (JSON has no literals for them) and are mapped back on load.
+
+#ifndef LONGDP_HARNESS_REPORT_H_
+#define LONGDP_HARNESS_REPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/aggregate.h"
+#include "harness/flags.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace harness {
+
+class BenchReport {
+ public:
+  /// One measurement row: ordered string labels identifying the point
+  /// (query, quarter, ...) and ordered named double values (truth, mean,
+  /// quantiles, ...).
+  struct Row {
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::vector<std::pair<std::string, double>> values;
+
+    Row& Label(const std::string& key, const std::string& value) {
+      labels.emplace_back(key, value);
+      return *this;
+    }
+    Row& Value(const std::string& key, double v) {
+      values.emplace_back(key, v);
+      return *this;
+    }
+    /// Appends the figure-standard summary stats: mean, median, q2.5,
+    /// q97.5, count.
+    Row& Summary(const QuantileSummary& s);
+  };
+
+  struct Series {
+    std::string name;
+    std::vector<Row> rows;
+
+    Row& AddRow() {
+      rows.emplace_back();
+      return rows.back();
+    }
+  };
+
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+  };
+
+  /// Typed run parameter, kept as serialized text + quoting kind so output
+  /// is stable and comparable.
+  struct Param {
+    std::string key;
+    std::string text;
+    bool quoted = false;  // true: JSON string; false: JSON number
+  };
+
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  const std::string& bench_name() const { return bench_name_; }
+
+  void set_description(std::string description) {
+    description_ = std::move(description);
+  }
+  const std::string& description() const { return description_; }
+
+  /// Records the raw command-line flags (stable map order).
+  void RecordFlags(const Flags& flags) { flags_ = flags.values(); }
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+  void SetParam(const std::string& key, const std::string& value);
+  void SetParam(const std::string& key, const char* value) {
+    SetParam(key, std::string(value));
+  }
+  void SetParam(const std::string& key, int64_t value);
+  void SetParam(const std::string& key, int value) {
+    SetParam(key, static_cast<int64_t>(value));
+  }
+  void SetParam(const std::string& key, double value);
+  const std::vector<Param>& params() const { return params_; }
+
+  /// Adds (or returns the existing) series named `name`.
+  Series& AddSeries(const std::string& name);
+  const std::vector<Series>& series() const { return series_; }
+  const Series* FindSeries(const std::string& name) const;
+
+  void RecordPhaseSeconds(const std::string& name, double seconds);
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// RAII wall-clock timer: records the elapsed seconds of a named phase
+  /// into the report on destruction (or on an explicit Stop()).
+  class PhaseTimer {
+   public:
+    PhaseTimer(BenchReport* report, std::string name)
+        : report_(report),
+          name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+    ~PhaseTimer() { Stop(); }
+
+    void Stop();
+
+   private:
+    BenchReport* report_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Serializes the report as JSON (see the schema above).
+  std::string ToJsonString() const;
+
+  /// Writes the JSON document to `path`, flushing and checking the stream.
+  Status WriteJson(const std::string& path) const;
+
+  /// Loads a report previously written by WriteJson.
+  static Result<BenchReport> FromJsonString(const std::string& text);
+  static Result<BenchReport> FromJsonFile(const std::string& path);
+
+ private:
+  std::string bench_name_;
+  std::string description_;
+  std::map<std::string, std::string> flags_;
+  std::vector<Param> params_;
+  std::vector<Phase> phases_;
+  std::vector<Series> series_;
+};
+
+}  // namespace harness
+}  // namespace longdp
+
+#endif  // LONGDP_HARNESS_REPORT_H_

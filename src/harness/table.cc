@@ -4,11 +4,12 @@
 #include <fstream>
 
 #include "util/csv.h"
+#include "util/json.h"
 
 namespace longdp {
 namespace harness {
 
-Status Table::AddRow(std::vector<std::string> row) {
+Status Table::AddRow(std::vector<Cell> row) {
   if (row.size() != headers_.size()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != header arity " +
@@ -26,30 +27,39 @@ std::string Table::Num(double v, int precision) {
 
 std::string Table::Int(int64_t v) { return std::to_string(v); }
 
+Table::Cell Table::Val(double v, int precision) {
+  return Cell(Num(v, precision), v);
+}
+
 void Table::Print(std::ostream& out) const {
   std::vector<size_t> width(headers_.size());
   for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
   for (const auto& row : rows_) {
     for (size_t c = 0; c < row.size(); ++c) {
-      width[c] = std::max(width[c], row[c].size());
+      width[c] = std::max(width[c], row[c].text.size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& row) {
-    for (size_t c = 0; c < row.size(); ++c) {
-      out << row[c];
-      if (c + 1 < row.size()) {
-        out << std::string(width[c] - row[c].size() + 2, ' ');
-      }
+  auto print_cell = [&](const std::string& text, size_t c, size_t arity) {
+    out << text;
+    if (c + 1 < arity) {
+      out << std::string(width[c] - text.size() + 2, ' ');
     }
-    out << '\n';
   };
-  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    print_cell(headers_[c], c, headers_.size());
+  }
+  out << '\n';
   size_t total = 0;
   for (size_t c = 0; c < width.size(); ++c) {
     total += width[c] + (c + 1 < width.size() ? 2 : 0);
   }
   out << std::string(total, '-') << '\n';
-  for (const auto& row : rows_) print_row(row);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      print_cell(row[c].text, c, row.size());
+    }
+    out << '\n';
+  }
 }
 
 Status Table::WriteCsv(const std::string& path) const {
@@ -59,7 +69,18 @@ Status Table::WriteCsv(const std::string& path) const {
   }
   util::CsvWriter writer(&out);
   writer.WriteRow(headers_);
-  for (const auto& row : rows_) writer.WriteRow(row);
+  std::vector<std::string> fields;
+  for (const auto& row : rows_) {
+    fields.clear();
+    for (const auto& cell : row) {
+      fields.push_back(cell.numeric ? util::FormatDoubleRoundTrip(cell.value)
+                                    : cell.text);
+    }
+    writer.WriteRow(fields);
+  }
+  // An ofstream buffers; without an explicit flush a full disk or closed
+  // pipe after the last buffered write would still report success here.
+  out.flush();
   return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
 }
 

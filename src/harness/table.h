@@ -1,6 +1,11 @@
 // Aligned-column table printer for bench output, with optional CSV export,
 // so every figure's series is readable in a terminal and loadable in R /
 // pandas for plotting.
+//
+// Cells built with Table::Val carry the raw double alongside the rounded
+// display text: the terminal shows the usual 6 decimals, while CSV export
+// emits full round-trip precision (a rho-scale value truncated to 6
+// decimals would corrupt any stored baseline diffed against it).
 
 #ifndef LONGDP_HARNESS_TABLE_H_
 #define LONGDP_HARNESS_TABLE_H_
@@ -16,27 +21,45 @@ namespace harness {
 
 class Table {
  public:
+  /// One table cell: display text, plus the raw value for numeric cells.
+  struct Cell {
+    Cell(std::string t) : text(std::move(t)) {}        // NOLINT(runtime/explicit)
+    Cell(const char* t) : text(t) {}                   // NOLINT(runtime/explicit)
+    Cell(std::string t, double v)
+        : text(std::move(t)), numeric(true), value(v) {}
+
+    std::string text;
+    bool numeric = false;
+    double value = 0.0;
+  };
+
   explicit Table(std::vector<std::string> headers)
       : headers_(std::move(headers)) {}
 
   /// Appends a row; must match the header arity.
-  Status AddRow(std::vector<std::string> row);
+  Status AddRow(std::vector<Cell> row);
 
-  /// Convenience formatting helpers.
+  /// Convenience formatting helpers (display text only).
   static std::string Num(double v, int precision = 6);
   static std::string Int(int64_t v);
+
+  /// Numeric cell: rounded display text plus the raw value, so machine
+  /// exports (CSV) keep round-trip precision.
+  static Cell Val(double v, int precision = 6);
 
   /// Prints with aligned columns.
   void Print(std::ostream& out) const;
 
-  /// Writes as CSV to `path` (headers first).
+  /// Writes as CSV to `path` (headers first). Numeric cells are written
+  /// with round-trip precision; the stream is flushed and checked so disk
+  /// errors after the last buffered write are still reported.
   Status WriteCsv(const std::string& path) const;
 
   size_t num_rows() const { return rows_.size(); }
 
  private:
   std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::vector<Cell>> rows_;
 };
 
 }  // namespace harness

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/json.h"
+
 namespace longdp {
 namespace util {
 
@@ -35,9 +37,9 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
 }
 
 std::string CsvWriter::Field(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  return buf;
+  // Round-trip precision: CSV exports feed the stored-baseline diff
+  // workflow, where %.12g-style truncation would register as deltas.
+  return FormatDoubleRoundTrip(v);
 }
 
 std::string CsvWriter::Field(int64_t v) { return std::to_string(v); }

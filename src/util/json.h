@@ -1,0 +1,140 @@
+// Minimal JSON support for the benchmark reporting subsystem: a streaming
+// writer with stable formatting, a strict recursive-descent parser, and a
+// shortest-round-trip double formatter shared with the CSV writer. The
+// machine-readable outputs (BENCH_*.json, CSV exports) must preserve full
+// double precision so stored baselines diff exactly.
+
+#ifndef LONGDP_UTIL_JSON_H_
+#define LONGDP_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longdp {
+namespace util {
+
+/// Formats `v` with the fewest decimal digits (<= 17) that parse back to
+/// exactly the same double. Non-finite values format as "nan"/"inf"/"-inf"
+/// (callers emitting strict JSON must special-case them; JsonWriter does).
+std::string FormatDoubleRoundTrip(double v);
+
+/// Escapes `s` for inclusion in a JSON string literal (without the
+/// surrounding quotes): quote, backslash, and control characters.
+std::string JsonEscape(const std::string& s);
+
+/// \brief Parsed JSON document node.
+///
+/// Objects preserve insertion order (serialization must be stable for
+/// baseline diffs), with linear-scan lookup — report files are small.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : var_(nullptr) {}                            // null
+  explicit JsonValue(bool b) : var_(b) {}
+  explicit JsonValue(double d) : var_(d) {}
+  explicit JsonValue(std::string s) : var_(std::move(s)) {}
+  explicit JsonValue(Array a) : var_(std::move(a)) {}
+  explicit JsonValue(Object o) : var_(std::move(o)) {}
+
+  Type type() const {
+    return static_cast<Type>(var_.index());
+  }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool bool_value() const { return std::get<bool>(var_); }
+  double number_value() const { return std::get<double>(var_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(var_);
+  }
+  const Array& array_items() const { return std::get<Array>(var_); }
+  const Object& object_items() const { return std::get<Object>(var_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> var_;
+};
+
+/// Parses a complete JSON document. Strict: no trailing garbage, no
+/// comments, no NaN/Infinity literals (non-finite doubles travel as the
+/// strings "NaN"/"Infinity"/"-Infinity"; see JsonNumberValue).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Reads `v` as a double, accepting either a JSON number or the special
+/// strings "NaN"/"Infinity"/"-Infinity" that JsonWriter emits for
+/// non-finite values. Returns false if `v` is neither.
+bool JsonNumberValue(const JsonValue& v, double* out);
+
+/// \brief Streaming JSON writer with 2-space indentation and stable output.
+///
+/// Usage mirrors a SAX emitter: BeginObject/Key/Value/EndObject. Doubles are
+/// written with round-trip precision; non-finite doubles are written as the
+/// strings "NaN"/"Infinity"/"-Infinity" so the document stays valid JSON.
+class JsonWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit JsonWriter(std::ostream* out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes the key of the next object member; must be inside an object.
+  void Key(const std::string& key);
+
+  void Value(const std::string& v);
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(double v);
+  void Value(int64_t v);
+  void Value(uint64_t v);
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(bool v);
+  void Null();
+
+  /// Convenience for `Key(k); Value(v);`.
+  template <typename T>
+  void KeyValue(const std::string& k, const T& v) {
+    Key(k);
+    Value(v);
+  }
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool first = true;
+  };
+
+  void BeforeValue();  // separators + indentation for the next value
+  void Indent();
+
+  std::ostream* out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace util
+}  // namespace longdp
+
+#endif  // LONGDP_UTIL_JSON_H_

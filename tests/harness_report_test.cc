@@ -1,0 +1,186 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "harness/aggregate.h"
+
+namespace longdp {
+namespace harness {
+namespace {
+
+BenchReport MakeSampleReport() {
+  BenchReport report("fig_test");
+  report.set_description("test figure");
+  report.SetParam("n", static_cast<int64_t>(23374));
+  report.SetParam("rho", 0.005);
+  report.SetParam("mode", "biased");
+  report.RecordPhaseSeconds("repetitions", 1.25);
+  auto& series = report.AddSeries("biased");
+  auto s = Summarize({1.0, 2.0, 3.0, 4.0});
+  series.AddRow()
+      .Label("query", ">=1 month")
+      .Label("quarter", "1")
+      .Value("truth", 0.13698981774621374)
+      .Summary(s);
+  series.AddRow()
+      .Label("query", "all 3 months")
+      .Label("quarter", "4")
+      .Value("truth", 1.0 / 3.0)
+      .Summary(s);
+  return report;
+}
+
+TEST(BenchReportTest, JsonRoundTrip) {
+  BenchReport report = MakeSampleReport();
+  auto loaded_result = BenchReport::FromJsonString(report.ToJsonString());
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  const BenchReport& loaded = loaded_result.value();
+
+  EXPECT_EQ(loaded.bench_name(), "fig_test");
+  EXPECT_EQ(loaded.description(), "test figure");
+  ASSERT_EQ(loaded.params().size(), 3u);
+  EXPECT_EQ(loaded.params()[0].key, "n");
+  EXPECT_EQ(loaded.params()[0].text, "23374");
+  EXPECT_EQ(loaded.params()[1].text, "0.005");
+  EXPECT_EQ(loaded.params()[2].text, "biased");
+  EXPECT_TRUE(loaded.params()[2].quoted);
+  ASSERT_EQ(loaded.phases().size(), 1u);
+  EXPECT_EQ(loaded.phases()[0].name, "repetitions");
+  EXPECT_DOUBLE_EQ(loaded.phases()[0].seconds, 1.25);
+
+  const BenchReport::Series* series = loaded.FindSeries("biased");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->rows.size(), 2u);
+  const auto& row = series->rows[0];
+  ASSERT_EQ(row.labels.size(), 2u);
+  EXPECT_EQ(row.labels[0].first, "query");
+  EXPECT_EQ(row.labels[0].second, ">=1 month");
+  // Values survive with exact round-trip double precision.
+  BenchReport original = MakeSampleReport();
+  const BenchReport::Series* orig = original.FindSeries("biased");
+  ASSERT_NE(orig, nullptr);
+  ASSERT_EQ(row.values.size(), orig->rows[0].values.size());
+  for (size_t i = 0; i < row.values.size(); ++i) {
+    EXPECT_EQ(row.values[i].first, orig->rows[0].values[i].first);
+    EXPECT_EQ(row.values[i].second, orig->rows[0].values[i].second);
+  }
+  EXPECT_EQ(series->rows[1].values[0].second, 1.0 / 3.0);  // exact
+}
+
+TEST(BenchReportTest, SecondRoundTripIsByteStable) {
+  BenchReport report = MakeSampleReport();
+  std::string once = report.ToJsonString();
+  auto loaded = BenchReport::FromJsonString(once);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().ToJsonString(), once);
+}
+
+TEST(BenchReportTest, EmptySeriesAndEmptyReport) {
+  BenchReport report("empty_bench");
+  report.AddSeries("nothing");
+  auto loaded = BenchReport::FromJsonString(report.ToJsonString());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().bench_name(), "empty_bench");
+  const BenchReport::Series* series = loaded.value().FindSeries("nothing");
+  ASSERT_NE(series, nullptr);
+  EXPECT_TRUE(series->rows.empty());
+  EXPECT_TRUE(loaded.value().params().empty());
+  EXPECT_TRUE(loaded.value().phases().empty());
+}
+
+TEST(BenchReportTest, NanAndInfRoundTrip) {
+  BenchReport report("edge_bench");
+  report.AddSeries("edges")
+      .AddRow()
+      .Label("case", "nonfinite")
+      .Value("nan", std::nan(""))
+      .Value("pinf", HUGE_VAL)
+      .Value("ninf", -HUGE_VAL)
+      .Value("tiny", 5e-324);
+  auto loaded = BenchReport::FromJsonString(report.ToJsonString());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& values = loaded.value().FindSeries("edges")->rows[0].values;
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_TRUE(std::isnan(values[0].second));
+  EXPECT_EQ(values[1].second, HUGE_VAL);
+  EXPECT_EQ(values[2].second, -HUGE_VAL);
+  EXPECT_EQ(values[3].second, 5e-324);
+}
+
+TEST(BenchReportTest, AddSeriesIsIdempotent) {
+  BenchReport report("bench");
+  auto& a = report.AddSeries("s");
+  a.AddRow().Label("i", "0");
+  auto& b = report.AddSeries("s");
+  b.AddRow().Label("i", "1");
+  ASSERT_EQ(report.series().size(), 1u);
+  EXPECT_EQ(report.series()[0].rows.size(), 2u);
+}
+
+TEST(BenchReportTest, SetParamOverwrites) {
+  BenchReport report("bench");
+  report.SetParam("reps", static_cast<int64_t>(10));
+  report.SetParam("reps", static_cast<int64_t>(20));
+  ASSERT_EQ(report.params().size(), 1u);
+  EXPECT_EQ(report.params()[0].text, "20");
+}
+
+TEST(BenchReportTest, WriteAndLoadFile) {
+  BenchReport report = MakeSampleReport();
+  std::string path = ::testing::TempDir() + "/longdp_report.json";
+  ASSERT_TRUE(report.WriteJson(path).ok());
+  auto loaded = BenchReport::FromJsonFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().ToJsonString(), report.ToJsonString());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, WriteJsonToUnwritablePathFails) {
+  BenchReport report("bench");
+  EXPECT_TRUE(
+      report.WriteJson("/nonexistent-dir/report.json").IsIOError());
+}
+
+TEST(BenchReportTest, LoadRejectsForeignJson) {
+  EXPECT_FALSE(BenchReport::FromJsonString("[1, 2, 3]").ok());
+  EXPECT_FALSE(BenchReport::FromJsonString("{\"bench\": \"x\"}").ok());
+  EXPECT_FALSE(BenchReport::FromJsonString(
+                   "{\"schema\": \"something-else\", \"bench\": \"x\","
+                   " \"series\": []}")
+                   .ok());
+  EXPECT_FALSE(BenchReport::FromJsonString("not json at all").ok());
+  // Missing series array.
+  EXPECT_FALSE(BenchReport::FromJsonString(
+                   "{\"schema\": \"longdp-bench-report\", \"bench\": \"x\"}")
+                   .ok());
+}
+
+TEST(BenchReportTest, FromJsonFileMissingFileIsIOError) {
+  auto result = BenchReport::FromJsonFile("/nonexistent-dir/missing.json");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(BenchReportTest, PhaseTimerRecordsElapsed) {
+  BenchReport report("bench");
+  {
+    BenchReport::PhaseTimer timer(&report, "phase1");
+  }
+  {
+    BenchReport::PhaseTimer timer(&report, "phase2");
+    timer.Stop();
+    timer.Stop();  // idempotent
+  }
+  ASSERT_EQ(report.phases().size(), 2u);
+  EXPECT_EQ(report.phases()[0].name, "phase1");
+  EXPECT_GE(report.phases()[0].seconds, 0.0);
+  EXPECT_EQ(report.phases()[1].name, "phase2");
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace longdp

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -68,6 +69,37 @@ TEST(TableTest, CsvExport) {
   std::getline(in, line);
   EXPECT_EQ(line, "1,\"a,b\"");
   std::remove(path.c_str());
+}
+
+TEST(TableTest, CsvExportKeepsRoundTripPrecisionForValCells) {
+  // Display text is rounded to 6 decimals, but the CSV must carry the raw
+  // value: rho-scale numbers truncated to 6 decimals would corrupt any
+  // stored baseline diffed against the file.
+  const double v = 0.0001234567890123456;
+  Table t({"label", "value"});
+  ASSERT_TRUE(t.AddRow({"rho", Table::Val(v)}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+
+  std::ostringstream printed;
+  t.Print(printed);
+  EXPECT_NE(printed.str().find("0.000123"), std::string::npos);
+
+  std::string path = ::testing::TempDir() + "/longdp_table_rt.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  auto comma = line.find(',');
+  ASSERT_NE(comma, std::string::npos);
+  EXPECT_EQ(std::strtod(line.c_str() + comma + 1, nullptr), v);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvToUnwritablePathFails) {
+  Table t({"x"});
+  ASSERT_TRUE(t.AddRow({"1"}).ok());
+  EXPECT_TRUE(t.WriteCsv("/nonexistent-dir/table.csv").IsIOError());
 }
 
 TEST(RunnerTest, RunsAllRepetitions) {
@@ -140,6 +172,99 @@ TEST(FlagsTest, RepsEnvOverride) {
   auto flags = Flags::Parse(1, const_cast<char**>(argv));
   EXPECT_EQ(flags.Reps(100), 17);
   unsetenv("LONGDP_REPS");
+}
+
+TEST(FlagsTest, KeyValueSpaceAndEqualsFormsAgree) {
+  const char* argv_eq[] = {"prog", "--rho=0.01", "--name=x"};
+  const char* argv_sp[] = {"prog", "--rho", "0.01", "--name", "x"};
+  auto eq = Flags::Parse(3, const_cast<char**>(argv_eq));
+  auto sp = Flags::Parse(5, const_cast<char**>(argv_sp));
+  EXPECT_DOUBLE_EQ(eq.GetDouble("rho", 0.0), sp.GetDouble("rho", 0.0));
+  EXPECT_EQ(eq.GetString("name", ""), sp.GetString("name", ""));
+}
+
+TEST(FlagsTest, BareBooleanFlagValue) {
+  const char* argv[] = {"prog", "--json", "--verbose", "--csv=out"};
+  auto flags = Flags::Parse(4, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.Has("json"));
+  EXPECT_EQ(flags.GetString("json", ""), "1");  // bare flags read as "1"
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_EQ(flags.GetString("csv", ""), "out");
+}
+
+TEST(FlagsTest, MalformedIntFallsBackToDefault) {
+  // strtoll with a null endptr would silently accept the "1" prefix of
+  // "1o00"; the parser must reject partial parses.
+  const char* argv[] = {"prog", "--reps=1o00", "--n=", "--k=12x",
+                        "--t=999999999999999999999999"};
+  auto flags = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("reps", 42), 42);
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+  EXPECT_EQ(flags.GetInt("k", 3), 3);
+  EXPECT_EQ(flags.GetInt("t", 5), 5);  // out of range
+  EXPECT_EQ(flags.Reps(100), 100);
+}
+
+TEST(FlagsTest, MalformedDoubleFallsBackToDefault) {
+  const char* argv[] = {"prog", "--rho=0.00x5", "--tol=", "--beta=1.2.3"};
+  auto flags = Flags::Parse(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rho", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("tol", 1e-9), 1e-9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.05), 0.05);
+}
+
+TEST(FlagsTest, WellFormedValuesStillParse) {
+  const char* argv[] = {"prog", "--n=-12", "--rho=1e-3", "--big=123456789",
+                        "--tiny=1e-310", "--huge=1e400"};
+  auto flags = Flags::Parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("n", 0), -12);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rho", 0.0), 1e-3);
+  EXPECT_EQ(flags.GetInt("big", 0), 123456789);
+  // Subnormal values are valid doubles (ERANGE underflow is not an error)
+  // but overflow to infinity is rejected.
+  EXPECT_DOUBLE_EQ(flags.GetDouble("tiny", 0.0), 1e-310);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("huge", 0.5), 0.5);
+}
+
+TEST(FlagsTest, NonPositiveRepsRejected) {
+  // --reps=-5 previously flowed into static_cast<size_t> vector sizes as a
+  // ~2^64 allocation.
+  const char* argv_neg[] = {"prog", "--reps=-5"};
+  auto neg = Flags::Parse(2, const_cast<char**>(argv_neg));
+  EXPECT_EQ(neg.Reps(100), 100);
+
+  const char* argv_zero[] = {"prog", "--reps=0"};
+  auto zero = Flags::Parse(2, const_cast<char**>(argv_zero));
+  EXPECT_EQ(zero.Reps(100), 100);
+}
+
+TEST(FlagsTest, MalformedRepsEnvIgnored) {
+  const char* argv[] = {"prog"};
+  setenv("LONGDP_REPS", "1o00", 1);
+  auto flags = Flags::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.Reps(100), 100);
+  setenv("LONGDP_REPS", "-3", 1);
+  EXPECT_EQ(flags.Reps(100), 100);
+  unsetenv("LONGDP_REPS");
+}
+
+TEST(FlagsTest, ProgramNameAndPositionals) {
+  const char* argv[] = {"/path/to/bench_diff", "a.json", "--tol=1e-6",
+                        "b.json"};
+  auto flags = Flags::Parse(4, const_cast<char**>(argv));
+  EXPECT_EQ(flags.program_name(), "bench_diff");
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "a.json");
+  EXPECT_EQ(flags.positional()[1], "b.json");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("tol", 0.0), 1e-6);
+}
+
+TEST(FlagsTest, ValuesAccessorExposesAllFlags) {
+  const char* argv[] = {"prog", "--a=1", "--b=2"};
+  auto flags = Flags::Parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.values().size(), 2u);
+  EXPECT_EQ(flags.values().at("a"), "1");
+  EXPECT_EQ(flags.values().at("b"), "2");
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace longdp {
+namespace util {
+namespace {
+
+TEST(FormatDoubleRoundTripTest, RoundTripsExactly) {
+  for (double v : {0.0, -0.0, 1.0, -1.5, 0.005, 1.0 / 3.0, 6.02214076e23,
+                   5e-324, std::numeric_limits<double>::max(),
+                   std::numeric_limits<double>::min(),
+                   0.1 + 0.2, 1e-9, 123456789.123456789}) {
+    std::string s = FormatDoubleRoundTrip(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << "for " << s;
+  }
+}
+
+TEST(FormatDoubleRoundTripTest, PrefersShortForm) {
+  EXPECT_EQ(FormatDoubleRoundTrip(0.005), "0.005");
+  EXPECT_EQ(FormatDoubleRoundTrip(1.0), "1");
+  EXPECT_EQ(FormatDoubleRoundTrip(-2.5), "-2.5");
+}
+
+TEST(FormatDoubleRoundTripTest, NonFinite) {
+  EXPECT_EQ(FormatDoubleRoundTrip(std::nan("")), "nan");
+  EXPECT_EQ(FormatDoubleRoundTrip(HUGE_VAL), "inf");
+  EXPECT_EQ(FormatDoubleRoundTrip(-HUGE_VAL), "-inf");
+}
+
+TEST(JsonWriterTest, NestedDocument) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.KeyValue("name", "bench");
+  w.KeyValue("count", static_cast<int64_t>(3));
+  w.Key("values");
+  w.BeginArray();
+  w.Value(0.5);
+  w.Value(true);
+  w.Null();
+  w.EndArray();
+  w.Key("empty");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+
+  auto parsed = ParseJson(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("name")->string_value(), "bench");
+  EXPECT_EQ(doc.Find("count")->number_value(), 3.0);
+  const auto& values = doc.Find("values")->array_items();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].number_value(), 0.5);
+  EXPECT_TRUE(values[1].bool_value());
+  EXPECT_TRUE(values[2].is_null());
+  EXPECT_TRUE(doc.Find("empty")->is_object());
+  EXPECT_TRUE(doc.Find("empty")->object_items().empty());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.KeyValue("s", "a\"b\\c\nd\te\x01");
+  w.EndObject();
+  auto parsed = ParseJson(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("s")->string_value(), "a\"b\\c\nd\te\x01");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesAsStrings) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginArray();
+  w.Value(std::nan(""));
+  w.Value(HUGE_VAL);
+  w.Value(-HUGE_VAL);
+  w.EndArray();
+  auto parsed = ParseJson(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& items = parsed.value().array_items();
+  ASSERT_EQ(items.size(), 3u);
+  double v = 0.0;
+  ASSERT_TRUE(JsonNumberValue(items[0], &v));
+  EXPECT_TRUE(std::isnan(v));
+  ASSERT_TRUE(JsonNumberValue(items[1], &v));
+  EXPECT_EQ(v, HUGE_VAL);
+  ASSERT_TRUE(JsonNumberValue(items[2], &v));
+  EXPECT_EQ(v, -HUGE_VAL);
+  EXPECT_FALSE(JsonNumberValue(JsonValue(std::string("pelican")), &v));
+}
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_EQ(ParseJson("42").value().number_value(), 42.0);
+  EXPECT_EQ(ParseJson("-1.5e3").value().number_value(), -1500.0);
+  EXPECT_TRUE(ParseJson("true").value().bool_value());
+  EXPECT_FALSE(ParseJson("false").value().bool_value());
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_EQ(ParseJson("\"hi\"").value().string_value(), "hi");
+}
+
+TEST(JsonParserTest, ParsesUnicodeEscapes) {
+  auto parsed = ParseJson("\"\\u00e9\\u20ac\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().string_value(), "\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, PreservesObjectOrder) {
+  auto parsed = ParseJson(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(parsed.ok());
+  const auto& items = parsed.value().object_items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, "z");
+  EXPECT_EQ(items[1].first, "a");
+  EXPECT_EQ(items[2].first, "m");
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} extra").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1.2.3").ok());
+  EXPECT_FALSE(ParseJson("NaN").ok());
+  EXPECT_FALSE(ParseJson("{'a': 1}").ok());
+}
+
+TEST(JsonParserTest, RejectsDeepNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonParserTest, NumberRoundTripsThroughWriter) {
+  for (double v : {0.005, 1.0 / 3.0, 6.02214076e23, 5e-324}) {
+    std::ostringstream out;
+    JsonWriter w(&out);
+    w.BeginArray();
+    w.Value(v);
+    w.EndArray();
+    auto parsed = ParseJson(out.str());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().array_items()[0].number_value(), v);
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace longdp

@@ -1,0 +1,259 @@
+// Compares two bench JSON reports (harness::BenchReport files emitted via
+// --json) and exits nonzero when any per-series value drifts beyond the
+// tolerance — the mechanical "no regression" check CI and perf PRs run
+// against the stored baseline. Self-compare mode (same file twice) doubles
+// as a validation pass that a freshly emitted report parses.
+//
+// Usage:
+//   bench_diff BASELINE.json CANDIDATE.json [--tol=1e-9] [--abs_tol=0]
+//              [--ignore=key1,key2] [--max_print=20]
+//
+// A value pair (a, b) passes when |a - b| <= abs_tol + tol * max(|a|, |b|)
+// (NaN matches NaN, same-signed infinities match). Wall-clock phases and
+// any value key listed in --ignore (e.g. --ignore=ms_per_run for
+// time-valued series) are excluded. Exit codes: 0 = within tolerance,
+// 1 = out-of-tolerance delta, 2 = structural mismatch or load failure.
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/flags.h"
+#include "harness/report.h"
+#include "harness/table.h"
+#include "util/json.h"
+
+namespace longdp {
+namespace {
+
+using harness::BenchReport;
+
+struct Violation {
+  std::string series;
+  std::string row;
+  std::string key;
+  double a = 0.0;
+  double b = 0.0;
+};
+
+std::string RowKey(const BenchReport::Row& row) {
+  std::ostringstream out;
+  for (size_t i = 0; i < row.labels.size(); ++i) {
+    if (i) out << ", ";
+    out << row.labels[i].first << "=" << row.labels[i].second;
+  }
+  return out.str();
+}
+
+bool Matches(double a, double b, double rel_tol, double abs_tol,
+             double* delta) {
+  *delta = 0.0;
+  if (std::isnan(a) && std::isnan(b)) return true;
+  if (std::isinf(a) || std::isinf(b)) {
+    if (a == b) return true;
+    *delta = HUGE_VAL;
+    return false;
+  }
+  *delta = std::fabs(a - b);
+  return *delta <= abs_tol + rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+bool Ignored(const std::vector<std::string>& ignore, const std::string& key) {
+  for (const auto& k : ignore) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+int RunDiff(const harness::Flags& flags) {
+  if (flags.positional().size() != 2) {
+    std::cerr << "usage: bench_diff BASELINE.json CANDIDATE.json"
+                 " [--tol=1e-9] [--abs_tol=0] [--ignore=key1,key2]"
+                 " [--max_print=20]\n";
+    return 2;
+  }
+  const double rel_tol = flags.GetDouble("tol", 1e-9);
+  const double abs_tol = flags.GetDouble("abs_tol", 0.0);
+  const int64_t max_print = flags.GetInt("max_print", 20);
+  std::vector<std::string> ignore;
+  {
+    std::string raw = flags.GetString("ignore", "");
+    std::istringstream in(raw);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+      if (!tok.empty()) ignore.push_back(tok);
+    }
+  }
+
+  auto a_result = BenchReport::FromJsonFile(flags.positional()[0]);
+  if (!a_result.ok()) {
+    std::cerr << "bench_diff: " << flags.positional()[0] << ": "
+              << a_result.status().ToString() << "\n";
+    return 2;
+  }
+  auto b_result = BenchReport::FromJsonFile(flags.positional()[1]);
+  if (!b_result.ok()) {
+    std::cerr << "bench_diff: " << flags.positional()[1] << ": "
+              << b_result.status().ToString() << "\n";
+    return 2;
+  }
+  const BenchReport& a = a_result.value();
+  const BenchReport& b = b_result.value();
+
+  std::cout << "baseline : " << flags.positional()[0] << " (bench "
+            << a.bench_name() << ")\n"
+            << "candidate: " << flags.positional()[1] << " (bench "
+            << b.bench_name() << ")\n"
+            << "tolerance: |a-b| <= " << abs_tol << " + " << rel_tol
+            << " * max(|a|,|b|)\n\n";
+
+  if (a.bench_name() != b.bench_name()) {
+    std::cout << "note: comparing reports from different benches\n";
+  }
+  // Param drift is informational: a baseline recorded at other n/rho is a
+  // configuration problem, not a numeric regression.
+  for (const auto& pa : a.params()) {
+    for (const auto& pb : b.params()) {
+      if (pa.key == pb.key && pa.text != pb.text) {
+        std::cout << "note: param " << pa.key << " differs: " << pa.text
+                  << " vs " << pb.text << "\n";
+      }
+    }
+  }
+
+  bool structural_mismatch = false;
+  std::vector<Violation> violations;
+  harness::Table summary(
+      {"series", "rows", "values", "max|delta|", "out_of_tol"});
+
+  for (const auto& sa : a.series()) {
+    const BenchReport::Series* sb = b.FindSeries(sa.name);
+    if (sb == nullptr) {
+      std::cout << "MISSING: series \"" << sa.name
+                << "\" absent from candidate\n";
+      structural_mismatch = true;
+      continue;
+    }
+    if (sb->rows.size() != sa.rows.size()) {
+      std::cout << "MISMATCH: series \"" << sa.name << "\" has "
+                << sa.rows.size() << " baseline rows vs "
+                << sb->rows.size() << " candidate rows\n";
+      structural_mismatch = true;
+      continue;
+    }
+    double max_delta = 0.0;
+    int64_t values_compared = 0;
+    int64_t out_of_tol = 0;
+    for (size_t r = 0; r < sa.rows.size(); ++r) {
+      const auto& ra = sa.rows[r];
+      const auto& rb = sb->rows[r];
+      if (ra.labels != rb.labels) {
+        std::cout << "MISMATCH: series \"" << sa.name << "\" row " << r
+                  << " labels differ: {" << RowKey(ra) << "} vs {"
+                  << RowKey(rb) << "}\n";
+        structural_mismatch = true;
+        continue;
+      }
+      for (const auto& [key, va] : ra.values) {
+        if (Ignored(ignore, key)) continue;
+        const double* vb = nullptr;
+        for (const auto& [kb, v] : rb.values) {
+          if (kb == key) {
+            vb = &v;
+            break;
+          }
+        }
+        if (vb == nullptr) {
+          std::cout << "MISMATCH: series \"" << sa.name << "\" row {"
+                    << RowKey(ra) << "} lacks value \"" << key
+                    << "\" in candidate\n";
+          structural_mismatch = true;
+          continue;
+        }
+        ++values_compared;
+        double delta = 0.0;
+        if (!Matches(va, *vb, rel_tol, abs_tol, &delta)) {
+          ++out_of_tol;
+          violations.push_back(Violation{sa.name, RowKey(ra), key, va, *vb});
+        }
+        max_delta = std::max(max_delta, delta);
+      }
+      // Symmetric structural check: a metric added only in the candidate
+      // must fail too, or it would never be gated against the baseline.
+      for (const auto& [key, vb] : rb.values) {
+        if (Ignored(ignore, key)) continue;
+        bool in_baseline = false;
+        for (const auto& [ka, v] : ra.values) {
+          if (ka == key) {
+            in_baseline = true;
+            break;
+          }
+        }
+        if (!in_baseline) {
+          std::cout << "MISMATCH: series \"" << sa.name << "\" row {"
+                    << RowKey(ra) << "} lacks value \"" << key
+                    << "\" in baseline\n";
+          structural_mismatch = true;
+        }
+      }
+    }
+    Status st = summary.AddRow(
+        {sa.name, std::to_string(sa.rows.size()),
+         std::to_string(values_compared),
+         util::FormatDoubleRoundTrip(max_delta),
+         std::to_string(out_of_tol)});
+    if (!st.ok()) {
+      std::cerr << "bench_diff: " << st.ToString() << "\n";
+      return 2;
+    }
+  }
+  for (const auto& sb : b.series()) {
+    if (a.FindSeries(sb.name) == nullptr) {
+      std::cout << "MISSING: series \"" << sb.name
+                << "\" absent from baseline\n";
+      structural_mismatch = true;
+    }
+  }
+
+  summary.Print(std::cout);
+  std::cout << "\n";
+
+  if (!violations.empty()) {
+    std::cout << violations.size() << " value(s) out of tolerance";
+    if (static_cast<int64_t>(violations.size()) > max_print) {
+      std::cout << " (showing first " << max_print << ")";
+    }
+    std::cout << ":\n";
+    int64_t shown = 0;
+    for (const auto& v : violations) {
+      if (shown++ >= max_print) break;
+      std::cout << "  " << v.series << " {" << v.row << "} " << v.key
+                << ": " << util::FormatDoubleRoundTrip(v.a) << " -> "
+                << util::FormatDoubleRoundTrip(v.b)
+                << " (|delta| = " << util::FormatDoubleRoundTrip(
+                       std::fabs(v.a - v.b))
+                << ")\n";
+    }
+  }
+
+  if (structural_mismatch) {
+    std::cout << "RESULT: structural mismatch\n";
+    return 2;
+  }
+  if (!violations.empty()) {
+    std::cout << "RESULT: out of tolerance\n";
+    return 1;
+  }
+  std::cout << "RESULT: reports match within tolerance\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace longdp
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::RunDiff(flags);
+}
