@@ -44,6 +44,58 @@ namespace bench {
 
 inline constexpr uint64_t kDatasetSeed = 20240512;  // fixed ground truth
 inline constexpr uint64_t kRunSeed = 1234567;
+inline constexpr uint64_t kObserveSeed = 0x0B5E22E5EED;  // observe phases
+
+/// Serial hot-path timing phases, recorded into the report's per-phase
+/// wall-clock (the accuracy series are untouched, so bench_diff against a
+/// stored baseline still gates on statistics only). Each phase runs
+/// `--observe_reps` (default 20) full single-threaded continual releases on
+/// the bench's own dataset, timing nothing but synthesizer construction and
+/// the ObserveRound loop — the number a hot-path PR must move:
+///
+///   "observe_cumulative"  CumulativeSynthesizer over the full horizon
+///   "observe_window"      FixedWindowSynthesizer (when window_k > 0)
+///
+/// Serial on purpose: the "repetitions" phase saturates every core, so its
+/// wall-clock measures the machine as much as the code.
+inline Status TimeObservePhases(const harness::Flags& flags,
+                                harness::BenchReport* report,
+                                const data::LongitudinalDataset& ds,
+                                int64_t horizon, double rho, int window_k) {
+  const int64_t observe_reps = flags.GetInt("observe_reps", 20);
+  if (observe_reps <= 0) return Status::OK();
+  report->SetParam("observe_reps", observe_reps);
+  {
+    harness::BenchReport::PhaseTimer timer(report, "observe_cumulative");
+    for (int64_t rep = 0; rep < observe_reps; ++rep) {
+      util::Rng rng(kObserveSeed + static_cast<uint64_t>(rep));
+      core::CumulativeSynthesizer::Options opt;
+      opt.horizon = horizon;
+      opt.rho = rho;
+      LONGDP_ASSIGN_OR_RETURN(auto synth,
+                              core::CumulativeSynthesizer::Create(opt));
+      for (int64_t t = 1; t <= horizon; ++t) {
+        LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), &rng));
+      }
+    }
+  }
+  if (window_k > 0) {
+    harness::BenchReport::PhaseTimer timer(report, "observe_window");
+    for (int64_t rep = 0; rep < observe_reps; ++rep) {
+      util::Rng rng(kObserveSeed + 0x100 + static_cast<uint64_t>(rep));
+      core::FixedWindowSynthesizer::Options opt;
+      opt.horizon = horizon;
+      opt.window_k = window_k;
+      opt.rho = rho;
+      LONGDP_ASSIGN_OR_RETURN(auto synth,
+                              core::FixedWindowSynthesizer::Create(opt));
+      for (int64_t t = 1; t <= horizon; ++t) {
+        LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), &rng));
+      }
+    }
+  }
+  return Status::OK();
+}
 
 /// Resolves the --json flag: "" when absent, the given path when
 /// --json=PATH, and BENCH_<binary>.json when passed bare.
@@ -225,7 +277,8 @@ inline Status RunSippQuarterly(const harness::Flags& flags,
     LONGDP_RETURN_NOT_OK(print_panel(
         "Debiased Results (padding subtracted, /n)", debiased, "debiased"));
   }
-  return Status::OK();
+  return TimeObservePhases(flags, report, ds, /*horizon=*/12, rho,
+                           /*window_k=*/3);
 }
 
 /// Runs the paper's SIPP cumulative experiment (Figures 2 and 8): fraction
@@ -294,7 +347,7 @@ inline Status RunSippCumulative(const harness::Flags& flags,
   if (!csv.empty()) {
     LONGDP_RETURN_NOT_OK(table.WriteCsv(csv + ".csv"));
   }
-  return Status::OK();
+  return TimeObservePhases(flags, report, ds, T, rho, /*window_k=*/0);
 }
 
 /// Runs the simulated-data error experiment of Figures 3-4: all-ones data,

@@ -2,6 +2,7 @@
 // computed on the synthetic data (biased panel), rho = 0.005, 1000 reps.
 //
 // Flags: --reps=N --rho=R --n=N --csv=prefix --sipp_csv=path
+//        --observe_reps=N (serial hot-path timing phases; 0 disables)
 #include "bench_common.h"
 
 int main(int argc, char** argv) {

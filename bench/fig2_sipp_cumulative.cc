@@ -2,6 +2,7 @@
 // months up to any given month (2021), rho = 0.005, 1000 reps.
 //
 // Flags: --reps=N --rho=R --b=B --n=N --csv=prefix --sipp_csv=path
+//        --observe_reps=N (serial hot-path timing phases; 0 disables)
 #include "bench_common.h"
 
 int main(int argc, char** argv) {

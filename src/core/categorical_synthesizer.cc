@@ -91,11 +91,14 @@ Status CategoricalWindowSynthesizer::ObserveRound(
   } else if (symbols.size() != static_cast<size_t>(n_)) {
     return Status::InvalidArgument("round size changed");
   }
-  const uint64_t a = static_cast<uint64_t>(options_.alphabet);
-  for (size_t i = 0; i < symbols.size(); ++i) {
-    if (symbols[i] >= options_.alphabet) {
+  // Validate before mutating: a rejected round must not slide any window.
+  for (uint8_t s : symbols) {
+    if (s >= options_.alphabet) {
       return Status::InvalidArgument("symbol out of alphabet range");
     }
+  }
+  const uint64_t a = static_cast<uint64_t>(options_.alphabet);
+  for (size_t i = 0; i < symbols.size(); ++i) {
     user_window_[i] = (user_window_[i] * a + symbols[i]) % num_bins_;
   }
   ++t_;
@@ -104,20 +107,20 @@ Status CategoricalWindowSynthesizer::ObserveRound(
   return SlideRelease(rng);
 }
 
-std::vector<int64_t> CategoricalWindowSynthesizer::NoisyPaddedHistogram(
+std::vector<int64_t>& CategoricalWindowSynthesizer::NoisyPaddedHistogram(
     util::Rng* rng) {
-  std::vector<int64_t> hist(num_bins_, 0);
-  for (uint64_t w : user_window_) ++hist[w];
-  for (auto& c : hist) {
+  noisy_scratch_.assign(num_bins_, 0);
+  for (uint64_t w : user_window_) ++noisy_scratch_[w];
+  for (auto& c : noisy_scratch_) {
     c += npad_ + dp::SampleDiscreteGaussian(sigma2_, rng);
   }
-  return hist;
+  return noisy_scratch_;
 }
 
 Status CategoricalWindowSynthesizer::InitialRelease(util::Rng* rng) {
   LONGDP_RETURN_NOT_OK(accountant_.Charge(
       rho_per_step_, "categorical histogram t=" + std::to_string(t_)));
-  std::vector<int64_t> noisy = NoisyPaddedHistogram(rng);
+  std::vector<int64_t>& noisy = NoisyPaddedHistogram(rng);
   ++stats_.releases;
   for (auto& c : noisy) {
     if (c < 0) {
@@ -127,23 +130,34 @@ Status CategoricalWindowSynthesizer::InitialRelease(util::Rng* rng) {
   }
   counts_ = noisy;
   groups_.assign(num_overlaps_, {});
+  group_scratch_.assign(num_overlaps_, {});
+  counts_scratch_.assign(num_bins_, 0);
+  targets_.assign(static_cast<size_t>(options_.alphabet), 0);
+  child_order_.assign(static_cast<size_t>(options_.alphabet), 0);
   num_records_ = 0;
   for (int64_t c : noisy) num_records_ += c;
-  histories_.clear();
-  histories_.reserve(static_cast<size_t>(num_records_));
   const int k = options_.window_k;
   const uint64_t a = static_cast<uint64_t>(options_.alphabet);
+  const size_t m = static_cast<size_t>(num_records_);
+  history_symbols_.clear();
+  history_symbols_.reserve(m * static_cast<size_t>(options_.horizon));
+  history_symbols_.resize(m * static_cast<size_t>(k), 0);
+  int64_t next_record = 0;
+  std::vector<uint8_t> digits(static_cast<size_t>(k));
   for (uint64_t s = 0; s < num_bins_; ++s) {
-    std::vector<uint8_t> history(static_cast<size_t>(k));
     uint64_t code = s;
     for (int j = k - 1; j >= 0; --j) {
-      history[static_cast<size_t>(j)] = static_cast<uint8_t>(code % a);
+      digits[static_cast<size_t>(j)] = static_cast<uint8_t>(code % a);
       code /= a;
     }
     uint64_t overlap = s % num_overlaps_;
     for (int64_t c = 0; c < noisy[s]; ++c) {
-      groups_[overlap].push_back(static_cast<int64_t>(histories_.size()));
-      histories_.push_back(history);
+      const size_t rec = static_cast<size_t>(next_record++);
+      groups_[overlap].push_back(static_cast<int64_t>(rec));
+      for (int j = 0; j < k; ++j) {
+        history_symbols_[static_cast<size_t>(j) * m + rec] =
+            digits[static_cast<size_t>(j)];
+      }
     }
   }
   initialized_ = true;
@@ -153,14 +167,25 @@ Status CategoricalWindowSynthesizer::InitialRelease(util::Rng* rng) {
 Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
   LONGDP_RETURN_NOT_OK(accountant_.Charge(
       rho_per_step_, "categorical histogram t=" + std::to_string(t_)));
-  std::vector<int64_t> noisy = NoisyPaddedHistogram(rng);
+  std::vector<int64_t>& noisy = NoisyPaddedHistogram(rng);
   ++stats_.releases;
 
   const int64_t a = options_.alphabet;
-  std::vector<std::vector<int64_t>> new_groups(num_overlaps_);
-  std::vector<int64_t> new_counts(num_bins_, 0);
-  std::vector<int64_t> targets(static_cast<size_t>(a));
-  std::vector<size_t> child_order(static_cast<size_t>(a));
+  // Persistent scratch: clear (keeping capacity) instead of reallocating
+  // A^{k-1} group vectors and the A^k histogram every round.
+  std::vector<std::vector<int64_t>>& new_groups = group_scratch_;
+  for (auto& g : new_groups) g.clear();
+  std::vector<int64_t>& new_counts = counts_scratch_;
+  new_counts.assign(num_bins_, 0);
+  std::vector<int64_t>& targets = targets_;
+  std::vector<size_t>& child_order = child_order_;
+
+  // One zero-filled column append for round t_; promoted symbols are
+  // written record-by-record below.
+  const size_t m = static_cast<size_t>(num_records_);
+  const size_t col_base = static_cast<size_t>(t_ - 1) * m;
+  history_symbols_.resize(col_base + m, 0);
+  uint8_t* col = history_symbols_.data() + col_base;
 
   for (uint64_t z = 0; z < num_overlaps_; ++z) {
     std::vector<int64_t>& members = groups_[z];
@@ -212,8 +237,7 @@ Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
       int64_t take = targets[static_cast<size_t>(c)];
       for (int64_t j = 0; j < take && idx < members.size(); ++j, ++idx) {
         int64_t rec = members[idx];
-        histories_[static_cast<size_t>(rec)].push_back(
-            static_cast<uint8_t>(c));
+        col[rec] = static_cast<uint8_t>(c);
         ++new_counts[child];
         new_groups[child % num_overlaps_].push_back(rec);
       }
@@ -223,13 +247,14 @@ Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
     for (; idx < members.size(); ++idx) {
       int64_t rec = members[idx];
       uint64_t child = z * static_cast<uint64_t>(a);
-      histories_[static_cast<size_t>(rec)].push_back(0);
+      col[rec] = 0;
       ++new_counts[child];
       new_groups[child % num_overlaps_].push_back(rec);
     }
   }
-  groups_ = std::move(new_groups);
-  counts_ = std::move(new_counts);
+  // Swap current and scratch: next round clears the scratch before use.
+  groups_.swap(new_groups);
+  counts_.swap(new_counts);
   return Status::OK();
 }
 

@@ -70,7 +70,9 @@ class CategoricalWindowSynthesizer {
 
   /// Symbol of synthetic record `r` at round `tt` (1-based, tt <= t()).
   int Symbol(int64_t r, int64_t tt) const {
-    return histories_[static_cast<size_t>(r)][static_cast<size_t>(tt - 1)];
+    return history_symbols_[static_cast<size_t>(tt - 1) *
+                                static_cast<size_t>(num_records_) +
+                            static_cast<size_t>(r)];
   }
 
   const Stats& stats() const { return stats_; }
@@ -85,7 +87,8 @@ class CategoricalWindowSynthesizer {
 
   Status InitialRelease(util::Rng* rng);
   Status SlideRelease(util::Rng* rng);
-  std::vector<int64_t> NoisyPaddedHistogram(util::Rng* rng);
+  /// Fills and returns noisy_scratch_ (persistent, never reallocated).
+  std::vector<int64_t>& NoisyPaddedHistogram(util::Rng* rng);
 
   Options options_;
   int64_t npad_;
@@ -103,10 +106,21 @@ class CategoricalWindowSynthesizer {
 
   // Synthetic cohort state (flattened into the synthesizer: categorical
   // grouping logic differs enough from the binary cohort to keep separate).
-  std::vector<std::vector<uint8_t>> histories_;
+  // Records live in one flat column-major symbol matrix — round tt's
+  // column is [(tt-1)*m, tt*m) for m = num_records_ — so a round append is
+  // one zero-filled resize plus per-record writes into a contiguous column.
+  std::vector<uint8_t> history_symbols_;
   std::vector<std::vector<int64_t>> groups_;  ///< by overlap code
   std::vector<int64_t> counts_;               ///< current histogram p_s
   Stats stats_;
+
+  // Persistent per-round scratch (sized once, reused every release) so the
+  // pattern-histogram update allocates nothing in steady state.
+  std::vector<int64_t> noisy_scratch_;              ///< A^k noisy histogram
+  std::vector<std::vector<int64_t>> group_scratch_; ///< next-round groups
+  std::vector<int64_t> counts_scratch_;             ///< next-round histogram
+  std::vector<int64_t> targets_;                    ///< per-child targets
+  std::vector<size_t> child_order_;                 ///< remainder shuffle
 };
 
 }  // namespace core

@@ -25,8 +25,12 @@ Result<std::unique_ptr<CumulativeSynthesizer>> CumulativeSynthesizer::Create(
 Status CumulativeSynthesizer::InitializeForPopulation(int64_t n) {
   n_ = n;
   orig_weight_.assign(static_cast<size_t>(n), 0);
-  histories_.assign(static_cast<size_t>(n), {});
+  history_bits_.clear();
+  history_bits_.reserve(static_cast<size_t>(n) *
+                        static_cast<size_t>(options_.horizon));
   weight_groups_.assign(static_cast<size_t>(options_.horizon) + 1, {});
+  group_head_.assign(static_cast<size_t>(options_.horizon) + 1, 0);
+  z_.assign(static_cast<size_t>(options_.horizon), 0);
   auto& zero_group = weight_groups_[0];
   zero_group.reserve(static_cast<size_t>(n));
   for (int64_t r = 0; r < n; ++r) zero_group.push_back(r);
@@ -60,25 +64,36 @@ Status CumulativeSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
         "round size changed; the population is fixed over the horizon");
   }
 
-  // Stage 1 input: z^t_b = #{ i : weight_i(t-1) = b-1 and x^t_i = 1 }.
-  std::vector<int64_t> z(static_cast<size_t>(options_.horizon), 0);
-  for (size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i] > 1) {
+  // Validate the whole round before touching any state: a rejected round
+  // must leave the synthesizer exactly as it was. (The pre-validation
+  // variant incremented weights up to the bad entry, which corrupted the
+  // weight->z indexing of every later round — an ASan-visible overflow.)
+  for (uint8_t b : bits) {
+    if (b > 1) {
       return Status::InvalidArgument("round entries must be 0 or 1");
     }
+  }
+  // Stage 1 input: z^t_b = #{ i : weight_i(t-1) = b-1 and x^t_i = 1 }.
+  // z_ is persistent scratch — zeroed, never reallocated.
+  std::fill(z_.begin(), z_.end(), 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
     if (bits[i]) {
-      ++z[static_cast<size_t>(orig_weight_[i])];
+      ++z_[static_cast<size_t>(orig_weight_[i])];
       ++orig_weight_[i];
     }
   }
   ++t_;
-  LONGDP_ASSIGN_OR_RETURN(released_, bank_->ObserveRound(z, rng));
+  LONGDP_RETURN_NOT_OK(bank_->ObserveRoundBatched(z_, rng));
+  released_ = bank_->monotone_row();
 
-  // Stage 2: extend every record with a provisional 0, then flip the
-  // promoted records. Descending b keeps selections against the
-  // time-(t-1) weight groups (promotions only move records upward into
-  // groups already processed).
-  for (auto& h : histories_) h.push_back(0);
+  // Stage 2: extend every record with a provisional 0 (one zero-filled
+  // column append into the flat matrix), then flip the promoted records.
+  // Descending b keeps selections against the time-(t-1) weight groups
+  // (promotions only move records upward into groups already processed).
+  const size_t col_base =
+      static_cast<size_t>(t_ - 1) * static_cast<size_t>(n_);
+  history_bits_.resize(col_base + static_cast<size_t>(n_), 0);
+  uint8_t* col = history_bits_.data() + col_base;
   for (int64_t b = std::min<int64_t>(t_, options_.horizon); b >= 1; --b) {
     size_t ib = static_cast<size_t>(b);
     int64_t zhat = released_[ib] - prev_released_[ib];
@@ -88,26 +103,39 @@ Status CumulativeSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
     }
     if (zhat == 0) continue;
     auto& source = weight_groups_[ib - 1];
-    if (zhat > static_cast<int64_t>(source.size())) {
+    size_t& head = group_head_[ib - 1];
+    int64_t group = static_cast<int64_t>(source.size() - head);
+    if (zhat > group) {
       return Status::Internal(
           "monotonization violated: zhat exceeds weight-(b-1) group at b=" +
           std::to_string(b));
     }
-    // Uniformly choose zhat records to promote: partial Fisher-Yates.
-    int64_t group = static_cast<int64_t>(source.size());
+    // Uniformly choose zhat records to promote: partial Fisher-Yates over
+    // the live suffix [head, end) — element order and draw sequence are
+    // identical to the old erase-from-front representation.
+    int64_t* live = source.data() + head;
     for (int64_t i = 0; i < zhat; ++i) {
       int64_t j = i + static_cast<int64_t>(
                           rng->UniformInt(static_cast<uint64_t>(group - i)));
-      std::swap(source[static_cast<size_t>(i)],
-                source[static_cast<size_t>(j)]);
+      std::swap(live[i], live[j]);
     }
     auto& target = weight_groups_[ib];
     for (int64_t i = 0; i < zhat; ++i) {
-      int64_t rec = source[static_cast<size_t>(i)];
-      histories_[static_cast<size_t>(rec)].back() = 1;
+      int64_t rec = live[i];
+      col[rec] = 1;
       target.push_back(rec);
     }
-    source.erase(source.begin(), source.begin() + zhat);
+    head += zhat;
+    // Amortized compaction keeps the spent prefix from growing past the
+    // live region, bounding memory without per-round memmoves.
+    if (head == source.size()) {
+      source.clear();
+      head = 0;
+    } else if (head > 64 && head * 2 > source.size()) {
+      source.erase(source.begin(),
+                   source.begin() + static_cast<int64_t>(head));
+      head = 0;
+    }
   }
   prev_released_ = released_;
   return Status::OK();
@@ -134,10 +162,12 @@ std::vector<int64_t> CumulativeSynthesizer::SyntheticThresholdCounts() const {
   std::vector<int64_t> counts(static_cast<size_t>(options_.horizon) + 1, 0);
   if (n_ < 0) return counts;
   // Group sizes give the exact-weight histogram; suffix-sum to thresholds.
+  // Live size = stored size minus the spent head prefix.
   int64_t running = 0;
   for (int64_t b = options_.horizon; b >= 0; --b) {
-    running += static_cast<int64_t>(weight_groups_[static_cast<size_t>(b)]
-                                        .size());
+    running += static_cast<int64_t>(
+        weight_groups_[static_cast<size_t>(b)].size() -
+        group_head_[static_cast<size_t>(b)]);
     counts[static_cast<size_t>(b)] = running;
   }
   return counts;
@@ -151,10 +181,11 @@ Result<data::LongitudinalDataset> CumulativeSynthesizer::ToDataset() const {
       auto ds, data::LongitudinalDataset::Create(n_, options_.horizon));
   std::vector<uint8_t> round(static_cast<size_t>(n_));
   for (int64_t tt = 1; tt <= t_; ++tt) {
-    for (int64_t r = 0; r < n_; ++r) {
-      round[static_cast<size_t>(r)] =
-          histories_[static_cast<size_t>(r)][static_cast<size_t>(tt - 1)];
-    }
+    // Column-major storage: round tt is one contiguous copy.
+    const uint8_t* col = history_bits_.data() +
+                         static_cast<size_t>(tt - 1) *
+                             static_cast<size_t>(n_);
+    round.assign(col, col + n_);
     LONGDP_RETURN_NOT_OK(ds.AppendRound(round));
   }
   return ds;
@@ -186,11 +217,14 @@ Status CumulativeSynthesizer::SaveCheckpoint(std::ostream& out) const {
     out << "released";
     for (int64_t v : released_) out << " " << v;
     out << "\n";
-    out << "histories " << histories_.size() << " " << t_ << "\n";
-    for (const auto& h : histories_) {
-      std::string line(h.size(), '0');
-      for (size_t j = 0; j < h.size(); ++j) {
-        if (h[j]) line[j] = '1';
+    out << "histories " << n_ << " " << t_ << "\n";
+    for (int64_t r = 0; r < n_; ++r) {
+      std::string line(static_cast<size_t>(t_), '0');
+      for (int64_t j = 0; j < t_; ++j) {
+        if (history_bits_[static_cast<size_t>(j) * static_cast<size_t>(n_) +
+                          static_cast<size_t>(r)]) {
+          line[static_cast<size_t>(j)] = '1';
+        }
       }
       out << line << "\n";
     }
@@ -256,20 +290,24 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
     std::string line;
     std::getline(in, line);
     for (auto& group : synth->weight_groups_) group.clear();
+    std::fill(synth->group_head_.begin(), synth->group_head_.end(), 0);
+    synth->history_bits_.assign(
+        static_cast<size_t>(t) * static_cast<size_t>(n), 0);
     for (int64_t r = 0; r < n; ++r) {
       if (!std::getline(in, line) ||
           line.size() != static_cast<size_t>(t)) {
         return Status::InvalidArgument("corrupt checkpoint history line");
       }
-      auto& h = synth->histories_[static_cast<size_t>(r)];
-      h.assign(static_cast<size_t>(t), 0);
       int64_t weight = 0;
-      for (size_t j = 0; j < h.size(); ++j) {
+      for (size_t j = 0; j < line.size(); ++j) {
         if (line[j] != '0' && line[j] != '1') {
           return Status::InvalidArgument("history bits must be 0/1");
         }
-        h[j] = line[j] == '1' ? 1 : 0;
-        weight += h[j];
+        if (line[j] == '1') {
+          synth->history_bits_[j * static_cast<size_t>(n) +
+                               static_cast<size_t>(r)] = 1;
+          ++weight;
+        }
       }
       synth->weight_groups_[static_cast<size_t>(weight)].push_back(r);
     }

@@ -69,7 +69,9 @@ class CumulativeSynthesizer {
 
   /// Bit of synthetic record `r` at round `tt` (1-based, tt <= t()).
   int Bit(int64_t r, int64_t tt) const {
-    return histories_[static_cast<size_t>(r)][static_cast<size_t>(tt - 1)];
+    return history_bits_[static_cast<size_t>(tt - 1) *
+                             static_cast<size_t>(n_) +
+                         static_cast<size_t>(r)];
   }
 
   /// Materializes the synthetic records as a dataset (n users, t() rounds).
@@ -100,9 +102,21 @@ class CumulativeSynthesizer {
 
   int64_t n_ = -1;
   int64_t t_ = 0;
-  std::vector<int32_t> orig_weight_;               ///< true prefix weights
-  std::vector<std::vector<uint8_t>> histories_;    ///< synthetic records
-  std::vector<std::vector<int64_t>> weight_groups_;  ///< records by weight
+  std::vector<int32_t> orig_weight_;  ///< true prefix weights
+  /// Synthetic records as one flat column-major bit matrix: round tt's
+  /// column occupies [(tt-1)*n, tt*n). A round extension is then a single
+  /// zero-filled resize plus scattered writes for the promoted records,
+  /// instead of n separate vector push_backs (the dominant cost of the
+  /// pre-optimization observe loop).
+  std::vector<uint8_t> history_bits_;
+  /// Records by current synthetic weight. Promotions consume a group's
+  /// prefix; group_head_[b] marks how much of weight_groups_[b] is spent,
+  /// so per-round maintenance is O(promotions) with amortized compaction
+  /// instead of an O(group) erase-from-front every round. The live members
+  /// of group b are weight_groups_[b][group_head_[b]..].
+  std::vector<std::vector<int64_t>> weight_groups_;
+  std::vector<size_t> group_head_;
+  std::vector<int64_t> z_;              ///< per-round increment scratch
   std::vector<int64_t> released_;       ///< Shat^t (b = 0..T)
   std::vector<int64_t> prev_released_;  ///< Shat^{t-1}
 };

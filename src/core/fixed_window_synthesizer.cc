@@ -63,10 +63,13 @@ Status FixedWindowSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
     return Status::InvalidArgument(
         "round size changed; the population is fixed over the horizon");
   }
-  for (size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i] > 1) {
+  // Validate before mutating: a rejected round must not slide any window.
+  for (uint8_t b : bits) {
+    if (b > 1) {
       return Status::InvalidArgument("round entries must be 0 or 1");
     }
+  }
+  for (size_t i = 0; i < bits.size(); ++i) {
     user_window_[i] =
         util::SlideAppend(user_window_[i], options_.window_k, bits[i]);
   }
@@ -76,20 +79,20 @@ Status FixedWindowSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
   return SlideRelease(rng);
 }
 
-std::vector<int64_t> FixedWindowSynthesizer::NoisyPaddedHistogram(
+std::vector<int64_t>& FixedWindowSynthesizer::NoisyPaddedHistogram(
     util::Rng* rng) {
-  std::vector<int64_t> hist(util::NumPatterns(options_.window_k), 0);
-  for (util::Pattern w : user_window_) ++hist[w];
-  for (auto& c : hist) {
+  noisy_scratch_.assign(util::NumPatterns(options_.window_k), 0);
+  for (util::Pattern w : user_window_) ++noisy_scratch_[w];
+  for (auto& c : noisy_scratch_) {
     c += npad_ + dp::SampleDiscreteGaussian(sigma2_, rng);
   }
-  return hist;
+  return noisy_scratch_;
 }
 
 Status FixedWindowSynthesizer::InitialRelease(util::Rng* rng) {
   LONGDP_RETURN_NOT_OK(accountant_.Charge(
       rho_per_step_, "fixed-window histogram t=" + std::to_string(t_)));
-  std::vector<int64_t> noisy = NoisyPaddedHistogram(rng);
+  std::vector<int64_t>& noisy = NoisyPaddedHistogram(rng);
   ++stats_.releases;
   // Negative initial counts cannot seed records; clamp to zero and record
   // the failure event (Theorem 3.2 makes this improbable given n_pad).
@@ -102,18 +105,20 @@ Status FixedWindowSynthesizer::InitialRelease(util::Rng* rng) {
   LONGDP_ASSIGN_OR_RETURN(auto cohort,
                           SyntheticCohort::Create(options_.window_k, noisy));
   cohort_.emplace(std::move(cohort));
+  cohort_->ReserveRounds(options_.horizon);
   return Status::OK();
 }
 
 Status FixedWindowSynthesizer::SlideRelease(util::Rng* rng) {
   LONGDP_RETURN_NOT_OK(accountant_.Charge(
       rho_per_step_, "fixed-window histogram t=" + std::to_string(t_)));
-  std::vector<int64_t> noisy = NoisyPaddedHistogram(rng);
+  std::vector<int64_t>& noisy = NoisyPaddedHistogram(rng);
   ++stats_.releases;
 
   const int k = options_.window_k;
   const size_t num_overlaps = util::NumPatterns(k - 1);
-  std::vector<int64_t> ones_target(num_overlaps, 0);
+  ones_target_.assign(num_overlaps, 0);
+  std::vector<int64_t>& ones_target = ones_target_;
   for (util::Pattern z = 0; z < num_overlaps; ++z) {
     // Records currently ending in overlap z must split between z0 and z1.
     int64_t group = cohort_->GroupSize(z);

@@ -123,7 +123,8 @@ class FixedWindowSynthesizer {
   Status SlideRelease(util::Rng* rng);
 
   /// Stage 1: noisy padded histogram of the current true window counts.
-  std::vector<int64_t> NoisyPaddedHistogram(util::Rng* rng);
+  /// Fills and returns noisy_scratch_ (persistent, never reallocated).
+  std::vector<int64_t>& NoisyPaddedHistogram(util::Rng* rng);
 
   Options options_;
   int64_t npad_;
@@ -136,6 +137,9 @@ class FixedWindowSynthesizer {
   std::vector<util::Pattern> user_window_;  ///< each user's last-k-bits code
   std::optional<SyntheticCohort> cohort_;
   Stats stats_;
+  // Persistent per-round scratch for the histogram release hot path.
+  std::vector<int64_t> noisy_scratch_;  ///< 2^k noisy padded histogram
+  std::vector<int64_t> ones_target_;    ///< 2^(k-1) stage-2 targets
 };
 
 }  // namespace core

@@ -37,10 +37,13 @@ Status RecomputeBaseline::ObserveRound(const std::vector<uint8_t>& bits,
   } else if (bits.size() != static_cast<size_t>(n_)) {
     return Status::InvalidArgument("round size changed");
   }
-  for (size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i] > 1) {
+  // Validate before mutating: a rejected round must not slide any window.
+  for (uint8_t b : bits) {
+    if (b > 1) {
       return Status::InvalidArgument("round entries must be 0 or 1");
     }
+  }
+  for (size_t i = 0; i < bits.size(); ++i) {
     user_window_[i] =
         util::SlideAppend(user_window_[i], options_.window_k, bits[i]);
   }

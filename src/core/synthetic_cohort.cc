@@ -22,21 +22,22 @@ Result<SyntheticCohort> SyntheticCohort::Create(
   cohort.rounds_ = window_k;
   cohort.pattern_count_ = initial_counts;
   cohort.groups_.assign(util::NumPatterns(window_k - 1), {});
+  cohort.group_scratch_.assign(util::NumPatterns(window_k - 1), {});
   int64_t total = 0;
   for (int64_t c : initial_counts) total += c;
   cohort.num_records_ = total;
-  cohort.histories_.reserve(static_cast<size_t>(total));
+  const size_t m = static_cast<size_t>(total);
+  cohort.history_bits_.assign(m * static_cast<size_t>(window_k), 0);
+  int64_t next_record = 0;
   for (util::Pattern s = 0; s < initial_counts.size(); ++s) {
-    std::vector<uint8_t> history(static_cast<size_t>(window_k));
-    for (int j = 0; j < window_k; ++j) {
-      history[static_cast<size_t>(j)] =
-          static_cast<uint8_t>((s >> (window_k - 1 - j)) & 1);
-    }
     util::Pattern overlap = util::Overlap(s, window_k);
     for (int64_t c = 0; c < initial_counts[s]; ++c) {
-      cohort.groups_[overlap].push_back(
-          static_cast<int64_t>(cohort.histories_.size()));
-      cohort.histories_.push_back(history);
+      const size_t rec = static_cast<size_t>(next_record++);
+      cohort.groups_[overlap].push_back(static_cast<int64_t>(rec));
+      for (int j = 0; j < window_k; ++j) {
+        cohort.history_bits_[static_cast<size_t>(j) * m + rec] =
+            static_cast<uint8_t>((s >> (window_k - 1 - j)) & 1);
+      }
     }
   }
   return cohort;
@@ -49,6 +50,7 @@ Result<SyntheticCohort> SyntheticCohort::Restore(
   cohort.k_ = window_k;
   cohort.num_records_ = static_cast<int64_t>(histories.size());
   cohort.groups_.assign(util::NumPatterns(window_k - 1), {});
+  cohort.group_scratch_.assign(util::NumPatterns(window_k - 1), {});
   cohort.pattern_count_.assign(util::NumPatterns(window_k), 0);
   size_t rounds = histories.empty() ? static_cast<size_t>(window_k)
                                     : histories[0].size();
@@ -56,18 +58,23 @@ Result<SyntheticCohort> SyntheticCohort::Restore(
     return Status::InvalidArgument(
         "restored histories must span at least k rounds");
   }
+  const size_t m = histories.size();
+  cohort.history_bits_.assign(m * rounds, 0);
   for (size_t r = 0; r < histories.size(); ++r) {
     const auto& h = histories[r];
     if (h.size() != rounds) {
       return Status::InvalidArgument(
           "restored histories must all have equal length");
     }
-    util::Pattern p = 0;
-    for (size_t j = rounds - static_cast<size_t>(window_k); j < rounds;
-         ++j) {
+    for (size_t j = 0; j < rounds; ++j) {
       if (h[j] > 1) {
         return Status::InvalidArgument("history bits must be 0 or 1");
       }
+      cohort.history_bits_[j * m + r] = h[j];
+    }
+    util::Pattern p = 0;
+    for (size_t j = rounds - static_cast<size_t>(window_k); j < rounds;
+         ++j) {
       p = (p << 1) | static_cast<util::Pattern>(h[j]);
     }
     ++cohort.pattern_count_[p];
@@ -75,7 +82,6 @@ Result<SyntheticCohort> SyntheticCohort::Restore(
         static_cast<int64_t>(r));
   }
   cohort.rounds_ = static_cast<int64_t>(rounds);
-  cohort.histories_ = std::move(histories);
   return cohort;
 }
 
@@ -97,9 +103,17 @@ Status SyntheticCohort::AdvanceRound(const std::vector<int64_t>& ones_target,
   }
 
   // Select extensions per overlap group against the *current* groups, then
-  // rebuild the group index for the next round.
-  std::vector<std::vector<int64_t>> new_groups(num_overlaps);
-  std::vector<int64_t> new_counts(util::NumPatterns(k_), 0);
+  // rebuild the group index for the next round. Scratch vectors persist
+  // across rounds (cleared, not reallocated), and the new round is one
+  // zero-filled column append into the flat history matrix.
+  std::vector<std::vector<int64_t>>& new_groups = group_scratch_;
+  for (auto& g : new_groups) g.clear();
+  std::vector<int64_t>& new_counts = count_scratch_;
+  new_counts.assign(util::NumPatterns(k_), 0);
+  const size_t m = static_cast<size_t>(num_records_);
+  const size_t col_base = static_cast<size_t>(rounds_) * m;
+  history_bits_.resize(col_base + m, 0);
+  uint8_t* col = history_bits_.data() + col_base;
   for (util::Pattern z = 0; z < num_overlaps; ++z) {
     std::vector<int64_t>& members = groups_[z];
     int64_t target = ones_target[z];
@@ -118,16 +132,15 @@ Status SyntheticCohort::AdvanceRound(const std::vector<int64_t>& ones_target,
     for (int64_t i = 0; i < group; ++i) {
       int bit = (i < target) ? 1 : 0;
       int64_t rec = members[static_cast<size_t>(i)];
-      histories_[static_cast<size_t>(rec)].push_back(
-          static_cast<uint8_t>(bit));
+      col[rec] = static_cast<uint8_t>(bit);
       util::Pattern new_pattern =
           (z << 1) | static_cast<util::Pattern>(bit);  // width k
       ++new_counts[new_pattern];
       new_groups[util::Overlap(new_pattern, k_)].push_back(rec);
     }
   }
-  groups_ = std::move(new_groups);
-  pattern_count_ = std::move(new_counts);
+  groups_.swap(new_groups);
+  pattern_count_.swap(new_counts);
   ++rounds_;
   return Status::OK();
 }
@@ -145,10 +158,11 @@ Result<data::LongitudinalDataset> SyntheticCohort::ToDataset(
       auto ds, data::LongitudinalDataset::Create(num_records_, horizon));
   std::vector<uint8_t> round(static_cast<size_t>(num_records_));
   for (int64_t t = 1; t <= rounds_; ++t) {
-    for (int64_t r = 0; r < num_records_; ++r) {
-      round[static_cast<size_t>(r)] =
-          histories_[static_cast<size_t>(r)][static_cast<size_t>(t - 1)];
-    }
+    // Column-major storage: each round is one contiguous copy.
+    const uint8_t* col = history_bits_.data() +
+                         static_cast<size_t>(t - 1) *
+                             static_cast<size_t>(num_records_);
+    round.assign(col, col + num_records_);
     LONGDP_RETURN_NOT_OK(ds.AppendRound(round));
   }
   return ds;

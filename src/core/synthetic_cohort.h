@@ -60,7 +60,19 @@ class SyntheticCohort {
 
   /// Bit of record `r` at round `t` (both 1-based times; t <= rounds()).
   int Bit(int64_t r, int64_t t) const {
-    return histories_[static_cast<size_t>(r)][static_cast<size_t>(t - 1)];
+    return history_bits_[static_cast<size_t>(t - 1) *
+                             static_cast<size_t>(num_records_) +
+                         static_cast<size_t>(r)];
+  }
+
+  /// Pre-sizes the flat history storage for `total_rounds` rounds so the
+  /// per-round column appends of AdvanceRound never reallocate. Optional —
+  /// the synthesizer calls it with its horizon at the initial release.
+  void ReserveRounds(int64_t total_rounds) {
+    if (total_rounds > rounds_) {
+      history_bits_.reserve(static_cast<size_t>(total_rounds) *
+                            static_cast<size_t>(num_records_));
+    }
   }
 
   /// Materializes the cohort as a LongitudinalDataset of num_records()
@@ -74,9 +86,16 @@ class SyntheticCohort {
   int k_ = 0;
   int64_t num_records_ = 0;
   int64_t rounds_ = 0;
-  std::vector<std::vector<uint8_t>> histories_;       // [record][round-1]
+  /// All record histories as one flat column-major bit matrix: round t's
+  /// column is [(t-1)*m, t*m) for m = num_records_. Extending the cohort by
+  /// a round is a single zero-filled resize plus scattered writes for the
+  /// 1-extensions — no per-record vector churn on the hot path.
+  std::vector<uint8_t> history_bits_;
   std::vector<std::vector<int64_t>> groups_;          // [overlap z] -> records
   std::vector<int64_t> pattern_count_;                // current histogram p_s
+  // Persistent AdvanceRound scratch (cleared, never reallocated).
+  std::vector<std::vector<int64_t>> group_scratch_;
+  std::vector<int64_t> count_scratch_;
 };
 
 }  // namespace core

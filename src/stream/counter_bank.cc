@@ -43,6 +43,10 @@ Result<std::unique_ptr<CounterBank>> CounterBank::Create(
     LONGDP_ASSIGN_OR_RETURN(auto counter, factory->Create(stream_len, rho_b));
     bank->counters_.push_back(std::move(counter));
   }
+  bank->tree_fast_.reserve(bank->counters_.size());
+  for (const auto& counter : bank->counters_) {
+    bank->tree_fast_.push_back(dynamic_cast<TreeCounter*>(counter.get()));
+  }
   size_t row = static_cast<size_t>(options.horizon) + 1;
   bank->raw_.assign(row, 0);
   bank->monotone_.assign(row, 0);
@@ -56,6 +60,12 @@ Result<std::unique_ptr<CounterBank>> CounterBank::Create(
 
 Result<std::vector<int64_t>> CounterBank::ObserveRound(
     const std::vector<int64_t>& z, util::Rng* rng) {
+  LONGDP_RETURN_NOT_OK(ObserveRoundBatched(z, rng));
+  return monotone_;
+}
+
+Status CounterBank::ObserveRoundBatched(const std::vector<int64_t>& z,
+                                        util::Rng* rng) {
   if (t_ >= horizon_) {
     return Status::OutOfRange("CounterBank past its horizon T=" +
                               std::to_string(horizon_));
@@ -64,35 +74,48 @@ Result<std::vector<int64_t>> CounterBank::ObserveRound(
     return Status::InvalidArgument(
         "ObserveRound expects one increment per threshold b=1..T");
   }
-  ++t_;
-  for (int64_t b = t_ + 1; b <= horizon_; ++b) {
+  // Validate before advancing the clock: a rejected round must leave the
+  // bank untouched (t_ and the counters in lockstep).
+  for (int64_t b = t_ + 2; b <= horizon_; ++b) {
     if (z[static_cast<size_t>(b - 1)] != 0) {
       return Status::InvalidArgument(
           "increment for threshold b=" + std::to_string(b) +
-          " must be 0 at time t=" + std::to_string(t_) +
+          " must be 0 at time t=" + std::to_string(t_ + 1) +
           " (weight cannot exceed elapsed time)");
     }
   }
+  ++t_;
 
   raw_[0] = population_;
   monotone_[0] = population_;
-  for (int64_t b = 1; b <= horizon_; ++b) {
+  // One pass over the active counters b = 1..min(t, T). Counters beyond t
+  // have not started (their streams begin at t = b) and stay at raw 0.
+  const int64_t active = std::min(t_, horizon_);
+  for (int64_t b = 1; b <= active; ++b) {
     size_t ib = static_cast<size_t>(b);
-    if (t_ < b) {
-      // Counter b has not started: its stream begins at t = b.
-      raw_[ib] = 0;
+    if (TreeCounter* tree = tree_fast_[ib - 1]) {
+      // Bank invariant (t_ <= T implies counter b took <= T-b+1 steps)
+      // guarantees the counter is within its horizon; Step skips the
+      // virtual call and the per-call range check.
+      raw_[ib] = tree->Step(z[ib - 1], rng);
     } else {
       LONGDP_ASSIGN_OR_RETURN(
           int64_t s, counters_[ib - 1]->Observe(z[ib - 1], rng));
       raw_[ib] = s;
     }
+  }
+  for (int64_t b = active + 1; b <= horizon_; ++b) {
+    raw_[static_cast<size_t>(b)] = 0;
+  }
+  for (int64_t b = 1; b <= horizon_; ++b) {
+    size_t ib = static_cast<size_t>(b);
     // Monotonize: Shat^{t-1}_b <= Shat^t_b <= Shat^{t-1}_{b-1}.
     int64_t lower = prev_monotone_[ib];
     int64_t upper = prev_monotone_[ib - 1];
     monotone_[ib] = std::min(std::max(raw_[ib], lower), upper);
   }
   prev_monotone_ = monotone_;
-  return monotone_;
+  return Status::OK();
 }
 
 Status CounterBank::SaveState(std::ostream& out) const {

@@ -31,6 +31,8 @@
 namespace longdp {
 namespace stream {
 
+class TreeCounter;
+
 class CounterBank {
  public:
   struct Options {
@@ -50,8 +52,20 @@ class CounterBank {
   /// Consumes round t's increments: z[b-1] = z^t_b for b = 1..T (entries for
   /// b > t must be 0). Returns the monotonized row Shat^t indexed by b =
   /// 0..T (so the result has T+1 entries, entry 0 fixed at n).
+  /// Convenience wrapper over ObserveRoundBatched that copies the row out.
   Result<std::vector<int64_t>> ObserveRound(const std::vector<int64_t>& z,
                                             util::Rng* rng);
+
+  /// The allocation-free batched observe path the synthesizer hot loop runs
+  /// on: advances every active counter in one pass and monotonizes into the
+  /// bank-owned rows (read them back via monotone_row() / raw_row(); they
+  /// are valid until the next call). Counters built by the default tree
+  /// factory advance through TreeCounter::Step with their noise scales
+  /// precomputed at Create — no per-counter virtual dispatch; other
+  /// implementations fall back to the virtual Observe. Noise draw order is
+  /// identical to T sequential Observe calls, so releases are bit-for-bit
+  /// the same either way.
+  Status ObserveRoundBatched(const std::vector<int64_t>& z, util::Rng* rng);
 
   /// Raw (pre-monotonization) row Stilde^t from the last ObserveRound,
   /// indexed b = 0..T. Used by tests of Lemma 4.2.
@@ -84,6 +98,10 @@ class CounterBank {
   int64_t t_ = 0;
   std::vector<double> shares_;
   std::vector<std::unique_ptr<StreamCounter>> counters_;  // index b-1
+  /// Non-owning fast-path view of counters_: entry b-1 is non-null iff
+  /// counter b is a TreeCounter (resolved once at Create so the per-round
+  /// loop never pays dynamic dispatch for the default configuration).
+  std::vector<TreeCounter*> tree_fast_;
   std::vector<int64_t> raw_;
   std::vector<int64_t> monotone_;
   std::vector<int64_t> prev_monotone_;

@@ -24,26 +24,7 @@ Result<int64_t> TreeCounter::Observe(int64_t z, util::Rng* rng) {
     return Status::OutOfRange("tree counter past its horizon T=" +
                               std::to_string(horizon_));
   }
-  ++t_;
-  // Level of the node that completes at time t: lowest set bit of t.
-  int i = 0;
-  while (((t_ >> i) & 1) == 0) ++i;
-  // alpha_i <- sum of all lower pending sums + z_t; lower levels reset.
-  int64_t acc = z;
-  for (int j = 0; j < i; ++j) {
-    acc += alpha_[static_cast<size_t>(j)];
-    alpha_[static_cast<size_t>(j)] = 0;
-    alpha_noisy_[static_cast<size_t>(j)] = 0;
-  }
-  alpha_[static_cast<size_t>(i)] = acc;
-  alpha_noisy_[static_cast<size_t>(i)] =
-      acc + dp::SampleDiscreteGaussian(sigma2_, rng);
-  // Prefix sum = sum of noisy nodes at the set bits of t.
-  int64_t s = 0;
-  for (int j = 0; j < levels_; ++j) {
-    if ((t_ >> j) & 1) s += alpha_noisy_[static_cast<size_t>(j)];
-  }
-  return s;
+  return Step(z, rng);
 }
 
 double TreeCounter::ErrorBound(double beta, int64_t t) const {

@@ -112,6 +112,54 @@ int RunDiff(const harness::Flags& flags) {
   if (a.bench_name() != b.bench_name()) {
     std::cout << "note: comparing reports from different benches\n";
   }
+  // Per-phase wall-clock deltas are surfaced but never gated: timing is
+  // machine- and load-dependent, so the mechanical gate below is accuracy
+  // only. speedup > 1 means the candidate phase got faster.
+  if (!a.phases().empty() || !b.phases().empty()) {
+    harness::Table phases(
+        {"phase", "baseline_s", "candidate_s", "speedup"});
+    for (const auto& pa : a.phases()) {
+      const double* cand = nullptr;
+      for (const auto& pb : b.phases()) {
+        if (pb.name == pa.name) {
+          cand = &pb.seconds;
+          break;
+        }
+      }
+      harness::Table::Cell cand_cell =
+          cand ? harness::Table::Val(*cand) : harness::Table::Cell("-");
+      harness::Table::Cell speedup_cell =
+          (cand && *cand > 0.0)
+              ? harness::Table::Val(pa.seconds / *cand, 2)
+              : harness::Table::Cell("-");
+      Status st = phases.AddRow({pa.name, harness::Table::Val(pa.seconds),
+                                 cand_cell, speedup_cell});
+      if (!st.ok()) {
+        std::cerr << "bench_diff: " << st.ToString() << "\n";
+        return 2;
+      }
+    }
+    for (const auto& pb : b.phases()) {
+      bool in_baseline = false;
+      for (const auto& pa : a.phases()) {
+        if (pa.name == pb.name) {
+          in_baseline = true;
+          break;
+        }
+      }
+      if (!in_baseline) {
+        Status st = phases.AddRow({pb.name, "-",
+                                   harness::Table::Val(pb.seconds), "-"});
+        if (!st.ok()) {
+          std::cerr << "bench_diff: " << st.ToString() << "\n";
+          return 2;
+        }
+      }
+    }
+    std::cout << "per-phase wall-clock (informational, not gated):\n";
+    phases.Print(std::cout);
+    std::cout << "\n";
+  }
   // Param drift is informational: a baseline recorded at other n/rho is a
   // configuration problem, not a numeric regression.
   for (const auto& pa : a.params()) {
