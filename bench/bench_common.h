@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,7 @@
 #include "query/window_query.h"
 #include "util/json.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace bench {
@@ -46,18 +48,24 @@ inline constexpr uint64_t kDatasetSeed = 20240512;  // fixed ground truth
 inline constexpr uint64_t kRunSeed = 1234567;
 inline constexpr uint64_t kObserveSeed = 0x0B5E22E5EED;  // observe phases
 
-/// Serial hot-path timing phases, recorded into the report's per-phase
-/// wall-clock (the accuracy series are untouched, so bench_diff against a
-/// stored baseline still gates on statistics only). Each phase runs
-/// `--observe_reps` (default 20) full single-threaded continual releases on
-/// the bench's own dataset, timing nothing but synthesizer construction and
-/// the ObserveRound loop — the number a hot-path PR must move:
+/// Hot-path timing phases, recorded into the report's per-phase wall-clock
+/// (the accuracy series are untouched, so bench_diff against a stored
+/// baseline still gates on statistics only). Each phase runs
+/// `--observe_reps` (default 20) full continual releases on the bench's own
+/// dataset, timing nothing but synthesizer construction and the
+/// ObserveRound loop — the number a hot-path PR must move:
 ///
 ///   "observe_cumulative"  CumulativeSynthesizer over the full horizon
 ///   "observe_window"      FixedWindowSynthesizer (when window_k > 0)
 ///
-/// Serial on purpose: the "repetitions" phase saturates every core, so its
-/// wall-clock measures the machine as much as the code.
+/// One synthesizer at a time on purpose: the "repetitions" phase fans out
+/// across cores, so its wall-clock measures the machine as much as the
+/// code. `--threads=P` bounds the bench's total thread usage: it caps the
+/// repetitions fan-out (absent flag = hardware concurrency, as before) AND
+/// runs the RNG-free stage-1 shards of each observe call here on a P-lane
+/// util::ThreadPool (default 1 = serial, recorded in params). The released
+/// statistics are bit-identical at every P, so a baseline diff passes at
+/// any thread count and the phase timing isolates the sharding speedup.
 inline Status TimeObservePhases(const harness::Flags& flags,
                                 harness::BenchReport* report,
                                 const data::LongitudinalDataset& ds,
@@ -65,6 +73,12 @@ inline Status TimeObservePhases(const harness::Flags& flags,
   const int64_t observe_reps = flags.GetInt("observe_reps", 20);
   if (observe_reps <= 0) return Status::OK();
   report->SetParam("observe_reps", observe_reps);
+  const int64_t threads = flags.Threads(1);
+  report->SetParam("threads", threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(static_cast<int>(threads));
+  }
   {
     harness::BenchReport::PhaseTimer timer(report, "observe_cumulative");
     for (int64_t rep = 0; rep < observe_reps; ++rep) {
@@ -72,6 +86,7 @@ inline Status TimeObservePhases(const harness::Flags& flags,
       core::CumulativeSynthesizer::Options opt;
       opt.horizon = horizon;
       opt.rho = rho;
+      opt.pool = pool.get();
       LONGDP_ASSIGN_OR_RETURN(auto synth,
                               core::CumulativeSynthesizer::Create(opt));
       for (int64_t t = 1; t <= horizon; ++t) {
@@ -87,6 +102,7 @@ inline Status TimeObservePhases(const harness::Flags& flags,
       opt.horizon = horizon;
       opt.window_k = window_k;
       opt.rho = rho;
+      opt.pool = pool.get();
       LONGDP_ASSIGN_OR_RETURN(auto synth,
                               core::FixedWindowSynthesizer::Create(opt));
       for (int64_t t = 1; t <= horizon; ++t) {
@@ -231,7 +247,8 @@ inline Status RunSippQuarterly(const harness::Flags& flags,
             }
           }
           return Status::OK();
-        }));
+        },
+        static_cast<int>(flags.Threads(0))));
   }
 
   auto print_panel =
@@ -322,7 +339,8 @@ inline Status RunSippCumulative(const harness::Flags& flags,
                 synth->Answer(b));
           }
           return Status::OK();
-        }));
+        },
+        static_cast<int>(flags.Threads(0))));
   }
 
   harness::Table table(
@@ -468,7 +486,8 @@ inline Status RunSimulatedError(const harness::Flags& flags,
             }
           }
           return Status::OK();
-        }));
+        },
+        static_cast<int>(flags.Threads(0))));
   }
 
   LONGDP_ASSIGN_OR_RETURN(

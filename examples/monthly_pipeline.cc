@@ -21,7 +21,7 @@ using namespace longdp;
 // One month's batch job for Algorithm 1. Returns the debiased quarterly
 // answer when a quarter completes.
 Status RunWindowJob(const std::string& checkpoint_path, int64_t month,
-                    const std::vector<uint8_t>& reports, double rho,
+                    data::RoundView reports, double rho,
                     util::Rng* rng) {
   std::unique_ptr<core::FixedWindowSynthesizer> synth;
   if (month == 1) {
@@ -57,7 +57,7 @@ Status RunWindowJob(const std::string& checkpoint_path, int64_t month,
 
 // One month's batch job for Algorithm 2.
 Status RunCumulativeJob(const std::string& checkpoint_path, int64_t month,
-                        const std::vector<uint8_t>& reports, double rho,
+                        data::RoundView reports, double rho,
                         util::Rng* rng) {
   std::unique_ptr<core::CumulativeSynthesizer> synth;
   if (month == 1) {

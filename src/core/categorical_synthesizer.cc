@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/observe_shard.h"
 #include "dp/discrete_gaussian.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace core {
@@ -97,10 +99,21 @@ Status CategoricalWindowSynthesizer::ObserveRound(
       return Status::InvalidArgument("symbol out of alphabet range");
     }
   }
+  // Stage 1, fused per-user base-A slide + histogram count (RNG-free and
+  // index-disjoint; see core/observe_shard.h for the sharding branches and
+  // the thread-count-invariance argument — the per-shard histogram gate
+  // matters here because A^k bins can dwarf a small population).
   const uint64_t a = static_cast<uint64_t>(options_.alphabet);
-  for (size_t i = 0; i < symbols.size(); ++i) {
-    user_window_[i] = (user_window_[i] * a + symbols[i]) % num_bins_;
-  }
+  const bool releasing = (t_ + 1 >= options_.window_k);
+  ShardedSlideAndCount(
+      options_.pool, n_, releasing, num_bins_, &window_hist_, &shard_hist_,
+      [&](int64_t i) {
+        const size_t ii = static_cast<size_t>(i);
+        const uint64_t w = (user_window_[ii] * a + symbols[ii]) % num_bins_;
+        user_window_[ii] = w;
+        return w;
+      },
+      [&](int64_t i) { return user_window_[static_cast<size_t>(i)]; });
   ++t_;
   if (t_ < options_.window_k) return Status::OK();
   if (t_ == options_.window_k) return InitialRelease(rng);
@@ -109,8 +122,10 @@ Status CategoricalWindowSynthesizer::ObserveRound(
 
 std::vector<int64_t>& CategoricalWindowSynthesizer::NoisyPaddedHistogram(
     util::Rng* rng) {
-  noisy_scratch_.assign(num_bins_, 0);
-  for (uint64_t w : user_window_) ++noisy_scratch_[w];
+  // The exact histogram was counted by the fused observe pass; pad and
+  // noise it here. Noise stays serial: one draw per bin, in bin order, on
+  // this thread — the draw sequence is thread-count independent.
+  noisy_scratch_ = window_hist_;
   for (auto& c : noisy_scratch_) {
     c += npad_ + dp::SampleDiscreteGaussian(sigma2_, rng);
   }

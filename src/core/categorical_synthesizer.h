@@ -26,6 +26,10 @@
 #include "util/status.h"
 
 namespace longdp {
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 namespace core {
 
 class CategoricalWindowSynthesizer {
@@ -37,6 +41,12 @@ class CategoricalWindowSynthesizer {
     double rho = 0.0;      ///< total zCDP budget
     int64_t npad = -1;     ///< -1: auto-size from beta_target
     double beta_target = 0.05;
+    /// Optional worker pool for the RNG-free stage-1 shards (per-user
+    /// base-A window updates and histogram accumulation). Non-owning; must
+    /// outlive the synthesizer. Null runs serially. Releases are
+    /// bit-identical at any thread count (all draws stay serial; shard
+    /// histograms reduce in shard order).
+    util::ThreadPool* pool = nullptr;
   };
 
   struct Stats {
@@ -121,6 +131,9 @@ class CategoricalWindowSynthesizer {
   std::vector<int64_t> counts_scratch_;             ///< next-round histogram
   std::vector<int64_t> targets_;                    ///< per-child targets
   std::vector<size_t> child_order_;                 ///< remainder shuffle
+  /// Exact window histogram from the fused slide+count observe pass.
+  std::vector<int64_t> window_hist_;
+  std::vector<std::vector<int64_t>> shard_hist_;    ///< per-shard histograms
 };
 
 }  // namespace core

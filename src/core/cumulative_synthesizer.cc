@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "stream/counter_factory.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace core {
@@ -52,34 +53,59 @@ Status CumulativeSynthesizer::InitializeForPopulation(int64_t n) {
 
 Status CumulativeSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
                                            util::Rng* rng) {
+  // Packing validates: a round with any entry other than 0/1 is rejected
+  // here, before any state changes. (The pre-validation variant
+  // incremented weights up to the bad entry, which corrupted the
+  // weight->z indexing of every later round — an ASan-visible overflow.)
+  LONGDP_RETURN_NOT_OK(packed_scratch_.Assign(bits));
+  return ObserveRound(packed_scratch_.view(), rng);
+}
+
+Status CumulativeSynthesizer::ObserveRound(data::RoundView round,
+                                           util::Rng* rng) {
   if (t_ >= options_.horizon) {
     return Status::OutOfRange("synthesizer past its horizon T=" +
                               std::to_string(options_.horizon));
   }
   if (n_ < 0) {
-    LONGDP_RETURN_NOT_OK(
-        InitializeForPopulation(static_cast<int64_t>(bits.size())));
-  } else if (bits.size() != static_cast<size_t>(n_)) {
+    LONGDP_RETURN_NOT_OK(InitializeForPopulation(round.size()));
+  } else if (round.size() != n_) {
     return Status::InvalidArgument(
         "round size changed; the population is fixed over the horizon");
   }
 
-  // Validate the whole round before touching any state: a rejected round
-  // must leave the synthesizer exactly as it was. (The pre-validation
-  // variant incremented weights up to the bad entry, which corrupted the
-  // weight->z indexing of every later round — an ASan-visible overflow.)
-  for (uint8_t b : bits) {
-    if (b > 1) {
-      return Status::InvalidArgument("round entries must be 0 or 1");
-    }
-  }
   // Stage 1 input: z^t_b = #{ i : weight_i(t-1) = b-1 and x^t_i = 1 }.
-  // z_ is persistent scratch — zeroed, never reallocated.
-  std::fill(z_.begin(), z_.end(), 0);
-  for (size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i]) {
-      ++z_[static_cast<size_t>(orig_weight_[i])];
-      ++orig_weight_[i];
+  // z_ is persistent scratch — zeroed, never reallocated. Only the round's
+  // set bits contribute, so the packed view's word iteration skips the
+  // zero records (and whole zero words) outright.
+  //
+  // This stage is RNG-free and per-record, so it shards: each shard scans
+  // its fixed contiguous record range into its own histogram, and the
+  // shard histograms are reduced in shard order. Integer sums over a fixed
+  // partition make the result identical at every thread count.
+  const int shards = util::NumShards(options_.pool);
+  if (shards == 1) {
+    std::fill(z_.begin(), z_.end(), 0);
+    round.ForEachOne([&](int64_t i) {
+      ++z_[static_cast<size_t>(orig_weight_[static_cast<size_t>(i)])];
+      ++orig_weight_[static_cast<size_t>(i)];
+    });
+  } else {
+    if (shard_z_.size() != static_cast<size_t>(shards)) {
+      shard_z_.assign(static_cast<size_t>(shards),
+                      std::vector<int64_t>(z_.size(), 0));
+    }
+    options_.pool->ParallelFor(n_, [&](int s, int64_t lo, int64_t hi) {
+      auto& z = shard_z_[static_cast<size_t>(s)];
+      std::fill(z.begin(), z.end(), 0);
+      round.ForEachOneInRange(lo, hi, [&](int64_t i) {
+        ++z[static_cast<size_t>(orig_weight_[static_cast<size_t>(i)])];
+        ++orig_weight_[static_cast<size_t>(i)];
+      });
+    });
+    std::fill(z_.begin(), z_.end(), 0);
+    for (const auto& z : shard_z_) {
+      for (size_t b = 0; b < z_.size(); ++b) z_[b] += z[b];
     }
   }
   ++t_;

@@ -20,12 +20,17 @@
 #include <vector>
 
 #include "data/longitudinal_dataset.h"
+#include "data/round_view.h"
 #include "dp/accountant.h"
 #include "stream/counter_bank.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace longdp {
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 namespace core {
 
 class CumulativeSynthesizer {
@@ -36,6 +41,14 @@ class CumulativeSynthesizer {
     stream::BudgetSplit split = stream::BudgetSplit::kCubicLogLevels;
     /// Stream counter implementation; tree counter when null.
     std::shared_ptr<const stream::StreamCounterFactory> counter_factory;
+    /// Optional worker pool for the RNG-free stage-1 shards (true-weight
+    /// updates and increment-histogram accumulation). Non-owning; must
+    /// outlive the synthesizer. Null runs serially. The released output is
+    /// bit-identical at any thread count: every RNG draw stays on the
+    /// caller's thread in a fixed order, and the sharded work reduces in
+    /// shard order. Not serialized by checkpoints (a restored synthesizer
+    /// runs serially).
+    util::ThreadPool* pool = nullptr;
   };
 
   static Result<std::unique_ptr<CumulativeSynthesizer>> Create(
@@ -43,6 +56,11 @@ class CumulativeSynthesizer {
 
   /// Consumes round t's original-data bits; population size n is fixed by
   /// the first call. Every round produces a release.
+  Status ObserveRound(data::RoundView round, util::Rng* rng);
+
+  /// Byte-per-bit convenience overload: validates and bit-packs `bits`
+  /// (rejecting entries other than 0/1 before any state changes), then
+  /// runs the packed path above.
   Status ObserveRound(const std::vector<uint8_t>& bits, util::Rng* rng);
 
   int64_t t() const { return t_; }
@@ -119,6 +137,10 @@ class CumulativeSynthesizer {
   std::vector<int64_t> z_;              ///< per-round increment scratch
   std::vector<int64_t> released_;       ///< Shat^t (b = 0..T)
   std::vector<int64_t> prev_released_;  ///< Shat^{t-1}
+  /// Per-shard stage-1 increment histograms (reduced into z_ in shard
+  /// order) and the byte-overload packing buffer; both persistent scratch.
+  std::vector<std::vector<int64_t>> shard_z_;
+  data::PackedRound packed_scratch_;
 };
 
 }  // namespace core

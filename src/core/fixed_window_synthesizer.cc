@@ -7,8 +7,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/observe_shard.h"
 #include "core/theory.h"
 #include "dp/discrete_gaussian.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace core {
@@ -52,27 +54,42 @@ Result<std::unique_ptr<FixedWindowSynthesizer>> FixedWindowSynthesizer::Create(
 
 Status FixedWindowSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
                                             util::Rng* rng) {
+  // Packing validates before anything mutates: a rejected round must not
+  // slide any window.
+  LONGDP_RETURN_NOT_OK(packed_scratch_.Assign(bits));
+  return ObserveRound(packed_scratch_.view(), rng);
+}
+
+Status FixedWindowSynthesizer::ObserveRound(data::RoundView round,
+                                            util::Rng* rng) {
   if (t_ >= options_.horizon) {
     return Status::OutOfRange("synthesizer past its horizon T=" +
                               std::to_string(options_.horizon));
   }
   if (n_ < 0) {
-    n_ = static_cast<int64_t>(bits.size());
-    user_window_.assign(bits.size(), 0);
-  } else if (bits.size() != static_cast<size_t>(n_)) {
+    n_ = round.size();
+    user_window_.assign(static_cast<size_t>(n_), 0);
+  } else if (round.size() != n_) {
     return Status::InvalidArgument(
         "round size changed; the population is fixed over the horizon");
   }
-  // Validate before mutating: a rejected round must not slide any window.
-  for (uint8_t b : bits) {
-    if (b > 1) {
-      return Status::InvalidArgument("round entries must be 0 or 1");
-    }
-  }
-  for (size_t i = 0; i < bits.size(); ++i) {
-    user_window_[i] =
-        util::SlideAppend(user_window_[i], options_.window_k, bits[i]);
-  }
+  // Stage 1, fused per-user slide + window-histogram count (RNG-free and
+  // index-disjoint; see core/observe_shard.h for the sharding branches and
+  // the thread-count-invariance argument). One pass instead of a slide
+  // pass plus a count pass: the histogram reads each window value while it
+  // is still in register. Warm-up rounds (t < k) skip the histogram.
+  const int k = options_.window_k;
+  const bool releasing = (t_ + 1 >= options_.window_k);
+  ShardedSlideAndCount(
+      options_.pool, n_, releasing, util::NumPatterns(k), &window_hist_,
+      &shard_hist_,
+      [&](int64_t i) {
+        const util::Pattern w = util::SlideAppend(
+            user_window_[static_cast<size_t>(i)], k, round.bit(i));
+        user_window_[static_cast<size_t>(i)] = w;
+        return w;
+      },
+      [&](int64_t i) { return user_window_[static_cast<size_t>(i)]; });
   ++t_;
   if (t_ < options_.window_k) return Status::OK();
   if (t_ == options_.window_k) return InitialRelease(rng);
@@ -81,8 +98,10 @@ Status FixedWindowSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
 
 std::vector<int64_t>& FixedWindowSynthesizer::NoisyPaddedHistogram(
     util::Rng* rng) {
-  noisy_scratch_.assign(util::NumPatterns(options_.window_k), 0);
-  for (util::Pattern w : user_window_) ++noisy_scratch_[w];
+  // The exact histogram was counted by the fused observe pass; pad and
+  // noise it here. Noise stays serial: one draw per bin, in bin order, on
+  // this thread — the draw sequence is thread-count independent.
+  noisy_scratch_ = window_hist_;
   for (auto& c : noisy_scratch_) {
     c += npad_ + dp::SampleDiscreteGaussian(sigma2_, rng);
   }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/synthetic_cohort.h"
+#include "data/round_view.h"
 #include "dp/accountant.h"
 #include "query/debias.h"
 #include "query/window_query.h"
@@ -34,6 +35,10 @@
 #include "util/status.h"
 
 namespace longdp {
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 namespace core {
 
 class FixedWindowSynthesizer {
@@ -46,6 +51,13 @@ class FixedWindowSynthesizer {
     int64_t npad = -1;
     /// Target failure probability used to auto-size npad.
     double beta_target = 0.05;
+    /// Optional worker pool for the RNG-free stage-1 shards (per-user
+    /// window slides and window-histogram accumulation). Non-owning; must
+    /// outlive the synthesizer. Null runs serially. Releases are
+    /// bit-identical at any thread count: noise and rounding draws stay on
+    /// the caller's thread in a fixed order, and sharded histograms reduce
+    /// in shard order. Not serialized by checkpoints.
+    util::ThreadPool* pool = nullptr;
   };
 
   struct Stats {
@@ -64,6 +76,11 @@ class FixedWindowSynthesizer {
   /// the population size n is fixed by the first call). Before t = k the
   /// data is only buffered; from t = k onward each call performs one
   /// release + cohort update.
+  Status ObserveRound(data::RoundView round, util::Rng* rng);
+
+  /// Byte-per-bit convenience overload: validates and bit-packs `bits`
+  /// (rejecting entries other than 0/1 before any state changes), then
+  /// runs the packed path above.
   Status ObserveRound(const std::vector<uint8_t>& bits, util::Rng* rng);
 
   /// True once the initial synthetic dataset exists (t >= k).
@@ -140,6 +157,13 @@ class FixedWindowSynthesizer {
   // Persistent per-round scratch for the histogram release hot path.
   std::vector<int64_t> noisy_scratch_;  ///< 2^k noisy padded histogram
   std::vector<int64_t> ones_target_;    ///< 2^(k-1) stage-2 targets
+  /// Exact window histogram computed by the fused slide+count pass of the
+  /// releasing rounds; NoisyPaddedHistogram starts from it.
+  std::vector<int64_t> window_hist_;
+  /// Per-shard window histograms (reduced in shard order) and the byte-
+  /// overload packing buffer.
+  std::vector<std::vector<int64_t>> shard_hist_;
+  data::PackedRound packed_scratch_;
 };
 
 }  // namespace core

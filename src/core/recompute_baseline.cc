@@ -28,24 +28,27 @@ Result<std::unique_ptr<RecomputeBaseline>> RecomputeBaseline::Create(
 
 Status RecomputeBaseline::ObserveRound(const std::vector<uint8_t>& bits,
                                        util::Rng* rng) {
+  // Packing validates before anything mutates: a rejected round must not
+  // slide any window.
+  LONGDP_RETURN_NOT_OK(packed_scratch_.Assign(bits));
+  return ObserveRound(packed_scratch_.view(), rng);
+}
+
+Status RecomputeBaseline::ObserveRound(data::RoundView round,
+                                       util::Rng* rng) {
   if (t_ >= options_.horizon) {
     return Status::OutOfRange("baseline past its horizon");
   }
   if (n_ < 0) {
-    n_ = static_cast<int64_t>(bits.size());
-    user_window_.assign(bits.size(), 0);
-  } else if (bits.size() != static_cast<size_t>(n_)) {
+    n_ = round.size();
+    user_window_.assign(static_cast<size_t>(n_), 0);
+  } else if (round.size() != n_) {
     return Status::InvalidArgument("round size changed");
   }
-  // Validate before mutating: a rejected round must not slide any window.
-  for (uint8_t b : bits) {
-    if (b > 1) {
-      return Status::InvalidArgument("round entries must be 0 or 1");
-    }
-  }
-  for (size_t i = 0; i < bits.size(); ++i) {
-    user_window_[i] =
-        util::SlideAppend(user_window_[i], options_.window_k, bits[i]);
+  for (int64_t i = 0; i < n_; ++i) {
+    user_window_[static_cast<size_t>(i)] = util::SlideAppend(
+        user_window_[static_cast<size_t>(i)], options_.window_k,
+        round.bit(i));
   }
   ++t_;
   if (t_ < options_.window_k) return Status::OK();

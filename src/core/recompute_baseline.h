@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "data/round_view.h"
 #include "dp/accountant.h"
 #include "util/bits.h"
 #include "util/rng.h"
@@ -37,6 +38,11 @@ class RecomputeBaseline {
 
   /// Consumes one round of original bits. From t = k on, each call produces
   /// a fresh synthetic histogram.
+  Status ObserveRound(data::RoundView round, util::Rng* rng);
+
+  /// Byte-per-bit convenience overload: validates and bit-packs `bits`
+  /// (rejecting entries other than 0/1 before any window slides), then
+  /// runs the packed path above.
   Status ObserveRound(const std::vector<uint8_t>& bits, util::Rng* rng);
 
   bool has_release() const { return !current_.empty(); }
@@ -68,6 +74,7 @@ class RecomputeBaseline {
   int64_t clamped_ = 0;
   std::vector<util::Pattern> user_window_;
   std::vector<int64_t> current_;
+  data::PackedRound packed_scratch_;
 };
 
 }  // namespace core

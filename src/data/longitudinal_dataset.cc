@@ -15,7 +15,7 @@ Result<LongitudinalDataset> LongitudinalDataset::Create(int64_t num_users,
 }
 
 Status LongitudinalDataset::AppendRound(const std::vector<uint8_t>& bits) {
-  if (rounds() >= horizon_) {
+  if (rounds_ >= horizon_) {
     return Status::OutOfRange("dataset already holds all " +
                               std::to_string(horizon_) + " rounds");
   }
@@ -36,8 +36,13 @@ Status LongitudinalDataset::AppendRound(const std::vector<uint8_t>& bits) {
   } else {
     for (size_t i = 0; i < w.size(); ++i) w[i] = bits[i];
   }
-  bits_.push_back(bits);
+  const size_t col = words_.size();
+  words_.resize(col + words_per_round_, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    words_[col + (i >> 6)] |= static_cast<uint64_t>(bits[i]) << (i & 63);
+  }
   weights_.push_back(std::move(w));
+  ++rounds_;
   return Status::OK();
 }
 
@@ -45,7 +50,7 @@ util::Pattern LongitudinalDataset::SuffixPattern(int64_t user, int64_t t,
                                                  int k) const {
   util::Pattern p = 0;
   for (int64_t tt = t - k + 1; tt <= t; ++tt) {
-    int bit = (tt >= 1 && tt <= rounds()) ? Bit(user, tt) : 0;
+    int bit = (tt >= 1 && tt <= rounds_) ? Bit(user, tt) : 0;
     p = (p << 1) | static_cast<util::Pattern>(bit);
   }
   return p;
@@ -59,19 +64,18 @@ int64_t LongitudinalDataset::HammingWeight(int64_t user, int64_t t) const {
 Result<std::vector<int64_t>> LongitudinalDataset::WindowHistogram(
     int64_t t, int k) const {
   LONGDP_RETURN_NOT_OK(util::ValidateWindow(k));
-  if (t < k || t > rounds()) {
+  if (t < k || t > rounds_) {
     return Status::OutOfRange("WindowHistogram requires k <= t <= rounds()");
   }
   std::vector<int64_t> hist(util::NumPatterns(k), 0);
-  for (int64_t i = 0; i < num_users_; ++i) {
-    ++hist[SuffixPattern(i, t, k)];
-  }
+  ForEachSuffixPattern(t, k,
+                       [&](int64_t, util::Pattern p) { ++hist[p]; });
   return hist;
 }
 
 Result<std::vector<int64_t>> LongitudinalDataset::CumulativeCounts(
     int64_t t) const {
-  if (t < 1 || t > rounds()) {
+  if (t < 1 || t > rounds_) {
     return Status::OutOfRange("CumulativeCounts requires 1 <= t <= rounds()");
   }
   std::vector<int64_t> exact(static_cast<size_t>(horizon_) + 1, 0);
@@ -91,18 +95,20 @@ Result<std::vector<int64_t>> LongitudinalDataset::CumulativeCounts(
 
 Result<std::vector<int64_t>> LongitudinalDataset::WeightIncrements(
     int64_t t) const {
-  if (t < 1 || t > rounds()) {
+  if (t < 1 || t > rounds_) {
     return Status::OutOfRange("WeightIncrements requires 1 <= t <= rounds()");
   }
   std::vector<int64_t> z(static_cast<size_t>(horizon_), 0);
-  const auto& round = bits_[static_cast<size_t>(t - 1)];
-  for (int64_t i = 0; i < num_users_; ++i) {
-    if (round[static_cast<size_t>(i)]) {
-      int64_t w_prev = HammingWeight(i, t - 1);
-      // The user reaches weight w_prev + 1 = b exactly at time t.
-      z[static_cast<size_t>(w_prev)] += 1;
-    }
+  // Only the round's set bits contribute; the packed view skips the rest.
+  if (t == 1) {
+    z[0] = Round(1).CountOnes();
+    return z;
   }
+  const auto& w_prev = weights_[static_cast<size_t>(t - 2)];
+  Round(t).ForEachOne([&](int64_t i) {
+    // The user reaches weight w_prev + 1 = b exactly at time t.
+    z[static_cast<size_t>(w_prev[static_cast<size_t>(i)])] += 1;
+  });
   return z;
 }
 

@@ -1,8 +1,10 @@
 // The longitudinal data model of Section 2.1: n individuals, each reporting
-// one bit per period t = 1..T. The dataset is stored column-major (one
-// vector per round) because both synthesizers consume it one round at a
-// time; per-user prefix Hamming weights are maintained incrementally so the
-// cumulative-query statistics of Algorithm 2 are O(n) per round.
+// one bit per period t = 1..T. Rounds are stored column-major as bit-packed
+// uint64_t words (64 users per word) because both synthesizers consume the
+// data one round at a time: Round(t) is a zero-copy RoundView whose
+// word-level iteration and popcount counting replace the old byte-per-bit
+// column scans. Per-user prefix Hamming weights are maintained incrementally
+// so the cumulative-query statistics of Algorithm 2 are O(n) per round.
 //
 // The same container is used for original data and for materialized
 // synthetic data (the synthetic population size m may differ from n).
@@ -10,9 +12,11 @@
 #ifndef LONGDP_DATA_LONGITUDINAL_DATASET_H_
 #define LONGDP_DATA_LONGITUDINAL_DATASET_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "data/round_view.h"
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -29,14 +33,18 @@ class LongitudinalDataset {
   int64_t num_users() const { return num_users_; }
   int64_t horizon() const { return horizon_; }
   /// Rounds appended so far (the current time t).
-  int64_t rounds() const { return static_cast<int64_t>(bits_.size()); }
+  int64_t rounds() const { return rounds_; }
 
   /// Appends round t+1. `bits` must have one 0/1 entry per user.
   Status AppendRound(const std::vector<uint8_t>& bits);
 
   /// Bit of `user` at round `t` (1-based, t <= rounds()).
   int Bit(int64_t user, int64_t t) const {
-    return bits_[static_cast<size_t>(t - 1)][static_cast<size_t>(user)];
+    return static_cast<int>(
+        (words_[(static_cast<size_t>(t) - 1) * words_per_round_ +
+                static_cast<size_t>(user >> 6)] >>
+         (user & 63)) &
+        1);
   }
 
   /// The user's most recent k bits at time t, encoded oldest-bit-first
@@ -60,18 +68,57 @@ class LongitudinalDataset {
   /// for b = 1..horizon. Requires 1 <= t <= rounds().
   Result<std::vector<int64_t>> WeightIncrements(int64_t t) const;
 
-  /// The full row of bits reported at round t.
-  const std::vector<uint8_t>& Round(int64_t t) const {
-    return bits_[static_cast<size_t>(t - 1)];
+  /// Zero-copy packed view of the bits reported at round t (1-based). The
+  /// view is valid until the next AppendRound call (appending may
+  /// reallocate the packed storage); re-fetch it after appending.
+  RoundView Round(int64_t t) const {
+    return RoundView(
+        words_.data() + (static_cast<size_t>(t) - 1) * words_per_round_,
+        num_users_);
+  }
+
+  /// Invokes fn(user, SuffixPattern(user, t, k)) for every user in
+  /// increasing order, extracting each 64-user block's patterns from k
+  /// round words instead of k per-user Bit() loads. Requires
+  /// 1 <= t <= rounds() and k >= 1 (bits before t = 1 read as 0).
+  template <typename Fn>
+  void ForEachSuffixPattern(int64_t t, int k, Fn&& fn) const {
+    for (size_t blk = 0; blk < words_per_round_; ++blk) {
+      const int64_t base = static_cast<int64_t>(blk) << 6;
+      const int count =
+          static_cast<int>(num_users_ - base < 64 ? num_users_ - base : 64);
+      std::array<util::Pattern, 64> pat{};
+      for (int64_t tt = t - k + 1; tt <= t; ++tt) {
+        // Rounds before t = 1 contribute 0 bits; the patterns are still 0
+        // until the first real round, so the shift-in of a zero is a no-op
+        // and the round can be skipped outright.
+        if (tt < 1) continue;
+        const uint64_t w =
+            words_[(static_cast<size_t>(tt) - 1) * words_per_round_ + blk];
+        for (int j = 0; j < count; ++j) {
+          pat[static_cast<size_t>(j)] =
+              (pat[static_cast<size_t>(j)] << 1) | ((w >> j) & 1);
+        }
+      }
+      for (int j = 0; j < count; ++j) {
+        fn(base + j, pat[static_cast<size_t>(j)]);
+      }
+    }
   }
 
  private:
   LongitudinalDataset(int64_t num_users, int64_t horizon)
-      : num_users_(num_users), horizon_(horizon) {}
+      : num_users_(num_users),
+        horizon_(horizon),
+        words_per_round_(static_cast<size_t>((num_users + 63) >> 6)) {}
 
   int64_t num_users_;
   int64_t horizon_;
-  std::vector<std::vector<uint8_t>> bits_;     // [t-1][user]
+  size_t words_per_round_;
+  int64_t rounds_ = 0;
+  /// Bit-packed rounds, one words_per_round_ stretch per round: bit of
+  /// `user` at round t is words_[(t-1)*wpr + user/64] >> (user%64) & 1.
+  std::vector<uint64_t> words_;
   std::vector<std::vector<int32_t>> weights_;  // [t-1][user] prefix weights
 };
 

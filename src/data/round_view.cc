@@ -1,0 +1,23 @@
+#include "data/round_view.h"
+
+namespace longdp {
+namespace data {
+
+Status PackedRound::Assign(const std::vector<uint8_t>& bits) {
+  for (uint8_t b : bits) {
+    if (b > 1) {
+      return Status::InvalidArgument("round entries must be 0 or 1");
+    }
+  }
+  const int64_t n = static_cast<int64_t>(bits.size());
+  words_.assign(static_cast<size_t>((n + 63) >> 6), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    words_[static_cast<size_t>(i >> 6)] |=
+        static_cast<uint64_t>(bits[static_cast<size_t>(i)]) << (i & 63);
+  }
+  num_bits_ = n;
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace longdp

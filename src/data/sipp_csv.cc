@@ -10,19 +10,34 @@ namespace data {
 namespace {
 bool IsBitField(const std::string& f) { return f == "0" || f == "1"; }
 
+// True iff `f` is a well-formed decimal number: an optional leading '-',
+// at most one '.', and at least one digit. The old check accepted any mix
+// of digits, '-', and '.' anywhere, so lone "-" / "." fields and
+// dash-joined names like "2024-01" counted as numeric and their row was
+// silently ingested as data instead of being recognized as a header.
+bool LooksNumeric(const std::string& f) {
+  size_t i = (f[0] == '-') ? 1 : 0;
+  bool any_digit = false;
+  bool seen_dot = false;
+  for (; i < f.size(); ++i) {
+    const char c = f[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      any_digit = true;
+    } else if (c == '.' && !seen_dot) {
+      seen_dot = true;
+    } else {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
 bool LooksLikeHeader(const std::vector<std::string>& row) {
-  // A header contains at least one field that is neither a bit nor a number.
+  // A header contains at least one field that is neither a bit nor a number
+  // (numeric column names like "id,1,2,3" are caught by the "id" field).
   for (const auto& f : row) {
     if (f.empty()) continue;
-    bool numeric = true;
-    for (char c : f) {
-      if (!std::isdigit(static_cast<unsigned char>(c)) && c != '-' &&
-          c != '.') {
-        numeric = false;
-        break;
-      }
-    }
-    if (!numeric) return true;
+    if (!LooksNumeric(f)) return true;
   }
   return false;
 }

@@ -121,5 +121,25 @@ int64_t Flags::Reps(int64_t def) const {
   return def;
 }
 
+int64_t Flags::Threads(int64_t def) const {
+  if (Has("threads")) {
+    int64_t v = GetInt("threads", def);
+    if (v <= 0) {
+      std::cerr << "warning: --threads must be positive, got " << v
+                << "; using default " << def << "\n";
+      return def;
+    }
+    return v;
+  }
+  const char* env = std::getenv("LONGDP_THREADS");
+  if (env != nullptr) {
+    int64_t v = 0;
+    if (ParseFullInt(env, &v) && v > 0) return v;
+    std::cerr << "warning: ignoring invalid LONGDP_THREADS='" << env
+              << "'\n";
+  }
+  return def;
+}
+
 }  // namespace harness
 }  // namespace longdp

@@ -42,6 +42,13 @@ class Flags {
   /// ~2^64 allocation).
   int64_t Reps(int64_t def) const;
 
+  /// Thread count for the sharded observe phases: --threads flag, else
+  /// LONGDP_THREADS env var, else `def`. 1 means serial. Malformed or
+  /// non-positive counts warn on stderr and fall back to `def`. The
+  /// released statistics are thread-count invariant by design; --threads
+  /// only moves wall-clock.
+  int64_t Threads(int64_t def) const;
+
   /// Basename of argv[0] ("" if argv was empty). Names the default JSON
   /// report path (BENCH_<program_name>.json) and the report itself.
   const std::string& program_name() const { return program_name_; }

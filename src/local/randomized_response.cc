@@ -56,39 +56,44 @@ Result<std::unique_ptr<LocalFrequencyOracle>> LocalFrequencyOracle::Create(
 
 Result<double> LocalFrequencyOracle::ObserveRound(
     const std::vector<uint8_t>& bits, util::Rng* rng) {
+  // Packing validates: entries other than 0/1 are rejected before any
+  // state changes.
+  LONGDP_RETURN_NOT_OK(packed_scratch_.Assign(bits));
+  return ObserveRound(packed_scratch_.view(), rng);
+}
+
+Result<double> LocalFrequencyOracle::ObserveRound(data::RoundView round,
+                                                  util::Rng* rng) {
   if (t_ >= options_.horizon) {
     return Status::OutOfRange("local oracle past its horizon");
   }
   if (n_ < 0) {
-    n_ = static_cast<int64_t>(bits.size());
+    n_ = round.size();
     if (options_.strategy == ReportStrategy::kMemoized) {
-      memo_zero_.assign(bits.size(), -1);
-      memo_one_.assign(bits.size(), -1);
+      memo_zero_.assign(static_cast<size_t>(n_), -1);
+      memo_one_.assign(static_cast<size_t>(n_), -1);
     }
-  } else if (bits.size() != static_cast<size_t>(n_)) {
+  } else if (round.size() != n_) {
     return Status::InvalidArgument("round size changed");
-  }
-  for (uint8_t b : bits) {
-    if (b > 1) {
-      return Status::InvalidArgument("round entries must be 0 or 1");
-    }
   }
   ++t_;
   if (n_ == 0) return 0.0;
 
   int64_t report_ones = 0;
-  for (size_t i = 0; i < bits.size(); ++i) {
+  for (int64_t i = 0; i < n_; ++i) {
+    const int bit = round.bit(i);
     int report;
     if (options_.strategy == ReportStrategy::kFreshPerRound) {
       bool keep = rng->Bernoulli(p_);
-      report = keep ? bits[i] : 1 - bits[i];
+      report = keep ? bit : 1 - bit;
     } else {
-      auto& memo = bits[i] ? memo_one_ : memo_zero_;
-      if (memo[i] < 0) {
+      auto& memo = bit ? memo_one_ : memo_zero_;
+      if (memo[static_cast<size_t>(i)] < 0) {
         bool keep = rng->Bernoulli(p_);
-        memo[i] = static_cast<int8_t>(keep ? bits[i] : 1 - bits[i]);
+        memo[static_cast<size_t>(i)] =
+            static_cast<int8_t>(keep ? bit : 1 - bit);
       }
-      report = memo[i];
+      report = memo[static_cast<size_t>(i)];
     }
     report_ones += report;
   }

@@ -24,6 +24,7 @@
 #include "core/theory.h"
 #include "data/generators.h"
 #include "data/longitudinal_dataset.h"
+#include "data/round_view.h"
 #include "data/sipp_csv.h"
 #include "data/sipp_preprocess.h"
 #include "data/sipp_simulator.h"
@@ -50,5 +51,6 @@
 #include "util/mathutil.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 #endif  // LONGDP_LONGDP_H_

@@ -1,5 +1,9 @@
 #include "query/spells.h"
 
+#include <algorithm>
+#include <bit>
+#include <vector>
+
 namespace longdp {
 namespace query {
 
@@ -12,20 +16,44 @@ Status ValidateTime(const data::LongitudinalDataset& dataset, int64_t t) {
 }
 
 // Invokes fn(user, spell_length) for every maximal 1-run in rounds 1..t.
+// Iterates round-outer over the packed columns (each 64-user block is one
+// word load, and the storage is contiguous in that order), carrying one
+// running spell length per user; spells are therefore emitted in order of
+// the round where they END, not grouped by user — all callers aggregate
+// order-insensitively.
 template <typename Fn>
 void ForEachSpell(const data::LongitudinalDataset& dataset, int64_t t,
                   Fn&& fn) {
-  for (int64_t i = 0; i < dataset.num_users(); ++i) {
-    int64_t run = 0;
-    for (int64_t tt = 1; tt <= t; ++tt) {
-      if (dataset.Bit(i, tt)) {
-        ++run;
-      } else if (run > 0) {
-        fn(i, run);
-        run = 0;
+  const int64_t n = dataset.num_users();
+  std::vector<int64_t> run(static_cast<size_t>(n), 0);
+  for (int64_t tt = 1; tt <= t; ++tt) {
+    const data::RoundView round = dataset.Round(tt);
+    const uint64_t* words = round.words();
+    const size_t num_words = round.num_words();
+    for (size_t w = 0; w < num_words; ++w) {
+      const uint64_t bits = words[w];
+      const int64_t base = static_cast<int64_t>(w) << 6;
+      const int count = static_cast<int>(std::min<int64_t>(64, n - base));
+      if (bits == ~uint64_t{0} && count == 64) {
+        // Whole block reported 1: every spell extends, nothing ends.
+        for (int j = 0; j < 64; ++j) ++run[static_cast<size_t>(base + j)];
+        continue;
+      }
+      for (int j = 0; j < count; ++j) {
+        const int64_t i = base + j;
+        if ((bits >> j) & 1) {
+          ++run[static_cast<size_t>(i)];
+        } else if (run[static_cast<size_t>(i)] > 0) {
+          fn(i, run[static_cast<size_t>(i)]);
+          run[static_cast<size_t>(i)] = 0;
+        }
       }
     }
-    if (run > 0) fn(i, run);  // spell ongoing at t
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    if (run[static_cast<size_t>(i)] > 0) {
+      fn(i, run[static_cast<size_t>(i)]);  // spell ongoing at t
+    }
   }
 }
 }  // namespace
@@ -64,11 +92,22 @@ Result<double> OngoingSpellAtLeast(const data::LongitudinalDataset& dataset,
     return Status::InvalidArgument("min_len must be >= 1");
   }
   if (dataset.num_users() == 0) return 0.0;
+  if (t < min_len) return 0.0;
+  // A trailing run of >= min_len ones ending at t is exactly the bitwise
+  // AND of the last min_len round words: fully word-parallel, 64 users at
+  // a time, with early exit once a block's survivors hit zero.
+  const int64_t n = dataset.num_users();
+  const size_t num_words = dataset.Round(t).num_words();
   int64_t count = 0;
-  for (int64_t i = 0; i < dataset.num_users(); ++i) {
-    int64_t run = 0;
-    for (int64_t tt = t; tt >= 1 && dataset.Bit(i, tt); --tt) ++run;
-    if (run >= min_len) ++count;
+  for (size_t w = 0; w < num_words; ++w) {
+    const int64_t base = static_cast<int64_t>(w) << 6;
+    const int valid = static_cast<int>(std::min<int64_t>(64, n - base));
+    uint64_t survivors =
+        valid == 64 ? ~uint64_t{0} : (uint64_t{1} << valid) - 1;
+    for (int64_t tt = t - min_len + 1; tt <= t && survivors != 0; ++tt) {
+      survivors &= dataset.Round(tt).words()[w];
+    }
+    count += std::popcount(survivors);
   }
   return static_cast<double>(count) /
          static_cast<double>(dataset.num_users());

@@ -107,9 +107,12 @@ Result<double> EvaluateOnDataset(const WindowPredicate& pred,
   }
   if (dataset.num_users() == 0) return 0.0;
   int64_t count = 0;
-  for (int64_t i = 0; i < dataset.num_users(); ++i) {
-    if (pred.Matches(dataset.SuffixPattern(i, t, pred.width()))) ++count;
-  }
+  // Block pattern extraction: 64 users' suffixes from width-many packed
+  // round words instead of per-user Bit() loads.
+  dataset.ForEachSuffixPattern(t, pred.width(),
+                               [&](int64_t, util::Pattern p) {
+                                 if (pred.Matches(p)) ++count;
+                               });
   return static_cast<double>(count) /
          static_cast<double>(dataset.num_users());
 }
@@ -182,9 +185,8 @@ Result<double> LinearWindowQuery::EvaluateOnDataset(
   }
   if (dataset.num_users() == 0) return 0.0;
   double v = 0.0;
-  for (int64_t i = 0; i < dataset.num_users(); ++i) {
-    v += weights_[dataset.SuffixPattern(i, t, k_)];
-  }
+  dataset.ForEachSuffixPattern(
+      t, k_, [&](int64_t, util::Pattern p) { v += weights_[p]; });
   return v / static_cast<double>(dataset.num_users());
 }
 

@@ -38,6 +38,10 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::UniformInt(uint64_t bound) {
+  // The empty range has one representable answer; returning it (without
+  // consuming a draw) beats the division-by-zero the rejection threshold
+  // below would otherwise hit.
+  if (bound == 0) return 0;
   // Lemire-style rejection to avoid modulo bias.
   uint64_t threshold = (-bound) % bound;
   for (;;) {
@@ -47,12 +51,25 @@ uint64_t Rng::UniformInt(uint64_t bound) {
 }
 
 int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
-  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // An inverted range previously underflowed the span: hi = lo - 1 made
+  // span == 0, which is indistinguishable from the legitimate full-64-bit
+  // request below and silently returned arbitrary 64-bit values. Clamp to
+  // the lower bound instead (no draw is consumed).
+  if (hi < lo) return lo;
+  // Unsigned subtraction: hi - lo as int64_t overflows for spans wider
+  // than 2^63 (e.g. lo < 0 < hi at the extremes).
+  uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
   if (span == 0) {
     // Full 64-bit range requested.
     return static_cast<int64_t>(Next());
   }
-  return lo + static_cast<int64_t>(UniformInt(span));
+  // Add the offset in unsigned arithmetic: for spans wider than 2^63 the
+  // draw exceeds INT64_MAX and `lo + int64(draw)` would be signed
+  // overflow, even though the mathematical result always lands in
+  // [lo, hi]. Two's-complement wraparound delivers exactly that result.
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                              UniformInt(span));
 }
 
 double Rng::UniformDouble() {
@@ -91,14 +108,23 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t universe,
     return out;
   }
 
-  // Sparse case: Floyd's algorithm, O(count) expected.
+  // Sparse case: Floyd's algorithm, O(count) expected. The result is built
+  // in insertion order — a deterministic function of the draw sequence —
+  // NOT the unordered_set's iteration order, which differs across standard
+  // libraries and would break cross-platform bit-for-bit reproducibility.
+  // (When t collides, j itself is always fresh: every earlier insertion is
+  // strictly below the current j.)
   std::unordered_set<size_t> chosen;
   chosen.reserve(count * 2);
   for (size_t j = universe - count; j < universe; ++j) {
     size_t t = static_cast<size_t>(UniformInt(j + 1));
-    if (!chosen.insert(t).second) chosen.insert(j);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
   }
-  out.assign(chosen.begin(), chosen.end());
   return out;
 }
 

@@ -48,10 +48,12 @@ class Rng {
   uint64_t operator()() { return Next(); }
   uint64_t Next();
 
-  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  /// Uniform integer in [0, bound) without modulo bias. bound == 0 (an
+  /// empty range) returns 0 without consuming a draw.
   uint64_t UniformInt(uint64_t bound);
 
-  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  /// Uniform integer in [lo, hi] inclusive. An inverted range (hi < lo) is
+  /// clamped: lo is returned without consuming a draw.
   int64_t UniformRange(int64_t lo, int64_t hi);
 
   /// Uniform double in [0, 1) with 53 bits of precision.
@@ -79,7 +81,10 @@ class Rng {
 
   /// Samples `count` distinct indices from [0, universe) uniformly without
   /// replacement (partial Fisher-Yates over an index vector when count is a
-  /// large fraction of universe; Floyd's algorithm otherwise).
+  /// large fraction of universe; Floyd's algorithm otherwise). Both
+  /// branches order the result deterministically from the draw sequence
+  /// alone (selection order / Floyd insertion order), so the same seed
+  /// yields the same vector on every platform and standard library.
   std::vector<size_t> SampleWithoutReplacement(size_t universe, size_t count);
 
  private:

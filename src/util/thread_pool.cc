@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+namespace longdp {
+namespace util {
+
+namespace {
+// Observe-phase shards are tens of microseconds; a bounded spin before
+// sleeping keeps dispatch latency low on a multicore machine instead of
+// paying a condvar wakeup per round. The spin is deliberately short: on an
+// oversubscribed host (CI containers are often 1-2 vCPUs) every spin cycle
+// steals time from the thread doing real work, so workers fall back to
+// blocking and the completion wait falls back to yielding almost
+// immediately.
+constexpr int kWorkerSpinIterations = 1 << 12;
+constexpr int kCompletionSpinIterations = 1 << 8;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  // Worker w owns shard w forever; shard 0 belongs to the caller.
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  start_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, const std::function<void(int, int64_t, int64_t)>& body) {
+  if (n < 0) n = 0;
+  const int64_t p = num_threads_;
+  if (p == 1) {
+    body(0, 0, n);
+    return;
+  }
+  body_ = &body;
+  n_ = n;
+  pending_.store(num_threads_ - 1, std::memory_order_relaxed);
+  {
+    // The release bump publishes body_/n_/pending_; the mutex pairs with
+    // the workers' condvar predicate so a sleeping worker cannot miss it.
+    std::lock_guard<std::mutex> lock(mu_);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  start_cv_.notify_all();
+  body(0, 0, n / p);
+  // Completion: spin briefly (shards finish together by construction),
+  // then yield rather than burn a core on a descheduled worker.
+  int spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (spins <= kCompletionSpinIterations) {
+      ++spins;  // stop counting once capped: a stalled worker must not
+                // march this toward signed overflow
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int shard) {
+  uint64_t seen = 0;
+  for (;;) {
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == seen) {
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      if (++spins > kWorkerSpinIterations) {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_cv_.wait(lock, [&] {
+          return shutdown_.load(std::memory_order_acquire) ||
+                 generation_.load(std::memory_order_acquire) != seen;
+        });
+        break;
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    seen = generation_.load(std::memory_order_acquire);
+    const auto* body = body_;
+    const int64_t n = n_;
+    const int64_t p = num_threads_;
+    const int64_t begin = static_cast<int64_t>(shard) * n / p;
+    const int64_t end = (static_cast<int64_t>(shard) + 1) * n / p;
+    (*body)(shard, begin, end);
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace util
+}  // namespace longdp

@@ -1,0 +1,100 @@
+// A small fixed-size worker pool for the deterministic, RNG-free shards of
+// the synthesizers' observe phase.
+//
+// Determinism contract: ParallelFor partitions [0, n) into exactly
+// num_threads() FIXED contiguous shards — shard s covers
+// [s*n/P, (s+1)*n/P) — so the partition depends only on (n, P), never on
+// scheduling. A body that (a) draws no randomness, (b) writes only to
+// per-index slots or to per-shard scratch that is later reduced in shard
+// order, therefore produces bit-identical state at any thread count,
+// including the inline P = 1 path. All RNG-consuming work (noise draws,
+// record selection) must stay OUTSIDE the pool, on the caller's thread.
+//
+// The pool keeps its workers alive between calls (observe phases invoke it
+// once or twice per round over T rounds), and ParallelFor blocks until every
+// shard has finished; the calling thread executes shard 0 itself instead of
+// idling. The pool is NOT reentrant: ParallelFor must not be called from
+// inside a shard body, and a pool must not be shared by concurrent callers.
+
+#ifndef LONGDP_UTIL_THREAD_POOL_H_
+#define LONGDP_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace longdp {
+namespace util {
+
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` total execution lanes: num_threads - 1 worker
+  /// threads plus the caller's thread. num_threads < 1 is clamped to 1
+  /// (no workers; ParallelFor runs inline); 0 is NOT hardware concurrency —
+  /// callers that want that should pass
+  /// std::thread::hardware_concurrency() explicitly.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(shard, begin, end) for every contiguous shard of [0, n),
+  /// blocking until all shards complete. Shard s always covers
+  /// [s*n/P, (s+1)*n/P) for P = num_threads(); empty shards still invoke
+  /// the body (with begin == end) so per-shard scratch stays well-defined.
+  void ParallelFor(int64_t n,
+                   const std::function<void(int, int64_t, int64_t)>& body);
+
+ private:
+  void WorkerLoop(int shard);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  // Dispatch protocol: body_/n_/pending_ are written by the caller, then
+  // published by a release increment of generation_; workers acquire the
+  // new generation (spin first, condvar after a bounded spin), run their
+  // fixed shard, and release-decrement pending_. The caller spins until
+  // pending_ hits zero. The mutex exists only so a sleeping worker cannot
+  // miss a generation bump.
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<bool> shutdown_{false};
+  const std::function<void(int, int64_t, int64_t)>* body_ = nullptr;
+  int64_t n_ = 0;
+};
+
+/// Shard count a caller should size per-shard scratch for: the pool's lane
+/// count, or 1 when running serially (null pool).
+inline int NumShards(const ThreadPool* pool) {
+  return pool != nullptr ? pool->num_threads() : 1;
+}
+
+/// Runs `body(shard, begin, end)` over the fixed contiguous shards of
+/// [0, n): inline (one shard) when `pool` is null or single-threaded,
+/// through the pool otherwise. The serial path costs one direct call — no
+/// std::function is materialized — so wiring a null pool through a hot loop
+/// is free.
+template <typename Body>
+void ShardedFor(ThreadPool* pool, int64_t n, Body&& body) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    body(0, int64_t{0}, n);
+    return;
+  }
+  pool->ParallelFor(n, std::forward<Body>(body));
+}
+
+}  // namespace util
+}  // namespace longdp
+
+#endif  // LONGDP_UTIL_THREAD_POOL_H_

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/categorical_synthesizer.h"
@@ -26,12 +27,23 @@
 #include "core/fixed_window_synthesizer.h"
 #include "core/recompute_baseline.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Every equivalence property is re-checked under each of these observe-
+// phase thread counts: the sharded stage-1 path must stay exact, not just
+// the serial one.
+const int kThreadCounts[] = {1, 2, 8};
+
+std::unique_ptr<util::ThreadPool> MakePool(int threads) {
+  if (threads <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(threads);
+}
 
 // One random (n, T, k, p) configuration per trial, small enough that 30
 // trials stay well under a second but varied enough to hit k = 1 edge
@@ -63,6 +75,9 @@ std::vector<std::vector<uint8_t>> RandomRounds(const Config& c,
 }
 
 TEST(ZeroNoiseEquivalenceTest, FixedWindowMatchesRecomputeBaseline) {
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto pool = MakePool(threads);
   util::Rng meta(0xE0E1u);
   for (int trial = 0; trial < 30; ++trial) {
     Config c = RandomConfig(&meta);
@@ -73,6 +88,7 @@ TEST(ZeroNoiseEquivalenceTest, FixedWindowMatchesRecomputeBaseline) {
     fopt.window_k = c.k;
     fopt.rho = kInf;
     fopt.npad = 0;
+    fopt.pool = pool.get();
     auto synth = FixedWindowSynthesizer::Create(fopt).value();
 
     RecomputeBaseline::Options bopt;
@@ -95,9 +111,13 @@ TEST(ZeroNoiseEquivalenceTest, FixedWindowMatchesRecomputeBaseline) {
     }
     EXPECT_EQ(synth->stats().negative_clamps, 0);
   }
+  }
 }
 
 TEST(ZeroNoiseEquivalenceTest, CategoricalBinaryMatchesRecomputeBaseline) {
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto pool = MakePool(threads);
   util::Rng meta(0xE0E2u);
   for (int trial = 0; trial < 30; ++trial) {
     Config c = RandomConfig(&meta);
@@ -109,6 +129,7 @@ TEST(ZeroNoiseEquivalenceTest, CategoricalBinaryMatchesRecomputeBaseline) {
     copt.alphabet = 2;
     copt.rho = kInf;
     copt.npad = 0;
+    copt.pool = pool.get();
     auto synth = CategoricalWindowSynthesizer::Create(copt).value();
 
     RecomputeBaseline::Options bopt;
@@ -133,11 +154,15 @@ TEST(ZeroNoiseEquivalenceTest, CategoricalBinaryMatchesRecomputeBaseline) {
     }
     EXPECT_EQ(synth->stats().negative_clamps, 0);
   }
+  }
 }
 
 // Categorical with a larger alphabet against a direct histogram recompute
 // (RecomputeBaseline is binary-only, so the reference is computed inline).
 TEST(ZeroNoiseEquivalenceTest, CategoricalMatchesExactHistogram) {
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto pool = MakePool(threads);
   util::Rng meta(0xE0E3u);
   for (int trial = 0; trial < 20; ++trial) {
     const int A = 2 + static_cast<int>(meta.UniformInt(3));  // 2..4
@@ -160,6 +185,7 @@ TEST(ZeroNoiseEquivalenceTest, CategoricalMatchesExactHistogram) {
     copt.alphabet = A;
     copt.rho = kInf;
     copt.npad = 0;
+    copt.pool = pool.get();
     auto synth = CategoricalWindowSynthesizer::Create(copt).value();
     const uint64_t bins =
         CategoricalWindowSynthesizer::NumBins(k, A).value();
@@ -183,9 +209,13 @@ TEST(ZeroNoiseEquivalenceTest, CategoricalMatchesExactHistogram) {
           << " A=" << A << ") at t=" << t;
     }
   }
+  }
 }
 
 TEST(ZeroNoiseEquivalenceTest, CumulativeMatchesExactThresholdCounts) {
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto pool = MakePool(threads);
   util::Rng meta(0xE0E4u);
   for (int trial = 0; trial < 30; ++trial) {
     const int64_t T = 1 + static_cast<int64_t>(meta.UniformInt(16));
@@ -201,6 +231,7 @@ TEST(ZeroNoiseEquivalenceTest, CumulativeMatchesExactThresholdCounts) {
     CumulativeSynthesizer::Options opt;
     opt.horizon = T;
     opt.rho = kInf;
+    opt.pool = pool.get();
     auto synth = CumulativeSynthesizer::Create(opt).value();
 
     util::Rng rng(6000 + static_cast<uint64_t>(trial));
@@ -227,6 +258,7 @@ TEST(ZeroNoiseEquivalenceTest, CumulativeMatchesExactThresholdCounts) {
       EXPECT_EQ(synth->SyntheticThresholdCounts(), want)
           << "trial " << trial << " at t=" << t;
     }
+  }
   }
 }
 

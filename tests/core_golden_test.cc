@@ -19,6 +19,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "data/generators.h"
 #include "stream/honaker_counter.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace core {
@@ -80,6 +82,20 @@ void CheckGolden(const std::string& name, const std::string& actual) {
   EXPECT_EQ(expected.str(), actual);
 }
 
+// Each golden log is rendered under every thread count in {1, 2, 8} and
+// every rendering must match the SAME golden file: the sharded observe
+// phase is required to be bit-identical to the serial recording.
+template <typename BuildLog>
+void CheckGoldenAtAllThreadCounts(const std::string& name,
+                                  BuildLog&& build_log) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+    CheckGolden(name, build_log(pool.get()));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cumulative synthesizer: released + raw threshold rows every round, then
 // the full synthetic record matrix.
@@ -89,30 +105,35 @@ TEST(GoldenTest, CumulativeReleaseLog) {
   util::Rng data_rng(0xD5EEDu);
   auto ds = data::BernoulliIid(n, T, 0.3, &data_rng).value();
 
-  CumulativeSynthesizer::Options opt;
-  opt.horizon = T;
-  opt.rho = 0.5;
-  auto synth = CumulativeSynthesizer::Create(opt).value();
+  CheckGoldenAtAllThreadCounts(
+      "cumulative_release_log", [&](util::ThreadPool* pool) {
+        CumulativeSynthesizer::Options opt;
+        opt.horizon = T;
+        opt.rho = 0.5;
+        opt.pool = pool;
+        auto synth = CumulativeSynthesizer::Create(opt).value();
 
-  util::Rng rng(20240611u);
-  std::ostringstream log;
-  log << "cumulative n=" << n << " T=" << T << " rho=" << opt.rho << "\n";
-  for (int64_t t = 1; t <= T; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
-    AppendRow("raw", t, synth->raw_thresholds(), &log);
-    AppendRow("released", t, synth->released_thresholds(), &log);
-  }
-  AppendRow("synthetic_thresholds", T, synth->SyntheticThresholdCounts(),
-            &log);
-  log << "records\n";
-  for (int64_t r = 0; r < synth->population(); ++r) {
-    std::string line(static_cast<size_t>(T), '0');
-    for (int64_t t = 1; t <= T; ++t) {
-      if (synth->Bit(r, t)) line[static_cast<size_t>(t - 1)] = '1';
-    }
-    log << line << "\n";
-  }
-  CheckGolden("cumulative_release_log", log.str());
+        util::Rng rng(20240611u);
+        std::ostringstream log;
+        log << "cumulative n=" << n << " T=" << T << " rho=" << opt.rho
+            << "\n";
+        for (int64_t t = 1; t <= T; ++t) {
+          EXPECT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+          AppendRow("raw", t, synth->raw_thresholds(), &log);
+          AppendRow("released", t, synth->released_thresholds(), &log);
+        }
+        AppendRow("synthetic_thresholds", T,
+                  synth->SyntheticThresholdCounts(), &log);
+        log << "records\n";
+        for (int64_t r = 0; r < synth->population(); ++r) {
+          std::string line(static_cast<size_t>(T), '0');
+          for (int64_t t = 1; t <= T; ++t) {
+            if (synth->Bit(r, t)) line[static_cast<size_t>(t - 1)] = '1';
+          }
+          log << line << "\n";
+        }
+        return log.str();
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -125,34 +146,39 @@ TEST(GoldenTest, FixedWindowReleaseLog) {
   util::Rng data_rng(0xF1DDu);
   auto ds = data::BernoulliIid(n, T, 0.25, &data_rng).value();
 
-  FixedWindowSynthesizer::Options opt;
-  opt.horizon = T;
-  opt.window_k = k;
-  opt.rho = 0.5;
-  auto synth = FixedWindowSynthesizer::Create(opt).value();
+  CheckGoldenAtAllThreadCounts(
+      "fixed_window_release_log", [&](util::ThreadPool* pool) {
+        FixedWindowSynthesizer::Options opt;
+        opt.horizon = T;
+        opt.window_k = k;
+        opt.rho = 0.5;
+        opt.pool = pool;
+        auto synth = FixedWindowSynthesizer::Create(opt).value();
 
-  util::Rng rng(20240612u);
-  std::ostringstream log;
-  log << "fixed_window n=" << n << " T=" << T << " k=" << k
-      << " rho=" << opt.rho << " npad=" << synth->npad() << "\n";
-  for (int64_t t = 1; t <= T; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
-    if (!synth->has_release()) continue;
-    AppendRow("histogram", t, synth->SyntheticHistogram(), &log);
-  }
-  log << "stats releases=" << synth->stats().releases
-      << " negative_clamps=" << synth->stats().negative_clamps
-      << " rounding_draws=" << synth->stats().rounding_draws << "\n";
-  const auto& cohort = synth->cohort();
-  log << "records " << cohort.num_records() << " " << cohort.rounds() << "\n";
-  for (int64_t r = 0; r < cohort.num_records(); ++r) {
-    std::string line(static_cast<size_t>(cohort.rounds()), '0');
-    for (int64_t t = 1; t <= cohort.rounds(); ++t) {
-      if (cohort.Bit(r, t)) line[static_cast<size_t>(t - 1)] = '1';
-    }
-    log << line << "\n";
-  }
-  CheckGolden("fixed_window_release_log", log.str());
+        util::Rng rng(20240612u);
+        std::ostringstream log;
+        log << "fixed_window n=" << n << " T=" << T << " k=" << k
+            << " rho=" << opt.rho << " npad=" << synth->npad() << "\n";
+        for (int64_t t = 1; t <= T; ++t) {
+          EXPECT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+          if (!synth->has_release()) continue;
+          AppendRow("histogram", t, synth->SyntheticHistogram(), &log);
+        }
+        log << "stats releases=" << synth->stats().releases
+            << " negative_clamps=" << synth->stats().negative_clamps
+            << " rounding_draws=" << synth->stats().rounding_draws << "\n";
+        const auto& cohort = synth->cohort();
+        log << "records " << cohort.num_records() << " " << cohort.rounds()
+            << "\n";
+        for (int64_t r = 0; r < cohort.num_records(); ++r) {
+          std::string line(static_cast<size_t>(cohort.rounds()), '0');
+          for (int64_t t = 1; t <= cohort.rounds(); ++t) {
+            if (cohort.Bit(r, t)) line[static_cast<size_t>(t - 1)] = '1';
+          }
+          log << line << "\n";
+        }
+        return log.str();
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -172,36 +198,43 @@ TEST(GoldenTest, CategoricalReleaseLog) {
     }
   }
 
-  CategoricalWindowSynthesizer::Options opt;
-  opt.horizon = T;
-  opt.window_k = k;
-  opt.alphabet = A;
-  opt.rho = 0.5;
-  auto synth = CategoricalWindowSynthesizer::Create(opt).value();
+  CheckGoldenAtAllThreadCounts(
+      "categorical_release_log", [&](util::ThreadPool* pool) {
+        CategoricalWindowSynthesizer::Options opt;
+        opt.horizon = T;
+        opt.window_k = k;
+        opt.alphabet = A;
+        opt.rho = 0.5;
+        opt.pool = pool;
+        auto synth = CategoricalWindowSynthesizer::Create(opt).value();
 
-  util::Rng rng(20240613u);
-  std::ostringstream log;
-  log << "categorical n=" << n << " T=" << T << " k=" << k << " A=" << A
-      << " rho=" << opt.rho << " npad=" << synth->npad() << "\n";
-  for (int64_t t = 1; t <= T; ++t) {
-    ASSERT_TRUE(
-        synth->ObserveRound(rounds[static_cast<size_t>(t - 1)], &rng).ok());
-    if (!synth->has_release()) continue;
-    AppendRow("histogram", t, synth->SyntheticHistogram(), &log);
-  }
-  log << "stats releases=" << synth->stats().releases
-      << " negative_clamps=" << synth->stats().negative_clamps
-      << " remainder_draws=" << synth->stats().remainder_draws << "\n";
-  log << "records " << synth->synthetic_population() << " " << synth->t()
-      << "\n";
-  for (int64_t r = 0; r < synth->synthetic_population(); ++r) {
-    std::string line;
-    for (int64_t t = 1; t <= synth->t(); ++t) {
-      line += static_cast<char>('0' + synth->Symbol(r, t));
-    }
-    log << line << "\n";
-  }
-  CheckGolden("categorical_release_log", log.str());
+        util::Rng rng(20240613u);
+        std::ostringstream log;
+        log << "categorical n=" << n << " T=" << T << " k=" << k
+            << " A=" << A << " rho=" << opt.rho << " npad=" << synth->npad()
+            << "\n";
+        for (int64_t t = 1; t <= T; ++t) {
+          EXPECT_TRUE(
+              synth->ObserveRound(rounds[static_cast<size_t>(t - 1)], &rng)
+                  .ok());
+          if (!synth->has_release()) continue;
+          AppendRow("histogram", t, synth->SyntheticHistogram(), &log);
+        }
+        log << "stats releases=" << synth->stats().releases
+            << " negative_clamps=" << synth->stats().negative_clamps
+            << " remainder_draws=" << synth->stats().remainder_draws
+            << "\n";
+        log << "records " << synth->synthetic_population() << " "
+            << synth->t() << "\n";
+        for (int64_t r = 0; r < synth->synthetic_population(); ++r) {
+          std::string line;
+          for (int64_t t = 1; t <= synth->t(); ++t) {
+            line += static_cast<char>('0' + synth->Symbol(r, t));
+          }
+          log << line << "\n";
+        }
+        return log.str();
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -214,23 +247,28 @@ TEST(GoldenTest, CumulativeHonakerReleaseLog) {
   util::Rng dsrng(0xA0AAu);
   auto ds = data::BernoulliIid(n, T, 0.4, &dsrng).value();
 
-  CumulativeSynthesizer::Options opt;
-  opt.horizon = T;
-  opt.rho = 1.0;
-  opt.counter_factory = std::make_shared<stream::HonakerCounterFactory>();
-  auto synth = CumulativeSynthesizer::Create(opt).value();
+  CheckGoldenAtAllThreadCounts(
+      "cumulative_honaker_release_log", [&](util::ThreadPool* pool) {
+        CumulativeSynthesizer::Options opt;
+        opt.horizon = T;
+        opt.rho = 1.0;
+        opt.counter_factory =
+            std::make_shared<stream::HonakerCounterFactory>();
+        opt.pool = pool;
+        auto synth = CumulativeSynthesizer::Create(opt).value();
 
-  util::Rng rng(20240614u);
-  std::ostringstream log;
-  log << "cumulative_honaker n=" << n << " T=" << T << " rho=" << opt.rho
-      << "\n";
-  for (int64_t t = 1; t <= T; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
-    AppendRow("released", t, synth->released_thresholds(), &log);
-  }
-  AppendRow("synthetic_thresholds", T, synth->SyntheticThresholdCounts(),
-            &log);
-  CheckGolden("cumulative_honaker_release_log", log.str());
+        util::Rng rng(20240614u);
+        std::ostringstream log;
+        log << "cumulative_honaker n=" << n << " T=" << T
+            << " rho=" << opt.rho << "\n";
+        for (int64_t t = 1; t <= T; ++t) {
+          EXPECT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+          AppendRow("released", t, synth->released_thresholds(), &log);
+        }
+        AppendRow("synthetic_thresholds", T,
+                  synth->SyntheticThresholdCounts(), &log);
+        return log.str();
+      });
 }
 
 }  // namespace

@@ -168,6 +168,118 @@ TEST(DatasetTest, WindowHistogramMatchesSuffixPatternsProperty) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Bit-packed round representation.
+
+TEST(DatasetTest, RoundViewBitsMatchAppendedBytes) {
+  // A population that is not a multiple of 64 exercises the partial last
+  // word; random bits exercise every position.
+  const int64_t kN = 150, kT = 4;
+  util::Rng rng(0xBEEFu);
+  auto ds = LongitudinalDataset::Create(kN, kT).value();
+  std::vector<std::vector<uint8_t>> rounds;
+  std::vector<uint8_t> round(static_cast<size_t>(kN));
+  for (int64_t t = 1; t <= kT; ++t) {
+    for (auto& b : round) b = rng.Bernoulli(0.4) ? 1 : 0;
+    rounds.push_back(round);
+    ASSERT_TRUE(ds.AppendRound(round).ok());
+  }
+  for (int64_t t = 1; t <= kT; ++t) {
+    RoundView view = ds.Round(t);
+    ASSERT_EQ(view.size(), kN);
+    ASSERT_EQ(view.num_words(), static_cast<size_t>((kN + 63) / 64));
+    int64_t ones = 0;
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(view.bit(i),
+                rounds[static_cast<size_t>(t - 1)][static_cast<size_t>(i)])
+          << "t=" << t << " i=" << i;
+      EXPECT_EQ(view.bit(i), ds.Bit(i, t));
+      ones += view.bit(i);
+    }
+    EXPECT_EQ(view.CountOnes(), ones) << "t=" << t;
+  }
+}
+
+TEST(DatasetTest, RoundViewForEachOneVisitsExactlyTheSetBits) {
+  const int64_t kN = 200;
+  util::Rng rng(0xFACEu);
+  auto ds = LongitudinalDataset::Create(kN, 1).value();
+  std::vector<uint8_t> round(static_cast<size_t>(kN));
+  for (auto& b : round) b = rng.Bernoulli(0.25) ? 1 : 0;
+  ASSERT_TRUE(ds.AppendRound(round).ok());
+
+  RoundView view = ds.Round(1);
+  std::vector<int64_t> visited;
+  view.ForEachOne([&](int64_t i) { visited.push_back(i); });
+  std::vector<int64_t> expected;
+  for (int64_t i = 0; i < kN; ++i) {
+    if (round[static_cast<size_t>(i)]) expected.push_back(i);
+  }
+  EXPECT_EQ(visited, expected);  // increasing order, every set bit once
+
+  // Range iteration with unaligned bounds (masks on both end words).
+  for (auto [lo, hi] : {std::pair<int64_t, int64_t>{3, 197},
+                        {63, 65},
+                        {64, 128},
+                        {100, 100},
+                        {0, 200}}) {
+    std::vector<int64_t> got;
+    view.ForEachOneInRange(lo, hi, [&](int64_t i) { got.push_back(i); });
+    std::vector<int64_t> want;
+    for (int64_t i = lo; i < hi; ++i) {
+      if (round[static_cast<size_t>(i)]) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+TEST(DatasetTest, PackedRoundValidatesAndRoundTrips) {
+  auto packed = PackedRound::FromBytes({1, 0, 1, 1, 0});
+  ASSERT_TRUE(packed.ok());
+  RoundView view = packed.value().view();
+  EXPECT_EQ(view.size(), 5);
+  EXPECT_EQ(view.bit(0), 1);
+  EXPECT_EQ(view.bit(1), 0);
+  EXPECT_EQ(view.bit(4), 0);
+  EXPECT_EQ(view.CountOnes(), 3);
+
+  EXPECT_TRUE(PackedRound::FromBytes({0, 1, 2}).status().IsInvalidArgument());
+
+  // Assign reuses the buffer and handles exact word multiples.
+  PackedRound reuse;
+  std::vector<uint8_t> full(128, 1);
+  ASSERT_TRUE(reuse.Assign(full).ok());
+  EXPECT_EQ(reuse.view().CountOnes(), 128);
+  ASSERT_TRUE(reuse.Assign({0, 0, 1}).ok());
+  EXPECT_EQ(reuse.view().size(), 3);
+  EXPECT_EQ(reuse.view().CountOnes(), 1);
+}
+
+TEST(DatasetTest, ForEachSuffixPatternMatchesSuffixPattern) {
+  // Includes t < k (zero padding before the first round) and a population
+  // spanning multiple words.
+  const int64_t kN = 130, kT = 6;
+  util::Rng rng(0xABCDu);
+  auto ds = LongitudinalDataset::Create(kN, kT).value();
+  std::vector<uint8_t> round(static_cast<size_t>(kN));
+  for (int64_t t = 1; t <= kT; ++t) {
+    for (auto& b : round) b = rng.Bernoulli(0.5) ? 1 : 0;
+    ASSERT_TRUE(ds.AppendRound(round).ok());
+  }
+  for (int k : {1, 3, 5}) {
+    for (int64_t t = 1; t <= kT; ++t) {
+      int64_t calls = 0;
+      ds.ForEachSuffixPattern(t, k, [&](int64_t user, util::Pattern p) {
+        EXPECT_EQ(p, ds.SuffixPattern(user, t, k))
+            << "user=" << user << " t=" << t << " k=" << k;
+        EXPECT_EQ(user, calls);  // increasing user order
+        ++calls;
+      });
+      EXPECT_EQ(calls, kN);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace longdp

@@ -110,6 +110,77 @@ TEST(SippCsvTest, LoadsHeaderlessNoIdFile) {
   std::remove(path.c_str());
 }
 
+TEST(SippCsvTest, HeaderWithNumericColumnNamesIsSkipped) {
+  // "id,1,2,3": one non-numeric field is enough to mark the header even
+  // when the period columns are named by bare numbers.
+  std::string path = ::testing::TempDir() + "/longdp_sipp_numhdr.csv";
+  {
+    std::ofstream out(path);
+    out << "id,1,2,3\n7,1,0,1\n9,0,0,0\n";
+  }
+  auto ds = LoadSippBitsCsv(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_users(), 2);
+  EXPECT_EQ(ds.value().rounds(), 3);
+  EXPECT_EQ(ds.value().Bit(0, 1), 1);
+  EXPECT_EQ(ds.value().Bit(0, 3), 1);
+  EXPECT_EQ(ds.value().Bit(1, 2), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SippCsvTest, DashJoinedHeaderNamesAreNotNumeric) {
+  // Regression: "2024-01" style names are digits and dashes only, which
+  // the old any-mix check classified as numeric — the header row was then
+  // ingested as data and the load failed on "non-binary value '2024-01'".
+  std::string path = ::testing::TempDir() + "/longdp_sipp_datehdr.csv";
+  {
+    std::ofstream out(path);
+    out << "2024-01,2024-02,2024-03\n1,0,1\n0,1,0\n";
+  }
+  auto ds = LoadSippBitsCsv(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_users(), 2);
+  EXPECT_EQ(ds.value().rounds(), 3);
+  EXPECT_EQ(ds.value().Bit(0, 1), 1);
+  EXPECT_EQ(ds.value().Bit(1, 2), 1);
+  std::remove(path.c_str());
+}
+
+TEST(SippCsvTest, LoneDashAndDotFieldsMarkAHeader) {
+  // Regression: "-" and "." contain no digit, yet the old check called
+  // them numeric; a header row made only of such placeholders was ingested
+  // as data instead of being skipped.
+  std::string path = ::testing::TempDir() + "/longdp_sipp_punct.csv";
+  {
+    std::ofstream out(path);
+    out << "-,.\n1,0\n0,1\n";
+  }
+  auto ds = LoadSippBitsCsv(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_users(), 2);
+  EXPECT_EQ(ds.value().rounds(), 2);
+  EXPECT_EQ(ds.value().Bit(0, 1), 1);
+  EXPECT_EQ(ds.value().Bit(1, 2), 1);
+  std::remove(path.c_str());
+}
+
+TEST(SippCsvTest, AllBitRowsStillLoadHeaderless) {
+  // Tightening the numeric check must not start misreading a headerless
+  // all-bits file (or decimal data like "1.5", which stays numeric) as
+  // having a header.
+  std::string path = ::testing::TempDir() + "/longdp_sipp_nohdr2.csv";
+  {
+    std::ofstream out(path);
+    out << "0,1\n1,1\n";
+  }
+  auto ds = LoadSippBitsCsv(path);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.value().num_users(), 2);
+  EXPECT_EQ(ds.value().rounds(), 2);
+  EXPECT_EQ(ds.value().Bit(0, 2), 1);
+  std::remove(path.c_str());
+}
+
 TEST(SippCsvTest, RejectsMalformedRows) {
   std::string path = ::testing::TempDir() + "/longdp_sipp_bad.csv";
   {

@@ -70,9 +70,7 @@ TEST(LocalRrTest, EstimatesAreUnbiased) {
   for (int64_t t = 1; t <= kT; ++t) {
     auto est = oracle->ObserveRound(ds.Round(t), &rng);
     ASSERT_TRUE(est.ok());
-    int64_t ones = 0;
-    for (uint8_t b : ds.Round(t)) ones += b;
-    double truth = static_cast<double>(ones) / kN;
+    double truth = static_cast<double>(ds.Round(t).CountOnes()) / kN;
     EXPECT_NEAR(est.value(), truth,
                 5.0 * oracle->EstimateStddevBound(kN))
         << "t=" << t;

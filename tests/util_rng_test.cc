@@ -64,6 +64,48 @@ TEST(RngTest, UniformIntRoughlyUniform) {
   }
 }
 
+TEST(RngTest, UniformIntZeroBoundReturnsZero) {
+  // Regression: bound == 0 fed the Lemire rejection threshold a division
+  // by zero (SIGFPE on x86). The documented empty-range behavior is 0,
+  // with no draw consumed.
+  Rng rng(61);
+  Rng control(61);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(0), 0u);
+  }
+  EXPECT_EQ(rng.Next(), control.Next());  // stream position untouched
+}
+
+TEST(RngTest, UniformRangeInvertedClampsToLo) {
+  // Regression: hi < lo underflowed the span; hi == lo - 1 produced
+  // span == 0, which aliased the full-64-bit-range request and returned
+  // arbitrary values far outside [hi, lo].
+  Rng rng(67);
+  Rng control(67);
+  EXPECT_EQ(rng.UniformRange(5, 2), 5);
+  EXPECT_EQ(rng.UniformRange(5, 4), 5);  // the span == 0 alias case
+  EXPECT_EQ(rng.UniformRange(-3, -10), -3);
+  EXPECT_EQ(rng.UniformRange(INT64_MAX, INT64_MIN), INT64_MAX);
+  EXPECT_EQ(rng.Next(), control.Next());  // no draws consumed
+}
+
+TEST(RngTest, UniformRangeDegenerateAndFullRange) {
+  Rng rng(71);
+  EXPECT_EQ(rng.UniformRange(3, 3), 3);
+  EXPECT_EQ(rng.UniformRange(-9, -9), -9);
+  // The legitimate full-64-bit request still works (would hang or crash if
+  // the clamp misclassified it).
+  for (int i = 0; i < 4; ++i) {
+    (void)rng.UniformRange(INT64_MIN, INT64_MAX);
+  }
+  // A span wider than 2^63 (signed hi - lo would overflow) stays in range.
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = rng.UniformRange(INT64_MIN + 1, INT64_MAX - 1);
+    EXPECT_GT(v, INT64_MIN);
+    EXPECT_LT(v, INT64_MAX);
+  }
+}
+
 TEST(RngTest, UniformRangeInclusive) {
   Rng rng(17);
   bool saw_lo = false, saw_hi = false;
@@ -167,6 +209,50 @@ TEST(RngTest, SampleWithoutReplacementClampsCount) {
   Rng rng(53);
   auto sample = rng.SampleWithoutReplacement(5, 50);
   EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementSameSeedSameOutputBothBranches) {
+  // Same seed => identical output vector (values AND order), for both the
+  // dense (Fisher-Yates) and sparse (Floyd) branches. The sparse branch
+  // used to emit std::unordered_set iteration order, which differs across
+  // standard libraries and silently broke cross-platform reproducibility.
+  struct Case {
+    size_t universe, count;
+  };
+  const Case cases[] = {
+      {100, 60},   // dense: count * 3 >= universe
+      {12, 4},     // dense boundary: count * 3 == universe
+      {1000, 10},  // sparse
+      {1000, 1},   // sparse, single draw
+  };
+  for (const Case& c : cases) {
+    Rng a(97), b(97);
+    EXPECT_EQ(a.SampleWithoutReplacement(c.universe, c.count),
+              b.SampleWithoutReplacement(c.universe, c.count))
+        << "universe=" << c.universe << " count=" << c.count;
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementSparseBranchIsInsertionOrder) {
+  // The sparse branch's contract: results appear in Floyd insertion order,
+  // a pure function of the draw sequence. Replay the algorithm with an
+  // identically seeded Rng and require an exact match — any dependence on
+  // unordered_set layout would diverge.
+  const size_t kUniverse = 5000, kCount = 25;  // firmly sparse
+  Rng lib(101), replay(101);
+  auto got = lib.SampleWithoutReplacement(kUniverse, kCount);
+  std::vector<size_t> want;
+  std::set<size_t> chosen;
+  for (size_t j = kUniverse - kCount; j < kUniverse; ++j) {
+    size_t t = static_cast<size_t>(replay.UniformInt(j + 1));
+    if (chosen.insert(t).second) {
+      want.push_back(t);
+    } else {
+      chosen.insert(j);
+      want.push_back(j);
+    }
+  }
+  EXPECT_EQ(got, want);
 }
 
 TEST(RngTest, SampleWithoutReplacementUnbiased) {

@@ -1,0 +1,123 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace longdp {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, ShardsPartitionTheRangeExactly) {
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(pool.num_threads(), threads);
+    for (int64_t n : {0, 1, 5, 63, 64, 65, 1000}) {
+      std::vector<std::atomic<int>> touched(static_cast<size_t>(n));
+      for (auto& t : touched) t = 0;
+      pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          touched[static_cast<size_t>(i)].fetch_add(1);
+        }
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(touched[static_cast<size_t>(i)].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ShardBoundsAreTheFixedContiguousPartition) {
+  // The determinism contract: shard s covers exactly [s*n/P, (s+1)*n/P),
+  // regardless of scheduling.
+  const int kThreads = 4;
+  const int64_t kN = 103;
+  ThreadPool pool(kThreads);
+  std::vector<std::pair<int64_t, int64_t>> ranges(kThreads);
+  pool.ParallelFor(kN, [&](int shard, int64_t begin, int64_t end) {
+    ranges[static_cast<size_t>(shard)] = {begin, end};
+  });
+  for (int s = 0; s < kThreads; ++s) {
+    EXPECT_EQ(ranges[static_cast<size_t>(s)].first, s * kN / kThreads);
+    EXPECT_EQ(ranges[static_cast<size_t>(s)].second,
+              (s + 1) * kN / kThreads);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
+  // The observe phase calls the pool once or twice per round; make sure
+  // repeated dispatches on one pool neither deadlock nor drop work.
+  ThreadPool pool(4);
+  std::vector<int64_t> data(1024, 0);
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(static_cast<int64_t>(data.size()),
+                     [&](int, int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         ++data[static_cast<size_t>(i)];
+                       }
+                     });
+  }
+  for (int64_t v : data) EXPECT_EQ(v, 200);
+}
+
+TEST(ThreadPoolTest, ShardedForInlineWhenSerial) {
+  // Null pool and single-thread pool both run one inline shard.
+  std::vector<std::pair<int64_t, int64_t>> calls;
+  ShardedFor(nullptr, 10, [&](int shard, int64_t begin, int64_t end) {
+    EXPECT_EQ(shard, 0);
+    calls.emplace_back(begin, end);
+  });
+  ThreadPool one(1);
+  ShardedFor(&one, 7, [&](int shard, int64_t begin, int64_t end) {
+    EXPECT_EQ(shard, 0);
+    calls.emplace_back(begin, end);
+  });
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], (std::pair<int64_t, int64_t>{0, 10}));
+  EXPECT_EQ(calls[1], (std::pair<int64_t, int64_t>{0, 7}));
+  EXPECT_EQ(NumShards(nullptr), 1);
+  EXPECT_EQ(NumShards(&one), 1);
+}
+
+TEST(ThreadPoolTest, ShardedReductionMatchesSerialSum) {
+  // The usage pattern every synthesizer relies on: per-shard scratch,
+  // reduced in shard order, equals the serial result exactly.
+  const int64_t kN = 10007;
+  std::vector<int64_t> values(static_cast<size_t>(kN));
+  std::iota(values.begin(), values.end(), 1);
+  const int64_t want = kN * (kN + 1) / 2;
+  for (int threads : {2, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> partial(static_cast<size_t>(threads), 0);
+    pool.ParallelFor(kN, [&](int shard, int64_t begin, int64_t end) {
+      int64_t sum = 0;
+      for (int64_t i = begin; i < end; ++i) {
+        sum += values[static_cast<size_t>(i)];
+      }
+      partial[static_cast<size_t>(shard)] = sum;
+    });
+    int64_t total = 0;
+    for (int64_t p : partial) total += p;
+    EXPECT_EQ(total, want) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  int64_t sum = 0;
+  zero.ParallelFor(5, [&](int, int64_t begin, int64_t end) {
+    sum += end - begin;
+  });
+  EXPECT_EQ(sum, 5);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace longdp
