@@ -4,12 +4,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+#include <vector>
+
 #include "dp/discrete_gaussian.h"
 #include "stream/counter_factory.h"
+#include "util/batch_sampler.h"
+#include "util/flat_groups.h"
 #include "util/rng.h"
 
 namespace {
 
+using longdp::util::BatchSampler;
+using longdp::util::FlatGroups;
 using longdp::util::Rng;
 
 void BM_DiscreteGaussianSample(benchmark::State& state) {
@@ -65,5 +72,131 @@ void BM_RngUniformInt(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RngUniformInt);
+
+// ---------------------------------------------------------------------------
+// Batched stage-2 sampling phases: the per-draw Rng::UniformInt baseline
+// (one rejection-threshold division per draw — the pre-BatchSampler stage-2
+// idiom) against util::BatchSampler's Lemire multiply-shift bulk path. The
+// acceptance bar for the batched engine is >= 1.5x on the bounded-uniform
+// fill at stage-2-typical bounds.
+
+void BM_BoundedUniformPerDraw(benchmark::State& state) {
+  const uint64_t bound = static_cast<uint64_t>(state.range(0));
+  Rng rng(6);
+  std::vector<uint64_t> out(4096);
+  for (auto _ : state) {
+    for (auto& v : out) v = rng.UniformInt(bound);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_BoundedUniformPerDraw)->Arg(713)->Arg(12345)->Arg(1 << 20);
+
+void BM_BoundedUniformBatched(benchmark::State& state) {
+  const uint64_t bound = static_cast<uint64_t>(state.range(0));
+  Rng rng(6);
+  BatchSampler sampler(&rng);
+  std::vector<uint64_t> out(4096);
+  for (auto _ : state) {
+    sampler.BoundedBulk(bound, out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_BoundedUniformBatched)->Arg(713)->Arg(12345)->Arg(1 << 20);
+
+// The stage-2 selection shapes: a partial Fisher-Yates promoting k of n
+// records, hand-rolled on Rng::UniformInt (old) vs BatchSampler (new).
+
+void BM_PartialShufflePerDraw(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t k = state.range(1);
+  Rng rng(7);
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  for (auto _ : state) {
+    int64_t* data = v.data();
+    for (int64_t i = 0; i < k; ++i) {
+      int64_t j = i + static_cast<int64_t>(
+                          rng.UniformInt(static_cast<uint64_t>(n - i)));
+      std::swap(data[i], data[j]);
+    }
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_PartialShufflePerDraw)
+    ->ArgsProduct({{4096, 65536}, {1024, 4096}});
+
+void BM_PartialShuffleBatched(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t k = state.range(1);
+  Rng rng(7);
+  BatchSampler sampler(&rng);
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  for (auto _ : state) {
+    sampler.PartialShuffle(v.data(), n, k);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_PartialShuffleBatched)
+    ->ArgsProduct({{4096, 65536}, {1024, 4096}});
+
+// Record regrouping for the categorical slide: ragged vector<vector>
+// push_back (old) vs the FlatGroups counting-sort scatter (new). Keys are
+// a fixed pseudo-random overlap assignment. As in the synthesizers, the
+// per-group totals are known up front (from the slide targets), so the
+// counting-sort phase declares counts per group rather than re-counting
+// records.
+
+void BM_RegroupRagged(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t groups = static_cast<size_t>(state.range(1));
+  Rng key_rng(8);
+  std::vector<uint32_t> key(m);
+  for (auto& k : key) {
+    k = static_cast<uint32_t>(key_rng.UniformInt(groups));
+  }
+  std::vector<std::vector<int64_t>> out(groups);
+  for (auto _ : state) {
+    for (auto& g : out) g.clear();
+    for (size_t r = 0; r < m; ++r) {
+      out[key[r]].push_back(static_cast<int64_t>(r));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m));
+}
+BENCHMARK(BM_RegroupRagged)->ArgsProduct({{1 << 16, 1 << 20}, {256}});
+
+void BM_RegroupCountingSort(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t groups = static_cast<size_t>(state.range(1));
+  Rng key_rng(8);
+  std::vector<uint32_t> key(m);
+  for (auto& k : key) {
+    k = static_cast<uint32_t>(key_rng.UniformInt(groups));
+  }
+  std::vector<int64_t> group_counts(groups, 0);
+  for (size_t r = 0; r < m; ++r) ++group_counts[key[r]];
+  FlatGroups out;
+  for (auto _ : state) {
+    out.Reset(groups);
+    for (size_t g = 0; g < groups; ++g) out.AddCount(g, group_counts[g]);
+    out.BuildOffsets();
+    for (size_t r = 0; r < m; ++r) {
+      out.Place(key[r], static_cast<int64_t>(r));
+    }
+    benchmark::DoNotOptimize(out.group_data(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m));
+}
+BENCHMARK(BM_RegroupCountingSort)->ArgsProduct({{1 << 16, 1 << 20}, {256}});
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "core/observe_shard.h"
 #include "dp/discrete_gaussian.h"
+#include "util/batch_sampler.h"
 #include "util/thread_pool.h"
 
 namespace longdp {
@@ -144,8 +145,14 @@ Status CategoricalWindowSynthesizer::InitialRelease(util::Rng* rng) {
     }
   }
   counts_ = noisy;
-  groups_.assign(num_overlaps_, {});
-  group_scratch_.assign(num_overlaps_, {});
+  // Counting-sort build of the flat overlap groups: per-overlap totals are
+  // one pass over the noisy census, then records scatter into place.
+  groups_.Reset(num_overlaps_);
+  for (uint64_t s = 0; s < num_bins_; ++s) {
+    groups_.AddCount(s % num_overlaps_, noisy[s]);
+  }
+  groups_.BuildOffsets();
+  groups_next_.Reset(num_overlaps_);
   counts_scratch_.assign(num_bins_, 0);
   targets_.assign(static_cast<size_t>(options_.alphabet), 0);
   child_order_.assign(static_cast<size_t>(options_.alphabet), 0);
@@ -168,7 +175,7 @@ Status CategoricalWindowSynthesizer::InitialRelease(util::Rng* rng) {
     uint64_t overlap = s % num_overlaps_;
     for (int64_t c = 0; c < noisy[s]; ++c) {
       const size_t rec = static_cast<size_t>(next_record++);
-      groups_[overlap].push_back(static_cast<int64_t>(rec));
+      groups_.Place(overlap, static_cast<int64_t>(rec));
       for (int j = 0; j < k; ++j) {
         history_symbols_[static_cast<size_t>(j) * m + rec] =
             digits[static_cast<size_t>(j)];
@@ -186,25 +193,20 @@ Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
   ++stats_.releases;
 
   const int64_t a = options_.alphabet;
-  // Persistent scratch: clear (keeping capacity) instead of reallocating
-  // A^{k-1} group vectors and the A^k histogram every round.
-  std::vector<std::vector<int64_t>>& new_groups = group_scratch_;
-  for (auto& g : new_groups) g.clear();
   std::vector<int64_t>& new_counts = counts_scratch_;
   new_counts.assign(num_bins_, 0);
   std::vector<int64_t>& targets = targets_;
   std::vector<size_t>& child_order = child_order_;
+  util::BatchSampler sampler(rng);
 
-  // One zero-filled column append for round t_; promoted symbols are
-  // written record-by-record below.
-  const size_t m = static_cast<size_t>(num_records_);
-  const size_t col_base = static_cast<size_t>(t_ - 1) * m;
-  history_symbols_.resize(col_base + m, 0);
-  uint8_t* col = history_symbols_.data() + col_base;
-
+  // Pass 1 — targets: the per-child assignment counts for every overlap
+  // depend only on the noisy census and the current group sizes, not on
+  // which record goes where. Computing them all up front makes the next-
+  // round histogram (and so every next-round overlap group size) known
+  // before a single record moves, which is what lets the regroup below be
+  // a counting sort. Remainder draws stay serial, in overlap order.
   for (uint64_t z = 0; z < num_overlaps_; ++z) {
-    std::vector<int64_t>& members = groups_[z];
-    int64_t group = static_cast<int64_t>(members.size());
+    const int64_t group = groups_.size(z);
     // Children bins of overlap z: codes z*A + a'.
     int64_t noisy_sum = 0;
     for (int64_t c = 0; c < a; ++c) {
@@ -223,13 +225,16 @@ Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
       ++stats_.remainder_draws;
       // Give +1 to `rem` uniformly chosen distinct children.
       for (size_t c = 0; c < child_order.size(); ++c) child_order[c] = c;
-      rng->Shuffle(&child_order);
+      sampler.Shuffle(&child_order);
       for (int64_t r = 0; r < rem; ++r) {
         ++targets[child_order[static_cast<size_t>(r)]];
       }
     }
     // Water-fill any negatives back from the positive targets, preserving
     // the group sum (the categorical analogue of the pairwise clamp).
+    // Afterwards the targets sum to the group size exactly: base/rem
+    // construction makes the raw sum equal to `group`, and the fill moves
+    // mass without creating or destroying it.
     for (size_t c = 0; c < targets.size(); ++c) {
       if (targets[c] < 0) {
         int64_t deficit = -targets[c];
@@ -244,31 +249,64 @@ Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
         }
       }
     }
-    // Assign members to children: shuffle once, then slice by target.
-    rng->Shuffle(&members);
-    size_t idx = 0;
     for (int64_t c = 0; c < a; ++c) {
-      uint64_t child = z * static_cast<uint64_t>(a) + static_cast<uint64_t>(c);
-      int64_t take = targets[static_cast<size_t>(c)];
-      for (int64_t j = 0; j < take && idx < members.size(); ++j, ++idx) {
-        int64_t rec = members[idx];
-        col[rec] = static_cast<uint8_t>(c);
-        ++new_counts[child];
-        new_groups[child % num_overlaps_].push_back(rec);
-      }
-    }
-    // Leftover members (possible only if clamping reduced the total below
-    // the group size, which the water-fill prevents) go to child 0.
-    for (; idx < members.size(); ++idx) {
-      int64_t rec = members[idx];
-      uint64_t child = z * static_cast<uint64_t>(a);
-      col[rec] = 0;
-      ++new_counts[child];
-      new_groups[child % num_overlaps_].push_back(rec);
+      new_counts[z * static_cast<uint64_t>(a) + static_cast<uint64_t>(c)] =
+          targets[static_cast<size_t>(c)];
     }
   }
-  // Swap current and scratch: next round clears the scratch before use.
-  groups_.swap(new_groups);
+
+  // Pass 2 — counting-sort regroup plan: next-round overlap sizes are the
+  // column sums of the target matrix (children with the same low k-1
+  // digits share an overlap), prefix-summed into flat offsets.
+  groups_next_.Reset(num_overlaps_);
+  for (uint64_t child = 0; child < num_bins_; ++child) {
+    groups_next_.AddCount(child % num_overlaps_, new_counts[child]);
+  }
+  groups_next_.BuildOffsets();
+
+  // Pass 3 — assign and scatter. One zero-filled column append for round
+  // t_; promoted symbols are written record-by-record. Instead of a full
+  // shuffle per overlap group, each child takes a uniformly chosen subset
+  // of the records still unassigned (a batched partial shuffle of the
+  // remaining span); the final child absorbs the rest without a draw.
+  const size_t m = static_cast<size_t>(num_records_);
+  const size_t col_base = static_cast<size_t>(t_ - 1) * m;
+  history_symbols_.resize(col_base + m, 0);
+  uint8_t* col = history_symbols_.data() + col_base;
+
+  for (uint64_t z = 0; z < num_overlaps_; ++z) {
+    int64_t* members = groups_.group_data(z);
+    const int64_t group = groups_.size(z);
+    if (group == 0) continue;
+    int64_t idx = 0;
+    for (int64_t c = 0; c < a; ++c) {
+      const uint64_t child =
+          z * static_cast<uint64_t>(a) + static_cast<uint64_t>(c);
+      const int64_t take = new_counts[child];
+      const int64_t remaining = group - idx;
+      if (take > remaining) {
+        return Status::Internal(
+            "categorical slide target overruns overlap group " +
+            std::to_string(z));
+      }
+      if (take > 0 && take < remaining) {
+        sampler.PartialShuffle(members + idx, remaining, take);
+      }
+      for (int64_t j = 0; j < take; ++j) {
+        const int64_t rec = members[idx + j];
+        col[rec] = static_cast<uint8_t>(c);
+        groups_next_.Place(child % num_overlaps_, rec);
+      }
+      idx += take;
+    }
+    if (idx != group) {
+      return Status::Internal(
+          "categorical slide targets do not cover overlap group " +
+          std::to_string(z) + ": assigned " + std::to_string(idx) + " of " +
+          std::to_string(group));
+    }
+  }
+  groups_.swap(groups_next_);
   counts_.swap(new_counts);
   return Status::OK();
 }

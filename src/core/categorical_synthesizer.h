@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dp/accountant.h"
+#include "util/flat_groups.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -120,14 +121,18 @@ class CategoricalWindowSynthesizer {
   // column is [(tt-1)*m, tt*m) for m = num_records_ — so a round append is
   // one zero-filled resize plus per-record writes into a contiguous column.
   std::vector<uint8_t> history_symbols_;
-  std::vector<std::vector<int64_t>> groups_;  ///< by overlap code
+  /// Records grouped by overlap code, as one flat counting-sorted array.
+  /// The slide regroup knows every next-round group size from the child
+  /// targets alone, so it is a count/prefix-sum/scatter pass into the
+  /// double buffer followed by a swap.
+  util::FlatGroups groups_;
+  util::FlatGroups groups_next_;              ///< regroup double buffer
   std::vector<int64_t> counts_;               ///< current histogram p_s
   Stats stats_;
 
   // Persistent per-round scratch (sized once, reused every release) so the
   // pattern-histogram update allocates nothing in steady state.
   std::vector<int64_t> noisy_scratch_;              ///< A^k noisy histogram
-  std::vector<std::vector<int64_t>> group_scratch_; ///< next-round groups
   std::vector<int64_t> counts_scratch_;             ///< next-round histogram
   std::vector<int64_t> targets_;                    ///< per-child targets
   std::vector<size_t> child_order_;                 ///< remainder shuffle

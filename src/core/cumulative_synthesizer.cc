@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "stream/counter_factory.h"
+#include "util/batch_sampler.h"
 #include "util/thread_pool.h"
 
 namespace longdp {
@@ -120,6 +121,7 @@ Status CumulativeSynthesizer::ObserveRound(data::RoundView round,
       static_cast<size_t>(t_ - 1) * static_cast<size_t>(n_);
   history_bits_.resize(col_base + static_cast<size_t>(n_), 0);
   uint8_t* col = history_bits_.data() + col_base;
+  util::BatchSampler sampler(rng);
   for (int64_t b = std::min<int64_t>(t_, options_.horizon); b >= 1; --b) {
     size_t ib = static_cast<size_t>(b);
     int64_t zhat = released_[ib] - prev_released_[ib];
@@ -136,15 +138,12 @@ Status CumulativeSynthesizer::ObserveRound(data::RoundView round,
           "monotonization violated: zhat exceeds weight-(b-1) group at b=" +
           std::to_string(b));
     }
-    // Uniformly choose zhat records to promote: partial Fisher-Yates over
-    // the live suffix [head, end) — element order and draw sequence are
-    // identical to the old erase-from-front representation.
+    // Uniformly choose zhat records to promote: batched partial
+    // Fisher-Yates over the live suffix [head, end). The sampler handles
+    // the zhat == group (full-group promotion) edge internally, skipping
+    // the degenerate final draw.
     int64_t* live = source.data() + head;
-    for (int64_t i = 0; i < zhat; ++i) {
-      int64_t j = i + static_cast<int64_t>(
-                          rng->UniformInt(static_cast<uint64_t>(group - i)));
-      std::swap(live[i], live[j]);
-    }
+    sampler.PartialShuffle(live, group, zhat);
     auto& target = weight_groups_[ib];
     for (int64_t i = 0; i < zhat; ++i) {
       int64_t rec = live[i];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/batch_sampler.h"
+
 namespace longdp {
 namespace core {
 
@@ -21,8 +23,14 @@ Result<SyntheticCohort> SyntheticCohort::Create(
   cohort.k_ = window_k;
   cohort.rounds_ = window_k;
   cohort.pattern_count_ = initial_counts;
-  cohort.groups_.assign(util::NumPatterns(window_k - 1), {});
-  cohort.group_scratch_.assign(util::NumPatterns(window_k - 1), {});
+  // Counting-sort build: per-overlap totals are one pass over the census,
+  // then records scatter straight into their flat group slots.
+  cohort.groups_.Reset(util::NumPatterns(window_k - 1));
+  for (util::Pattern s = 0; s < initial_counts.size(); ++s) {
+    cohort.groups_.AddCount(util::Overlap(s, window_k), initial_counts[s]);
+  }
+  cohort.groups_.BuildOffsets();
+  cohort.groups_next_.Reset(util::NumPatterns(window_k - 1));
   int64_t total = 0;
   for (int64_t c : initial_counts) total += c;
   cohort.num_records_ = total;
@@ -33,7 +41,7 @@ Result<SyntheticCohort> SyntheticCohort::Create(
     util::Pattern overlap = util::Overlap(s, window_k);
     for (int64_t c = 0; c < initial_counts[s]; ++c) {
       const size_t rec = static_cast<size_t>(next_record++);
-      cohort.groups_[overlap].push_back(static_cast<int64_t>(rec));
+      cohort.groups_.Place(overlap, static_cast<int64_t>(rec));
       for (int j = 0; j < window_k; ++j) {
         cohort.history_bits_[static_cast<size_t>(j) * m + rec] =
             static_cast<uint8_t>((s >> (window_k - 1 - j)) & 1);
@@ -49,8 +57,6 @@ Result<SyntheticCohort> SyntheticCohort::Restore(
   SyntheticCohort cohort;
   cohort.k_ = window_k;
   cohort.num_records_ = static_cast<int64_t>(histories.size());
-  cohort.groups_.assign(util::NumPatterns(window_k - 1), {});
-  cohort.group_scratch_.assign(util::NumPatterns(window_k - 1), {});
   cohort.pattern_count_.assign(util::NumPatterns(window_k), 0);
   size_t rounds = histories.empty() ? static_cast<size_t>(window_k)
                                     : histories[0].size();
@@ -60,6 +66,9 @@ Result<SyntheticCohort> SyntheticCohort::Restore(
   }
   const size_t m = histories.size();
   cohort.history_bits_.assign(m * rounds, 0);
+  // Pass 1: validate, fill the bit matrix, and remember each record's
+  // suffix pattern so the flat group build is a counting sort.
+  std::vector<util::Pattern> suffix(m);
   for (size_t r = 0; r < histories.size(); ++r) {
     const auto& h = histories[r];
     if (h.size() != rounds) {
@@ -77,10 +86,22 @@ Result<SyntheticCohort> SyntheticCohort::Restore(
          ++j) {
       p = (p << 1) | static_cast<util::Pattern>(h[j]);
     }
+    suffix[r] = p;
     ++cohort.pattern_count_[p];
-    cohort.groups_[util::Overlap(p, window_k)].push_back(
-        static_cast<int64_t>(r));
   }
+  // Pass 2: counting-sort the records into flat overlap groups, in record
+  // order (same member order the ragged build produced).
+  cohort.groups_.Reset(util::NumPatterns(window_k - 1));
+  for (util::Pattern p = 0; p < cohort.pattern_count_.size(); ++p) {
+    cohort.groups_.AddCount(util::Overlap(p, window_k),
+                            cohort.pattern_count_[p]);
+  }
+  cohort.groups_.BuildOffsets();
+  for (size_t r = 0; r < m; ++r) {
+    cohort.groups_.Place(util::Overlap(suffix[r], window_k),
+                         static_cast<int64_t>(r));
+  }
+  cohort.groups_next_.Reset(util::NumPatterns(window_k - 1));
   cohort.rounds_ = static_cast<int64_t>(rounds);
   return cohort;
 }
@@ -102,44 +123,53 @@ Status SyntheticCohort::AdvanceRound(const std::vector<int64_t>& ones_target,
     }
   }
 
-  // Select extensions per overlap group against the *current* groups, then
-  // rebuild the group index for the next round. Scratch vectors persist
-  // across rounds (cleared, not reallocated), and the new round is one
+  // Counting-sort regroup: every next-round pattern count — and therefore
+  // every next-round overlap group size — is known arithmetically from the
+  // targets before any record moves, so the regroup is count/prefix-sum/
+  // scatter into the flat double buffer. The new round itself is one
   // zero-filled column append into the flat history matrix.
-  std::vector<std::vector<int64_t>>& new_groups = group_scratch_;
-  for (auto& g : new_groups) g.clear();
+  const util::Pattern half = util::Pattern{1} << (k_ - 1);
   std::vector<int64_t>& new_counts = count_scratch_;
   new_counts.assign(util::NumPatterns(k_), 0);
+  groups_next_.Reset(num_overlaps);
+  for (util::Pattern z = 0; z < num_overlaps; ++z) {
+    const int64_t group = GroupSize(z);
+    const int64_t target = ones_target[z];
+    new_counts[(z << 1)] = group - target;      // width-k pattern z then 0
+    new_counts[(z << 1) | 1] = target;          // width-k pattern z then 1
+  }
+  for (util::Pattern o = 0; o < num_overlaps; ++o) {
+    // Width-k patterns whose low k-1 bits equal o: o itself and o | half.
+    groups_next_.AddCount(o, new_counts[o] + new_counts[o | half]);
+  }
+  groups_next_.BuildOffsets();
+
   const size_t m = static_cast<size_t>(num_records_);
   const size_t col_base = static_cast<size_t>(rounds_) * m;
   history_bits_.resize(col_base + m, 0);
   uint8_t* col = history_bits_.data() + col_base;
+  util::BatchSampler sampler(rng);
   for (util::Pattern z = 0; z < num_overlaps; ++z) {
-    std::vector<int64_t>& members = groups_[z];
-    int64_t target = ones_target[z];
-    int64_t group = static_cast<int64_t>(members.size());
+    int64_t* members = groups_.group_data(z);
+    const int64_t target = ones_target[z];
+    const int64_t group = groups_.size(z);
     if (group == 0) continue;
-    // Uniformly choose which records get the 1-extension: partial shuffle
-    // puts a random `target`-subset at the front.
+    // Uniformly choose which records get the 1-extension: batched partial
+    // shuffle puts a random `target`-subset at the front. The target == 0
+    // and target == group (whole-group) edges need no draw at all.
     if (target > 0 && target < group) {
-      for (int64_t i = 0; i < target; ++i) {
-        int64_t j = i + static_cast<int64_t>(rng->UniformInt(
-                            static_cast<uint64_t>(group - i)));
-        std::swap(members[static_cast<size_t>(i)],
-                  members[static_cast<size_t>(j)]);
-      }
+      sampler.PartialShuffle(members, group, target);
     }
     for (int64_t i = 0; i < group; ++i) {
-      int bit = (i < target) ? 1 : 0;
-      int64_t rec = members[static_cast<size_t>(i)];
+      const int bit = (i < target) ? 1 : 0;
+      const int64_t rec = members[i];
       col[rec] = static_cast<uint8_t>(bit);
-      util::Pattern new_pattern =
+      const util::Pattern new_pattern =
           (z << 1) | static_cast<util::Pattern>(bit);  // width k
-      ++new_counts[new_pattern];
-      new_groups[util::Overlap(new_pattern, k_)].push_back(rec);
+      groups_next_.Place(util::Overlap(new_pattern, k_), rec);
     }
   }
-  groups_.swap(new_groups);
+  groups_.swap(groups_next_);
   pattern_count_.swap(new_counts);
   ++rounds_;
   return Status::OK();

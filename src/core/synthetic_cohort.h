@@ -15,6 +15,7 @@
 
 #include "data/longitudinal_dataset.h"
 #include "util/bits.h"
+#include "util/flat_groups.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -55,7 +56,7 @@ class SyntheticCohort {
 
   /// Number of records whose current overlap (last k-1 bits) equals z.
   int64_t GroupSize(util::Pattern z) const {
-    return static_cast<int64_t>(groups_[z].size());
+    return groups_.size(static_cast<size_t>(z));
   }
 
   /// Bit of record `r` at round `t` (both 1-based times; t <= rounds()).
@@ -91,10 +92,14 @@ class SyntheticCohort {
   /// a round is a single zero-filled resize plus scattered writes for the
   /// 1-extensions — no per-record vector churn on the hot path.
   std::vector<uint8_t> history_bits_;
-  std::vector<std::vector<int64_t>> groups_;          // [overlap z] -> records
+  /// Records grouped by current overlap z, as one flat counting-sorted
+  /// array. AdvanceRound knows every next-round group size from the
+  /// targets alone, so the regroup is a count/prefix-sum/scatter pass into
+  /// groups_next_ followed by a swap — no ragged per-group vectors.
+  util::FlatGroups groups_;
+  util::FlatGroups groups_next_;                      // double buffer
   std::vector<int64_t> pattern_count_;                // current histogram p_s
-  // Persistent AdvanceRound scratch (cleared, never reallocated).
-  std::vector<std::vector<int64_t>> group_scratch_;
+  // Persistent AdvanceRound scratch (overwritten, never reallocated).
   std::vector<int64_t> count_scratch_;
 };
 

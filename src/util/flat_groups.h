@@ -1,0 +1,82 @@
+// Counting-sort record regrouping: the flat replacement for the ragged
+// vector<vector<record>> "group index" the synthesizers rebuild every
+// round.
+//
+// The stage-2 slide of the window synthesizers moves EVERY record to a new
+// (k-1)-overlap group each round. With ragged vectors that is one
+// capacity-checked push_back per record into A^{k-1} separately allocated
+// vectors; with a counting sort it is the classic three-phase pass over one
+// contiguous array:
+//
+//   1. count:   AddCount(g, c) — per-group totals, known arithmetically
+//               from the slide targets before any record moves;
+//   2. offsets: BuildOffsets() — one exclusive prefix sum;
+//   3. scatter: Place(g, rec)  — each record written once at its group
+//               cursor.
+//
+// Scatter order is whatever order the caller emits records in, so a
+// deterministic emission order gives a deterministic regrouping. Two
+// FlatGroups double-buffer across rounds (swap), and Reset keeps capacity,
+// so the steady state allocates nothing.
+
+#ifndef LONGDP_UTIL_FLAT_GROUPS_H_
+#define LONGDP_UTIL_FLAT_GROUPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace longdp {
+namespace util {
+
+class FlatGroups {
+ public:
+  /// Starts a new count phase with `num_groups` empty groups. Keeps
+  /// capacity from prior rounds.
+  void Reset(size_t num_groups);
+
+  /// Count phase: group `g` will receive `c` more records. Only valid
+  /// between Reset and BuildOffsets.
+  void AddCount(size_t g, int64_t c) { cursor_[g] += c; }
+
+  /// Prefix-sums the declared counts into group offsets and arms the
+  /// per-group scatter cursors. Call exactly once per Reset, after all
+  /// AddCount calls.
+  void BuildOffsets();
+
+  /// Scatter phase: appends `rec` to group `g`. The caller must not place
+  /// more records into a group than it declared.
+  void Place(size_t g, int64_t rec) {
+    records_[static_cast<size_t>(cursor_[g]++)] = rec;
+  }
+
+  size_t num_groups() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  int64_t size(size_t g) const { return offsets_[g + 1] - offsets_[g]; }
+  int64_t total() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  /// Mutable view of group g's records (valid after BuildOffsets; contents
+  /// meaningful once the scatter phase has filled them).
+  int64_t* group_data(size_t g) {
+    return records_.data() + static_cast<size_t>(offsets_[g]);
+  }
+  const int64_t* group_data(size_t g) const {
+    return records_.data() + static_cast<size_t>(offsets_[g]);
+  }
+
+  void swap(FlatGroups& other) {
+    records_.swap(other.records_);
+    offsets_.swap(other.offsets_);
+    cursor_.swap(other.cursor_);
+  }
+
+ private:
+  std::vector<int64_t> records_;  ///< all groups, concatenated
+  std::vector<int64_t> offsets_;  ///< num_groups + 1 boundaries
+  /// Counts during the count phase, then per-group write cursors.
+  std::vector<int64_t> cursor_;
+};
+
+}  // namespace util
+}  // namespace longdp
+
+#endif  // LONGDP_UTIL_FLAT_GROUPS_H_

@@ -53,6 +53,24 @@ TEST(CohortTest, AdvanceValidatesTargets) {
   EXPECT_TRUE(cohort.AdvanceRound({-1, 0}, &rng).IsInvalidArgument());
 }
 
+TEST(CohortTest, AdvanceFullGroupAndEmptyTargetsEdges) {
+  // target == group (every record extends by 1) and target == 0 (every
+  // record extends by 0) are the whole-group edges the batched primitives
+  // must honor without mis-selecting; and they must consume NO randomness
+  // (verified by comparing the stream position against a fresh Rng).
+  auto cohort = SyntheticCohort::Create(2, {3, 1, 2, 4}).value();
+  util::Rng rng(7), reference(7);
+  // Overlap 0 holds 5 records (patterns 00, 10), overlap 1 holds 5
+  // (01, 11). Promote ALL of overlap 0, NONE of overlap 1.
+  ASSERT_TRUE(cohort.AdvanceRound({5, 0}, &rng).ok());
+  EXPECT_EQ(rng.Next(), reference.Next());
+  // All former overlap-0 records now end in 1; all former overlap-1
+  // records end in 0: histogram over (prev newest, new) pairs.
+  EXPECT_EQ(cohort.WindowHistogram(), (std::vector<int64_t>{0, 5, 5, 0}));
+  EXPECT_EQ(cohort.GroupSize(0), 5);
+  EXPECT_EQ(cohort.GroupSize(1), 5);
+}
+
 TEST(CohortTest, AdvancePreservesPopulationAndConsistency) {
   auto cohort = SyntheticCohort::Create(3, {2, 1, 0, 3, 1, 0, 2, 1}).value();
   util::Rng rng(2);

@@ -49,6 +49,29 @@ TEST(CumulativeTest, ZeroNoiseReproducesTrueCounts) {
   }
 }
 
+TEST(CumulativeTest, FullGroupPromotionEveryRoundZeroNoise) {
+  // All-ones input under zero noise makes zhat == group at b == t every
+  // round: the ENTIRE weight-(t-1) group promotes. This is the stage-2
+  // edge the batched partial shuffle must handle (its final bound-1 draw
+  // is skipped); the synthetic records must come out all-ones.
+  const int64_t kN = 50, kT = 6;
+  auto synth = CumulativeSynthesizer::Create(Opt(kT, kInf)).value();
+  const std::vector<uint8_t> ones(static_cast<size_t>(kN), 1);
+  util::Rng rng(3);
+  for (int64_t t = 1; t <= kT; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ones, &rng).ok());
+    auto counts = synth->SyntheticThresholdCounts();
+    for (int64_t b = 0; b <= t; ++b) {
+      EXPECT_EQ(counts[static_cast<size_t>(b)], kN) << "t=" << t;
+    }
+  }
+  for (int64_t r = 0; r < kN; ++r) {
+    for (int64_t t = 1; t <= kT; ++t) {
+      ASSERT_EQ(synth->Bit(r, t), 1);
+    }
+  }
+}
+
 TEST(CumulativeTest, ZeroNoiseAnswersAreExactFractions) {
   util::Rng rng(2);
   auto ds = data::BernoulliIid(500, 8, 0.4, &rng).value();

@@ -164,6 +164,57 @@ TEST(StatisticalTest, CumulativeAnswersUnbiasedMidStream) {
   EXPECT_NEAR(acc.mean(), truth, 5.0 * se + 5e-5);
 }
 
+TEST(StatisticalTest, CumulativePromotionsArePermutationInvariant) {
+  // Promotion selections must depend on records only through their weight
+  // groups: relabeling the records of the input dataset permutes WHICH
+  // synthetic records get promoted, but the released threshold rows and
+  // the synthetic count distribution must be IDENTICAL for every seed
+  // (stage 1's increment histogram is relabeling-invariant, so the bank —
+  // and hence stage 2's targets — sees the same stream). A sampler that
+  // peeked at record identity (e.g. an index-dependent bias in the batched
+  // shuffle) would break this across seeds.
+  const int64_t kN = 300, kT = 10;
+  util::Rng data_rng(23);
+  auto ds = data::TwoStateMarkov(kN, kT, {0.2, 0.05, 0.3}, &data_rng).value();
+
+  // Record relabeling: record r of the permuted dataset is record perm[r].
+  std::vector<int64_t> perm(static_cast<size_t>(kN));
+  for (int64_t r = 0; r < kN; ++r) perm[static_cast<size_t>(r)] = r;
+  util::Rng perm_rng(29);
+  perm_rng.Shuffle(&perm);
+  auto permuted = data::LongitudinalDataset::Create(kN, kT).value();
+  for (int64_t t = 1; t <= kT; ++t) {
+    std::vector<uint8_t> bits(static_cast<size_t>(kN));
+    auto round = ds.Round(t);
+    for (int64_t r = 0; r < kN; ++r) {
+      bits[static_cast<size_t>(r)] = static_cast<uint8_t>(
+          round.bit(perm[static_cast<size_t>(r)]));
+    }
+    ASSERT_TRUE(permuted.AppendRound(bits).ok());
+  }
+
+  auto run = [&](const data::LongitudinalDataset& data, uint64_t seed) {
+    util::Rng rng(seed);
+    CumulativeSynthesizer::Options opt;
+    opt.horizon = kT;
+    opt.rho = 0.05;
+    auto synth = CumulativeSynthesizer::Create(opt).value();
+    std::vector<std::vector<int64_t>> released;
+    for (int64_t t = 1; t <= kT; ++t) {
+      EXPECT_TRUE(synth->ObserveRound(data.Round(t), &rng).ok());
+      released.push_back(synth->released_thresholds());
+    }
+    released.push_back(synth->SyntheticThresholdCounts());
+    return released;
+  };
+
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    auto original_log = run(ds, 1000 + seed);
+    auto permuted_log = run(permuted, 1000 + seed);
+    ASSERT_EQ(original_log, permuted_log) << "seed=" << seed;
+  }
+}
+
 TEST(StatisticalTest, RoundingTermsAreFair) {
   // The +-1/2 rounding draws must not introduce drift: over a long run on
   // symmetric data, the net difference between "extend by 1" and the

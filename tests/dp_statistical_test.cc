@@ -1,0 +1,108 @@
+// Statistical acceptance tests for the DP noise primitives themselves.
+// core_statistical_test checks END-TO-END error (synthesizer output vs
+// truth), which would absorb a mildly wrong noise distribution into its
+// generous tolerances; these tests pin the discrete Gaussian sampler's
+// moments and both tails directly, at the sigma ranges the experiments
+// actually run, so a sampling-chain regression (a flipped rejection, a
+// scale mix-up) fails here first.
+//
+// Fixed seeds, generous bounds (5+ standard errors): deterministic for CI,
+// sensitive to real defects.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "dp/discrete_gaussian.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace longdp {
+namespace dp {
+namespace {
+
+// Exact tail mass Pr[X >= lambda] for X ~ N_Z(0, sigma2) by PMF summation
+// (the PMF decays like exp(-x^2 / (2 sigma2)); truncate far out).
+double ExactUpperTail(int64_t lambda, double sigma2) {
+  const int64_t cutoff =
+      lambda + static_cast<int64_t>(20.0 * std::sqrt(sigma2)) + 20;
+  double mass = 0.0;
+  for (int64_t x = lambda; x <= cutoff; ++x) {
+    mass += DiscreteGaussianPmf(x, sigma2);
+  }
+  return mass;
+}
+
+TEST(DpStatisticalTest, DiscreteGaussianMeanAndVarianceWithinTolerance) {
+  // sigma^2 spans the experiment regimes: rho = 0.5 small-T tests up to
+  // the rho = 0.001 SIPP sweeps (sigma^2 ~ thousands).
+  for (double sigma2 : {1.0, 25.0, 900.0, 6000.0}) {
+    const int kDraws = 400000;
+    util::Rng rng(0xD6A11 + static_cast<uint64_t>(sigma2));
+    util::MomentAccumulator acc;
+    for (int i = 0; i < kDraws; ++i) {
+      acc.Add(static_cast<double>(SampleDiscreteGaussian(sigma2, &rng)));
+    }
+    // Mean-zero within 5 standard errors of the sample mean.
+    const double se = std::sqrt(sigma2 / kDraws);
+    EXPECT_NEAR(acc.mean(), 0.0, 5.0 * se) << "sigma2=" << sigma2;
+    // The discrete Gaussian's variance is close to (and below) sigma^2 for
+    // sigma^2 >= 1; the sampling error of a variance estimate is about
+    // sigma^2 * sqrt(2/n). Allow 5 of those plus 2% model slack.
+    const double var_tol =
+        5.0 * sigma2 * std::sqrt(2.0 / kDraws) + 0.02 * sigma2;
+    EXPECT_NEAR(acc.variance(), sigma2, var_tol) << "sigma2=" << sigma2;
+  }
+}
+
+TEST(DpStatisticalTest, DiscreteGaussianTwoSidedTailMass) {
+  // Both tails must carry the exact PMF mass — a one-sided bias (sign
+  // handling) or clipped tail (early rejection exit) shows up here and
+  // nowhere in the end-to-end suites.
+  const double sigma2 = 25.0;
+  const int64_t lambda = 10;  // 2 sigma
+  const int kDraws = 500000;
+  util::Rng rng(0x7A11);
+  int64_t upper = 0, lower = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const int64_t x = SampleDiscreteGaussian(sigma2, &rng);
+    if (x >= lambda) ++upper;
+    if (x <= -lambda) ++lower;
+  }
+  const double expect = ExactUpperTail(lambda, sigma2);  // symmetric law
+  const double se = std::sqrt(expect * (1.0 - expect) / kDraws);
+  const double p_upper = static_cast<double>(upper) / kDraws;
+  const double p_lower = static_cast<double>(lower) / kDraws;
+  EXPECT_NEAR(p_upper, expect, 5.0 * se);
+  EXPECT_NEAR(p_lower, expect, 5.0 * se);
+  // And the subgaussian bound of Prop. 25 must hold empirically with slack.
+  const double bound =
+      DiscreteGaussianTailBound(static_cast<double>(lambda), sigma2);
+  EXPECT_LT(p_upper, bound + 5.0 * se);
+  EXPECT_LT(p_lower, bound + 5.0 * se);
+}
+
+TEST(DpStatisticalTest, DiscreteLaplaceMeanAndVarianceWithinTolerance) {
+  // The Laplace stage feeds the Gaussian rejection sampler; pin its
+  // moments too. Var[Lap_Z(s)] = 2 e^{1/s} / (e^{1/s} - 1)^2.
+  for (double s : {1.0, 10.0}) {
+    const int kDraws = 400000;
+    util::Rng rng(0x1AB + static_cast<uint64_t>(s));
+    util::MomentAccumulator acc;
+    for (int i = 0; i < kDraws; ++i) {
+      acc.Add(static_cast<double>(SampleDiscreteLaplace(s, &rng)));
+    }
+    const double e = std::exp(1.0 / s);
+    const double var = 2.0 * e / ((e - 1.0) * (e - 1.0));
+    const double se = std::sqrt(var / kDraws);
+    EXPECT_NEAR(acc.mean(), 0.0, 5.0 * se) << "s=" << s;
+    EXPECT_NEAR(acc.variance(), var,
+                5.0 * var * std::sqrt(2.0 / kDraws) + 0.02 * var)
+        << "s=" << s;
+  }
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace longdp

@@ -77,6 +77,39 @@ TEST(LocalRrTest, EstimatesAreUnbiased) {
   }
 }
 
+TEST(LocalRrTest, RandomizerFlipRatesMatchCalibration) {
+  // Statistical flip-rate check on the randomizer itself, not just the
+  // debiased estimate: on an all-ones round the mean raw report is p =
+  // Pr[report 1 | true 1], on an all-zeros round it is q = Pr[report 1 |
+  // true 0]. Recover the raw report mean by re-biasing the oracle's
+  // unbiased estimate and pin both rates to the calibrated values.
+  const int64_t kN = 20000, kT = 20;
+  auto oracle = LocalFrequencyOracle::Create(
+                    Opt(kT, 20.0, ReportStrategy::kFreshPerRound))
+                    .value();
+  const double p = oracle->flip_keep_prob();
+  const double q = oracle->flip_lie_prob();
+  const std::vector<uint8_t> ones(static_cast<size_t>(kN), 1);
+  const std::vector<uint8_t> zeros(static_cast<size_t>(kN), 0);
+  util::Rng rng(0xF11B);
+  util::MomentAccumulator keep_rate, lie_rate;
+  for (int64_t t = 1; t <= kT; ++t) {
+    // Alternate so both rates come from the same oracle instance.
+    const bool odd = (t % 2) == 1;
+    auto est = oracle->ObserveRound(odd ? ones : zeros, &rng);
+    ASSERT_TRUE(est.ok());
+    const double mean_report = est.value() * (p - q) + q;
+    (odd ? keep_rate : lie_rate).Add(mean_report);
+  }
+  // Each round's mean report averages kN Bernoulli(p or q) draws; five
+  // standard errors over the kT/2 rounds is a generous gate.
+  const double rounds = kT / 2.0;
+  const double se_p = std::sqrt(p * (1.0 - p) / (kN * rounds));
+  const double se_q = std::sqrt(q * (1.0 - q) / (kN * rounds));
+  EXPECT_NEAR(keep_rate.mean(), p, 5.0 * se_p);
+  EXPECT_NEAR(lie_rate.mean(), q, 5.0 * se_q);
+}
+
 TEST(LocalRrTest, MemoizedRepliesAreStable) {
   // With constant data, memoized reports never change, so the estimate is
   // identical every round.
