@@ -58,7 +58,12 @@ int main(int argc, char** argv) {
   }
   // The synthetic microdata panel itself is also a release.
   auto synthetic_panel = window_synth->cohort().ToDataset(12).value();
-  (void)data::WriteSippBitsCsv(synthetic_panel, synth_path);
+  if (Status st = data::WriteSippBitsCsv(synthetic_panel, synth_path);
+      !st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", synth_path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
   std::printf("curator: wrote %zu window + %zu cumulative releases to %s\n",
               log.window_releases().size(), log.cumulative_releases().size(),
               log_path.c_str());

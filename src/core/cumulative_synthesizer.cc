@@ -7,6 +7,7 @@
 
 #include "stream/counter_factory.h"
 #include "util/batch_sampler.h"
+#include "util/csv.h"
 #include "util/thread_pool.h"
 
 namespace longdp {
@@ -272,7 +273,9 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
   if (!(in >> options.horizon >> rho_tok >> split_name >> counter_name)) {
     return Status::InvalidArgument("corrupt checkpoint header");
   }
-  options.rho = std::strtod(rho_tok.c_str(), nullptr);
+  // Strict parse: a corrupted rho token must reject the checkpoint, not
+  // restore as rho=0 and zero out the privacy budget.
+  LONGDP_ASSIGN_OR_RETURN(options.rho, util::ParseDoubleField(rho_tok));
   LONGDP_ASSIGN_OR_RETURN(options.split,
                           stream::BudgetSplitFromName(split_name));
   LONGDP_ASSIGN_OR_RETURN(options.counter_factory,

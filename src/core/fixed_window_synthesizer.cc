@@ -10,6 +10,7 @@
 #include "core/observe_shard.h"
 #include "core/theory.h"
 #include "dp/discrete_gaussian.h"
+#include "util/csv.h"
 #include "util/thread_pool.h"
 
 namespace longdp {
@@ -258,8 +259,11 @@ FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
         options.npad >> beta_tok)) {
     return Status::InvalidArgument("corrupt checkpoint header");
   }
-  options.rho = std::strtod(rho_tok.c_str(), nullptr);
-  options.beta_target = std::strtod(beta_tok.c_str(), nullptr);
+  // Strict parses: a corrupted rho/beta token must reject the checkpoint,
+  // not restore as 0.0 (which would silently reset the privacy budget).
+  LONGDP_ASSIGN_OR_RETURN(options.rho, util::ParseDoubleField(rho_tok));
+  LONGDP_ASSIGN_OR_RETURN(options.beta_target,
+                          util::ParseDoubleField(beta_tok));
 
   LONGDP_ASSIGN_OR_RETURN(auto synth, Create(options));
   std::string spent_tok;
@@ -269,7 +273,10 @@ FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
         stats.rounding_draws >> spent_tok)) {
     return Status::InvalidArgument("corrupt checkpoint state line");
   }
-  double spent = std::strtod(spent_tok.c_str(), nullptr);
+  // A garbage spent token restoring as 0.0 is exactly the "accountant
+  // forgets spent budget on restart" correctness bug — hard-fail instead.
+  LONGDP_ASSIGN_OR_RETURN(const double spent,
+                          util::ParseDoubleField(spent_tok));
   if (spent > 0.0) {
     LONGDP_RETURN_NOT_OK(
         synth->accountant_.Charge(spent, "restored-checkpoint"));

@@ -60,6 +60,9 @@ Status ReleaseLog::WriteCsv(const std::string& path) const {
                        std::to_string(b), std::to_string(r.thresholds[b])});
     }
   }
+  // An ofstream buffers; without an explicit flush a full disk or closed
+  // descriptor would only surface in the destructor, after OK was returned.
+  out.flush();
   return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
 }
 
@@ -78,18 +81,27 @@ Result<ReleaseLog> ReleaseLog::LoadCsv(const std::string& path) {
     if (row.size() != 7) {
       return Status::InvalidArgument("malformed row " + std::to_string(r + 1));
     }
+    // Strict parses: a corrupted field must fail the load, not silently
+    // parse to 0 (which would e.g. merge rows into release t=0).
     const std::string& kind = row[0];
-    int64_t t = std::strtoll(row[1].c_str(), nullptr, 10);
-    size_t index = static_cast<size_t>(
-        std::strtoull(row[5].c_str(), nullptr, 10));
-    int64_t value = std::strtoll(row[6].c_str(), nullptr, 10);
+    LONGDP_ASSIGN_OR_RETURN(const int64_t t, util::ParseInt64Field(row[1]));
+    LONGDP_ASSIGN_OR_RETURN(const int64_t index_raw,
+                            util::ParseInt64Field(row[5]));
+    LONGDP_ASSIGN_OR_RETURN(const int64_t value,
+                            util::ParseInt64Field(row[6]));
+    if (index_raw < 0) {
+      return Status::InvalidArgument("negative bucket index in row " +
+                                     std::to_string(r + 1));
+    }
+    const size_t index = static_cast<size_t>(index_raw);
     if (kind == "window") {
       auto& rel = window_by_t[t];
       rel.t = t;
-      rel.window_k = static_cast<int>(std::strtol(row[2].c_str(), nullptr,
-                                                  10));
-      rel.npad = std::strtoll(row[3].c_str(), nullptr, 10);
-      rel.true_n = std::strtoll(row[4].c_str(), nullptr, 10);
+      LONGDP_ASSIGN_OR_RETURN(const int64_t window_k,
+                              util::ParseInt64Field(row[2]));
+      rel.window_k = static_cast<int>(window_k);
+      LONGDP_ASSIGN_OR_RETURN(rel.npad, util::ParseInt64Field(row[3]));
+      LONGDP_ASSIGN_OR_RETURN(rel.true_n, util::ParseInt64Field(row[4]));
       if (rel.histogram.size() <= index) rel.histogram.resize(index + 1, 0);
       rel.histogram[index] = value;
     } else if (kind == "cumulative") {

@@ -120,6 +120,9 @@ Status WriteSippBitsCsv(const LongitudinalDataset& dataset,
     }
     writer.WriteRow(row);
   }
+  // An ofstream buffers; without an explicit flush a full disk or closed
+  // descriptor would only surface in the destructor, after OK was returned.
+  out.flush();
   return out.good() ? Status::OK()
                     : Status::IOError("write failed: " + path);
 }

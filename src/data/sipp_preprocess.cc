@@ -133,17 +133,23 @@ Result<std::vector<SippRawRecord>> LoadSippLongCsv(const std::string& path) {
       return Status::InvalidArgument("short row " + std::to_string(r + 1) +
                                      " in " + path);
     }
+    // Strict parses: a garbage SSUID would otherwise become household 0 and
+    // silently merge unrelated people into one privacy unit.
     SippRawRecord rec;
-    rec.household_id = std::strtoll(row[static_cast<size_t>(c_hh)].c_str(),
-                                    nullptr, 10);
-    rec.person_id = std::strtoll(row[static_cast<size_t>(c_pn)].c_str(),
-                                 nullptr, 10);
-    rec.month = std::strtoll(row[static_cast<size_t>(c_month)].c_str(),
-                             nullptr, 10);
+    LONGDP_ASSIGN_OR_RETURN(
+        rec.household_id,
+        util::ParseInt64Field(row[static_cast<size_t>(c_hh)]));
+    LONGDP_ASSIGN_OR_RETURN(
+        rec.person_id, util::ParseInt64Field(row[static_cast<size_t>(c_pn)]));
+    LONGDP_ASSIGN_OR_RETURN(
+        rec.month, util::ParseInt64Field(row[static_cast<size_t>(c_month)]));
     const std::string& ratio_str = row[static_cast<size_t>(c_ratio)];
-    rec.poverty_ratio =
-        ratio_str.empty() ? std::nan("") : std::strtod(ratio_str.c_str(),
-                                                       nullptr);
+    if (ratio_str.empty()) {
+      rec.poverty_ratio = std::nan("");  // missing income is expected
+    } else {
+      LONGDP_ASSIGN_OR_RETURN(rec.poverty_ratio,
+                              util::ParseDoubleField(ratio_str));
+    }
     records.push_back(rec);
   }
   return records;

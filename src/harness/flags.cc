@@ -112,6 +112,8 @@ int64_t Flags::Reps(int64_t def) const {
     }
     return v;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup, before any
+  // worker thread exists; nothing in this process calls setenv.
   const char* env = std::getenv("LONGDP_REPS");
   if (env != nullptr) {
     int64_t v = 0;
@@ -131,6 +133,8 @@ int64_t Flags::Threads(int64_t def) const {
     }
     return v;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup, before any
+  // worker thread exists; nothing in this process calls setenv.
   const char* env = std::getenv("LONGDP_THREADS");
   if (env != nullptr) {
     int64_t v = 0;

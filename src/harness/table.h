@@ -23,8 +23,12 @@ class Table {
  public:
   /// One table cell: display text, plus the raw value for numeric cells.
   struct Cell {
-    Cell(std::string t) : text(std::move(t)) {}        // NOLINT(runtime/explicit)
-    Cell(const char* t) : text(t) {}                   // NOLINT(runtime/explicit)
+    // Rows are brace lists of mixed literals; implicit conversion is the
+    // whole point of Cell.
+    // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+    Cell(std::string t) : text(std::move(t)) {}
+    // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+    Cell(const char* t) : text(t) {}
     Cell(std::string t, double v)
         : text(std::move(t)), numeric(true), value(v) {}
 

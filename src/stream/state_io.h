@@ -29,7 +29,16 @@ inline Result<double> ReadDouble(std::istream& in) {
   if (!(in >> tok)) {
     return Status::InvalidArgument("truncated counter state (double)");
   }
-  return std::strtod(tok.c_str(), nullptr);
+  // strtod with a null endptr would swallow the error path: a corrupted
+  // token ("garbage") silently parses as 0.0 and a checkpoint restores to a
+  // wrong-but-plausible state. Require the whole token to be consumed.
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed double in counter state: '" +
+                                   tok + "'");
+  }
+  return v;
 }
 
 inline Result<int64_t> ReadInt(std::istream& in) {

@@ -1,6 +1,8 @@
 #include "util/csv.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "util/json.h"
@@ -44,6 +46,33 @@ std::string CsvWriter::Field(double v) {
 
 std::string CsvWriter::Field(int64_t v) { return std::to_string(v); }
 std::string CsvWriter::Field(uint64_t v) { return std::to_string(v); }
+
+Result<int64_t> ParseInt64Field(const std::string& field) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected integer field, got '" + field +
+                                   "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer field overflows int64: '" + field +
+                              "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDoubleField(const std::string& field) {
+  // ERANGE (overflow to inf, underflow to 0/denormal) is accepted: the
+  // writer side round-trips inf/nan via FormatDoubleRoundTrip.
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected numeric field, got '" + field +
+                                   "'");
+  }
+  return v;
+}
 
 Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
   std::vector<std::string> fields;

@@ -34,6 +34,16 @@ class CsvWriter {
   std::ostream* out_;
 };
 
+/// Strictly parses a whole field as a base-10 int64. Unlike a bare
+/// strtoll(field, nullptr, 10), trailing garbage, overflow, and empty
+/// fields are errors instead of silently parsing to 0 — a corrupted CSV
+/// must fail the load, not merge rows into record 0.
+Result<int64_t> ParseInt64Field(const std::string& field);
+
+/// Strictly parses a whole field as a double ("inf"/"nan" accepted, as
+/// emitted by FormatDoubleRoundTrip). Same contract as ParseInt64Field.
+Result<double> ParseDoubleField(const std::string& field);
+
 /// Parses one CSV line into fields, honoring RFC-4180 quoting.
 Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
 

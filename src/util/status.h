@@ -36,7 +36,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// An OK status carries no message and no allocation. Error statuses carry a
 /// code and a message describing what went wrong.
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that ignores a returned Status is
+/// a compile error under -Werror (and flagged by longdp-lint's
+/// longdp-status-checked rule, which additionally rejects the (void)-cast
+/// escape hatch — suppressions must be a justified NOLINT instead).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept : state_(nullptr) {}
@@ -48,9 +53,9 @@ class Status {
   }
 
   /// True iff this status represents success.
-  bool ok() const noexcept { return state_ == nullptr; }
+  [[nodiscard]] bool ok() const noexcept { return state_ == nullptr; }
 
-  StatusCode code() const noexcept {
+  [[nodiscard]] StatusCode code() const noexcept {
     return state_ ? state_->code : StatusCode::kOk;
   }
 
@@ -71,32 +76,34 @@ class Status {
 
   // --- Factory helpers -----------------------------------------------------
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  // ([[nodiscard]] on the class already covers these by-value returns; the
+  // per-function attribute keeps the contract visible at the declaration.)
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
 
@@ -127,21 +134,25 @@ class Status {
 ///
 /// Accessing the value of an errored Result is a programming error and
 /// aborts (in line with the "crash early on misuse" database-engine idiom).
+///
+/// [[nodiscard]] like Status: discarding a Result discards its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
-  /// Implicit from value.
-  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  /// Implicit from error status. Must not be OK.
-  Result(Status status) : var_(std::move(status)) {  // NOLINT
+  /// Implicit from value: `return value;` is the Result idiom.
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(T value) : var_(std::move(value)) {}
+  /// Implicit from error status (`return Status::...`). Must not be OK.
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(Status status) : var_(std::move(status)) {
     if (std::get<Status>(var_).ok()) {
       Fail("Result constructed from OK status");
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(var_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(var_); }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(var_);
   }

@@ -151,6 +151,68 @@ TEST(CheckpointTest, RejectsGarbage) {
   EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(truncated).ok());
 }
 
+// Replaces whitespace-separated token `tok_idx` (0-based) of line
+// `line_idx` (0-based) with `replacement`, preserving everything else.
+std::string CorruptToken(const std::string& text, int line_idx, int tok_idx,
+                         const std::string& replacement) {
+  std::istringstream in(text);
+  std::string line, out;
+  for (int l = 0; std::getline(in, line); ++l) {
+    if (l == line_idx) {
+      std::istringstream toks(line);
+      std::string tok, rebuilt;
+      for (int i = 0; toks >> tok; ++i) {
+        if (!rebuilt.empty()) rebuilt += ' ';
+        rebuilt += (i == tok_idx) ? replacement : tok;
+      }
+      line = rebuilt;
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(CheckpointTest, CorruptSpentTokenIsRejectedNotZeroed) {
+  // A garbage spent token used to restore as spent = 0.0: the accountant
+  // forgot already-spent budget on restart. It must hard-fail instead.
+  util::Rng rng(11);
+  auto ds = data::BernoulliIid(60, 6, 0.5, &rng).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(6, 2, 0.1)).value();
+  for (int64_t t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+  }
+  ASSERT_GT(synth->accountant().spent(), 0.0);
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  // Layout: line 0 magic, line 1 options header, line 2 state line whose
+  // last (6th) token is the spent budget.
+  for (const char* bad : {"garbage", "0.01junk", ""}) {
+    std::stringstream corrupted(CorruptToken(stream.str(), 2, 5, bad));
+    auto restored = FixedWindowSynthesizer::LoadCheckpoint(corrupted);
+    ASSERT_FALSE(restored.ok()) << "spent token '" << bad << "' accepted";
+  }
+}
+
+TEST(CheckpointTest, CorruptRhoTokenIsRejectedNotTruncated) {
+  // "0.02zzz" used to strtod-truncate to 0.02 and silently restore with the
+  // wrong privacy budget.
+  util::Rng rng(12);
+  auto ds = data::BernoulliIid(40, 4, 0.5, &rng).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(4, 2, 0.1)).value();
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(1), &rng).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  // Header line 1: horizon window_k rho npad beta.
+  std::stringstream corrupt_rho(CorruptToken(stream.str(), 1, 2, "0.02zzz"));
+  auto restored = FixedWindowSynthesizer::LoadCheckpoint(corrupt_rho);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument())
+      << restored.status().ToString();
+  std::stringstream corrupt_beta(CorruptToken(stream.str(), 1, 4, "nope"));
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(corrupt_beta).ok());
+}
+
 TEST(CheckpointTest, RejectsTamperedCohort) {
   util::Rng rng(5);
   auto ds = data::BernoulliIid(40, 6, 0.5, &rng).value();
@@ -303,6 +365,21 @@ TEST(CumulativeCheckpointTest, FreshSynthesizerRoundTrips) {
   auto restored = CumulativeSynthesizer::LoadCheckpoint(stream);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored.value()->t(), 0);
+}
+
+TEST(CumulativeCheckpointTest, CorruptRhoTokenIsRejectedNotTruncated) {
+  util::Rng rng(13);
+  auto ds = data::BernoulliIid(40, 5, 0.5, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(COpt(5, 0.2)).value();
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(1), &rng).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  // Header line 1: horizon rho split counter.
+  std::stringstream corrupted(CorruptToken(stream.str(), 1, 1, "0.2zzz"));
+  auto restored = CumulativeSynthesizer::LoadCheckpoint(corrupted);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument())
+      << restored.status().ToString();
 }
 
 TEST(CumulativeCheckpointTest, RejectsGarbageAndTampering) {

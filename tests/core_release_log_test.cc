@@ -128,6 +128,54 @@ TEST(ReleaseLogTest, LoadRejectsGarbage) {
   std::remove(path.c_str());
 }
 
+TEST(ReleaseLogTest, LoadRejectsNonNumericFields) {
+  // Regression: numeric fields were parsed with strtoll(..., nullptr), so a
+  // corrupted t field became 0 and the row was silently absorbed into a
+  // bogus release t=0 instead of failing the load.
+  const struct {
+    const char* row;
+    const char* what;
+  } kCases[] = {
+      {"window,abc,2,3,4,0,6", "garbage t"},
+      {"window,1,2,3,4,0x,6", "garbage index"},
+      {"window,1,2,3,4,0,6zz", "trailing garbage value"},
+      {"window,1,2,3,4,-1,6", "negative index"},
+      {"cumulative,1,0,0,0,,5", "empty index"},
+  };
+  for (const auto& c : kCases) {
+    std::string path = ::testing::TempDir() + "/longdp_release_badnum.csv";
+    {
+      std::ofstream out(path);
+      out << "kind,t,k,npad,true_n,index,value\n" << c.row << "\n";
+    }
+    auto loaded = ReleaseLog::LoadCsv(path);
+    EXPECT_FALSE(loaded.ok()) << c.what << " was accepted";
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ReleaseLogTest, FullDeviceWriteSurfacesAsIOError) {
+  // Regression: WriteCsv checked out.good() without flushing, so rows still
+  // sitting in the ofstream buffer could not have failed yet and a full
+  // disk was reported as OK. /dev/full fails buffered writes at flush time.
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  util::Rng rng(4);
+  auto ds = data::BernoulliIid(60, 4, 0.3, &rng).value();
+  ReleaseLog log;
+  FixedWindowSynthesizer::Options opt;
+  opt.horizon = 4;
+  opt.window_k = 2;
+  opt.rho = 0.1;
+  auto synth = FixedWindowSynthesizer::Create(opt).value();
+  for (int64_t t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(log.Capture(*synth).ok());
+  }
+  EXPECT_TRUE(log.WriteCsv("/dev/full").IsIOError());
+}
+
 TEST(ReleaseLogTest, LoadMissingFileIsIOError) {
   EXPECT_TRUE(
       ReleaseLog::LoadCsv("/no/such/log.csv").status().IsIOError());

@@ -133,6 +133,28 @@ TEST(LoadSippLongCsvTest, ParsesHeaderByName) {
   std::remove(path.c_str());
 }
 
+TEST(LoadSippLongCsvTest, RejectsNonNumericFields) {
+  // Regression: a garbage SSUID used to strtoll-parse to 0, silently
+  // merging unrelated rows into household 0 (one privacy unit).
+  const char* kRows[] = {
+      "notanid,1,1,0.75",  // garbage household id
+      "11,1,1x,0.75",      // trailing garbage person id
+      "11,,1,0.75",        // empty month
+      "11,1,1,0.75oops",   // trailing garbage ratio
+  };
+  for (const char* row : kRows) {
+    std::string path = ::testing::TempDir() + "/longdp_sipp_badnum.csv";
+    {
+      std::ofstream out(path);
+      out << "SSUID,MONTHCODE,PNUM,THINCPOVT2\n" << row << "\n";
+    }
+    auto records = LoadSippLongCsv(path);
+    EXPECT_TRUE(records.status().IsInvalidArgument())
+        << "row '" << row << "' was accepted";
+    std::remove(path.c_str());
+  }
+}
+
 TEST(LoadSippLongCsvTest, RejectsMissingColumns) {
   std::string path = ::testing::TempDir() + "/longdp_sipp_long_bad.csv";
   {

@@ -94,6 +94,19 @@ TEST(SippCsvTest, RoundTripPreservesBits) {
   std::remove(path.c_str());
 }
 
+TEST(SippCsvTest, FullDeviceWriteSurfacesAsIOError) {
+  // Regression: WriteSippBitsCsv checked out.good() without flushing, so a
+  // full disk was reported as OK while the panel never reached it.
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  util::Rng rng(7);
+  SippOptions opt;
+  opt.num_households = 50;
+  auto ds = SimulateSipp(opt, &rng).value();
+  EXPECT_TRUE(WriteSippBitsCsv(ds, "/dev/full").IsIOError());
+}
+
 TEST(SippCsvTest, LoadsHeaderlessNoIdFile) {
   std::string path = ::testing::TempDir() + "/longdp_sipp_plain.csv";
   {

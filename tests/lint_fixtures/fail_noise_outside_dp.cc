@@ -1,0 +1,9 @@
+// Must produce longdp-noise-via-dp findings: distribution objects outside
+// src/dp/ bypass the accountant entirely.
+#include <random>
+
+double SampleNoiseDirectly(std::mt19937* gen) {  // also longdp-no-raw-rng
+  std::normal_distribution<double> gauss(0.0, 1.0);       // finding
+  std::geometric_distribution<int> geom(0.5);             // finding
+  return gauss(*gen) + static_cast<double>(geom(*gen));
+}

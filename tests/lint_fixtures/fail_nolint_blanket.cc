@@ -1,0 +1,12 @@
+// Must produce TWO longdp-nolint-needs-justification findings: a blanket
+// NOLINT with no rule list, and an unjustified suppression naming a
+// clang-tidy rule. The justification policy covers every NOLINT in the
+// tree, not only the longdp-* rules.
+#include <cstdlib>
+
+int BlanketAndForeignRule(const char* s) {
+  int v = atoi(s);  // NOLINT
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* env = getenv("LONGDP_FIXTURE");
+  return v + (env != nullptr ? 1 : 0);
+}

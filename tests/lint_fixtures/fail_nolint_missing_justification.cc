@@ -1,0 +1,15 @@
+// Must produce TWO findings: the unordered iteration itself (an unjustified
+// NOLINT does not suppress) plus longdp-nolint-needs-justification at the
+// comment line.
+#include <string>
+#include <unordered_map>
+
+double UnjustifiedSuppression() {
+  std::unordered_map<std::string, double> weights;
+  double total = 0.0;
+  // NOLINTNEXTLINE(longdp-no-unordered-iteration)
+  for (const auto& [key, w] : weights) {
+    total += w;
+  }
+  return total;
+}

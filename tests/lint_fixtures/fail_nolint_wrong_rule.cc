@@ -1,0 +1,14 @@
+// Must produce one longdp-no-unordered-iteration finding: the suppression
+// names a different rule, so it does not apply (and triggers nothing else).
+#include <string>
+#include <unordered_map>
+
+double WrongRuleNamed() {
+  std::unordered_map<std::string, double> weights;
+  double total = 0.0;
+  // NOLINTNEXTLINE(longdp-no-raw-rng): justification for the wrong rule
+  for (const auto& [key, w] : weights) {
+    total += w;
+  }
+  return total;
+}

@@ -1,0 +1,11 @@
+// Must produce longdp-no-raw-rng findings on the four marked lines:
+// mt19937 engine, random_device, srand + time(nullptr) seeding, std::rand.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int DrawBadly() {
+  std::mt19937 gen(std::random_device{}());  // 2 findings on this line
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // 2 findings
+  return static_cast<int>(gen() % 7) + std::rand() % 3;  // 1 finding
+}

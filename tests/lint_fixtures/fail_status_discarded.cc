@@ -1,0 +1,16 @@
+// Must produce longdp-status-checked findings on the three marked
+// statements: a bare discard, a single-statement-if discard, and the
+// (void)-cast escape hatch (rejected by policy — use a justified NOLINT).
+#include "util/status.h"
+
+namespace longdp {
+
+Status SaveThing(int id);
+
+void DiscardsEverywhere(bool urgent) {
+  SaveThing(1);                 // finding: bare discard
+  if (urgent) SaveThing(2);     // finding: discarded in branch
+  (void)SaveThing(3);           // finding: (void) does not excuse it
+}
+
+}  // namespace longdp

@@ -1,0 +1,18 @@
+// Must produce longdp-no-unordered-iteration findings: a range-for over an
+// unordered_map, and an explicit iterator loop over an unordered_set.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double SumInStdlibOrder() {
+  std::unordered_map<std::string, double> weights;
+  std::unordered_set<int> ids;
+  double total = 0.0;
+  for (const auto& [key, w] : weights) {  // finding
+    total += w;
+  }
+  for (auto it = ids.begin(); it != ids.end(); ++it) {  // finding
+    total += *it;
+  }
+  return total;
+}

@@ -1,0 +1,27 @@
+// Must produce zero findings: each violation below carries a NOLINT
+// suppression that names its rule AND justifies itself.
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace longdp {
+
+Status SaveThing(int id);
+
+double JustifiedSuppressions() {
+  std::unordered_map<std::string, double> weights;
+  double total = 0.0;
+  // NOLINTNEXTLINE(longdp-no-unordered-iteration): sum is order-invariant
+  for (const auto& [key, w] : weights) {
+    total += w;
+  }
+  SaveThing(1);  // NOLINT(longdp-status-checked): fire-and-forget telemetry
+  // A justified suppression of a non-longdp (clang-tidy) rule is also fine.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before threads exist
+  const char* env = std::getenv("LONGDP_FIXTURE");
+  return total + (env != nullptr ? 1.0 : 0.0);
+}
+
+}  // namespace longdp

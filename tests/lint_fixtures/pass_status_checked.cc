@@ -1,0 +1,19 @@
+// Must produce zero findings: every Status-returning call is consumed —
+// assigned, tested, propagated, or returned.
+#include "util/status.h"
+
+namespace longdp {
+
+Status SaveThing(int id);
+
+Status ConsumesAll(bool flag) {
+  Status st = SaveThing(1);
+  if (!st.ok()) return st;
+  if (SaveThing(2).ok()) {
+    LONGDP_RETURN_NOT_OK(SaveThing(3));
+  }
+  bool fine = SaveThing(4).ok() && flag;
+  return fine ? Status::OK() : SaveThing(5);
+}
+
+}  // namespace longdp

@@ -1,0 +1,16 @@
+// Must produce zero findings: unordered containers may be declared and
+// probed (find/count/insert/subscript) — only *iterating* them is banned.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int ProbeOnly() {
+  std::unordered_map<std::string, int> index;
+  std::unordered_set<int> seen;
+  index["a"] = 1;
+  seen.insert(4);
+  auto it = index.find("a");
+  int total = (it != index.end()) ? it->second : 0;
+  total += static_cast<int>(seen.count(4));
+  return total;
+}

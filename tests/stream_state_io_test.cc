@@ -79,6 +79,25 @@ TEST(StateIoTest, RejectsTruncatedVectors) {
   EXPECT_FALSE(ReadIntVector(s, &out).ok());
 }
 
+TEST(StateIoTest, MalformedDoubleIsRejectedNotZero) {
+  // Regression: ReadDouble used strtod with a null endptr, so a corrupted
+  // checkpoint token silently restored as 0.0 — a wrong-but-plausible state
+  // instead of a hard error.
+  for (const char* tok : {"garbage", "1.5zzz", "--2", ".", "1e", "NaNx"}) {
+    std::stringstream s(tok);
+    auto r = ReadDouble(s);
+    ASSERT_FALSE(r.ok()) << tok;
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << tok;
+  }
+}
+
+TEST(StateIoTest, CorruptedDoubleVectorFailsRestore) {
+  std::stringstream s("2 1.5 garbage");
+  std::vector<double> out;
+  Status st = ReadDoubleVector(s, &out);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
 // ---------------------------------------------------------------------------
 // Mid-stream state round-trips for every registered counter type. A counter
 // serialized at time t and restored into a freshly constructed counter must

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -85,6 +87,30 @@ TEST(CsvRoundTripTest, WriteThenRead) {
   EXPECT_EQ(rows.value()[1][1], "a,b");
   EXPECT_EQ(rows.value()[2][1], "plain");
   std::remove(path.c_str());
+}
+
+TEST(ParseFieldTest, Int64AcceptsWholeFieldOnly) {
+  EXPECT_EQ(ParseInt64Field("42").value(), 42);
+  EXPECT_EQ(ParseInt64Field("-7").value(), -7);
+  EXPECT_EQ(ParseInt64Field("9223372036854775807").value(),
+            INT64_MAX);
+  for (const char* bad : {"", "abc", "1.5", "12x", " 12 ", "0x10", "--3"}) {
+    EXPECT_TRUE(ParseInt64Field(bad).status().IsInvalidArgument())
+        << "'" << bad << "' was accepted";
+  }
+  EXPECT_TRUE(
+      ParseInt64Field("9223372036854775808").status().IsOutOfRange());
+}
+
+TEST(ParseFieldTest, DoubleAcceptsRoundTripFormats) {
+  EXPECT_DOUBLE_EQ(ParseDoubleField("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleField("-2e-3").value(), -2e-3);
+  EXPECT_TRUE(std::isinf(ParseDoubleField("inf").value()));
+  EXPECT_TRUE(std::isnan(ParseDoubleField("nan").value()));
+  for (const char* bad : {"", "garbage", "1.5zzz", ".", "1e", "NaNx"}) {
+    EXPECT_TRUE(ParseDoubleField(bad).status().IsInvalidArgument())
+        << "'" << bad << "' was accepted";
+  }
 }
 
 TEST(CsvReadTest, MissingFileIsIOError) {

@@ -1,0 +1,101 @@
+// longdp_lint: enforce the project's determinism / privacy invariants at
+// lint time. Token-level, dependency-free, and fast enough to run on every
+// local ctest invocation (the tools_lint_selfcheck test does exactly that).
+//
+// Usage:
+//   longdp_lint PATH... [--rules=r1,r2] [--exclude=sub1,sub2]
+//               [--allow=rule:pathsub,...] [--quiet] [--list_rules]
+//
+// PATH arguments are files or directories (scanned recursively for
+// *.h *.hh *.hpp *.cc *.cpp *.cxx). --exclude skips files whose path
+// contains a substring; --allow exempts files from one named rule.
+// Exit codes mirror tools/bench_diff: 0 = clean, 1 = findings,
+// 2 = usage or IO error.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/flags.h"
+#include "lint/lint.h"
+
+namespace longdp {
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& raw) {
+  std::vector<std::string> out;
+  std::istringstream in(raw);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+int RunLint(const harness::Flags& flags) {
+  if (flags.Has("list_rules")) {
+    for (const std::string& rule : lint::RuleNames()) {
+      std::cout << rule << "\n";
+    }
+    return 0;
+  }
+  if (flags.positional().empty()) {
+    std::cerr << "usage: longdp_lint PATH... [--rules=r1,r2]"
+                 " [--exclude=sub1,sub2] [--allow=rule:pathsub,...]"
+                 " [--quiet] [--list_rules]\n";
+    return 2;
+  }
+
+  lint::Options options;
+  options.rules = SplitCommas(flags.GetString("rules", ""));
+  for (const std::string& rule : options.rules) {
+    if (!lint::IsKnownRule(rule)) {
+      std::cerr << "longdp_lint: unknown rule '" << rule << "'; see"
+                   " --list_rules\n";
+      return 2;
+    }
+  }
+  options.excludes = SplitCommas(flags.GetString("exclude", ""));
+  for (const std::string& entry : SplitCommas(flags.GetString("allow", ""))) {
+    const size_t sep = entry.find(':');
+    if (sep == std::string::npos || sep == 0 || sep + 1 == entry.size()) {
+      std::cerr << "longdp_lint: bad --allow entry '" << entry
+                << "' (want rule:path_substring)\n";
+      return 2;
+    }
+    const std::string rule = entry.substr(0, sep);
+    if (!lint::IsKnownRule(rule)) {
+      std::cerr << "longdp_lint: unknown rule in --allow: '" << rule
+                << "'\n";
+      return 2;
+    }
+    options.allow.emplace_back(rule, entry.substr(sep + 1));
+  }
+
+  auto result = lint::ScanPaths(flags.positional(), options);
+  if (!result.ok()) {
+    std::cerr << "longdp_lint: " << result.status().ToString() << "\n";
+    return 2;
+  }
+  const std::vector<lint::Finding>& findings = result.value();
+  for (const lint::Finding& f : findings) {
+    std::cout << f.ToString() << "\n";
+  }
+  if (!flags.Has("quiet")) {
+    if (findings.empty()) {
+      std::cout << "longdp_lint: no findings\n";
+    } else {
+      std::cout << "longdp_lint: " << findings.size() << " finding(s)\n";
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace longdp
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  return longdp::RunLint(flags);
+}
