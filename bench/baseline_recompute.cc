@@ -44,23 +44,25 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   std::vector<double> alg1_ever(static_cast<size_t>(reps), 0.0);
 
   LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-      reps, kRunSeed + 400, [&](int64_t rep, util::Rng* rng) {
+      reps, kRunSeed + 400, [&](int64_t rep, uint64_t rep_seed) {
         core::FixedWindowSynthesizer::Options fopt;
         fopt.horizon = T;
         fopt.window_k = k;
         fopt.rho = rho;
+        fopt.seed = rep_seed;
         LONGDP_ASSIGN_OR_RETURN(auto alg1,
                                 core::FixedWindowSynthesizer::Create(fopt));
         core::RecomputeBaseline::Options bopt;
         bopt.horizon = T;
         bopt.window_k = k;
         bopt.rho = rho;
+        bopt.seed = rep_seed ^ 0x5DEECE66DULL;
         LONGDP_ASSIGN_OR_RETURN(auto baseline,
                                 core::RecomputeBaseline::Create(bopt));
         double alg1_max = 0.0, base_max = 0.0;
         for (int64_t t = 1; t <= T; ++t) {
-          LONGDP_RETURN_NOT_OK(alg1->ObserveRound(ds.Round(t), rng));
-          LONGDP_RETURN_NOT_OK(baseline->ObserveRound(ds.Round(t), rng));
+          LONGDP_RETURN_NOT_OK(alg1->ObserveRound(ds.Round(t)));
+          LONGDP_RETURN_NOT_OK(baseline->ObserveRound(ds.Round(t)));
           if (t < k) continue;
           LONGDP_ASSIGN_OR_RETURN(auto truth, ds.WindowHistogram(t, k));
           auto ahist = alg1->SyntheticHistogram();

@@ -82,31 +82,31 @@ inline Status TimeObservePhases(const harness::Flags& flags,
   {
     harness::BenchReport::PhaseTimer timer(report, "observe_cumulative");
     for (int64_t rep = 0; rep < observe_reps; ++rep) {
-      util::Rng rng(kObserveSeed + static_cast<uint64_t>(rep));
       core::CumulativeSynthesizer::Options opt;
       opt.horizon = horizon;
       opt.rho = rho;
+      opt.seed = kObserveSeed + static_cast<uint64_t>(rep);
       opt.pool = pool.get();
       LONGDP_ASSIGN_OR_RETURN(auto synth,
                               core::CumulativeSynthesizer::Create(opt));
       for (int64_t t = 1; t <= horizon; ++t) {
-        LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), &rng));
+        LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
       }
     }
   }
   if (window_k > 0) {
     harness::BenchReport::PhaseTimer timer(report, "observe_window");
     for (int64_t rep = 0; rep < observe_reps; ++rep) {
-      util::Rng rng(kObserveSeed + 0x100 + static_cast<uint64_t>(rep));
       core::FixedWindowSynthesizer::Options opt;
       opt.horizon = horizon;
       opt.window_k = window_k;
       opt.rho = rho;
+      opt.seed = kObserveSeed + 0x100 + static_cast<uint64_t>(rep);
       opt.pool = pool.get();
       LONGDP_ASSIGN_OR_RETURN(auto synth,
                               core::FixedWindowSynthesizer::Create(opt));
       for (int64_t t = 1; t <= horizon; ++t) {
-        LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), &rng));
+        LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
       }
     }
   }
@@ -165,10 +165,9 @@ inline Result<data::LongitudinalDataset> MakeSippDataset(
     std::cout << "# loading real SIPP extract from " << path << "\n";
     return data::LoadSippBitsCsv(path);
   }
-  util::Rng rng(kDatasetSeed);
   data::SippOptions opt;
   opt.num_households = flags.GetInt("n", opt.num_households);
-  return data::SimulateSipp(opt, &rng);
+  return data::SimulateSipp(opt, kDatasetSeed);
 }
 
 /// The four quarterly poverty queries of Figure 1 (window k = 3).
@@ -224,16 +223,17 @@ inline Status RunSippQuarterly(const harness::Flags& flags,
   {
     harness::BenchReport::PhaseTimer timer(report, "repetitions");
     LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-        reps, kRunSeed, [&](int64_t rep, util::Rng* rng) {
+        reps, kRunSeed, [&](int64_t rep, uint64_t rep_seed) {
           core::FixedWindowSynthesizer::Options opt;
           opt.horizon = 12;
           opt.window_k = 3;
           opt.rho = rho;
+          opt.seed = rep_seed;
           LONGDP_ASSIGN_OR_RETURN(auto synth,
                                   core::FixedWindowSynthesizer::Create(opt));
           size_t quarter = 0;
           for (int64_t t = 1; t <= 12; ++t) {
-            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
             if (quarter < quarter_ends.size() && t == quarter_ends[quarter]) {
               for (size_t p = 0; p < preds.size(); ++p) {
                 LONGDP_ASSIGN_OR_RETURN(
@@ -326,14 +326,15 @@ inline Status RunSippCumulative(const harness::Flags& flags,
   {
     harness::BenchReport::PhaseTimer timer(report, "repetitions");
     LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-        reps, kRunSeed + 1, [&](int64_t rep, util::Rng* rng) {
+        reps, kRunSeed + 1, [&](int64_t rep, uint64_t rep_seed) {
           core::CumulativeSynthesizer::Options opt;
           opt.horizon = T;
           opt.rho = rho;
+          opt.seed = rep_seed;
           LONGDP_ASSIGN_OR_RETURN(auto synth,
                                   core::CumulativeSynthesizer::Create(opt));
           for (int64_t t = 1; t <= T; ++t) {
-            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
             LONGDP_ASSIGN_OR_RETURN(
                 samples[static_cast<size_t>(t - 1)][static_cast<size_t>(rep)],
                 synth->Answer(b));
@@ -420,15 +421,16 @@ inline Status RunSimulatedError(const harness::Flags& flags,
   {
     harness::BenchReport::PhaseTimer timer(report, "repetitions");
     LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-        reps, kRunSeed + 2, [&](int64_t rep, util::Rng* rng) {
+        reps, kRunSeed + 2, [&](int64_t rep, uint64_t rep_seed) {
           core::FixedWindowSynthesizer::Options opt;
           opt.horizon = T;
           opt.window_k = synth_k;
           opt.rho = rho;
+          opt.seed = rep_seed;
           LONGDP_ASSIGN_OR_RETURN(auto synth,
                                   core::FixedWindowSynthesizer::Create(opt));
           for (int64_t t = 1; t <= T; ++t) {
-            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
             if (!synth->has_release()) continue;
             for (size_t c = 0; c < cases.size(); ++c) {
               const auto& pred = cases[c].pred;

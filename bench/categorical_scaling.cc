@@ -37,7 +37,8 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   harness::BenchReport::PhaseTimer timer(report, "sweep");
   for (int alphabet : {2, 3, 4, 6, 8}) {
     // Stationary categorical rounds (uniform over the alphabet).
-    util::Rng data_rng(kDatasetSeed + static_cast<uint64_t>(alphabet));
+    util::SubstreamRng data_rng(kDatasetSeed + static_cast<uint64_t>(alphabet),
+                                util::substream::kDataset);
     std::vector<std::vector<uint8_t>> rounds;
     {
       std::vector<uint8_t> state(static_cast<size_t>(n));
@@ -75,18 +76,19 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
     int64_t npad_used = 0;
     auto start = std::chrono::steady_clock::now();
     LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-        reps, kRunSeed + 800, [&](int64_t rep, util::Rng* rng) {
+        reps, kRunSeed + 800, [&](int64_t rep, uint64_t rep_seed) {
           core::CategoricalWindowSynthesizer::Options opt;
           opt.horizon = T;
           opt.window_k = k;
           opt.alphabet = alphabet;
           opt.rho = rho;
+          opt.seed = rep_seed;
           LONGDP_ASSIGN_OR_RETURN(
               auto synth, core::CategoricalWindowSynthesizer::Create(opt));
           npad_used = synth->npad();
           for (int64_t t = 0; t < T; ++t) {
             LONGDP_RETURN_NOT_OK(
-                synth->ObserveRound(rounds[static_cast<size_t>(t)], rng));
+                synth->ObserveRound(rounds[static_cast<size_t>(t)]));
           }
           double max_err = 0.0;
           for (uint64_t s = 0; s < bins; ++s) {

@@ -48,16 +48,17 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
     std::vector<double> max_errors(static_cast<size_t>(reps), 0.0);
     std::vector<double> b3_errors(static_cast<size_t>(reps), 0.0);
     LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-        reps, kRunSeed + 300, [&](int64_t rep, util::Rng* rng) {
+        reps, kRunSeed + 300, [&](int64_t rep, uint64_t rep_seed) {
           core::CumulativeSynthesizer::Options opt;
           opt.horizon = T;
           opt.rho = rho;
+          opt.seed = rep_seed;
           opt.counter_factory = factory;
           LONGDP_ASSIGN_OR_RETURN(auto synth,
                                   core::CumulativeSynthesizer::Create(opt));
           double max_err = 0.0;
           for (int64_t t = 1; t <= T; ++t) {
-            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
             for (int64_t b = 1; b <= t; ++b) {
               LONGDP_ASSIGN_OR_RETURN(double est, synth->Answer(b));
               double err = std::fabs(
@@ -99,19 +100,23 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
     std::vector<double> errors(static_cast<size_t>(reps), 0.0);
     double bound = 0.0;
     {
-      LONGDP_ASSIGN_OR_RETURN(auto probe, factory->Create(kLongT, 0.5));
+      const util::SubstreamRng probe_stream(0, util::substream::kCounterNoise);
+      LONGDP_ASSIGN_OR_RETURN(auto probe,
+                              factory->Create(kLongT, 0.5, probe_stream));
       bound = probe->ErrorBound(0.05, kLongT);
     }
     LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-        reps, kRunSeed + 301, [&](int64_t rep, util::Rng* rng) {
+        reps, kRunSeed + 301, [&](int64_t rep, uint64_t rep_seed) {
+          const util::SubstreamRng stream(rep_seed,
+                                          util::substream::kCounterNoise);
           LONGDP_ASSIGN_OR_RETURN(auto counter,
-                                  factory->Create(kLongT, 0.5));
+                                  factory->Create(kLongT, 0.5, stream));
           int64_t truth_sum = 0;
           int64_t released = 0;
           for (int64_t t = 1; t <= kLongT; ++t) {
             int64_t z = t % 3;
             truth_sum += z;
-            LONGDP_ASSIGN_OR_RETURN(released, counter->Observe(z, rng));
+            LONGDP_ASSIGN_OR_RETURN(released, counter->Observe(z));
           }
           errors[static_cast<size_t>(rep)] =
               std::fabs(static_cast<double>(released - truth_sum));

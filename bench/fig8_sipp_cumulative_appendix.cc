@@ -23,14 +23,15 @@ Status PrintFinalMonthThresholdSweep(const harness::Flags& flags,
       static_cast<size_t>(T) + 1,
       std::vector<double>(static_cast<size_t>(reps)));
   LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-      reps, kRunSeed + 8, [&](int64_t rep, util::Rng* rng) {
+      reps, kRunSeed + 8, [&](int64_t rep, uint64_t rep_seed) {
         core::CumulativeSynthesizer::Options opt;
         opt.horizon = T;
         opt.rho = rho;
+        opt.seed = rep_seed;
         LONGDP_ASSIGN_OR_RETURN(auto synth,
                                 core::CumulativeSynthesizer::Create(opt));
         for (int64_t t = 1; t <= T; ++t) {
-          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
         }
         for (int64_t b = 0; b <= T; ++b) {
           LONGDP_ASSIGN_OR_RETURN(

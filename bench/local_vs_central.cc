@@ -62,12 +62,13 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
   }
 
   LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-      reps, kRunSeed + 700, [&](int64_t rep, util::Rng* rng) {
+      reps, kRunSeed + 700, [&](int64_t rep, uint64_t rep_seed) {
         // Central Algorithm 1 with k = 1.
         core::FixedWindowSynthesizer::Options copt;
         copt.horizon = T;
         copt.window_k = 1;
         copt.rho = rho;
+        copt.seed = rep_seed;
         LONGDP_ASSIGN_OR_RETURN(auto central,
                                 core::FixedWindowSynthesizer::Create(copt));
         // Local oracles at the matched epsilon.
@@ -84,15 +85,18 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
         LONGDP_ASSIGN_OR_RETURN(
             auto memo, local::LocalFrequencyOracle::Create(memo_opt));
 
+        // The local oracles keep the mutable Rng* interface; key a
+        // per-repetition local stream off the repetition seed.
+        util::SubstreamRng lrng(rep_seed, util::substream::kLocal);
         double central_max = 0.0, fresh_max = 0.0, memo_max = 0.0;
         for (int64_t t = 1; t <= T; ++t) {
-          LONGDP_RETURN_NOT_OK(central->ObserveRound(ds.Round(t), rng));
+          LONGDP_RETURN_NOT_OK(central->ObserveRound(ds.Round(t)));
           LONGDP_ASSIGN_OR_RETURN(double c,
                                   central->DebiasedAnswer(*current));
           LONGDP_ASSIGN_OR_RETURN(double f,
-                                  fresh->ObserveRound(ds.Round(t), rng));
+                                  fresh->ObserveRound(ds.Round(t), &lrng));
           LONGDP_ASSIGN_OR_RETURN(double m,
-                                  memo->ObserveRound(ds.Round(t), rng));
+                                  memo->ObserveRound(ds.Round(t), &lrng));
           double tr = truth[static_cast<size_t>(t)];
           central_max = std::max(central_max, std::fabs(c - tr));
           fresh_max = std::max(fresh_max, std::fabs(f - tr));

@@ -12,6 +12,7 @@
 #include "util/batch_sampler.h"
 #include "util/flat_groups.h"
 #include "util/rng.h"
+#include "util/substream.h"
 
 namespace {
 
@@ -52,11 +53,12 @@ void BM_StreamCounterFullRun(benchmark::State& state) {
       longdp::stream::RegisteredCounterNames()[static_cast<size_t>(
           state.range(1))];
   auto factory = longdp::stream::MakeCounterFactory(name).value();
-  Rng rng(4);
+  const longdp::util::SubstreamRng stream(
+      4, longdp::util::substream::kCounterNoise);
   for (auto _ : state) {
-    auto counter = factory->Create(T, 0.1).value();
+    auto counter = factory->Create(T, 0.1, stream).value();
     for (int64_t t = 1; t <= T; ++t) {
-      benchmark::DoNotOptimize(counter->Observe(t % 3, &rng).value());
+      benchmark::DoNotOptimize(counter->Observe(t % 3).value());
     }
   }
   state.SetItemsProcessed(state.iterations() * T);

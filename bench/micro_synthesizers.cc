@@ -6,29 +6,30 @@
 #include "core/cumulative_synthesizer.h"
 #include "core/fixed_window_synthesizer.h"
 #include "data/generators.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace {
 
 using longdp::core::CumulativeSynthesizer;
 using longdp::core::FixedWindowSynthesizer;
-using longdp::util::Rng;
+using longdp::util::SubstreamRng;
+namespace substream = longdp::util::substream;
 
 void BM_FixedWindowFullRun(benchmark::State& state) {
   const int64_t n = state.range(0);
   const int64_t T = state.range(1);
   const int k = static_cast<int>(state.range(2));
-  Rng data_rng(1);
+  SubstreamRng data_rng(1, substream::kDataset);
   auto ds = longdp::data::BernoulliIid(n, T, 0.2, &data_rng).value();
-  Rng rng(2);
   for (auto _ : state) {
     FixedWindowSynthesizer::Options opt;
     opt.horizon = T;
     opt.window_k = k;
     opt.rho = 0.005;
+    opt.seed = 2;
     auto synth = FixedWindowSynthesizer::Create(opt).value();
     for (int64_t t = 1; t <= T; ++t) {
-      benchmark::DoNotOptimize(synth->ObserveRound(ds.Round(t), &rng).ok());
+      benchmark::DoNotOptimize(synth->ObserveRound(ds.Round(t)).ok());
     }
   }
   state.SetItemsProcessed(state.iterations() * n * T);
@@ -45,16 +46,16 @@ BENCHMARK(BM_FixedWindowFullRun)
 void BM_CumulativeFullRun(benchmark::State& state) {
   const int64_t n = state.range(0);
   const int64_t T = state.range(1);
-  Rng data_rng(3);
+  SubstreamRng data_rng(3, substream::kDataset);
   auto ds = longdp::data::BernoulliIid(n, T, 0.2, &data_rng).value();
-  Rng rng(4);
   for (auto _ : state) {
     CumulativeSynthesizer::Options opt;
     opt.horizon = T;
     opt.rho = 0.005;
+    opt.seed = 4;
     auto synth = CumulativeSynthesizer::Create(opt).value();
     for (int64_t t = 1; t <= T; ++t) {
-      benchmark::DoNotOptimize(synth->ObserveRound(ds.Round(t), &rng).ok());
+      benchmark::DoNotOptimize(synth->ObserveRound(ds.Round(t)).ok());
     }
   }
   state.SetItemsProcessed(state.iterations() * n * T);
@@ -70,18 +71,18 @@ void BM_FixedWindowSingleRound(benchmark::State& state) {
   // Steady-state per-round cost at SIPP scale (T large so rounds dominate).
   const int64_t n = state.range(0);
   const int64_t T = 1 << 20;
-  Rng data_rng(5);
+  SubstreamRng data_rng(5, substream::kDataset);
   std::vector<uint8_t> round(static_cast<size_t>(n));
   for (auto& b : round) b = data_rng.Bernoulli(0.2) ? 1 : 0;
   FixedWindowSynthesizer::Options opt;
   opt.horizon = T;
   opt.window_k = 3;
   opt.rho = 0.5;
+  opt.seed = 6;
   auto synth = FixedWindowSynthesizer::Create(opt).value();
-  Rng rng(6);
   for (auto _ : state) {
     if (synth->t() >= T) break;
-    benchmark::DoNotOptimize(synth->ObserveRound(round, &rng).ok());
+    benchmark::DoNotOptimize(synth->ObserveRound(round).ok());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

@@ -48,16 +48,17 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
     std::vector<double> biased_err(static_cast<size_t>(reps), 0.0);
     std::vector<double> debiased_err(static_cast<size_t>(reps), 0.0);
     LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-        reps, kRunSeed + 500, [&](int64_t rep, util::Rng* rng) {
+        reps, kRunSeed + 500, [&](int64_t rep, uint64_t rep_seed) {
           core::FixedWindowSynthesizer::Options opt;
           opt.horizon = T;
           opt.window_k = k;
           opt.rho = rho;
           opt.npad = npad;
+          opt.seed = rep_seed;
           LONGDP_ASSIGN_OR_RETURN(
               auto synth, core::FixedWindowSynthesizer::Create(opt));
           for (int64_t t = 1; t <= T; ++t) {
-            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
           }
           clamps[static_cast<size_t>(rep)] =
               static_cast<double>(synth->stats().negative_clamps);

@@ -1,0 +1,242 @@
+// Million-user scale-out: observe+release wall-clock and peak RSS for both
+// synthesizers at n in {23374, 1M, 5M} (plus 10M with --full), each run at
+// shard counts {1, 4, 16} on the same keyed dataset.
+//
+// The substream RNG makes the released values a pure function of
+// (seed, purpose, shard-invariant address), so this bench doubles as an
+// equality gate: for every (algorithm, n) cell it folds the FULL release
+// log (every round, every bin/threshold) into a digest and fails hard if
+// any shard count produces a different log. The gated JSON series records
+// the final-round release values once per (algorithm, n); the per-cell
+// wall-clock lands in the report's phase table and peak RSS in the
+// "peak_rss_mb" series (informational — CI diffs with
+// --ignore=peak_rss_mb, timings are never gated).
+//
+// Flags: --full (adds n=10M) --threads=P (pool lanes, default 4)
+//        --json[=PATH] --csv=prefix
+#include <sys/resource.h>
+
+#include "bench_common.h"
+
+namespace longdp {
+namespace bench {
+namespace {
+
+double PeakRssMb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // Linux reports ru_maxrss in kilobytes (macOS in bytes; this bench's
+  // baseline is recorded on Linux, where the CI gate runs).
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+struct CellResult {
+  double seconds = 0.0;
+  uint64_t digest = 0;              // full release log, every round
+  std::vector<int64_t> final_row;   // last release (histogram/thresholds)
+  int64_t npad = 0;
+};
+
+Result<CellResult> RunFixedWindow(const data::LongitudinalDataset& ds,
+                                  int64_t T, int k, double rho,
+                                  util::ThreadPool* pool) {
+  CellResult out;
+  core::FixedWindowSynthesizer::Options opt;
+  opt.horizon = T;
+  opt.window_k = k;
+  opt.rho = rho;
+  opt.seed = kRunSeed + 900;
+  opt.pool = pool;
+  const auto start = std::chrono::steady_clock::now();
+  LONGDP_ASSIGN_OR_RETURN(auto synth,
+                          core::FixedWindowSynthesizer::Create(opt));
+  uint64_t digest = 0;
+  for (int64_t t = 1; t <= T; ++t) {
+    LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
+    if (!synth->has_release()) continue;
+    out.final_row = synth->SyntheticHistogram();
+    for (int64_t v : out.final_row) {
+      digest = Mix(digest, static_cast<uint64_t>(v));
+    }
+  }
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  out.digest = digest;
+  out.npad = synth->npad();
+  return out;
+}
+
+Result<CellResult> RunCumulative(const data::LongitudinalDataset& ds,
+                                 int64_t T, double rho,
+                                 util::ThreadPool* pool) {
+  CellResult out;
+  core::CumulativeSynthesizer::Options opt;
+  opt.horizon = T;
+  opt.rho = rho;
+  opt.seed = kRunSeed + 901;
+  opt.pool = pool;
+  const auto start = std::chrono::steady_clock::now();
+  LONGDP_ASSIGN_OR_RETURN(auto synth,
+                          core::CumulativeSynthesizer::Create(opt));
+  uint64_t digest = 0;
+  for (int64_t t = 1; t <= T; ++t) {
+    LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
+    out.final_row = synth->released_thresholds();
+    for (int64_t v : out.final_row) {
+      digest = Mix(digest, static_cast<uint64_t>(v));
+    }
+  }
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  out.digest = digest;
+  return out;
+}
+
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
+  const int64_t T = 12;
+  const int k = 3;
+  const double rho = 0.005;
+  const int64_t threads = flags.Threads(4);
+  std::vector<int64_t> sizes = {23374, 1000000, 5000000};
+  if (flags.Has("full")) sizes.push_back(10000000);
+  const std::vector<int> shard_counts = {1, 4, 16};
+
+  report->set_description(
+      "million-user scale-out: wall-clock, peak RSS, and shard-count "
+      "equality of the full release log");
+  report->SetParam("T", T);
+  report->SetParam("k", k);
+  report->SetParam("rho", rho);
+  report->SetParam("threads", threads);
+  report->SetParam("full", flags.Has("full") ? "true" : "false");
+
+  std::cout << "== scaling_users: observe+release at survey scale ==\n"
+            << "T=" << T << " k=" << k << " rho=" << rho
+            << " pool lanes=" << threads << " shards={1,4,16}\n\n";
+
+  harness::Table table({"n", "algo", "shards", "observe_s", "peak_rss_mb",
+                        "log_digest"});
+  // Row data is buffered and emitted after the sweep: BenchReport::AddSeries
+  // returns a reference into a vector, so the two series must be built one
+  // after the other, not interleaved.
+  struct RssRow {
+    std::string algo;
+    int64_t n;
+    int shards;
+    double rss_mb;
+  };
+  std::vector<RssRow> rss_rows;
+  struct FinalRow {
+    std::string algo;
+    int64_t n;
+    std::vector<int64_t> values;
+    int64_t npad;
+    bool fixed;
+  };
+  std::vector<FinalRow> final_rows;
+
+  for (int64_t n : sizes) {
+    // Keyed dataset generation is itself sharded and shard-invariant; the
+    // pool only affects wall-clock.
+    util::ThreadPool gen_pool(static_cast<int>(threads));
+    data::MarkovParams params;
+    params.initial_rate = 0.10;
+    params.entry_prob = 0.03;
+    params.exit_prob = 0.25;
+    LONGDP_ASSIGN_OR_RETURN(
+        auto ds, data::TwoStateMarkov(n, T, params,
+                                      kDatasetSeed + static_cast<uint64_t>(n),
+                                      &gen_pool));
+
+    for (const char* algo : {"fixed_window", "cumulative"}) {
+      const bool fixed = std::string(algo) == "fixed_window";
+      uint64_t reference_digest = 0;
+      CellResult reference;
+      for (size_t si = 0; si < shard_counts.size(); ++si) {
+        const int shards = shard_counts[si];
+        std::unique_ptr<util::ThreadPool> pool;
+        if (shards > 1) {
+          pool = std::make_unique<util::ThreadPool>(
+              static_cast<int>(threads), shards);
+        }
+        CellResult cell;
+        LONGDP_ASSIGN_OR_RETURN(
+            cell, fixed ? RunFixedWindow(ds, T, k, rho, pool.get())
+                        : RunCumulative(ds, T, rho, pool.get()));
+        const std::string cell_name = std::string("observe_") + algo + "_n" +
+                                      std::to_string(n) + "_s" +
+                                      std::to_string(shards);
+        report->RecordPhaseSeconds(cell_name, cell.seconds);
+        const double rss = PeakRssMb();
+        rss_rows.push_back({algo, n, shards, rss});
+        std::ostringstream digest_hex;
+        digest_hex << std::hex << cell.digest;
+        LONGDP_RETURN_NOT_OK(table.AddRow(
+            {std::to_string(n), algo, std::to_string(shards),
+             harness::Table::Val(cell.seconds, 3),
+             harness::Table::Val(rss, 1), digest_hex.str()}));
+        if (si == 0) {
+          reference_digest = cell.digest;
+          reference = cell;
+        } else if (cell.digest != reference_digest) {
+          return Status::Internal(
+              "release log diverged: " + std::string(algo) + " n=" +
+              std::to_string(n) + " shards=" + std::to_string(shards) +
+              " does not reproduce the shards=1 log");
+        }
+      }
+      // One gated row per (algo, n): the final-round release values, which
+      // the digest check above proved shard-count-invariant.
+      final_rows.push_back({algo, n, reference.final_row, reference.npad,
+                            fixed});
+    }
+  }
+
+  auto& series = report->AddSeries("final_release");
+  for (const FinalRow& fr : final_rows) {
+    auto& row = series.AddRow()
+                    .Label("algo", fr.algo)
+                    .Label("n", std::to_string(fr.n));
+    for (size_t b = 0; b < fr.values.size(); ++b) {
+      std::string key = "v";
+      key += std::to_string(b);
+      row.Value(key, static_cast<double>(fr.values[b]));
+    }
+    if (fr.fixed) row.Value("npad", static_cast<double>(fr.npad));
+  }
+  auto& rss_series = report->AddSeries("peak_rss_mb");
+  for (const RssRow& rr : rss_rows) {
+    rss_series.AddRow()
+        .Label("algo", rr.algo)
+        .Label("n", std::to_string(rr.n))
+        .Label("shards", std::to_string(rr.shards))
+        .Value("peak_rss_mb", rr.rss_mb);
+  }
+
+  table.Print(std::cout);
+  std::cout << "\nevery (algo, n) cell released a byte-identical log at "
+               "shards 1, 4, and 16\n";
+  std::string csv = flags.GetString("csv", "");
+  if (!csv.empty()) {
+    LONGDP_RETURN_NOT_OK(table.WriteCsv(csv + ".csv"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace longdp
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
+}

@@ -24,16 +24,17 @@ Result<std::vector<double>> MeasureMaxErrors(
     }
   }
   LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-      reps, kRunSeed + 200, [&](int64_t rep, util::Rng* rng) {
+      reps, kRunSeed + 200, [&](int64_t rep, uint64_t rep_seed) {
         core::CumulativeSynthesizer::Options opt;
         opt.horizon = T;
         opt.rho = rho;
         opt.split = split;
+        opt.seed = rep_seed;
         LONGDP_ASSIGN_OR_RETURN(auto synth,
                                 core::CumulativeSynthesizer::Create(opt));
         double max_err = 0.0;
         for (int64_t t = 1; t <= T; ++t) {
-          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+          LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
           for (int64_t b = 1; b <= t; ++b) {
             LONGDP_ASSIGN_OR_RETURN(double est, synth->Answer(b));
             max_err = std::max(

@@ -45,16 +45,17 @@ Status Run(const harness::Flags& flags, harness::BenchReport* report) {
         core::theory::MaxBinCountErrorBound(g.T, g.k, g.rho, beta));
     std::vector<double> max_errors(static_cast<size_t>(reps), 0.0);
     LONGDP_RETURN_NOT_OK(harness::RunRepetitions(
-        reps, kRunSeed + 100, [&](int64_t rep, util::Rng* rng) {
+        reps, kRunSeed + 100, [&](int64_t rep, uint64_t rep_seed) {
           core::FixedWindowSynthesizer::Options opt;
           opt.horizon = g.T;
           opt.window_k = g.k;
           opt.rho = g.rho;
+          opt.seed = rep_seed;
           LONGDP_ASSIGN_OR_RETURN(
               auto synth, core::FixedWindowSynthesizer::Create(opt));
           double max_err = 0.0;
           for (int64_t t = 1; t <= g.T; ++t) {
-            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+            LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
             if (!synth->has_release()) continue;
             auto hist = synth->SyntheticHistogram();
             LONGDP_ASSIGN_OR_RETURN(auto truth,

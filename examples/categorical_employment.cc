@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   const int64_t kN = 20000, kT = 12;
   const int kK = 2, kA = 3;
 
-  util::Rng rng(9);
+  util::SubstreamRng rng(9, util::substream::kDataset);
   auto rounds = SimulatePanel(kN, kT, &rng);
 
   core::CategoricalWindowSynthesizer::Options options;
@@ -71,16 +71,15 @@ int main(int argc, char** argv) {
   options.window_k = kK;
   options.alphabet = kA;
   options.rho = rho;
+  options.seed = 11;
   auto synth = core::CategoricalWindowSynthesizer::Create(options).value();
   std::printf("%lld workers x %lld months, alphabet {E,U,O}, k=%d, "
               "rho=%g, npad=%lld\n\n",
               static_cast<long long>(kN), static_cast<long long>(kT), kK,
               rho, static_cast<long long>(synth->npad()));
 
-  util::Rng noise_rng(11);
   for (int64_t t = 0; t < kT; ++t) {
-    Status st = synth->ObserveRound(rounds[static_cast<size_t>(t)],
-                                    &noise_rng);
+    Status st = synth->ObserveRound(rounds[static_cast<size_t>(t)]);
     if (!st.ok()) {
       std::fprintf(stderr, "release failed: %s\n", st.ToString().c_str());
       return 1;

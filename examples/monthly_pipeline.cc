@@ -21,14 +21,14 @@ using namespace longdp;
 // One month's batch job for Algorithm 1. Returns the debiased quarterly
 // answer when a quarter completes.
 Status RunWindowJob(const std::string& checkpoint_path, int64_t month,
-                    data::RoundView reports, double rho,
-                    util::Rng* rng) {
+                    data::RoundView reports, double rho, uint64_t seed) {
   std::unique_ptr<core::FixedWindowSynthesizer> synth;
   if (month == 1) {
     core::FixedWindowSynthesizer::Options opt;
     opt.horizon = 12;
     opt.window_k = 3;
     opt.rho = rho;
+    opt.seed = seed;
     LONGDP_ASSIGN_OR_RETURN(synth,
                             core::FixedWindowSynthesizer::Create(opt));
   } else {
@@ -41,7 +41,7 @@ Status RunWindowJob(const std::string& checkpoint_path, int64_t month,
                                         std::to_string(synth->t()));
     }
   }
-  LONGDP_RETURN_NOT_OK(synth->ObserveRound(reports, rng));
+  LONGDP_RETURN_NOT_OK(synth->ObserveRound(reports));
   if (month % 3 == 0) {
     auto pred = query::MakeAllOnes(3);
     LONGDP_ASSIGN_OR_RETURN(double answer, synth->DebiasedAnswer(*pred));
@@ -57,13 +57,13 @@ Status RunWindowJob(const std::string& checkpoint_path, int64_t month,
 
 // One month's batch job for Algorithm 2.
 Status RunCumulativeJob(const std::string& checkpoint_path, int64_t month,
-                        data::RoundView reports, double rho,
-                        util::Rng* rng) {
+                        data::RoundView reports, double rho, uint64_t seed) {
   std::unique_ptr<core::CumulativeSynthesizer> synth;
   if (month == 1) {
     core::CumulativeSynthesizer::Options opt;
     opt.horizon = 12;
     opt.rho = rho;
+    opt.seed = seed;
     LONGDP_ASSIGN_OR_RETURN(synth, core::CumulativeSynthesizer::Create(opt));
   } else {
     std::ifstream in(checkpoint_path);
@@ -71,7 +71,7 @@ Status RunCumulativeJob(const std::string& checkpoint_path, int64_t month,
     LONGDP_ASSIGN_OR_RETURN(synth,
                             core::CumulativeSynthesizer::LoadCheckpoint(in));
   }
-  LONGDP_RETURN_NOT_OK(synth->ObserveRound(reports, rng));
+  LONGDP_RETURN_NOT_OK(synth->ObserveRound(reports));
   if (month % 4 == 0) {
     LONGDP_ASSIGN_OR_RETURN(double answer, synth->Answer(3));
     std::printf("  [job %2lld] >=3 months so far = %.4f\n",
@@ -90,20 +90,20 @@ int main(int argc, char** argv) {
   const std::string window_ckpt = "/tmp/longdp_window.ckpt";
   const std::string cumulative_ckpt = "/tmp/longdp_cumulative.ckpt";
 
-  util::Rng data_rng(777);
   data::SippOptions sipp;
   sipp.num_households = 8000;
-  auto dataset = data::SimulateSipp(sipp, &data_rng).value();
+  auto dataset = data::SimulateSipp(sipp, uint64_t{777}).value();
 
   std::printf("simulating 12 independent monthly batch jobs "
               "(checkpoint -> ingest -> release -> checkpoint)\n\n");
-  util::Rng rng(888);
+  // Seeds only matter for the month-1 job; every later job re-derives its
+  // noise substreams from the checkpointed seed + cursors.
   for (int64_t month = 1; month <= 12; ++month) {
     Status st = RunWindowJob(window_ckpt, month, dataset.Round(month),
-                             rho / 2, &rng);
+                             rho / 2, /*seed=*/888);
     if (st.ok()) {
       st = RunCumulativeJob(cumulative_ckpt, month, dataset.Round(month),
-                            rho / 2, &rng);
+                            rho / 2, /*seed=*/889);
     }
     if (!st.ok()) {
       std::fprintf(stderr, "month %lld failed: %s\n",

@@ -16,12 +16,12 @@ int main() {
 
   // 1. A longitudinal panel: 5000 people, 12 monthly binary reports,
   //    two-state Markov trajectories ("in poverty" / "not in poverty").
-  util::Rng rng(/*seed=*/42);
   data::MarkovParams params;
   params.initial_rate = 0.10;  // 10% start in poverty
   params.entry_prob = 0.03;    // 3%/month enter
   params.exit_prob = 0.25;     // 25%/month exit
-  auto dataset = data::TwoStateMarkov(5000, 12, params, &rng).value();
+  auto dataset =
+      data::TwoStateMarkov(5000, 12, params, /*seed=*/uint64_t{42}).value();
 
   // 2. A continual synthesizer for quarterly (k = 3) window queries under
   //    0.05-zCDP over the whole 12-month horizon.
@@ -29,6 +29,7 @@ int main() {
   options.horizon = 12;
   options.window_k = 3;
   options.rho = 0.05;
+  options.seed = 42;  // all noise is keyed off this one root seed
   auto synth = core::FixedWindowSynthesizer::Create(options).value();
   std::printf("padding per bin (public): %lld records\n\n",
               static_cast<long long>(synth->npad()));
@@ -39,7 +40,7 @@ int main() {
   std::printf("%-6s %-12s %-12s %-12s\n", "month", "truth", "debiased",
               "biased");
   for (int64_t t = 1; t <= 12; ++t) {
-    Status st = synth->ObserveRound(dataset.Round(t), &rng);
+    Status st = synth->ObserveRound(dataset.Round(t));
     if (!st.ok()) {
       std::fprintf(stderr, "release failed: %s\n", st.ToString().c_str());
       return 1;

@@ -22,28 +22,27 @@ int main(int argc, char** argv) {
       flags.GetString("synthetic", "/tmp/longdp_synthetic_panel.csv");
 
   // ---- Curator side -------------------------------------------------------
-  util::Rng rng(321);
   data::SippOptions sipp;
   sipp.num_households = 10000;
-  auto dataset = data::SimulateSipp(sipp, &rng).value();
+  auto dataset = data::SimulateSipp(sipp, uint64_t{321}).value();
 
   core::FixedWindowSynthesizer::Options fopt;
   fopt.horizon = 12;
   fopt.window_k = 3;
   fopt.rho = rho / 2;  // split the budget across the two synthesizers
+  fopt.seed = 654;
   auto window_synth = core::FixedWindowSynthesizer::Create(fopt).value();
 
   core::CumulativeSynthesizer::Options copt;
   copt.horizon = 12;
   copt.rho = rho / 2;
+  copt.seed = 655;
   auto cumulative_synth = core::CumulativeSynthesizer::Create(copt).value();
 
   core::ReleaseLog log;
-  util::Rng noise_rng(654);
   for (int64_t t = 1; t <= 12; ++t) {
-    Status st = window_synth->ObserveRound(dataset.Round(t), &noise_rng);
-    if (st.ok()) st = cumulative_synth->ObserveRound(dataset.Round(t),
-                                                     &noise_rng);
+    Status st = window_synth->ObserveRound(dataset.Round(t));
+    if (st.ok()) st = cumulative_synth->ObserveRound(dataset.Round(t));
     if (st.ok()) st = log.Capture(*window_synth);
     if (st.ok()) st = log.Capture(*cumulative_synth);
     if (!st.ok()) {

@@ -20,7 +20,6 @@ int main(int argc, char** argv) {
 
   // Ground-truth panel: real extract if provided, calibrated simulation
   // otherwise (see DESIGN.md section 3 for the substitution rationale).
-  util::Rng rng(2021);
   data::LongitudinalDataset dataset = [&] {
     std::string path = flags.GetString("sipp_csv", "");
     if (!path.empty()) {
@@ -29,7 +28,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to load %s: %s; simulating instead\n",
                    path.c_str(), loaded.status().ToString().c_str());
     }
-    return data::SimulateSippDefault(&rng).value();
+    return data::SimulateSippDefault(uint64_t{2021}).value();
   }();
   std::printf("panel: %lld households x %lld months, rho = %g\n\n",
               static_cast<long long>(dataset.num_users()),
@@ -39,6 +38,7 @@ int main(int argc, char** argv) {
   options.horizon = dataset.rounds();
   options.window_k = 3;
   options.rho = rho;
+  options.seed = 7;
   auto synth = core::FixedWindowSynthesizer::Create(options).value();
 
   struct QueryDef {
@@ -52,10 +52,9 @@ int main(int argc, char** argv) {
       {"in poverty all 3 months", query::MakeAllOnes(3)},
   };
 
-  util::Rng noise_rng(7);
   int quarter = 0;
   for (int64_t t = 1; t <= dataset.rounds(); ++t) {
-    Status st = synth->ObserveRound(dataset.Round(t), &noise_rng);
+    Status st = synth->ObserveRound(dataset.Round(t));
     if (!st.ok()) {
       std::fprintf(stderr, "release failed: %s\n", st.ToString().c_str());
       return 1;

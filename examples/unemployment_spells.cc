@@ -21,13 +21,13 @@ int main(int argc, char** argv) {
 
   // 30,000 workers, 24 monthly unemployment indicators. Two groups: a
   // small long-term-unemployed population and a majority with short spells.
-  util::Rng rng(1848);
   std::vector<data::MixtureComponent> components = {
       {0.05, {0.80, 0.40, 0.05}},   // long-term unemployed
       {0.95, {0.04, 0.015, 0.35}},  // frictional unemployment
   };
   auto dataset =
-      data::SubpopulationMixture(30000, 24, components, &rng).value();
+      data::SubpopulationMixture(30000, 24, components, uint64_t{1848})
+          .value();
 
   auto factory = stream::MakeCounterFactory(counter_name);
   if (!factory.ok()) {
@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   options.horizon = dataset.rounds();
   options.rho = rho;
   options.counter_factory = factory.value();
+  options.seed = 7;
   auto synth = core::CumulativeSynthesizer::Create(options).value();
 
   std::printf("30000 workers x 24 months, rho = %g, counter = %s\n\n", rho,
@@ -48,10 +49,9 @@ int main(int argc, char** argv) {
   std::printf("%-6s %-12s %-13s %-12s %-13s\n", "", "truth", "DP synth",
               "truth", "DP synth");
 
-  util::Rng noise_rng(7);
   std::vector<std::vector<int64_t>> released_rows;
   for (int64_t t = 1; t <= dataset.rounds(); ++t) {
-    Status st = synth->ObserveRound(dataset.Round(t), &noise_rng);
+    Status st = synth->ObserveRound(dataset.Round(t));
     if (!st.ok()) {
       std::fprintf(stderr, "release failed: %s\n", st.ToString().c_str());
       return 1;

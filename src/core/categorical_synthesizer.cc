@@ -45,7 +45,9 @@ CategoricalWindowSynthesizer::CategoricalWindowSynthesizer(
       npad_(npad),
       sigma2_(sigma2),
       rho_per_step_(rho_per_step),
-      accountant_(options.rho) {}
+      accountant_(options.rho),
+      noise_root_(options.seed, util::substream::kHistogramNoise),
+      selection_root_(options.seed, util::substream::kSelection) {}
 
 Result<std::unique_ptr<CategoricalWindowSynthesizer>>
 CategoricalWindowSynthesizer::Create(const Options& options) {
@@ -84,7 +86,7 @@ CategoricalWindowSynthesizer::Create(const Options& options) {
 }
 
 Status CategoricalWindowSynthesizer::ObserveRound(
-    const std::vector<uint8_t>& symbols, util::Rng* rng) {
+    const std::vector<uint8_t>& symbols) {
   if (t_ >= options_.horizon) {
     return Status::OutOfRange("synthesizer past its horizon");
   }
@@ -117,26 +119,35 @@ Status CategoricalWindowSynthesizer::ObserveRound(
       [&](int64_t i) { return user_window_[static_cast<size_t>(i)]; });
   ++t_;
   if (t_ < options_.window_k) return Status::OK();
-  if (t_ == options_.window_k) return InitialRelease(rng);
-  return SlideRelease(rng);
+  if (t_ == options_.window_k) return InitialRelease();
+  return SlideRelease();
 }
 
-std::vector<int64_t>& CategoricalWindowSynthesizer::NoisyPaddedHistogram(
-    util::Rng* rng) {
+std::vector<int64_t>& CategoricalWindowSynthesizer::NoisyPaddedHistogram() {
   // The exact histogram was counted by the fused observe pass; pad and
-  // noise it here. Noise stays serial: one draw per bin, in bin order, on
-  // this thread — the draw sequence is thread-count independent.
+  // noise it here. Bin s of round t draws from the keyed substream
+  // (seed, kHistogramNoise, t, s), so the per-bin draws shard freely and
+  // the noise vector is identical at any shard or thread count.
   noisy_scratch_ = window_hist_;
-  for (auto& c : noisy_scratch_) {
-    c += npad_ + dp::SampleDiscreteGaussian(sigma2_, rng);
-  }
+  const util::SubstreamRng round_noise =
+      noise_root_.Derive(static_cast<uint64_t>(t_));
+  util::ShardedFor(
+      options_.pool, static_cast<int64_t>(noisy_scratch_.size()),
+      [&](int /*shard*/, int64_t begin, int64_t end) {
+        for (int64_t s = begin; s < end; ++s) {
+          util::SubstreamRng bin_stream =
+              round_noise.Leaf(static_cast<uint64_t>(s));
+          noisy_scratch_[static_cast<size_t>(s)] +=
+              npad_ + dp::SampleDiscreteGaussian(sigma2_, &bin_stream);
+        }
+      });
   return noisy_scratch_;
 }
 
-Status CategoricalWindowSynthesizer::InitialRelease(util::Rng* rng) {
+Status CategoricalWindowSynthesizer::InitialRelease() {
   LONGDP_RETURN_NOT_OK(accountant_.Charge(
       rho_per_step_, "categorical histogram t=" + std::to_string(t_)));
-  std::vector<int64_t>& noisy = NoisyPaddedHistogram(rng);
+  std::vector<int64_t>& noisy = NoisyPaddedHistogram();
   ++stats_.releases;
   for (auto& c : noisy) {
     if (c < 0) {
@@ -186,10 +197,10 @@ Status CategoricalWindowSynthesizer::InitialRelease(util::Rng* rng) {
   return Status::OK();
 }
 
-Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
+Status CategoricalWindowSynthesizer::SlideRelease() {
   LONGDP_RETURN_NOT_OK(accountant_.Charge(
       rho_per_step_, "categorical histogram t=" + std::to_string(t_)));
-  std::vector<int64_t>& noisy = NoisyPaddedHistogram(rng);
+  std::vector<int64_t>& noisy = NoisyPaddedHistogram();
   ++stats_.releases;
 
   const int64_t a = options_.alphabet;
@@ -197,7 +208,11 @@ Status CategoricalWindowSynthesizer::SlideRelease(util::Rng* rng) {
   new_counts.assign(num_bins_, 0);
   std::vector<int64_t>& targets = targets_;
   std::vector<size_t>& child_order = child_order_;
-  util::BatchSampler sampler(rng);
+  // All stage-2 draws of round t (remainder children, promotion subsets)
+  // come from the round's keyed selection substream, in overlap order.
+  util::SubstreamRng selection =
+      selection_root_.Derive(static_cast<uint64_t>(t_));
+  util::BatchSampler sampler(&selection);
 
   // Pass 1 — targets: the per-child assignment counts for every overlap
   // depend only on the noisy census and the current group sizes, not on

@@ -23,8 +23,8 @@
 
 #include "dp/accountant.h"
 #include "util/flat_groups.h"
-#include "util/rng.h"
 #include "util/status.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace util {
@@ -42,11 +42,18 @@ class CategoricalWindowSynthesizer {
     double rho = 0.0;      ///< total zCDP budget
     int64_t npad = -1;     ///< -1: auto-size from beta_target
     double beta_target = 0.05;
-    /// Optional worker pool for the RNG-free stage-1 shards (per-user
-    /// base-A window updates and histogram accumulation). Non-owning; must
-    /// outlive the synthesizer. Null runs serially. Releases are
-    /// bit-identical at any thread count (all draws stay serial; shard
-    /// histograms reduce in shard order).
+    /// Root seed for every substream the synthesizer draws from: per-bin
+    /// histogram noise is keyed (seed, kHistogramNoise, round, bin, draw)
+    /// and the stage-2 selection draws (remainder children, promotion
+    /// subsets) are keyed (seed, kSelection, round, draw). The release log
+    /// is a pure function of (options, input data) at any shard count.
+    uint64_t seed = 0;
+    /// Optional worker pool for the stage-1 shards (per-user base-A window
+    /// updates and histogram accumulation) and the per-bin noise draws.
+    /// Non-owning; must outlive the synthesizer. Null runs serially.
+    /// Releases are bit-identical at any shard or thread count: noise is
+    /// keyed per bin, stage-2 draws stay serial, and shard histograms
+    /// reduce in shard order.
     util::ThreadPool* pool = nullptr;
   };
 
@@ -59,8 +66,9 @@ class CategoricalWindowSynthesizer {
   static Result<std::unique_ptr<CategoricalWindowSynthesizer>> Create(
       const Options& options);
 
-  /// Consumes round t's symbols (each in [0, A)).
-  Status ObserveRound(const std::vector<uint8_t>& symbols, util::Rng* rng);
+  /// Consumes round t's symbols (each in [0, A)). Randomness comes from
+  /// the synthesizer's own substreams (Options::seed).
+  Status ObserveRound(const std::vector<uint8_t>& symbols);
 
   bool has_release() const { return initialized_; }
   int64_t t() const { return t_; }
@@ -96,16 +104,21 @@ class CategoricalWindowSynthesizer {
   CategoricalWindowSynthesizer(const Options& options, int64_t npad,
                                double sigma2, double rho_per_step);
 
-  Status InitialRelease(util::Rng* rng);
-  Status SlideRelease(util::Rng* rng);
-  /// Fills and returns noisy_scratch_ (persistent, never reallocated).
-  std::vector<int64_t>& NoisyPaddedHistogram(util::Rng* rng);
+  Status InitialRelease();
+  Status SlideRelease();
+  /// Fills and returns noisy_scratch_ (persistent, never reallocated);
+  /// one keyed discrete Gaussian per bin, sharded across Options::pool.
+  std::vector<int64_t>& NoisyPaddedHistogram();
 
   Options options_;
   int64_t npad_;
   double sigma2_;
   double rho_per_step_;
   dp::ZCdpAccountant accountant_;
+  /// Substream roots; round t uses root.Derive(t), so every release's
+  /// draws are addressable without any mutable shared stream.
+  util::SubstreamRng noise_root_;
+  util::SubstreamRng selection_root_;
 
   uint64_t num_bins_ = 0;      ///< A^k
   uint64_t num_overlaps_ = 0;  ///< A^(k-1)

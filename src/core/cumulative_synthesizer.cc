@@ -44,6 +44,8 @@ Status CumulativeSynthesizer::InitializeForPopulation(int64_t n) {
   bank_options.total_rho = options_.rho;
   bank_options.split = options_.split;
   bank_options.factory = options_.counter_factory;
+  bank_options.seed = options_.seed;
+  bank_options.pool = options_.pool;
   LONGDP_ASSIGN_OR_RETURN(
       bank_, stream::CounterBank::Create(bank_options, &accountant_));
 
@@ -53,18 +55,16 @@ Status CumulativeSynthesizer::InitializeForPopulation(int64_t n) {
   return Status::OK();
 }
 
-Status CumulativeSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
-                                           util::Rng* rng) {
+Status CumulativeSynthesizer::ObserveRound(const std::vector<uint8_t>& bits) {
   // Packing validates: a round with any entry other than 0/1 is rejected
   // here, before any state changes. (The pre-validation variant
   // incremented weights up to the bad entry, which corrupted the
   // weight->z indexing of every later round — an ASan-visible overflow.)
   LONGDP_RETURN_NOT_OK(packed_scratch_.Assign(bits));
-  return ObserveRound(packed_scratch_.view(), rng);
+  return ObserveRound(packed_scratch_.view());
 }
 
-Status CumulativeSynthesizer::ObserveRound(data::RoundView round,
-                                           util::Rng* rng) {
+Status CumulativeSynthesizer::ObserveRound(data::RoundView round) {
   if (t_ >= options_.horizon) {
     return Status::OutOfRange("synthesizer past its horizon T=" +
                               std::to_string(options_.horizon));
@@ -111,7 +111,7 @@ Status CumulativeSynthesizer::ObserveRound(data::RoundView round,
     }
   }
   ++t_;
-  LONGDP_RETURN_NOT_OK(bank_->ObserveRoundBatched(z_, rng));
+  LONGDP_RETURN_NOT_OK(bank_->ObserveRoundBatched(z_));
   released_ = bank_->monotone_row();
 
   // Stage 2: extend every record with a provisional 0 (one zero-filled
@@ -122,7 +122,9 @@ Status CumulativeSynthesizer::ObserveRound(data::RoundView round,
       static_cast<size_t>(t_ - 1) * static_cast<size_t>(n_);
   history_bits_.resize(col_base + static_cast<size_t>(n_), 0);
   uint8_t* col = history_bits_.data() + col_base;
-  util::BatchSampler sampler(rng);
+  util::SubstreamRng selection =
+      selection_root_.Derive(static_cast<uint64_t>(t_));
+  util::BatchSampler sampler(&selection);
   for (int64_t b = std::min<int64_t>(t_, options_.horizon); b >= 1; --b) {
     size_t ib = static_cast<size_t>(b);
     int64_t zhat = released_[ib] - prev_released_[ib];
@@ -219,7 +221,15 @@ Result<data::LongitudinalDataset> CumulativeSynthesizer::ToDataset() const {
 
 
 namespace {
-constexpr char kCumulativeMagic[] = "longdp-cumulative-checkpoint-v1";
+// v2: the header carries the substream seed, and counter states embed
+// their substream cursors — a restored run resumes the exact remaining
+// noise/selection sequence (v1 checkpoints predate keyed substreams and
+// are rejected).
+// v3 adds the weight-group member order and spent heads: the promotion
+// shuffles permute the live suffixes, so without them a resumed run
+// promotes different record identities than the uninterrupted run
+// (released thresholds match, record histories don't).
+constexpr char kCumulativeMagic[] = "longdp-cumulative-checkpoint-v3";
 
 std::string CumulativeDoubleToken(double v) {
   char buf[64];
@@ -228,13 +238,19 @@ std::string CumulativeDoubleToken(double v) {
 }
 }  // namespace
 
+void CumulativeSynthesizer::set_pool(util::ThreadPool* pool) {
+  options_.pool = pool;
+  // The counter bank captured the pool at creation; keep it in step.
+  if (bank_ != nullptr) bank_->set_pool(pool);
+}
+
 Status CumulativeSynthesizer::SaveCheckpoint(std::ostream& out) const {
   out << kCumulativeMagic << "\n";
   std::string counter_name =
       options_.counter_factory ? options_.counter_factory->name() : "tree";
   out << options_.horizon << " " << CumulativeDoubleToken(options_.rho)
       << " " << stream::BudgetSplitName(options_.split) << " "
-      << counter_name << "\n";
+      << counter_name << " " << options_.seed << "\n";
   out << t_ << " " << n_ << "\n";
   if (n_ >= 0) {
     out << "weights";
@@ -254,6 +270,13 @@ Status CumulativeSynthesizer::SaveCheckpoint(std::ostream& out) const {
       }
       out << line << "\n";
     }
+    out << "groups\n";
+    for (size_t b = 0; b < weight_groups_.size(); ++b) {
+      const auto& group = weight_groups_[b];
+      out << group.size() << " " << group_head_[b];
+      for (int64_t r : group) out << " " << r;
+      out << "\n";
+    }
     out << "bank\n";
     LONGDP_RETURN_NOT_OK(bank_->SaveState(out));
   }
@@ -270,7 +293,8 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
   }
   Options options;
   std::string rho_tok, split_name, counter_name;
-  if (!(in >> options.horizon >> rho_tok >> split_name >> counter_name)) {
+  if (!(in >> options.horizon >> rho_tok >> split_name >> counter_name >>
+        options.seed)) {
     return Status::InvalidArgument("corrupt checkpoint header");
   }
   // Strict parse: a corrupted rho token must reject the checkpoint, not
@@ -321,6 +345,7 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
     std::fill(synth->group_head_.begin(), synth->group_head_.end(), 0);
     synth->history_bits_.assign(
         static_cast<size_t>(t) * static_cast<size_t>(n), 0);
+    std::vector<int64_t> hist_weight(static_cast<size_t>(n), 0);
     for (int64_t r = 0; r < n; ++r) {
       if (!std::getline(in, line) ||
           line.size() != static_cast<size_t>(t)) {
@@ -337,7 +362,47 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
           ++weight;
         }
       }
-      synth->weight_groups_[static_cast<size_t>(weight)].push_back(r);
+      hist_weight[static_cast<size_t>(r)] = weight;
+    }
+    // The groups section replays the exact member order the promotion
+    // shuffles left behind, spent prefixes included — rebuilding in
+    // record order would change which records later rounds promote.
+    if (!(in >> tag) || tag != "groups") {
+      return Status::InvalidArgument("corrupt checkpoint: expected groups");
+    }
+    std::vector<uint8_t> live_seen(static_cast<size_t>(n), 0);
+    for (size_t b = 0; b < synth->weight_groups_.size(); ++b) {
+      int64_t size = 0, head = 0;
+      if (!(in >> size >> head) || size < 0 || head < 0 || head > size) {
+        return Status::InvalidArgument("corrupt checkpoint group header");
+      }
+      auto& group = synth->weight_groups_[b];
+      group.resize(static_cast<size_t>(size));
+      for (int64_t i = 0; i < size; ++i) {
+        int64_t r = 0;
+        if (!(in >> r) || r < 0 || r >= n) {
+          return Status::InvalidArgument("corrupt checkpoint group member");
+        }
+        if (i >= head) {
+          // Live members must be a partition of the records consistent
+          // with the restored histories; the spent prefix is inert.
+          if (live_seen[static_cast<size_t>(r)] ||
+              hist_weight[static_cast<size_t>(r)] !=
+                  static_cast<int64_t>(b)) {
+            return Status::InvalidArgument(
+                "checkpoint groups inconsistent with histories");
+          }
+          live_seen[static_cast<size_t>(r)] = 1;
+        }
+        group[static_cast<size_t>(i)] = r;
+      }
+      synth->group_head_[b] = static_cast<size_t>(head);
+    }
+    for (int64_t r = 0; r < n; ++r) {
+      if (!live_seen[static_cast<size_t>(r)]) {
+        return Status::InvalidArgument(
+            "checkpoint groups missing a live record");
+      }
     }
     if (!(in >> tag) || tag != "bank") {
       return Status::InvalidArgument("corrupt checkpoint: expected bank");

@@ -23,8 +23,8 @@
 #include "data/round_view.h"
 #include "dp/accountant.h"
 #include "stream/counter_bank.h"
-#include "util/rng.h"
 #include "util/status.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace util {
@@ -41,13 +41,20 @@ class CumulativeSynthesizer {
     stream::BudgetSplit split = stream::BudgetSplit::kCubicLogLevels;
     /// Stream counter implementation; tree counter when null.
     std::shared_ptr<const stream::StreamCounterFactory> counter_factory;
-    /// Optional worker pool for the RNG-free stage-1 shards (true-weight
-    /// updates and increment-histogram accumulation). Non-owning; must
-    /// outlive the synthesizer. Null runs serially. The released output is
-    /// bit-identical at any thread count: every RNG draw stays on the
-    /// caller's thread in a fixed order, and the sharded work reduces in
-    /// shard order. Not serialized by checkpoints (a restored synthesizer
-    /// runs serially).
+    /// Root seed for every substream the synthesizer draws from: counter
+    /// noise is keyed (seed, kCounterNoise, b, level, draw) and stage-2
+    /// selection (seed, kSelection, round, draw). The full release log is
+    /// a pure function of (options, input data) — including this seed —
+    /// at any shard or thread count.
+    uint64_t seed = 0;
+    /// Optional worker pool for the sharded stage-1 work (true-weight
+    /// updates, increment-histogram accumulation) and the bank's parallel
+    /// counter advance. Non-owning; must outlive the synthesizer. Null
+    /// runs serially. The released output is bit-identical at any shard or
+    /// thread count: draws are keyed by substream addresses, and the
+    /// sharded histograms reduce in shard order. Not serialized by
+    /// checkpoints (a restored synthesizer runs serially unless re-given a
+    /// pool).
     util::ThreadPool* pool = nullptr;
   };
 
@@ -55,13 +62,14 @@ class CumulativeSynthesizer {
       const Options& options);
 
   /// Consumes round t's original-data bits; population size n is fixed by
-  /// the first call. Every round produces a release.
-  Status ObserveRound(data::RoundView round, util::Rng* rng);
+  /// the first call. Every round produces a release. Randomness comes from
+  /// the synthesizer's own substreams (Options::seed).
+  Status ObserveRound(data::RoundView round);
 
   /// Byte-per-bit convenience overload: validates and bit-packs `bits`
   /// (rejecting entries other than 0/1 before any state changes), then
   /// runs the packed path above.
-  Status ObserveRound(const std::vector<uint8_t>& bits, util::Rng* rng);
+  Status ObserveRound(const std::vector<uint8_t>& bits);
 
   int64_t t() const { return t_; }
   int64_t horizon() const { return options_.horizon; }
@@ -104,18 +112,32 @@ class CumulativeSynthesizer {
   /// releases: protect them like the input data.
   Status SaveCheckpoint(std::ostream& out) const;
 
-  /// Restores a synthesizer from SaveCheckpoint output.
+  /// Restores a synthesizer from SaveCheckpoint output. The worker pool is
+  /// runtime configuration, not curator state, so it is NOT persisted: a
+  /// restored synthesizer runs serially until set_pool() re-attaches one.
   static Result<std::unique_ptr<CumulativeSynthesizer>> LoadCheckpoint(
       std::istream& in);
 
+  /// Re-attaches a worker pool (e.g. after LoadCheckpoint). Non-owning;
+  /// must outlive the synthesizer. Null reverts to serial. Because all
+  /// draws are keyed substreams, the shard grid — this pool's or any
+  /// other's — never changes the release log.
+  void set_pool(util::ThreadPool* pool);
+
  private:
   explicit CumulativeSynthesizer(const Options& options)
-      : options_(options), accountant_(options.rho) {}
+      : options_(options),
+        accountant_(options.rho),
+        selection_root_(options.seed, util::substream::kSelection) {}
 
   Status InitializeForPopulation(int64_t n);
 
   Options options_;
   dp::ZCdpAccountant accountant_;
+  /// Root of the stage-2 selection substreams; round t draws from
+  /// selection_root_.Derive(t), so a restored synthesizer resumes the
+  /// exact remaining selection sequence with no cursor to persist.
+  util::SubstreamRng selection_root_;
   std::unique_ptr<stream::CounterBank> bank_;
 
   int64_t n_ = -1;

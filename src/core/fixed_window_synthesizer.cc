@@ -23,7 +23,10 @@ FixedWindowSynthesizer::FixedWindowSynthesizer(const Options& options,
       npad_(npad),
       sigma2_(sigma2),
       rho_per_step_(rho_per_step),
-      accountant_(options.rho) {}
+      accountant_(options.rho),
+      noise_root_(options.seed, util::substream::kHistogramNoise),
+      rounding_root_(options.seed, util::substream::kRounding),
+      cohort_root_(options.seed, util::substream::kCohort) {}
 
 Result<std::unique_ptr<FixedWindowSynthesizer>> FixedWindowSynthesizer::Create(
     const Options& options) {
@@ -53,16 +56,14 @@ Result<std::unique_ptr<FixedWindowSynthesizer>> FixedWindowSynthesizer::Create(
       options, npad, sigma2, rho_per_step));
 }
 
-Status FixedWindowSynthesizer::ObserveRound(const std::vector<uint8_t>& bits,
-                                            util::Rng* rng) {
+Status FixedWindowSynthesizer::ObserveRound(const std::vector<uint8_t>& bits) {
   // Packing validates before anything mutates: a rejected round must not
   // slide any window.
   LONGDP_RETURN_NOT_OK(packed_scratch_.Assign(bits));
-  return ObserveRound(packed_scratch_.view(), rng);
+  return ObserveRound(packed_scratch_.view());
 }
 
-Status FixedWindowSynthesizer::ObserveRound(data::RoundView round,
-                                            util::Rng* rng) {
+Status FixedWindowSynthesizer::ObserveRound(data::RoundView round) {
   if (t_ >= options_.horizon) {
     return Status::OutOfRange("synthesizer past its horizon T=" +
                               std::to_string(options_.horizon));
@@ -93,26 +94,36 @@ Status FixedWindowSynthesizer::ObserveRound(data::RoundView round,
       [&](int64_t i) { return user_window_[static_cast<size_t>(i)]; });
   ++t_;
   if (t_ < options_.window_k) return Status::OK();
-  if (t_ == options_.window_k) return InitialRelease(rng);
-  return SlideRelease(rng);
+  if (t_ == options_.window_k) return InitialRelease();
+  return SlideRelease();
 }
 
-std::vector<int64_t>& FixedWindowSynthesizer::NoisyPaddedHistogram(
-    util::Rng* rng) {
+std::vector<int64_t>& FixedWindowSynthesizer::NoisyPaddedHistogram() {
   // The exact histogram was counted by the fused observe pass; pad and
-  // noise it here. Noise stays serial: one draw per bin, in bin order, on
-  // this thread — the draw sequence is thread-count independent.
+  // noise it here. Bin s of round t draws from substream
+  // noise_root_.Derive(t).Leaf(s) — every bin's rejection chain is an
+  // independently addressed stream, so the bins shard across the pool and
+  // the released histogram is bit-identical at any shard/thread count.
   noisy_scratch_ = window_hist_;
-  for (auto& c : noisy_scratch_) {
-    c += npad_ + dp::SampleDiscreteGaussian(sigma2_, rng);
-  }
+  const util::SubstreamRng round_noise =
+      noise_root_.Derive(static_cast<uint64_t>(t_));
+  util::ShardedFor(
+      options_.pool, static_cast<int64_t>(noisy_scratch_.size()),
+      [&](int /*shard*/, int64_t begin, int64_t end) {
+        for (int64_t s = begin; s < end; ++s) {
+          util::SubstreamRng bin_stream =
+              round_noise.Leaf(static_cast<uint64_t>(s));
+          noisy_scratch_[static_cast<size_t>(s)] +=
+              npad_ + dp::SampleDiscreteGaussian(sigma2_, &bin_stream);
+        }
+      });
   return noisy_scratch_;
 }
 
-Status FixedWindowSynthesizer::InitialRelease(util::Rng* rng) {
+Status FixedWindowSynthesizer::InitialRelease() {
   LONGDP_RETURN_NOT_OK(accountant_.Charge(
       rho_per_step_, "fixed-window histogram t=" + std::to_string(t_)));
-  std::vector<int64_t>& noisy = NoisyPaddedHistogram(rng);
+  std::vector<int64_t>& noisy = NoisyPaddedHistogram();
   ++stats_.releases;
   // Negative initial counts cannot seed records; clamp to zero and record
   // the failure event (Theorem 3.2 makes this improbable given n_pad).
@@ -129,11 +140,15 @@ Status FixedWindowSynthesizer::InitialRelease(util::Rng* rng) {
   return Status::OK();
 }
 
-Status FixedWindowSynthesizer::SlideRelease(util::Rng* rng) {
+Status FixedWindowSynthesizer::SlideRelease() {
   LONGDP_RETURN_NOT_OK(accountant_.Charge(
       rho_per_step_, "fixed-window histogram t=" + std::to_string(t_)));
-  std::vector<int64_t>& noisy = NoisyPaddedHistogram(rng);
+  std::vector<int64_t>& noisy = NoisyPaddedHistogram();
   ++stats_.releases;
+  // Half-integer roundings draw sequentially (in z order) from this
+  // round's keyed rounding substream.
+  util::SubstreamRng rounding =
+      rounding_root_.Derive(static_cast<uint64_t>(t_));
 
   const int k = options_.window_k;
   const size_t num_overlaps = util::NumPatterns(k - 1);
@@ -153,7 +168,7 @@ Status FixedWindowSynthesizer::SlideRelease(util::Rng* rng) {
       p_z0 = c_z0 + num / 2;
     } else {
       ++stats_.rounding_draws;
-      int64_t b = rng->Coin() ? 1 : -1;  // b_z = +-1/2, scaled by 2
+      int64_t b = rounding.Coin() ? 1 : -1;  // b_z = +-1/2, scaled by 2
       // Integer form of p_z0 = Chat_z0 + Delta_z + b_z.
       p_z0 = c_z0 + (num + b) / 2;
     }
@@ -168,7 +183,9 @@ Status FixedWindowSynthesizer::SlideRelease(util::Rng* rng) {
     }
     ones_target[z] = p_z1;
   }
-  return cohort_->AdvanceRound(ones_target, rng);
+  return cohort_->AdvanceRound(ones_target,
+                               cohort_root_.Derive(static_cast<uint64_t>(t_)),
+                               options_.pool);
 }
 
 std::vector<int64_t> FixedWindowSynthesizer::SyntheticHistogram() const {
@@ -209,7 +226,14 @@ Result<double> FixedWindowSynthesizer::DebiasedAnswer(
 }
 
 namespace {
-constexpr char kCheckpointMagic[] = "longdp-fixed-window-checkpoint-v1";
+// v2: the header carries the substream seed (v1 checkpoints predate keyed
+// substreams and are rejected). No cursors are needed: every draw stream
+// is keyed by its round number, so resuming at round t + 1 re-derives the
+// exact remaining sequences.
+// v3 adds the cohort's overlap-group member order: the selection shuffles
+// permute it, so without it a resumed run promotes different record
+// identities than the uninterrupted run (releases match, records don't).
+constexpr char kCheckpointMagic[] = "longdp-fixed-window-checkpoint-v3";
 
 std::string DoubleToken(double v) {
   char buf[64];
@@ -222,7 +246,7 @@ Status FixedWindowSynthesizer::SaveCheckpoint(std::ostream& out) const {
   out << kCheckpointMagic << "\n";
   out << options_.horizon << " " << options_.window_k << " "
       << DoubleToken(options_.rho) << " " << npad_ << " "
-      << DoubleToken(options_.beta_target) << "\n";
+      << DoubleToken(options_.beta_target) << " " << options_.seed << "\n";
   out << t_ << " " << n_ << " " << stats_.releases << " "
       << stats_.negative_clamps << " " << stats_.rounding_draws << " "
       << DoubleToken(accountant_.spent()) << "\n";
@@ -239,6 +263,11 @@ Status FixedWindowSynthesizer::SaveCheckpoint(std::ostream& out) const {
       }
       out << line << "\n";
     }
+    std::vector<int64_t> order;
+    cohort_->AppendGroupOrder(&order);
+    out << "order";
+    for (int64_t r : order) out << " " << r;
+    out << "\n";
   } else {
     out << "cohort 0 0\n";
   }
@@ -256,7 +285,7 @@ FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
   Options options;
   std::string rho_tok, beta_tok;
   if (!(in >> options.horizon >> options.window_k >> rho_tok >>
-        options.npad >> beta_tok)) {
+        options.npad >> beta_tok >> options.seed)) {
     return Status::InvalidArgument("corrupt checkpoint header");
   }
   // Strict parses: a corrupted rho/beta token must reject the checkpoint,
@@ -329,6 +358,16 @@ FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
     LONGDP_ASSIGN_OR_RETURN(
         auto cohort,
         SyntheticCohort::Restore(options.window_k, std::move(histories)));
+    if (!(in >> tag) || tag != "order") {
+      return Status::InvalidArgument("corrupt checkpoint: expected order");
+    }
+    std::vector<int64_t> order(static_cast<size_t>(num_records));
+    for (auto& r : order) {
+      if (!(in >> r)) {
+        return Status::InvalidArgument("corrupt checkpoint group order");
+      }
+    }
+    LONGDP_RETURN_NOT_OK(cohort.RestoreGroupOrder(order));
     synth->cohort_.emplace(std::move(cohort));
   }
   if (!(in >> tag) || tag != "end") {

@@ -31,8 +31,8 @@
 #include "dp/accountant.h"
 #include "query/debias.h"
 #include "query/window_query.h"
-#include "util/rng.h"
 #include "util/status.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace util {
@@ -51,12 +51,20 @@ class FixedWindowSynthesizer {
     int64_t npad = -1;
     /// Target failure probability used to auto-size npad.
     double beta_target = 0.05;
-    /// Optional worker pool for the RNG-free stage-1 shards (per-user
-    /// window slides and window-histogram accumulation). Non-owning; must
-    /// outlive the synthesizer. Null runs serially. Releases are
-    /// bit-identical at any thread count: noise and rounding draws stay on
-    /// the caller's thread in a fixed order, and sharded histograms reduce
-    /// in shard order. Not serialized by checkpoints.
+    /// Root seed for every substream the synthesizer draws from: per-bin
+    /// histogram noise is keyed (seed, kHistogramNoise, round, bin, draw),
+    /// half-integer roundings (seed, kRounding, round, draw), and cohort
+    /// extensions (seed, kCohort, round, overlap, draw). The full release
+    /// log is a pure function of (options, input data) at any shard or
+    /// thread count.
+    uint64_t seed = 0;
+    /// Optional worker pool for the sharded stage-1 work (per-user window
+    /// slides, window-histogram accumulation), the per-bin noise, and the
+    /// cohort's per-overlap selection shuffles. Non-owning; must outlive
+    /// the synthesizer. Null runs serially. Releases are bit-identical at
+    /// any shard or thread count: draws are keyed by substream addresses,
+    /// and sharded histograms reduce in shard order. Not serialized by
+    /// checkpoints.
     util::ThreadPool* pool = nullptr;
   };
 
@@ -75,13 +83,14 @@ class FixedWindowSynthesizer {
   /// Consumes round t's original-data bits (one 0/1 entry per individual;
   /// the population size n is fixed by the first call). Before t = k the
   /// data is only buffered; from t = k onward each call performs one
-  /// release + cohort update.
-  Status ObserveRound(data::RoundView round, util::Rng* rng);
+  /// release + cohort update. Randomness comes from the synthesizer's own
+  /// substreams (Options::seed).
+  Status ObserveRound(data::RoundView round);
 
   /// Byte-per-bit convenience overload: validates and bit-packs `bits`
   /// (rejecting entries other than 0/1 before any state changes), then
   /// runs the packed path above.
-  Status ObserveRound(const std::vector<uint8_t>& bits, util::Rng* rng);
+  Status ObserveRound(const std::vector<uint8_t>& bits);
 
   /// True once the initial synthetic dataset exists (t >= k).
   bool has_release() const { return cohort_.has_value(); }
@@ -126,28 +135,42 @@ class FixedWindowSynthesizer {
   /// normally; the accountant's ledger records the restored charge.
   Status SaveCheckpoint(std::ostream& out) const;
 
-  /// Restores a synthesizer from SaveCheckpoint output.
+  /// Restores a synthesizer from SaveCheckpoint output. The worker pool is
+  /// runtime configuration, not curator state, so it is NOT persisted: a
+  /// restored synthesizer runs serially until set_pool() re-attaches one.
   static Result<std::unique_ptr<FixedWindowSynthesizer>> LoadCheckpoint(
       std::istream& in);
+
+  /// Re-attaches a worker pool (e.g. after LoadCheckpoint). Non-owning;
+  /// must outlive the synthesizer. Null reverts to serial. Because all
+  /// draws are keyed substreams, the shard grid — this pool's or any
+  /// other's — never changes the release log.
+  void set_pool(util::ThreadPool* pool) { options_.pool = pool; }
 
  private:
   explicit FixedWindowSynthesizer(const Options& options, int64_t npad,
                                   double sigma2, double rho_per_step);
 
   /// Performs the t = k initialization release.
-  Status InitialRelease(util::Rng* rng);
+  Status InitialRelease();
   /// Performs one t > k sliding-window release.
-  Status SlideRelease(util::Rng* rng);
+  Status SlideRelease();
 
-  /// Stage 1: noisy padded histogram of the current true window counts.
+  /// Stage 1: noisy padded histogram of the current true window counts,
+  /// one keyed discrete Gaussian per bin (sharded across Options::pool).
   /// Fills and returns noisy_scratch_ (persistent, never reallocated).
-  std::vector<int64_t>& NoisyPaddedHistogram(util::Rng* rng);
+  std::vector<int64_t>& NoisyPaddedHistogram();
 
   Options options_;
   int64_t npad_;
   double sigma2_;
   double rho_per_step_;
   dp::ZCdpAccountant accountant_;
+  /// Substream roots; round t uses root.Derive(t), so restored runs
+  /// resume the exact remaining draw sequences with no cursors to persist.
+  util::SubstreamRng noise_root_;
+  util::SubstreamRng rounding_root_;
+  util::SubstreamRng cohort_root_;
 
   int64_t n_ = -1;  ///< original population size; fixed by first round
   int64_t t_ = 0;

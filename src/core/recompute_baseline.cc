@@ -26,16 +26,14 @@ Result<std::unique_ptr<RecomputeBaseline>> RecomputeBaseline::Create(
   return baseline;
 }
 
-Status RecomputeBaseline::ObserveRound(const std::vector<uint8_t>& bits,
-                                       util::Rng* rng) {
+Status RecomputeBaseline::ObserveRound(const std::vector<uint8_t>& bits) {
   // Packing validates before anything mutates: a rejected round must not
   // slide any window.
   LONGDP_RETURN_NOT_OK(packed_scratch_.Assign(bits));
-  return ObserveRound(packed_scratch_.view(), rng);
+  return ObserveRound(packed_scratch_.view());
 }
 
-Status RecomputeBaseline::ObserveRound(data::RoundView round,
-                                       util::Rng* rng) {
+Status RecomputeBaseline::ObserveRound(data::RoundView round) {
   if (t_ >= options_.horizon) {
     return Status::OutOfRange("baseline past its horizon");
   }
@@ -57,10 +55,13 @@ Status RecomputeBaseline::ObserveRound(data::RoundView round,
       rho_per_step_, "recompute histogram t=" + std::to_string(t_)));
   std::vector<int64_t> hist(util::NumPatterns(options_.window_k), 0);
   for (util::Pattern w : user_window_) ++hist[w];
-  for (auto& c : hist) {
-    c += dp::SampleDiscreteGaussian(sigma2_, rng);
-    if (c < 0) {
-      c = 0;
+  const util::SubstreamRng round_noise =
+      noise_root_.Derive(static_cast<uint64_t>(t_));
+  for (size_t b = 0; b < hist.size(); ++b) {
+    util::SubstreamRng bin_stream = round_noise.Leaf(static_cast<uint64_t>(b));
+    hist[b] += dp::SampleDiscreteGaussian(sigma2_, &bin_stream);
+    if (hist[b] < 0) {
+      hist[b] = 0;
       ++clamped_;
     }
   }

@@ -19,8 +19,8 @@
 #include "data/round_view.h"
 #include "dp/accountant.h"
 #include "util/bits.h"
-#include "util/rng.h"
 #include "util/status.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -31,19 +31,22 @@ class RecomputeBaseline {
     int64_t horizon = 0;
     int window_k = 0;
     double rho = 0.0;
+    /// Root seed: round t's noise draws come from the keyed substream
+    /// (seed, kHistogramNoise, t, bin, draw).
+    uint64_t seed = 0;
   };
 
   static Result<std::unique_ptr<RecomputeBaseline>> Create(
       const Options& options);
 
   /// Consumes one round of original bits. From t = k on, each call produces
-  /// a fresh synthetic histogram.
-  Status ObserveRound(data::RoundView round, util::Rng* rng);
+  /// a fresh synthetic histogram (noise keyed by Options::seed).
+  Status ObserveRound(data::RoundView round);
 
   /// Byte-per-bit convenience overload: validates and bit-packs `bits`
   /// (rejecting entries other than 0/1 before any window slides), then
   /// runs the packed path above.
-  Status ObserveRound(const std::vector<uint8_t>& bits, util::Rng* rng);
+  Status ObserveRound(const std::vector<uint8_t>& bits);
 
   bool has_release() const { return !current_.empty(); }
   int64_t t() const { return t_; }
@@ -63,10 +66,13 @@ class RecomputeBaseline {
 
  private:
   explicit RecomputeBaseline(const Options& options)
-      : options_(options), accountant_(options.rho) {}
+      : options_(options),
+        accountant_(options.rho),
+        noise_root_(options.seed, util::substream::kHistogramNoise) {}
 
   Options options_;
   dp::ZCdpAccountant accountant_;
+  util::SubstreamRng noise_root_;
   int64_t n_ = -1;
   int64_t t_ = 0;
   double sigma2_ = 0.0;

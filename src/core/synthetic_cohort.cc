@@ -107,7 +107,8 @@ Result<SyntheticCohort> SyntheticCohort::Restore(
 }
 
 Status SyntheticCohort::AdvanceRound(const std::vector<int64_t>& ones_target,
-                                     util::Rng* rng) {
+                                     const util::SubstreamRng& stream,
+                                     util::ThreadPool* pool) {
   size_t num_overlaps = util::NumPatterns(k_ - 1);
   if (ones_target.size() != num_overlaps) {
     return Status::InvalidArgument("ones_target size must be 2^(k-1)");
@@ -148,18 +149,34 @@ Status SyntheticCohort::AdvanceRound(const std::vector<int64_t>& ones_target,
   const size_t col_base = static_cast<size_t>(rounds_) * m;
   history_bits_.resize(col_base + m, 0);
   uint8_t* col = history_bits_.data() + col_base;
-  util::BatchSampler sampler(rng);
+  // Pass 1 — the draws: uniformly choose which records get the
+  // 1-extension by a batched partial shuffle that puts a random
+  // `target`-subset at the group's front. Overlap z draws only from its
+  // keyed substream stream.Leaf(z) and mutates only its own member slice,
+  // so the groups shard freely; the target == 0 and target == group
+  // (whole-group) edges need no draw at all.
+  util::ShardedFor(
+      pool, static_cast<int64_t>(num_overlaps),
+      [&](int /*shard*/, int64_t begin, int64_t end) {
+        for (int64_t zi = begin; zi < end; ++zi) {
+          const util::Pattern z = static_cast<util::Pattern>(zi);
+          const int64_t target = ones_target[z];
+          const int64_t group = groups_.size(z);
+          if (target > 0 && target < group) {
+            util::SubstreamRng group_stream =
+                stream.Leaf(static_cast<uint64_t>(z));
+            util::BatchSampler sampler(&group_stream);
+            sampler.PartialShuffle(groups_.group_data(z), group, target);
+          }
+        }
+      });
+  // Pass 2 — the scatter: destination groups interleave across source
+  // overlaps (z0 and z1 of different z can share an overlap), so the
+  // regroup stays serial, in overlap order.
   for (util::Pattern z = 0; z < num_overlaps; ++z) {
     int64_t* members = groups_.group_data(z);
     const int64_t target = ones_target[z];
     const int64_t group = groups_.size(z);
-    if (group == 0) continue;
-    // Uniformly choose which records get the 1-extension: batched partial
-    // shuffle puts a random `target`-subset at the front. The target == 0
-    // and target == group (whole-group) edges need no draw at all.
-    if (target > 0 && target < group) {
-      sampler.PartialShuffle(members, group, target);
-    }
     for (int64_t i = 0; i < group; ++i) {
       const int bit = (i < target) ? 1 : 0;
       const int64_t rec = members[i];
@@ -196,6 +213,50 @@ Result<data::LongitudinalDataset> SyntheticCohort::ToDataset(
     LONGDP_RETURN_NOT_OK(ds.AppendRound(round));
   }
   return ds;
+}
+
+void SyntheticCohort::AppendGroupOrder(std::vector<int64_t>* out) const {
+  out->reserve(out->size() + static_cast<size_t>(num_records_));
+  for (size_t z = 0; z < groups_.num_groups(); ++z) {
+    const int64_t* members = groups_.group_data(z);
+    const int64_t size = groups_.size(z);
+    for (int64_t i = 0; i < size; ++i) out->push_back(members[i]);
+  }
+}
+
+Status SyntheticCohort::RestoreGroupOrder(const std::vector<int64_t>& order) {
+  if (static_cast<int64_t>(order.size()) != num_records_) {
+    return Status::InvalidArgument(
+        "group order must list every record exactly once");
+  }
+  const size_t m = static_cast<size_t>(num_records_);
+  // Each record's current overlap, recomputed from its last k bits.
+  std::vector<util::Pattern> overlap(m);
+  for (size_t r = 0; r < m; ++r) {
+    util::Pattern p = 0;
+    for (int64_t t = rounds_ - k_ + 1; t <= rounds_; ++t) {
+      p = (p << 1) |
+          static_cast<util::Pattern>(
+              history_bits_[static_cast<size_t>(t - 1) * m + r]);
+    }
+    overlap[r] = util::Overlap(p, k_);
+  }
+  std::vector<uint8_t> seen(m, 0);
+  util::FlatGroups rebuilt;
+  rebuilt.Reset(util::NumPatterns(k_ - 1));
+  for (int64_t rec : order) {
+    if (rec < 0 || rec >= num_records_ || seen[static_cast<size_t>(rec)]) {
+      return Status::InvalidArgument("group order is not a permutation");
+    }
+    seen[static_cast<size_t>(rec)] = 1;
+    rebuilt.AddCount(overlap[static_cast<size_t>(rec)], 1);
+  }
+  rebuilt.BuildOffsets();
+  for (int64_t rec : order) {
+    rebuilt.Place(overlap[static_cast<size_t>(rec)], rec);
+  }
+  groups_.swap(rebuilt);
+  return Status::OK();
 }
 
 }  // namespace core

@@ -16,8 +16,9 @@
 #include "data/longitudinal_dataset.h"
 #include "util/bits.h"
 #include "util/flat_groups.h"
-#include "util/rng.h"
 #include "util/status.h"
+#include "util/substream.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace core {
@@ -47,8 +48,14 @@ class SyntheticCohort {
   /// random); the remainder get 0. Requires 0 <= ones_target[z] <=
   /// group size for every z (the synthesizer's consistency solve guarantees
   /// this). Size must be 2^(k-1).
+  ///
+  /// Overlap z's selection draws from stream.Leaf(z), so the per-group
+  /// shuffles are independent and shard across `pool` (may be null) — the
+  /// extended histories are bit-identical at any shard or thread count.
+  /// The caller passes a fresh per-round stream (e.g. root.Derive(t)).
   Status AdvanceRound(const std::vector<int64_t>& ones_target,
-                      util::Rng* rng);
+                      const util::SubstreamRng& stream,
+                      util::ThreadPool* pool = nullptr);
 
   /// Current histogram over width-k suffix patterns; result[s] = number of
   /// records whose last k bits equal s. O(2^k).
@@ -80,6 +87,20 @@ class SyntheticCohort {
   /// users and rounds() rounds (horizon is set to `horizon`, which must be
   /// >= rounds()).
   Result<data::LongitudinalDataset> ToDataset(int64_t horizon) const;
+
+  /// Appends the flat overlap-group member order (groups in overlap order,
+  /// members in current within-group order) — exactly num_records()
+  /// entries. AdvanceRound's selection shuffles permute this order, so a
+  /// checkpoint must persist it: a cohort rebuilt in record-index order
+  /// releases the same histograms but promotes DIFFERENT record
+  /// identities on resume.
+  void AppendGroupOrder(std::vector<int64_t>* out) const;
+
+  /// Restores an AppendGroupOrder permutation onto a cohort rebuilt by
+  /// Restore(). Rejects anything that is not a permutation of
+  /// [0, num_records()); each record lands in the group its current
+  /// overlap dictates, in the listed order.
+  Status RestoreGroupOrder(const std::vector<int64_t>& order);
 
  private:
   SyntheticCohort() = default;

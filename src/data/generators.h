@@ -24,8 +24,13 @@
 
 #include "data/longitudinal_dataset.h"
 #include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 namespace data {
 
 /// Every individual reports 1 in every round.
@@ -35,9 +40,17 @@ Result<LongitudinalDataset> ExtremeAllOnes(int64_t num_users, int64_t horizon);
 Result<LongitudinalDataset> ExtremeAllZeros(int64_t num_users,
                                             int64_t horizon);
 
-/// Each bit independently Bernoulli(p).
+/// Each bit independently Bernoulli(p). Draws sequentially from `rng`.
 Result<LongitudinalDataset> BernoulliIid(int64_t num_users, int64_t horizon,
                                          double p, util::Rng* rng);
+
+/// Keyed overload: the bit of user i at round t draws from the addressable
+/// substream (seed, kDataset, t, i), so generation shards across `pool`
+/// (may be null) and the dataset is bit-identical at any shard or thread
+/// count — the scale-out path for multi-million-user benchmarks.
+Result<LongitudinalDataset> BernoulliIid(int64_t num_users, int64_t horizon,
+                                         double p, uint64_t seed,
+                                         util::ThreadPool* pool = nullptr);
 
 /// Parameters of a two-state (0 = out, 1 = in) Markov trajectory.
 struct MarkovParams {
@@ -54,6 +67,12 @@ Result<LongitudinalDataset> TwoStateMarkov(int64_t num_users, int64_t horizon,
                                            const MarkovParams& params,
                                            util::Rng* rng);
 
+/// Keyed overload (see BernoulliIid above for the addressing contract).
+Result<LongitudinalDataset> TwoStateMarkov(int64_t num_users, int64_t horizon,
+                                           const MarkovParams& params,
+                                           uint64_t seed,
+                                           util::ThreadPool* pool = nullptr);
+
 /// One mixture component: a weight share and its Markov parameters.
 struct MixtureComponent {
   double share = 0.0;  ///< fraction of users; shares must sum to ~1
@@ -65,6 +84,12 @@ struct MixtureComponent {
 Result<LongitudinalDataset> SubpopulationMixture(
     int64_t num_users, int64_t horizon,
     const std::vector<MixtureComponent>& components, util::Rng* rng);
+
+/// Keyed overload (see BernoulliIid above for the addressing contract).
+Result<LongitudinalDataset> SubpopulationMixture(
+    int64_t num_users, int64_t horizon,
+    const std::vector<MixtureComponent>& components, uint64_t seed,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace data
 }  // namespace longdp

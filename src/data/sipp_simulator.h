@@ -58,6 +58,19 @@ Result<LongitudinalDataset> SimulateSipp(const SippOptions& options,
 /// SimulateSipp with default options.
 Result<LongitudinalDataset> SimulateSippDefault(util::Rng* rng);
 
+/// Keyed overload: household i's round-t indicator draws from the
+/// addressable substream (seed, kDataset, t, i), so generation shards
+/// across `pool` (may be null) with a bit-identical dataset at any shard
+/// or thread count — the path the million-household scaling benches use.
+Result<LongitudinalDataset> SimulateSipp(const SippOptions& options,
+                                         uint64_t seed,
+                                         util::ThreadPool* pool = nullptr);
+
+/// SimulateSipp keyed overload with default options.
+Result<LongitudinalDataset> SimulateSippDefault(uint64_t seed,
+                                                util::ThreadPool* pool =
+                                                    nullptr);
+
 }  // namespace data
 }  // namespace longdp
 

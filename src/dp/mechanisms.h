@@ -11,8 +11,13 @@
 #include "dp/discrete_gaussian.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/substream.h"
 
 namespace longdp {
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 namespace dp {
 
 /// Variance of the discrete Gaussian mechanism achieving rho-zCDP for a
@@ -64,9 +69,18 @@ class NoisyHistogramMechanism {
 
   /// Returns counts[i] + N_Z(0, sigma2) + offset for every bin. `offset`
   /// carries the paper's n_pad padding so padded and noised counts are
-  /// produced in one pass.
+  /// produced in one pass. Draws sequentially from `rng` in bin order.
   std::vector<int64_t> Release(const std::vector<int64_t>& counts,
                                int64_t offset, util::Rng* rng) const;
+
+  /// Keyed overload: bin i draws from the addressable substream
+  /// stream.Leaf(i), so the per-bin noise shards across `pool` (may be
+  /// null) and the released histogram is bit-identical at any shard or
+  /// thread count. Pass a fresh per-release stream (e.g. root.Derive(t)).
+  std::vector<int64_t> Release(const std::vector<int64_t>& counts,
+                               int64_t offset,
+                               const util::SubstreamRng& stream,
+                               util::ThreadPool* pool = nullptr) const;
 
   double sigma2() const { return sigma2_; }
 

@@ -5,11 +5,13 @@
 #include <thread>
 #include <vector>
 
+#include "util/substream.h"
+
 namespace longdp {
 namespace harness {
 
 Status RunRepetitions(int64_t reps, uint64_t base_seed,
-                      const std::function<Status(int64_t, util::Rng*)>& body,
+                      const std::function<Status(int64_t, uint64_t)>& body,
                       int max_threads) {
   if (reps <= 0) return Status::OK();
   unsigned hw = std::thread::hardware_concurrency();
@@ -25,15 +27,17 @@ Status RunRepetitions(int64_t reps, uint64_t base_seed,
   std::mutex status_mu;
   Status first_error;
 
+  const util::SubstreamRng rep_root(base_seed,
+                                    util::substream::kRepetition);
   auto worker = [&]() {
     for (;;) {
       int64_t rep = next.fetch_add(1);
       if (rep >= reps) return;
-      // Deterministic per-repetition seed independent of scheduling.
-      uint64_t seed_state = base_seed ^ (0x9E3779B97F4A7C15ULL *
-                                         (static_cast<uint64_t>(rep) + 1));
-      util::Rng rng(util::SplitMix64Next(&seed_state));
-      Status st = body(rep, &rng);
+      // Deterministic per-repetition seed independent of scheduling: the
+      // key of the addressable substream (base_seed, kRepetition, rep).
+      const uint64_t rep_seed =
+          rep_root.Derive(static_cast<uint64_t>(rep)).key();
+      Status st = body(rep, rep_seed);
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(status_mu);
         if (first_error.ok()) first_error = st;

@@ -1,7 +1,7 @@
 // Parallel repetition runner. The paper's figures aggregate 1000
 // repetitions of each synthesizer; repetitions are embarrassingly parallel,
 // so we shard them across hardware threads, each with an independently
-// seeded Rng (deterministic per (base_seed, repetition)).
+// keyed repetition seed (deterministic per (base_seed, repetition)).
 
 #ifndef LONGDP_HARNESS_RUNNER_H_
 #define LONGDP_HARNESS_RUNNER_H_
@@ -9,20 +9,22 @@
 #include <cstdint>
 #include <functional>
 
-#include "util/rng.h"
 #include "util/status.h"
 
 namespace longdp {
 namespace harness {
 
-/// Runs `body(rep, &rng)` for rep = 0..reps-1, sharded across up to
-/// `max_threads` threads (0 = hardware concurrency). Each repetition gets
-/// Rng(base_seed hashed with rep), so results are independent of the thread
-/// schedule. The body must only write to per-repetition slots. Returns the
-/// first non-OK status produced, if any.
-Status RunRepetitions(int64_t reps, uint64_t base_seed,
-                      const std::function<Status(int64_t, util::Rng*)>& body,
-                      int max_threads = 0);
+/// Runs `body(rep, rep_seed)` for rep = 0..reps-1, sharded across up to
+/// `max_threads` threads (0 = hardware concurrency). Each repetition's seed
+/// is the substream key (base_seed, kRepetition, rep), so results are
+/// independent of the thread schedule; bodies feed the seed to a
+/// synthesizer's Options::seed or construct util::SubstreamRng from it.
+/// The body must only write to per-repetition slots. Returns the first
+/// non-OK status produced, if any.
+Status RunRepetitions(
+    int64_t reps, uint64_t base_seed,
+    const std::function<Status(int64_t, uint64_t)>& body,
+    int max_threads = 0);
 
 }  // namespace harness
 }  // namespace longdp

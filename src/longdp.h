@@ -6,9 +6,9 @@
 //
 //   longdp::core::FixedWindowSynthesizer::Options opt;
 //   opt.horizon = 12; opt.window_k = 3; opt.rho = 0.005;
+//   opt.seed = seed;  // every noise draw is keyed off this one root seed
 //   auto synth = longdp::core::FixedWindowSynthesizer::Create(opt).value();
-//   longdp::util::Rng rng(seed);
-//   for (each month) synth->ObserveRound(bits_for_month, &rng);
+//   for (each month) synth->ObserveRound(bits_for_month);
 //   auto poverty = synth->DebiasedAnswer(*longdp::query::MakeAtLeastOnes(3, 1));
 
 #ifndef LONGDP_LONGDP_H_
@@ -51,6 +51,7 @@
 #include "util/mathutil.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/substream.h"
 #include "util/thread_pool.h"
 
 #endif  // LONGDP_LONGDP_H_

@@ -6,6 +6,7 @@
 
 #include "stream/state_io.h"
 #include "stream/tree_counter.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace stream {
@@ -31,8 +32,11 @@ Result<std::unique_ptr<CounterBank>> CounterBank::Create(
   auto bank = std::unique_ptr<CounterBank>(new CounterBank());
   bank->horizon_ = options.horizon;
   bank->population_ = options.population;
+  bank->pool_ = options.pool;
   bank->shares_ = shares;
   bank->counters_.reserve(static_cast<size_t>(options.horizon));
+  const util::SubstreamRng noise_root(options.seed,
+                                      util::substream::kCounterNoise);
   for (int64_t b = 1; b <= options.horizon; ++b) {
     int64_t stream_len = options.horizon - b + 1;
     double rho_b = shares[static_cast<size_t>(b - 1)];
@@ -40,7 +44,10 @@ Result<std::unique_ptr<CounterBank>> CounterBank::Create(
       LONGDP_RETURN_NOT_OK(accountant->Charge(
           rho_b, "stream-counter b=" + std::to_string(b)));
     }
-    LONGDP_ASSIGN_OR_RETURN(auto counter, factory->Create(stream_len, rho_b));
+    LONGDP_ASSIGN_OR_RETURN(
+        auto counter,
+        factory->Create(stream_len, rho_b,
+                        noise_root.Derive(static_cast<uint64_t>(b))));
     bank->counters_.push_back(std::move(counter));
   }
   bank->tree_fast_.reserve(bank->counters_.size());
@@ -59,13 +66,12 @@ Result<std::unique_ptr<CounterBank>> CounterBank::Create(
 }
 
 Result<std::vector<int64_t>> CounterBank::ObserveRound(
-    const std::vector<int64_t>& z, util::Rng* rng) {
-  LONGDP_RETURN_NOT_OK(ObserveRoundBatched(z, rng));
+    const std::vector<int64_t>& z) {
+  LONGDP_RETURN_NOT_OK(ObserveRoundBatched(z));
   return monotone_;
 }
 
-Status CounterBank::ObserveRoundBatched(const std::vector<int64_t>& z,
-                                        util::Rng* rng) {
+Status CounterBank::ObserveRoundBatched(const std::vector<int64_t>& z) {
   if (t_ >= horizon_) {
     return Status::OutOfRange("CounterBank past its horizon T=" +
                               std::to_string(horizon_));
@@ -90,19 +96,35 @@ Status CounterBank::ObserveRoundBatched(const std::vector<int64_t>& z,
   monotone_[0] = population_;
   // One pass over the active counters b = 1..min(t, T). Counters beyond t
   // have not started (their streams begin at t = b) and stay at raw 0.
+  // Each counter owns keyed substreams, so the pass shards cleanly: shard
+  // boundaries only decide WHO advances counter b, never WHICH noise it
+  // draws. Statuses are collected per shard and checked after the barrier
+  // (a failed counter is a programming error, not a data race).
   const int64_t active = std::min(t_, horizon_);
-  for (int64_t b = 1; b <= active; ++b) {
-    size_t ib = static_cast<size_t>(b);
-    if (TreeCounter* tree = tree_fast_[ib - 1]) {
-      // Bank invariant (t_ <= T implies counter b took <= T-b+1 steps)
-      // guarantees the counter is within its horizon; Step skips the
-      // virtual call and the per-call range check.
-      raw_[ib] = tree->Step(z[ib - 1], rng);
-    } else {
-      LONGDP_ASSIGN_OR_RETURN(
-          int64_t s, counters_[ib - 1]->Observe(z[ib - 1], rng));
-      raw_[ib] = s;
-    }
+  const int num_shards = util::NumShards(pool_);
+  std::vector<Status> shard_status(static_cast<size_t>(num_shards),
+                                   Status::OK());
+  util::ShardedFor(
+      pool_, active, [&](int shard, int64_t begin, int64_t end) {
+        for (int64_t k = begin; k < end; ++k) {
+          const size_t ib = static_cast<size_t>(k) + 1;
+          if (TreeCounter* tree = tree_fast_[ib - 1]) {
+            // Bank invariant (t_ <= T implies counter b took <= T-b+1
+            // steps) guarantees the counter is within its horizon; Step
+            // skips the virtual call and the per-call range check.
+            raw_[ib] = tree->Step(z[ib - 1]);
+          } else {
+            Result<int64_t> s = counters_[ib - 1]->Observe(z[ib - 1]);
+            if (!s.ok()) {
+              shard_status[static_cast<size_t>(shard)] = s.status();
+              return;
+            }
+            raw_[ib] = s.value();
+          }
+        }
+      });
+  for (const Status& s : shard_status) {
+    LONGDP_RETURN_NOT_OK(s);
   }
   for (int64_t b = active + 1; b <= horizon_; ++b) {
     raw_[static_cast<size_t>(b)] = 0;

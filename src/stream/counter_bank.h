@@ -7,6 +7,12 @@
 // t). Counter b's stream effectively starts at t = b and has length
 // T - b + 1, which the Corollary B.1 budget split exploits.
 //
+// Randomness: counter b draws from the substream family
+// SubstreamRng(seed, kCounterNoise).Derive(b) — every counter's noise is
+// addressed, not sequenced, so the bank can advance its counters in
+// parallel across ThreadPool shards (Options::pool) and release exactly
+// the same rows as the serial walk, bit for bit.
+//
 // Monotonization (computed here, releasing both raw and clamped rows):
 //
 //   Shat^t_b = min( max( Stilde^t_b, Shat^{t-1}_b ), Shat^{t-1}_{b-1} ),
@@ -27,6 +33,7 @@
 #include "dp/accountant.h"
 #include "stream/budget_split.h"
 #include "stream/stream_counter.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace stream {
@@ -42,6 +49,13 @@ class CounterBank {
     BudgetSplit split = BudgetSplit::kCubicLogLevels;
     /// Counter implementation; defaults to the tree counter when null.
     std::shared_ptr<const StreamCounterFactory> factory;
+    /// Root seed for the bank's noise substreams: counter b draws from
+    /// SubstreamRng(seed, substream::kCounterNoise).Derive(b).
+    uint64_t seed = 0;
+    /// Optional pool for advancing counters in parallel (not owned, may be
+    /// null). Results are bit-identical with or without it — counters
+    /// carry keyed substreams, so no draw order exists to perturb.
+    util::ThreadPool* pool = nullptr;
   };
 
   /// Validates options, splits the budget, creates the T counters, and (if
@@ -53,19 +67,19 @@ class CounterBank {
   /// b > t must be 0). Returns the monotonized row Shat^t indexed by b =
   /// 0..T (so the result has T+1 entries, entry 0 fixed at n).
   /// Convenience wrapper over ObserveRoundBatched that copies the row out.
-  Result<std::vector<int64_t>> ObserveRound(const std::vector<int64_t>& z,
-                                            util::Rng* rng);
+  Result<std::vector<int64_t>> ObserveRound(const std::vector<int64_t>& z);
 
   /// The allocation-free batched observe path the synthesizer hot loop runs
-  /// on: advances every active counter in one pass and monotonizes into the
-  /// bank-owned rows (read them back via monotone_row() / raw_row(); they
-  /// are valid until the next call). Counters built by the default tree
-  /// factory advance through TreeCounter::Step with their noise scales
-  /// precomputed at Create — no per-counter virtual dispatch; other
-  /// implementations fall back to the virtual Observe. Noise draw order is
-  /// identical to T sequential Observe calls, so releases are bit-for-bit
-  /// the same either way.
-  Status ObserveRoundBatched(const std::vector<int64_t>& z, util::Rng* rng);
+  /// on: advances every active counter in one pass (sharded across
+  /// Options::pool when set) and monotonizes into the bank-owned rows
+  /// (read them back via monotone_row() / raw_row(); they are valid until
+  /// the next call). Counters built by the default tree factory advance
+  /// through TreeCounter::Step with their noise scales precomputed at
+  /// Create — no per-counter virtual dispatch; other implementations fall
+  /// back to the virtual Observe. Every counter's noise is keyed by
+  /// (seed, b, level, draw-index), so serial and sharded advances release
+  /// identical rows.
+  Status ObserveRoundBatched(const std::vector<int64_t>& z);
 
   /// Raw (pre-monotonization) row Stilde^t from the last ObserveRound,
   /// indexed b = 0..T. Used by tests of Lemma 4.2.
@@ -83,12 +97,16 @@ class CounterBank {
   double CounterErrorBound(int64_t b, int64_t t, double beta) const;
 
   /// Serializes the bank's mutable state (round clock, monotonization rows,
-  /// every counter's state) for checkpointing. Construction parameters are
-  /// the caller's to persist.
+  /// every counter's state including its substream cursors) for
+  /// checkpointing. Construction parameters are the caller's to persist.
   Status SaveState(std::ostream& out) const;
 
   /// Restores SaveState output into a bank created with identical options.
   Status RestoreState(std::istream& in);
+
+  /// Swaps the worker pool (non-owning; null reverts to serial). Noise is
+  /// keyed per (b, level, draw), so the shard grid never changes a row.
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
 
  private:
   CounterBank() = default;
@@ -96,6 +114,7 @@ class CounterBank {
   int64_t horizon_ = 0;
   int64_t population_ = 0;
   int64_t t_ = 0;
+  util::ThreadPool* pool_ = nullptr;  // not owned
   std::vector<double> shares_;
   std::vector<std::unique_ptr<StreamCounter>> counters_;  // index b-1
   /// Non-owning fast-path view of counters_: entry b-1 is non-null iff

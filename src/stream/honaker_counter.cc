@@ -9,7 +9,8 @@
 namespace longdp {
 namespace stream {
 
-HonakerCounter::HonakerCounter(int64_t horizon, double rho)
+HonakerCounter::HonakerCounter(int64_t horizon, double rho,
+                               const util::SubstreamRng& stream)
     : horizon_(horizon),
       rho_(rho),
       levels_(util::FloorLog2(static_cast<uint64_t>(horizon)) + 1),
@@ -29,22 +30,32 @@ HonakerCounter::HonakerCounter(int64_t horizon, double rho)
           1.0 / (1.0 / sigma2_ + 1.0 / child_sum_var);
     }
   }
+  level_streams_.reserve(static_cast<size_t>(levels_));
+  for (int j = 0; j < levels_; ++j) {
+    level_streams_.push_back(stream.Leaf(static_cast<uint64_t>(j)));
+  }
 }
 
-Result<int64_t> HonakerCounter::Observe(int64_t z, util::Rng* rng) {
+Result<int64_t> HonakerCounter::Observe(int64_t z) {
   if (t_ >= horizon_) {
     return Status::OutOfRange("honaker counter past its horizon T=" +
                               std::to_string(horizon_));
   }
   ++t_;
-  // New leaf node.
+  // New leaf node: a level-0 completion.
   int64_t cur_true = z;
   double cur_est =
-      static_cast<double>(z) + static_cast<double>(
-                                   dp::SampleDiscreteGaussian(sigma2_, rng));
+      static_cast<double>(z) +
+      static_cast<double>(
+          dp::SampleDiscreteGaussian(sigma2_, &level_streams_[0]));
   int level = 0;
-  // Binary-counter carry: merge equal-sized completed subtrees upward.
+  // Binary-counter carry: merge equal-sized completed subtrees upward. The
+  // carry forming a node at level `level + 1` must stay inside the level
+  // table (and its substreams), so the overflow check runs before the draw.
   while (level < levels_ && occupied_[static_cast<size_t>(level)]) {
+    if (level + 1 >= levels_) {
+      return Status::Internal("honaker counter carry overflowed its levels");
+    }
     size_t l = static_cast<size_t>(level);
     int64_t parent_true = true_sum_[l] + cur_true;
     double children_est = estimate_[l] + cur_est;
@@ -53,7 +64,8 @@ Result<int64_t> HonakerCounter::Observe(int64_t z, util::Rng* rng) {
     estimate_[l] = 0.0;
     double parent_noisy =
         static_cast<double>(parent_true) +
-        static_cast<double>(dp::SampleDiscreteGaussian(sigma2_, rng));
+        static_cast<double>(dp::SampleDiscreteGaussian(
+            sigma2_, &level_streams_[l + 1]));
     if (sigma2_ > 0.0) {
       double child_sum_var = 2.0 * level_var_[l];
       double w_node = 1.0 / sigma2_;
@@ -65,9 +77,6 @@ Result<int64_t> HonakerCounter::Observe(int64_t z, util::Rng* rng) {
     }
     cur_true = parent_true;
     ++level;
-  }
-  if (level >= levels_) {
-    return Status::Internal("honaker counter carry overflowed its levels");
   }
   size_t l = static_cast<size_t>(level);
   occupied_[l] = true;
@@ -107,6 +116,11 @@ Status HonakerCounter::SaveState(std::ostream& out) const {
   state_io::WriteDoubleVector(out, estimate_);
   out << " " << occupied_.size();
   for (bool b : occupied_) out << " " << (b ? 1 : 0);
+  out << " ";
+  std::vector<uint64_t> cursors;
+  cursors.reserve(level_streams_.size());
+  for (const auto& s : level_streams_) cursors.push_back(s.cursor());
+  state_io::WriteCursorVector(out, cursors);
   out << "\n";
   return out.good() ? Status::OK() : Status::IOError("state write failed");
 }
@@ -117,19 +131,25 @@ Status HonakerCounter::RestoreState(std::istream& in) {
   LONGDP_RETURN_NOT_OK(state_io::ReadDoubleVector(in, &estimate_));
   std::vector<int64_t> occ;
   LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &occ));
+  std::vector<uint64_t> cursors;
+  LONGDP_RETURN_NOT_OK(state_io::ReadCursorVector(in, &cursors));
   if (t_ < 0 || t_ > horizon_ ||
       true_sum_.size() != static_cast<size_t>(levels_) ||
       estimate_.size() != static_cast<size_t>(levels_) ||
-      occ.size() != static_cast<size_t>(levels_)) {
+      occ.size() != static_cast<size_t>(levels_) ||
+      cursors.size() != static_cast<size_t>(levels_)) {
     return Status::InvalidArgument("honaker counter state inconsistent");
   }
   occupied_.assign(occ.size(), false);
   for (size_t i = 0; i < occ.size(); ++i) occupied_[i] = occ[i] != 0;
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    level_streams_[i].set_cursor(cursors[i]);
+  }
   return Status::OK();
 }
 
 Result<std::unique_ptr<StreamCounter>> HonakerCounterFactory::Create(
-    int64_t horizon, double rho) const {
+    int64_t horizon, double rho, const util::SubstreamRng& stream) const {
   if (horizon < 1) {
     return Status::InvalidArgument("stream horizon must be >= 1, got " +
                                    std::to_string(horizon));
@@ -137,7 +157,8 @@ Result<std::unique_ptr<StreamCounter>> HonakerCounterFactory::Create(
   if (!(rho > 0.0)) {
     return Status::InvalidArgument("stream counter rho must be > 0");
   }
-  return std::unique_ptr<StreamCounter>(new HonakerCounter(horizon, rho));
+  return std::unique_ptr<StreamCounter>(
+      new HonakerCounter(horizon, rho, stream));
 }
 
 }  // namespace stream

@@ -13,6 +13,11 @@
 //
 // so a level-j node's refined variance is strictly below s^2 for j >= 1, and
 // prefix-sum error improves by a constant factor over the plain tree.
+//
+// Randomness: a node completing at level j draws its noise from substream
+// stream.Leaf(j) — the leaf inserted at step t is a level-0 completion, and
+// each binary-counter carry that merges two level-(j-1) subtrees completes
+// a level-j node.
 
 #ifndef LONGDP_STREAM_HONAKER_COUNTER_H_
 #define LONGDP_STREAM_HONAKER_COUNTER_H_
@@ -26,9 +31,10 @@ namespace stream {
 
 class HonakerCounter : public StreamCounter {
  public:
-  HonakerCounter(int64_t horizon, double rho);
+  HonakerCounter(int64_t horizon, double rho,
+                 const util::SubstreamRng& stream);
 
-  Result<int64_t> Observe(int64_t z, util::Rng* rng) override;
+  Result<int64_t> Observe(int64_t z) override;
   int64_t steps() const override { return t_; }
   int64_t horizon() const override { return horizon_; }
   double rho() const override { return rho_; }
@@ -52,12 +58,15 @@ class HonakerCounter : public StreamCounter {
   std::vector<double> estimate_;
   std::vector<bool> occupied_;
   std::vector<double> level_var_;  // refined variance by level (precomputed)
+  // Per-level noise substreams, keyed stream.Leaf(j) at construction.
+  std::vector<util::SubstreamRng> level_streams_;
 };
 
 class HonakerCounterFactory : public StreamCounterFactory {
  public:
-  Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
-                                                double rho) const override;
+  Result<std::unique_ptr<StreamCounter>> Create(
+      int64_t horizon, double rho,
+      const util::SubstreamRng& stream) const override;
   std::string name() const override { return "honaker"; }
 };
 

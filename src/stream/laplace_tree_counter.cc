@@ -10,7 +10,8 @@
 namespace longdp {
 namespace stream {
 
-LaplaceTreeCounter::LaplaceTreeCounter(int64_t horizon, double rho)
+LaplaceTreeCounter::LaplaceTreeCounter(int64_t horizon, double rho,
+                                       const util::SubstreamRng& stream)
     : horizon_(horizon),
       rho_(rho),
       epsilon_(std::isinf(rho) ? 0.0 : std::sqrt(2.0 * rho)),
@@ -18,9 +19,14 @@ LaplaceTreeCounter::LaplaceTreeCounter(int64_t horizon, double rho)
       scale_(std::isinf(rho) ? 0.0
                              : static_cast<double>(levels_) / epsilon_),
       alpha_(static_cast<size_t>(levels_), 0),
-      alpha_noisy_(static_cast<size_t>(levels_), 0) {}
+      alpha_noisy_(static_cast<size_t>(levels_), 0) {
+  level_streams_.reserve(static_cast<size_t>(levels_));
+  for (int j = 0; j < levels_; ++j) {
+    level_streams_.push_back(stream.Leaf(static_cast<uint64_t>(j)));
+  }
+}
 
-Result<int64_t> LaplaceTreeCounter::Observe(int64_t z, util::Rng* rng) {
+Result<int64_t> LaplaceTreeCounter::Observe(int64_t z) {
   if (t_ >= horizon_) {
     return Status::OutOfRange("laplace tree counter past its horizon T=" +
                               std::to_string(horizon_));
@@ -36,7 +42,10 @@ Result<int64_t> LaplaceTreeCounter::Observe(int64_t z, util::Rng* rng) {
   }
   alpha_[static_cast<size_t>(i)] = acc;
   int64_t noise =
-      scale_ > 0.0 ? dp::SampleDiscreteLaplace(scale_, rng) : 0;
+      scale_ > 0.0
+          ? dp::SampleDiscreteLaplace(scale_,
+                                      &level_streams_[static_cast<size_t>(i)])
+          : 0;
   alpha_noisy_[static_cast<size_t>(i)] = acc + noise;
   int64_t s = 0;
   for (int j = 0; j < levels_; ++j) {
@@ -62,6 +71,11 @@ Status LaplaceTreeCounter::SaveState(std::ostream& out) const {
   state_io::WriteIntVector(out, alpha_);
   out << " ";
   state_io::WriteIntVector(out, alpha_noisy_);
+  out << " ";
+  std::vector<uint64_t> cursors;
+  cursors.reserve(level_streams_.size());
+  for (const auto& s : level_streams_) cursors.push_back(s.cursor());
+  state_io::WriteCursorVector(out, cursors);
   out << "\n";
   return out.good() ? Status::OK() : Status::IOError("state write failed");
 }
@@ -70,16 +84,22 @@ Status LaplaceTreeCounter::RestoreState(std::istream& in) {
   LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
   LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &alpha_));
   LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &alpha_noisy_));
+  std::vector<uint64_t> cursors;
+  LONGDP_RETURN_NOT_OK(state_io::ReadCursorVector(in, &cursors));
   if (t_ < 0 || t_ > horizon_ ||
       alpha_.size() != static_cast<size_t>(levels_) ||
-      alpha_noisy_.size() != static_cast<size_t>(levels_)) {
+      alpha_noisy_.size() != static_cast<size_t>(levels_) ||
+      cursors.size() != static_cast<size_t>(levels_)) {
     return Status::InvalidArgument("laplace tree counter state inconsistent");
+  }
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    level_streams_[i].set_cursor(cursors[i]);
   }
   return Status::OK();
 }
 
 Result<std::unique_ptr<StreamCounter>> LaplaceTreeCounterFactory::Create(
-    int64_t horizon, double rho) const {
+    int64_t horizon, double rho, const util::SubstreamRng& stream) const {
   if (horizon < 1) {
     return Status::InvalidArgument("stream horizon must be >= 1, got " +
                                    std::to_string(horizon));
@@ -88,7 +108,7 @@ Result<std::unique_ptr<StreamCounter>> LaplaceTreeCounterFactory::Create(
     return Status::InvalidArgument("stream counter rho must be > 0");
   }
   return std::unique_ptr<StreamCounter>(
-      new LaplaceTreeCounter(horizon, rho));
+      new LaplaceTreeCounter(horizon, rho, stream));
 }
 
 }  // namespace stream

@@ -11,6 +11,9 @@
 // (epsilon, 0)-DP AND rho-zCDP simultaneously. Per-node noise is discrete
 // Laplace with scale L / epsilon (sensitivity 1 per node).
 //
+// Randomness: level j's noise comes from its own substream stream.Leaf(j),
+// mirroring TreeCounter's addressing.
+//
 // Compared with the Gaussian tree at equal rho, the Laplace tree pays
 // heavier tails — visible in bench/counter_ablation — but offers the
 // strictly stronger pure-DP guarantee.
@@ -27,9 +30,10 @@ namespace stream {
 
 class LaplaceTreeCounter : public StreamCounter {
  public:
-  LaplaceTreeCounter(int64_t horizon, double rho);
+  LaplaceTreeCounter(int64_t horizon, double rho,
+                     const util::SubstreamRng& stream);
 
-  Result<int64_t> Observe(int64_t z, util::Rng* rng) override;
+  Result<int64_t> Observe(int64_t z) override;
   int64_t steps() const override { return t_; }
   int64_t horizon() const override { return horizon_; }
   double rho() const override { return rho_; }
@@ -53,12 +57,15 @@ class LaplaceTreeCounter : public StreamCounter {
   int64_t t_ = 0;
   std::vector<int64_t> alpha_;
   std::vector<int64_t> alpha_noisy_;
+  // Per-level noise substreams, keyed stream.Leaf(j) at construction.
+  std::vector<util::SubstreamRng> level_streams_;
 };
 
 class LaplaceTreeCounterFactory : public StreamCounterFactory {
  public:
-  Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
-                                                double rho) const override;
+  Result<std::unique_ptr<StreamCounter>> Create(
+      int64_t horizon, double rho,
+      const util::SubstreamRng& stream) const override;
   std::string name() const override { return "laplace-tree"; }
 };
 

@@ -8,8 +8,9 @@
 namespace longdp {
 namespace stream {
 
-MatrixCounter::MatrixCounter(int64_t horizon, double rho)
-    : horizon_(horizon), rho_(rho) {
+MatrixCounter::MatrixCounter(int64_t horizon, double rho,
+                             const util::SubstreamRng& stream)
+    : horizon_(horizon), rho_(rho), stream_(stream.Leaf(0)) {
   f_.resize(static_cast<size_t>(horizon));
   prefix_f2_.resize(static_cast<size_t>(horizon));
   f_[0] = 1.0;
@@ -29,7 +30,7 @@ MatrixCounter::MatrixCounter(int64_t horizon, double rho)
   noisy_u_.reserve(static_cast<size_t>(horizon));
 }
 
-Result<int64_t> MatrixCounter::Observe(int64_t z, util::Rng* rng) {
+Result<int64_t> MatrixCounter::Observe(int64_t z) {
   if (t_ >= horizon_) {
     return Status::OutOfRange("matrix counter past its horizon T=" +
                               std::to_string(horizon_));
@@ -45,7 +46,7 @@ Result<int64_t> MatrixCounter::Observe(int64_t z, util::Rng* rng) {
   // Discrete noise keeps the released reconstruction integer-friendly and
   // matches the rest of the library's integer-noise policy.
   double noise =
-      static_cast<double>(dp::SampleDiscreteGaussian(sigma2_, rng));
+      static_cast<double>(dp::SampleDiscreteGaussian(sigma2_, &stream_));
   noisy_u_.push_back(u + noise);
   // Stilde_t = (M (u + z))_t.
   double s = 0.0;
@@ -72,7 +73,7 @@ Status MatrixCounter::SaveState(std::ostream& out) const {
   state_io::WriteIntVector(out, x_);
   out << " ";
   state_io::WriteDoubleVector(out, noisy_u_);
-  out << "\n";
+  out << " " << stream_.cursor() << "\n";
   return out.good() ? Status::OK() : Status::IOError("state write failed");
 }
 
@@ -80,16 +81,18 @@ Status MatrixCounter::RestoreState(std::istream& in) {
   LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
   LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &x_));
   LONGDP_RETURN_NOT_OK(state_io::ReadDoubleVector(in, &noisy_u_));
+  LONGDP_ASSIGN_OR_RETURN(uint64_t cursor, state_io::ReadCursor(in));
   if (t_ < 0 || t_ > horizon_ ||
       x_.size() != static_cast<size_t>(t_) ||
       noisy_u_.size() != static_cast<size_t>(t_)) {
     return Status::InvalidArgument("matrix counter state inconsistent");
   }
+  stream_.set_cursor(cursor);
   return Status::OK();
 }
 
 Result<std::unique_ptr<StreamCounter>> MatrixCounterFactory::Create(
-    int64_t horizon, double rho) const {
+    int64_t horizon, double rho, const util::SubstreamRng& stream) const {
   if (horizon < 1) {
     return Status::InvalidArgument("stream horizon must be >= 1, got " +
                                    std::to_string(horizon));
@@ -101,7 +104,8 @@ Result<std::unique_ptr<StreamCounter>> MatrixCounterFactory::Create(
     return Status::InvalidArgument(
         "sqrt-matrix counter is O(T^2); use the tree counter beyond T=65536");
   }
-  return std::unique_ptr<StreamCounter>(new MatrixCounter(horizon, rho));
+  return std::unique_ptr<StreamCounter>(
+      new MatrixCounter(horizon, rho, stream));
 }
 
 }  // namespace stream

@@ -34,9 +34,10 @@ namespace stream {
 
 class MatrixCounter : public StreamCounter {
  public:
-  MatrixCounter(int64_t horizon, double rho);
+  MatrixCounter(int64_t horizon, double rho,
+                const util::SubstreamRng& stream);
 
-  Result<int64_t> Observe(int64_t z, util::Rng* rng) override;
+  Result<int64_t> Observe(int64_t z) override;
   int64_t steps() const override { return t_; }
   int64_t horizon() const override { return horizon_; }
   double rho() const override { return rho_; }
@@ -64,12 +65,14 @@ class MatrixCounter : public StreamCounter {
   std::vector<double> prefix_f2_;  ///< sum_{k<=j} f_k^2
   std::vector<int64_t> x_;       ///< raw stream (needed for u_t = (Mx)_t)
   std::vector<double> noisy_u_;  ///< u_j + z_j for j <= t
+  util::SubstreamRng stream_;    ///< one draw per step (no level structure)
 };
 
 class MatrixCounterFactory : public StreamCounterFactory {
  public:
-  Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
-                                                double rho) const override;
+  Result<std::unique_ptr<StreamCounter>> Create(
+      int64_t horizon, double rho,
+      const util::SubstreamRng& stream) const override;
   std::string name() const override { return "sqrt-matrix"; }
 };
 

@@ -21,17 +21,19 @@ Status ValidateCounterArgs(int64_t horizon, double rho) {
 }
 }  // namespace
 
-InputPerturbationCounter::InputPerturbationCounter(int64_t horizon, double rho)
+InputPerturbationCounter::InputPerturbationCounter(
+    int64_t horizon, double rho, const util::SubstreamRng& stream)
     : horizon_(horizon),
       rho_(rho),
-      sigma2_(std::isinf(rho) ? 0.0 : 1.0 / (2.0 * rho)) {}
+      sigma2_(std::isinf(rho) ? 0.0 : 1.0 / (2.0 * rho)),
+      stream_(stream.Leaf(0)) {}
 
-Result<int64_t> InputPerturbationCounter::Observe(int64_t z, util::Rng* rng) {
+Result<int64_t> InputPerturbationCounter::Observe(int64_t z) {
   if (t_ >= horizon_) {
     return Status::OutOfRange("counter past its horizon");
   }
   ++t_;
-  noisy_sum_ += z + dp::SampleDiscreteGaussian(sigma2_, rng);
+  noisy_sum_ += z + dp::SampleDiscreteGaussian(sigma2_, &stream_);
   return noisy_sum_;
 }
 
@@ -43,19 +45,21 @@ double InputPerturbationCounter::ErrorBound(double beta, int64_t t) const {
   return std::sqrt(2.0 * var * std::log(2.0 / beta));
 }
 
-RecomputeCounter::RecomputeCounter(int64_t horizon, double rho)
+RecomputeCounter::RecomputeCounter(int64_t horizon, double rho,
+                                   const util::SubstreamRng& stream)
     : horizon_(horizon),
       rho_(rho),
       sigma2_(std::isinf(rho) ? 0.0
-                              : static_cast<double>(horizon) / (2.0 * rho)) {}
+                              : static_cast<double>(horizon) / (2.0 * rho)),
+      stream_(stream.Leaf(0)) {}
 
-Result<int64_t> RecomputeCounter::Observe(int64_t z, util::Rng* rng) {
+Result<int64_t> RecomputeCounter::Observe(int64_t z) {
   if (t_ >= horizon_) {
     return Status::OutOfRange("counter past its horizon");
   }
   ++t_;
   true_sum_ += z;
-  return true_sum_ + dp::SampleDiscreteGaussian(sigma2_, rng);
+  return true_sum_ + dp::SampleDiscreteGaussian(sigma2_, &stream_);
 }
 
 double RecomputeCounter::ErrorBound(double beta, int64_t t) const {
@@ -66,44 +70,49 @@ double RecomputeCounter::ErrorBound(double beta, int64_t t) const {
 }
 
 Status InputPerturbationCounter::SaveState(std::ostream& out) const {
-  out << t_ << " " << noisy_sum_ << "\n";
+  out << t_ << " " << noisy_sum_ << " " << stream_.cursor() << "\n";
   return out.good() ? Status::OK() : Status::IOError("state write failed");
 }
 
 Status InputPerturbationCounter::RestoreState(std::istream& in) {
   LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
   LONGDP_ASSIGN_OR_RETURN(noisy_sum_, state_io::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(uint64_t cursor, state_io::ReadCursor(in));
   if (t_ < 0 || t_ > horizon_) {
     return Status::InvalidArgument("counter state inconsistent");
   }
+  stream_.set_cursor(cursor);
   return Status::OK();
 }
 
 Status RecomputeCounter::SaveState(std::ostream& out) const {
-  out << t_ << " " << true_sum_ << "\n";
+  out << t_ << " " << true_sum_ << " " << stream_.cursor() << "\n";
   return out.good() ? Status::OK() : Status::IOError("state write failed");
 }
 
 Status RecomputeCounter::RestoreState(std::istream& in) {
   LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
   LONGDP_ASSIGN_OR_RETURN(true_sum_, state_io::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(uint64_t cursor, state_io::ReadCursor(in));
   if (t_ < 0 || t_ > horizon_) {
     return Status::InvalidArgument("counter state inconsistent");
   }
+  stream_.set_cursor(cursor);
   return Status::OK();
 }
 
 Result<std::unique_ptr<StreamCounter>> InputPerturbationCounterFactory::Create(
-    int64_t horizon, double rho) const {
+    int64_t horizon, double rho, const util::SubstreamRng& stream) const {
   LONGDP_RETURN_NOT_OK(ValidateCounterArgs(horizon, rho));
   return std::unique_ptr<StreamCounter>(
-      new InputPerturbationCounter(horizon, rho));
+      new InputPerturbationCounter(horizon, rho, stream));
 }
 
 Result<std::unique_ptr<StreamCounter>> RecomputeCounterFactory::Create(
-    int64_t horizon, double rho) const {
+    int64_t horizon, double rho, const util::SubstreamRng& stream) const {
   LONGDP_RETURN_NOT_OK(ValidateCounterArgs(horizon, rho));
-  return std::unique_ptr<StreamCounter>(new RecomputeCounter(horizon, rho));
+  return std::unique_ptr<StreamCounter>(
+      new RecomputeCounter(horizon, rho, stream));
 }
 
 }  // namespace stream

@@ -11,8 +11,10 @@
 //    needs variance T/(2 rho); per-release error is sqrt(T/(2 rho)),
 //    uniformly worse than the tree counter's polylog(T) factor.
 //
-// Both are used by bench/counter_ablation to show why the tree counter (and
-// its Honaker refinement) is the right default.
+// Both draw one discrete Gaussian per step from a single owned substream
+// (no level structure to address). Both are used by bench/counter_ablation
+// to show why the tree counter (and its Honaker refinement) is the right
+// default.
 
 #ifndef LONGDP_STREAM_NAIVE_COUNTERS_H_
 #define LONGDP_STREAM_NAIVE_COUNTERS_H_
@@ -24,9 +26,10 @@ namespace stream {
 
 class InputPerturbationCounter : public StreamCounter {
  public:
-  InputPerturbationCounter(int64_t horizon, double rho);
+  InputPerturbationCounter(int64_t horizon, double rho,
+                           const util::SubstreamRng& stream);
 
-  Result<int64_t> Observe(int64_t z, util::Rng* rng) override;
+  Result<int64_t> Observe(int64_t z) override;
   int64_t steps() const override { return t_; }
   int64_t horizon() const override { return horizon_; }
   double rho() const override { return rho_; }
@@ -41,13 +44,15 @@ class InputPerturbationCounter : public StreamCounter {
   double sigma2_;
   int64_t t_ = 0;
   int64_t noisy_sum_ = 0;
+  util::SubstreamRng stream_;
 };
 
 class RecomputeCounter : public StreamCounter {
  public:
-  RecomputeCounter(int64_t horizon, double rho);
+  RecomputeCounter(int64_t horizon, double rho,
+                   const util::SubstreamRng& stream);
 
-  Result<int64_t> Observe(int64_t z, util::Rng* rng) override;
+  Result<int64_t> Observe(int64_t z) override;
   int64_t steps() const override { return t_; }
   int64_t horizon() const override { return horizon_; }
   double rho() const override { return rho_; }
@@ -62,19 +67,22 @@ class RecomputeCounter : public StreamCounter {
   double sigma2_;
   int64_t t_ = 0;
   int64_t true_sum_ = 0;
+  util::SubstreamRng stream_;
 };
 
 class InputPerturbationCounterFactory : public StreamCounterFactory {
  public:
-  Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
-                                                double rho) const override;
+  Result<std::unique_ptr<StreamCounter>> Create(
+      int64_t horizon, double rho,
+      const util::SubstreamRng& stream) const override;
   std::string name() const override { return "input-perturbation"; }
 };
 
 class RecomputeCounterFactory : public StreamCounterFactory {
  public:
-  Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
-                                                double rho) const override;
+  Result<std::unique_ptr<StreamCounter>> Create(
+      int64_t horizon, double rho,
+      const util::SubstreamRng& stream) const override;
   std::string name() const override { return "recompute"; }
 };
 

@@ -5,6 +5,7 @@
 #ifndef LONGDP_STREAM_STATE_IO_H_
 #define LONGDP_STREAM_STATE_IO_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
@@ -84,6 +85,36 @@ inline Status ReadDoubleVector(std::istream& in, std::vector<double>* v) {
   v->resize(static_cast<size_t>(count));
   for (auto& x : *v) {
     LONGDP_ASSIGN_OR_RETURN(x, ReadDouble(in));
+  }
+  return Status::OK();
+}
+
+// Substream cursor persistence: counters checkpoint only their draw counts
+// (util::SubstreamRng::cursor()); keys never hit disk because they are a
+// pure function of the construction seed. Cursors are unsigned 64-bit.
+
+inline Result<uint64_t> ReadCursor(std::istream& in) {
+  uint64_t v;
+  if (!(in >> v)) {
+    return Status::InvalidArgument("truncated counter state (cursor)");
+  }
+  return v;
+}
+
+inline void WriteCursorVector(std::ostream& out,
+                              const std::vector<uint64_t>& v) {
+  out << v.size();
+  for (uint64_t x : v) out << " " << x;
+}
+
+inline Status ReadCursorVector(std::istream& in, std::vector<uint64_t>* v) {
+  LONGDP_ASSIGN_OR_RETURN(int64_t count, ReadInt(in));
+  if (count < 0 || count > (int64_t{1} << 32)) {
+    return Status::InvalidArgument("implausible counter state vector size");
+  }
+  v->resize(static_cast<size_t>(count));
+  for (auto& x : *v) {
+    LONGDP_ASSIGN_OR_RETURN(x, ReadCursor(in));
   }
   return Status::OK();
 }

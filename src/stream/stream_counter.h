@@ -6,6 +6,17 @@
 // 1, and the released sequence must be rho-zCDP with respect to that
 // relation.
 //
+// Randomness: every counter owns keyed substreams derived from the
+// SubstreamRng handed to its factory (util/substream.h) — tree-shaped
+// counters hold one substream per binary level, flat counters hold one.
+// Observe therefore takes no RNG: the noise at (counter, level, draw-index)
+// is a pure function of the construction key, which is what lets a bank of
+// counters advance in parallel across ThreadPool shards and still release
+// bit-identical values at any shard or thread count. Checkpoints persist
+// only the substream cursors (keys are re-derived from construction
+// parameters), so a restored counter resumes the exact remaining noise
+// sequence.
+//
 // Algorithm 2 of the paper is written against this interface (its Section
 // 1.1 explicitly notes the tree counter can be swapped for any stream
 // counter); bench/counter_ablation exercises all implementations.
@@ -18,8 +29,8 @@
 #include <memory>
 #include <string>
 
-#include "util/rng.h"
 #include "util/status.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace stream {
@@ -28,15 +39,16 @@ namespace stream {
 ///
 /// Implementations are single-use: construct, then call Observe exactly once
 /// per time step in order. They are deliberately not thread-safe (one counter
-/// per stream; the experiment harness parallelizes across repetitions).
+/// per stream; CounterBank parallelizes across counters, the harness across
+/// repetitions).
 class StreamCounter {
  public:
   virtual ~StreamCounter() = default;
 
   /// Feeds the next stream element (z_t >= 0) and returns the noisy running
-  /// sum estimate S~_t. Returns OutOfRange once more than T elements have
-  /// been observed.
-  virtual Result<int64_t> Observe(int64_t z, util::Rng* rng) = 0;
+  /// sum estimate S~_t, drawing noise from the counter's own substreams.
+  /// Returns OutOfRange once more than T elements have been observed.
+  virtual Result<int64_t> Observe(int64_t z) = 0;
 
   /// Time steps observed so far.
   virtual int64_t steps() const = 0;
@@ -57,12 +69,14 @@ class StreamCounter {
 
   /// Serializes the counter's mutable state (NOT its construction
   /// parameters) as whitespace-separated tokens, for checkpointing a
-  /// continual release mid-horizon. The stream may contain already-drawn
-  /// noise values — a checkpoint is curator state, not a release.
+  /// continual release mid-horizon. Substream positions are persisted as
+  /// cursors only — the keys are a function of the construction seed. The
+  /// stream may contain already-drawn noise values — a checkpoint is
+  /// curator state, not a release.
   virtual Status SaveState(std::ostream& out) const = 0;
 
   /// Restores state previously written by SaveState into a counter that
-  /// was constructed with the same (horizon, rho).
+  /// was constructed with the same (horizon, rho, substream).
   virtual Status RestoreState(std::istream& in) = 0;
 };
 
@@ -73,10 +87,12 @@ class StreamCounterFactory {
   virtual ~StreamCounterFactory() = default;
 
   /// Creates a counter for streams of length at most `horizon` with total
-  /// privacy cost `rho`. Returns InvalidArgument for horizon < 1 or rho <= 0
-  /// (rho == +infinity is the zero-noise test path).
-  virtual Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
-                                                        double rho) const = 0;
+  /// privacy cost `rho`, drawing noise from substreams derived off
+  /// `stream` (the counter keys per-level children via stream.Leaf).
+  /// Returns InvalidArgument for horizon < 1 or rho <= 0 (rho == +infinity
+  /// is the zero-noise test path).
+  virtual Result<std::unique_ptr<StreamCounter>> Create(
+      int64_t horizon, double rho, const util::SubstreamRng& stream) const = 0;
 
   virtual std::string name() const = 0;
 };

@@ -10,21 +10,27 @@
 namespace longdp {
 namespace stream {
 
-TreeCounter::TreeCounter(int64_t horizon, double rho)
+TreeCounter::TreeCounter(int64_t horizon, double rho,
+                         const util::SubstreamRng& stream)
     : horizon_(horizon),
       rho_(rho),
       levels_(util::FloorLog2(static_cast<uint64_t>(horizon)) + 1),
       sigma2_(std::isinf(rho) ? 0.0
                               : static_cast<double>(levels_) / (2.0 * rho)),
       alpha_(static_cast<size_t>(levels_), 0),
-      alpha_noisy_(static_cast<size_t>(levels_), 0) {}
+      alpha_noisy_(static_cast<size_t>(levels_), 0) {
+  level_streams_.reserve(static_cast<size_t>(levels_));
+  for (int j = 0; j < levels_; ++j) {
+    level_streams_.push_back(stream.Leaf(static_cast<uint64_t>(j)));
+  }
+}
 
-Result<int64_t> TreeCounter::Observe(int64_t z, util::Rng* rng) {
+Result<int64_t> TreeCounter::Observe(int64_t z) {
   if (t_ >= horizon_) {
     return Status::OutOfRange("tree counter past its horizon T=" +
                               std::to_string(horizon_));
   }
-  return Step(z, rng);
+  return Step(z);
 }
 
 double TreeCounter::ErrorBound(double beta, int64_t t) const {
@@ -43,6 +49,11 @@ Status TreeCounter::SaveState(std::ostream& out) const {
   state_io::WriteIntVector(out, alpha_);
   out << " ";
   state_io::WriteIntVector(out, alpha_noisy_);
+  out << " ";
+  std::vector<uint64_t> cursors;
+  cursors.reserve(level_streams_.size());
+  for (const auto& s : level_streams_) cursors.push_back(s.cursor());
+  state_io::WriteCursorVector(out, cursors);
   out << "\n";
   return out.good() ? Status::OK() : Status::IOError("state write failed");
 }
@@ -51,16 +62,22 @@ Status TreeCounter::RestoreState(std::istream& in) {
   LONGDP_ASSIGN_OR_RETURN(t_, state_io::ReadInt(in));
   LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &alpha_));
   LONGDP_RETURN_NOT_OK(state_io::ReadIntVector(in, &alpha_noisy_));
+  std::vector<uint64_t> cursors;
+  LONGDP_RETURN_NOT_OK(state_io::ReadCursorVector(in, &cursors));
   if (t_ < 0 || t_ > horizon_ ||
       alpha_.size() != static_cast<size_t>(levels_) ||
-      alpha_noisy_.size() != static_cast<size_t>(levels_)) {
+      alpha_noisy_.size() != static_cast<size_t>(levels_) ||
+      cursors.size() != static_cast<size_t>(levels_)) {
     return Status::InvalidArgument("tree counter state inconsistent");
+  }
+  for (size_t j = 0; j < cursors.size(); ++j) {
+    level_streams_[j].set_cursor(cursors[j]);
   }
   return Status::OK();
 }
 
 Result<std::unique_ptr<StreamCounter>> TreeCounterFactory::Create(
-    int64_t horizon, double rho) const {
+    int64_t horizon, double rho, const util::SubstreamRng& stream) const {
   if (horizon < 1) {
     return Status::InvalidArgument("stream horizon must be >= 1, got " +
                                    std::to_string(horizon));
@@ -68,7 +85,7 @@ Result<std::unique_ptr<StreamCounter>> TreeCounterFactory::Create(
   if (!(rho > 0.0)) {
     return Status::InvalidArgument("stream counter rho must be > 0");
   }
-  return std::unique_ptr<StreamCounter>(new TreeCounter(horizon, rho));
+  return std::unique_ptr<StreamCounter>(new TreeCounter(horizon, rho, stream));
 }
 
 }  // namespace stream

@@ -14,6 +14,12 @@
 // the whole output sequence. (The paper states sigma^2 = log T / (2 rho);
 // we use the exact level count.)
 //
+// Randomness: level j's noise comes from its own substream stream.Leaf(j),
+// so the node completing at step t draws word number (completions of level
+// j so far) of a stream addressed by (seed, ..., level) — independent of
+// every other counter in a bank, which is what lets CounterBank advance its
+// counters across ThreadPool shards without perturbing any release.
+//
 // Hot path: stream::CounterBank advances a whole bank of tree counters per
 // round through the non-virtual Step() below, with the node noise scale
 // precomputed once at construction (node_sigma2()).
@@ -33,9 +39,9 @@ namespace stream {
 class TreeCounter : public StreamCounter {
  public:
   /// Prefer TreeCounterFactory::Create, which validates arguments.
-  TreeCounter(int64_t horizon, double rho);
+  TreeCounter(int64_t horizon, double rho, const util::SubstreamRng& stream);
 
-  Result<int64_t> Observe(int64_t z, util::Rng* rng) override;
+  Result<int64_t> Observe(int64_t z) override;
   int64_t steps() const override { return t_; }
   int64_t horizon() const override { return horizon_; }
   double rho() const override { return rho_; }
@@ -47,8 +53,9 @@ class TreeCounter : public StreamCounter {
   /// Non-virtual single-step advance used by CounterBank's batched observe
   /// path (and by Observe after its range check). The caller must ensure
   /// steps() < horizon(); behavior is identical to Observe. One discrete
-  /// Gaussian draw per call, scale taken from the cached level sigmas.
-  int64_t Step(int64_t z, util::Rng* rng) {
+  /// Gaussian draw per call from the completing level's substream, scale
+  /// taken from the cached level sigmas.
+  int64_t Step(int64_t z) {
     ++t_;
     const uint64_t ut = static_cast<uint64_t>(t_);
     // Level of the node that completes at time t: lowest set bit of t.
@@ -62,7 +69,8 @@ class TreeCounter : public StreamCounter {
     }
     alpha_[static_cast<size_t>(i)] = acc;
     alpha_noisy_[static_cast<size_t>(i)] =
-        acc + dp::SampleDiscreteGaussian(sigma2_, rng);
+        acc + dp::SampleDiscreteGaussian(
+                  sigma2_, &level_streams_[static_cast<size_t>(i)]);
     // Prefix sum = dyadic decomposition of [1, t]: iterate the set bits of
     // t directly (bits &= bits - 1 clears the lowest one).
     int64_t s = 0;
@@ -86,12 +94,15 @@ class TreeCounter : public StreamCounter {
   int64_t t_ = 0;
   std::vector<int64_t> alpha_;        // pending true partial sums per level
   std::vector<int64_t> alpha_noisy_;  // their released noisy values
+  // Per-level noise substreams, keyed stream.Leaf(j) at construction.
+  std::vector<util::SubstreamRng> level_streams_;
 };
 
 class TreeCounterFactory : public StreamCounterFactory {
  public:
-  Result<std::unique_ptr<StreamCounter>> Create(int64_t horizon,
-                                                double rho) const override;
+  Result<std::unique_ptr<StreamCounter>> Create(
+      int64_t horizon, double rho,
+      const util::SubstreamRng& stream) const override;
   std::string name() const override { return "tree"; }
 };
 

@@ -6,11 +6,14 @@
 namespace longdp {
 namespace util {
 
-uint64_t SplitMix64Next(uint64_t* state) {
-  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+uint64_t SplitMix64Finalize(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  return SplitMix64Finalize(*state += 0x9E3779B97F4A7C15ULL);
 }
 
 namespace {

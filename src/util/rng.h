@@ -1,10 +1,23 @@
 // Deterministic pseudo-random number generation for longdp.
 //
 // Every randomized component in the library draws from an explicitly passed
-// util::Rng so that experiments are reproducible from a single seed. The
-// engine is xoshiro256++ seeded via SplitMix64 (the construction recommended
-// by its authors); both are implemented here to avoid any dependence on the
-// standard library's unspecified distributions.
+// util::Rng so that experiments are reproducible from a single seed. Two
+// engines live behind the Rng surface:
+//
+//   * Rng itself — xoshiro256++ seeded via SplitMix64 (the construction
+//     recommended by its authors), the library's original serial engine.
+//     It survives as the reference stream for the legacy replay tests; new
+//     code must NOT construct it directly (the longdp-substream-discipline
+//     lint rule enforces this).
+//   * util::SubstreamRng (util/substream.h) — a keyed counter-based engine
+//     addressed by (seed, purpose, shard/round/level, draw index). All
+//     production draws flow through substreams so that releases are
+//     bit-identical at any shard x thread count by construction.
+//
+// The word source (Next) is virtual; every member helper (UniformInt,
+// Bernoulli, Shuffle, ...) is defined in terms of it, so the sampling
+// algorithms are shared verbatim by both engines and by anything else
+// plugged in behind the surface (e.g. a CSPRNG for a real deployment).
 //
 // NOTE ON PRIVACY: a cryptographically secure generator would be required for
 // a production privacy deployment. This library is a research reproduction;
@@ -28,6 +41,12 @@ namespace util {
 /// Used for seeding and for cheap stateless stream splitting.
 uint64_t SplitMix64Next(uint64_t* state);
 
+/// The SplitMix64 output (finalizer) function alone: a fixed bijective
+/// 64-bit mix with full avalanche. SplitMix64Next(s) ==
+/// SplitMix64Finalize(s += golden-gamma); SubstreamRng's keyed block
+/// function and key derivation are built from it.
+uint64_t SplitMix64Finalize(uint64_t z);
+
 /// \brief xoshiro256++ engine with explicit seeding and stream jumps.
 ///
 /// Satisfies the C++ UniformRandomBitGenerator requirements so it can be used
@@ -39,14 +58,19 @@ class Rng {
   /// Seeds deterministically from a single 64-bit seed via SplitMix64.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  virtual ~Rng() = default;
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {
     return std::numeric_limits<uint64_t>::max();
   }
 
-  /// Next raw 64 bits.
+  /// Next raw 64 bits. Virtual so SubstreamRng (and any future engine) can
+  /// replace the word source while sharing every helper below unchanged.
   uint64_t operator()() { return Next(); }
-  uint64_t Next();
+  virtual uint64_t Next();
 
   /// Uniform integer in [0, bound) without modulo bias. bound == 0 (an
   /// empty range) returns 0 without consuming a draw.
@@ -86,6 +110,13 @@ class Rng {
   /// alone (selection order / Floyd insertion order), so the same seed
   /// yields the same vector on every platform and standard library.
   std::vector<size_t> SampleWithoutReplacement(size_t universe, size_t count);
+
+ protected:
+  /// For engine subclasses that override Next() and never touch the
+  /// xoshiro state: skips the SplitMix64 seeding pass (the state is set to
+  /// a fixed valid value and is unreachable through the subclass).
+  struct SubclassTag {};
+  explicit Rng(SubclassTag) : s_{1, 0, 0, 0} {}
 
  private:
   uint64_t s_[4];

@@ -15,10 +15,13 @@ constexpr int kWorkerSpinIterations = 1 << 12;
 constexpr int kCompletionSpinIterations = 1 << 8;
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads)
-    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+ThreadPool::ThreadPool(int num_threads, int num_shards)
+    : num_threads_(num_threads < 1 ? 1 : num_threads),
+      num_shards_(num_shards <= 0 ? (num_threads < 1 ? 1 : num_threads)
+                                  : num_shards) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
-  // Worker w owns shard w forever; shard 0 belongs to the caller.
+  // Lane w owns shards w, w + P, w + 2P, ... forever; lane 0 belongs to the
+  // caller.
   for (int w = 1; w < num_threads_; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
@@ -33,12 +36,25 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::RunLaneShards(
+    int lane, const std::function<void(int, int64_t, int64_t)>& body,
+    int64_t n) {
+  const int64_t s_count = num_shards_;
+  for (int s = lane; s < num_shards_; s += num_threads_) {
+    const int64_t begin = static_cast<int64_t>(s) * n / s_count;
+    const int64_t end = (static_cast<int64_t>(s) + 1) * n / s_count;
+    body(s, begin, end);
+  }
+}
+
 void ThreadPool::ParallelFor(
     int64_t n, const std::function<void(int, int64_t, int64_t)>& body) {
   if (n < 0) n = 0;
-  const int64_t p = num_threads_;
-  if (p == 1) {
-    body(0, 0, n);
+  if (num_threads_ == 1) {
+    // Inline path still walks the full shard grid in order, so the work —
+    // including any per-shard substream addressing — is identical to the
+    // threaded run.
+    RunLaneShards(0, body, n);
     return;
   }
   body_ = &body;
@@ -51,8 +67,8 @@ void ThreadPool::ParallelFor(
     generation_.fetch_add(1, std::memory_order_release);
   }
   start_cv_.notify_all();
-  body(0, 0, n / p);
-  // Completion: spin briefly (shards finish together by construction),
+  RunLaneShards(0, body, n);
+  // Completion: spin briefly (lanes finish together by construction),
   // then yield rather than burn a core on a descheduled worker.
   int spins = 0;
   while (pending_.load(std::memory_order_acquire) != 0) {
@@ -66,7 +82,7 @@ void ThreadPool::ParallelFor(
   body_ = nullptr;
 }
 
-void ThreadPool::WorkerLoop(int shard) {
+void ThreadPool::WorkerLoop(int lane) {
   uint64_t seen = 0;
   for (;;) {
     int spins = 0;
@@ -85,10 +101,7 @@ void ThreadPool::WorkerLoop(int shard) {
     seen = generation_.load(std::memory_order_acquire);
     const auto* body = body_;
     const int64_t n = n_;
-    const int64_t p = num_threads_;
-    const int64_t begin = static_cast<int64_t>(shard) * n / p;
-    const int64_t end = (static_cast<int64_t>(shard) + 1) * n / p;
-    (*body)(shard, begin, end);
+    RunLaneShards(lane, *body, n);
     pending_.fetch_sub(1, std::memory_order_release);
   }
 }

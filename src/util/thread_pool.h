@@ -1,14 +1,16 @@
-// A small fixed-size worker pool for the deterministic, RNG-free shards of
-// the synthesizers' observe phase.
+// A small fixed-size worker pool for the deterministic shards of the
+// synthesizers' observe phase.
 //
 // Determinism contract: ParallelFor partitions [0, n) into exactly
-// num_threads() FIXED contiguous shards — shard s covers
-// [s*n/P, (s+1)*n/P) — so the partition depends only on (n, P), never on
-// scheduling. A body that (a) draws no randomness, (b) writes only to
-// per-index slots or to per-shard scratch that is later reduced in shard
-// order, therefore produces bit-identical state at any thread count,
-// including the inline P = 1 path. All RNG-consuming work (noise draws,
-// record selection) must stay OUTSIDE the pool, on the caller's thread.
+// num_shards() FIXED contiguous shards — shard s covers
+// [s*n/S, (s+1)*n/S) — so the partition depends only on (n, S), never on
+// the thread count or scheduling: lane w executes shards w, w+P, w+2P, ...
+// in order, and S is decoupled from P so the same shard grid can be driven
+// by any number of threads. A body that (a) draws randomness only from
+// keyed substreams addressed by its shard/index (util/substream.h), or none
+// at all, and (b) writes only to per-index slots or to per-shard scratch
+// that is later reduced in shard order, therefore produces bit-identical
+// state at any thread count, including the inline P = 1 path.
 //
 // The pool keeps its workers alive between calls (observe phases invoke it
 // once or twice per round over T rounds), and ParallelFor blocks until every
@@ -38,25 +40,37 @@ class ThreadPool {
   /// (no workers; ParallelFor runs inline); 0 is NOT hardware concurrency —
   /// callers that want that should pass
   /// std::thread::hardware_concurrency() explicitly.
-  explicit ThreadPool(int num_threads);
+  ///
+  /// `num_shards` fixes the shard grid independently of the lane count:
+  /// ParallelFor always cuts [0, n) into num_shards pieces and lane w runs
+  /// shards w, w+P, w+2P, ... in order. num_shards <= 0 defaults to
+  /// num_threads (one shard per lane, the original behavior). Decoupling
+  /// the two is what lets the shards-equality suite drive an identical
+  /// shard grid with 1, 2, or 8 threads.
+  explicit ThreadPool(int num_threads, int num_shards = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_threads() const { return num_threads_; }
+  int num_shards() const { return num_shards_; }
 
   /// Runs body(shard, begin, end) for every contiguous shard of [0, n),
   /// blocking until all shards complete. Shard s always covers
-  /// [s*n/P, (s+1)*n/P) for P = num_threads(); empty shards still invoke
+  /// [s*n/S, (s+1)*n/S) for S = num_shards(); empty shards still invoke
   /// the body (with begin == end) so per-shard scratch stays well-defined.
   void ParallelFor(int64_t n,
                    const std::function<void(int, int64_t, int64_t)>& body);
 
  private:
-  void WorkerLoop(int shard);
+  void WorkerLoop(int lane);
+  void RunLaneShards(int lane,
+                     const std::function<void(int, int64_t, int64_t)>& body,
+                     int64_t n);
 
   const int num_threads_;
+  const int num_shards_;
   std::vector<std::thread> workers_;
 
   // Dispatch protocol: body_/n_/pending_ are written by the caller, then
@@ -74,20 +88,23 @@ class ThreadPool {
   int64_t n_ = 0;
 };
 
-/// Shard count a caller should size per-shard scratch for: the pool's lane
-/// count, or 1 when running serially (null pool).
+/// Shard count a caller should size per-shard scratch for: the pool's
+/// shard-grid size, or 1 when running serially (null pool).
 inline int NumShards(const ThreadPool* pool) {
-  return pool != nullptr ? pool->num_threads() : 1;
+  return pool != nullptr ? pool->num_shards() : 1;
 }
 
 /// Runs `body(shard, begin, end)` over the fixed contiguous shards of
-/// [0, n): inline (one shard) when `pool` is null or single-threaded,
-/// through the pool otherwise. The serial path costs one direct call — no
-/// std::function is materialized — so wiring a null pool through a hot loop
-/// is free.
+/// [0, n): inline (one shard) when `pool` is null or a 1-thread, 1-shard
+/// pool, through the pool otherwise. The serial path costs one direct call
+/// — no std::function is materialized — so wiring a null pool through a
+/// hot loop is free. A single-threaded pool with a multi-shard grid still
+/// goes through ParallelFor so the shard partition (and any per-shard
+/// scratch reduction) is identical to the threaded run.
 template <typename Body>
 void ShardedFor(ThreadPool* pool, int64_t n, Body&& body) {
-  if (pool == nullptr || pool->num_threads() <= 1) {
+  if (pool == nullptr ||
+      (pool->num_threads() <= 1 && pool->num_shards() <= 1)) {
     body(0, int64_t{0}, n);
     return;
   }

@@ -5,7 +5,7 @@
 #include <limits>
 #include <vector>
 
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -14,13 +14,15 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 CategoricalWindowSynthesizer::Options Opt(int64_t horizon, int k, int alphabet,
-                                          double rho, int64_t npad = -1) {
+                                          double rho, int64_t npad = -1,
+                                          uint64_t seed = 0) {
   CategoricalWindowSynthesizer::Options options;
   options.horizon = horizon;
   options.window_k = k;
   options.alphabet = alphabet;
   options.rho = rho;
   options.npad = npad;
+  options.seed = seed;
   return options;
 }
 
@@ -76,14 +78,14 @@ TEST(CategoricalTest, CreateValidates) {
 
 TEST(CategoricalTest, BinaryCaseZeroNoiseMatchesTruth) {
   // A = 2 must reduce to Algorithm 1's behaviour.
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   const int64_t kN = 300, kT = 8;
   const int kK = 3, kA = 2;
   auto rounds = RandomRounds(kN, kT, kA, &rng);
   auto synth =
       CategoricalWindowSynthesizer::Create(Opt(kT, kK, kA, kInf, 0)).value();
   for (int64_t t = 0; t < kT; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(rounds[static_cast<size_t>(t)], &rng)
+    ASSERT_TRUE(synth->ObserveRound(rounds[static_cast<size_t>(t)])
                     .ok());
     if (t + 1 >= kK) {
       EXPECT_EQ(synth->SyntheticHistogram(),
@@ -94,14 +96,14 @@ TEST(CategoricalTest, BinaryCaseZeroNoiseMatchesTruth) {
 }
 
 TEST(CategoricalTest, TernaryZeroNoiseMatchesTruth) {
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   const int64_t kN = 400, kT = 7;
   const int kK = 2, kA = 3;
   auto rounds = RandomRounds(kN, kT, kA, &rng);
   auto synth =
       CategoricalWindowSynthesizer::Create(Opt(kT, kK, kA, kInf, 0)).value();
   for (int64_t t = 0; t < kT; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(rounds[static_cast<size_t>(t)], &rng)
+    ASSERT_TRUE(synth->ObserveRound(rounds[static_cast<size_t>(t)])
                     .ok());
     if (t + 1 >= kK) {
       EXPECT_EQ(synth->SyntheticHistogram(),
@@ -113,16 +115,16 @@ TEST(CategoricalTest, TernaryZeroNoiseMatchesTruth) {
 
 TEST(CategoricalTest, ConsistencyConstraintAcrossRounds) {
   // sum_a p^t_{z a} == sum_a p^{t-1}_{a z} for every overlap z, under noise.
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   const int64_t kN = 2000, kT = 10;
   const int kK = 2, kA = 4;
   auto rounds = RandomRounds(kN, kT, kA, &rng);
   auto synth =
-      CategoricalWindowSynthesizer::Create(Opt(kT, kK, kA, 0.02)).value();
+      CategoricalWindowSynthesizer::Create(Opt(kT, kK, kA, 0.02, -1, 3)).value();
   std::vector<int64_t> prev;
   for (int64_t t = 0; t < kT; ++t) {
     ASSERT_TRUE(
-        synth->ObserveRound(rounds[static_cast<size_t>(t)], &rng).ok());
+        synth->ObserveRound(rounds[static_cast<size_t>(t)]).ok());
     if (!synth->has_release()) continue;
     auto cur = synth->SyntheticHistogram();
     if (!prev.empty()) {
@@ -141,15 +143,15 @@ TEST(CategoricalTest, ConsistencyConstraintAcrossRounds) {
 }
 
 TEST(CategoricalTest, PopulationConstantUnderNoise) {
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   const int64_t kN = 1500, kT = 9;
   auto rounds = RandomRounds(kN, kT, 3, &rng);
   auto synth =
-      CategoricalWindowSynthesizer::Create(Opt(kT, 2, 3, 0.05)).value();
+      CategoricalWindowSynthesizer::Create(Opt(kT, 2, 3, 0.05, -1, 5)).value();
   int64_t population = -1;
   for (int64_t t = 0; t < kT; ++t) {
     ASSERT_TRUE(
-        synth->ObserveRound(rounds[static_cast<size_t>(t)], &rng).ok());
+        synth->ObserveRound(rounds[static_cast<size_t>(t)]).ok());
     if (!synth->has_release()) continue;
     int64_t total = 0;
     for (int64_t c : synth->SyntheticHistogram()) total += c;
@@ -163,7 +165,7 @@ TEST(CategoricalTest, PopulationConstantUnderNoise) {
 }
 
 TEST(CategoricalTest, DebiasedBinFractionsExactWithZeroNoise) {
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   const int64_t kN = 600, kT = 6;
   const int kK = 2, kA = 3;
   auto rounds = RandomRounds(kN, kT, kA, &rng);
@@ -171,7 +173,7 @@ TEST(CategoricalTest, DebiasedBinFractionsExactWithZeroNoise) {
       CategoricalWindowSynthesizer::Create(Opt(kT, kK, kA, kInf, 25)).value();
   for (int64_t t = 0; t < kT; ++t) {
     ASSERT_TRUE(
-        synth->ObserveRound(rounds[static_cast<size_t>(t)], &rng).ok());
+        synth->ObserveRound(rounds[static_cast<size_t>(t)]).ok());
     if (!synth->has_release()) continue;
     auto truth = TrueHistogram(rounds, kN, kK, kA, t);
     for (uint64_t s = 0; s < truth.size(); ++s) {
@@ -186,21 +188,20 @@ TEST(CategoricalTest, DebiasedBinFractionsExactWithZeroNoise) {
 TEST(CategoricalTest, RejectsOutOfAlphabetSymbol) {
   auto synth =
       CategoricalWindowSynthesizer::Create(Opt(5, 2, 3, kInf, 0)).value();
-  util::Rng rng(11);
   std::vector<uint8_t> bad = {0, 3, 1};
-  EXPECT_TRUE(synth->ObserveRound(bad, &rng).IsInvalidArgument());
+  EXPECT_TRUE(synth->ObserveRound(bad).IsInvalidArgument());
 }
 
 TEST(CategoricalTest, HistoriesAppendOnly) {
-  util::Rng rng(13);
+  util::SubstreamRng rng(13, util::substream::kGeneric);
   const int64_t kN = 200, kT = 7;
   auto rounds = RandomRounds(kN, kT, 3, &rng);
   auto synth =
-      CategoricalWindowSynthesizer::Create(Opt(kT, 2, 3, 0.1)).value();
+      CategoricalWindowSynthesizer::Create(Opt(kT, 2, 3, 0.1, -1, 13)).value();
   std::vector<std::vector<int>> prefixes;
   for (int64_t t = 0; t < kT; ++t) {
     ASSERT_TRUE(
-        synth->ObserveRound(rounds[static_cast<size_t>(t)], &rng).ok());
+        synth->ObserveRound(rounds[static_cast<size_t>(t)]).ok());
     if (!synth->has_release()) continue;
     if (prefixes.empty()) {
       prefixes.resize(static_cast<size_t>(synth->synthetic_population()));
@@ -222,7 +223,7 @@ class CategoricalAlphabetTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CategoricalAlphabetTest, ZeroNoiseExactForAlphabet) {
   const int kA = GetParam();
-  util::Rng rng(17 + static_cast<uint64_t>(kA));
+  util::SubstreamRng rng(17 + static_cast<uint64_t>(kA), util::substream::kGeneric);
   const int64_t kN = 300, kT = 6;
   const int kK = 2;
   auto rounds = RandomRounds(kN, kT, kA, &rng);
@@ -230,7 +231,7 @@ TEST_P(CategoricalAlphabetTest, ZeroNoiseExactForAlphabet) {
       CategoricalWindowSynthesizer::Create(Opt(kT, kK, kA, kInf, 0)).value();
   for (int64_t t = 0; t < kT; ++t) {
     ASSERT_TRUE(
-        synth->ObserveRound(rounds[static_cast<size_t>(t)], &rng).ok());
+        synth->ObserveRound(rounds[static_cast<size_t>(t)]).ok());
     if (t + 1 >= kK) {
       EXPECT_EQ(synth->SyntheticHistogram(),
                 TrueHistogram(rounds, kN, kK, kA, t))

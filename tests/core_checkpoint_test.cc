@@ -8,7 +8,7 @@
 #include "data/generators.h"
 #include "query/window_query.h"
 #include "stream/counter_factory.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -17,21 +17,22 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 FixedWindowSynthesizer::Options Opt(int64_t horizon, int k, double rho,
-                                    int64_t npad = -1) {
+                                    int64_t npad = -1, uint64_t seed = 0) {
   FixedWindowSynthesizer::Options options;
   options.horizon = horizon;
   options.window_k = k;
   options.rho = rho;
   options.npad = npad;
+  options.seed = seed;
   return options;
 }
 
 TEST(CheckpointTest, RoundTripPreservesEverything) {
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   auto ds = data::BernoulliIid(400, 12, 0.3, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.02)).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.02, -1, 31)).value();
   for (int64_t t = 1; t <= 7; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
@@ -57,28 +58,25 @@ TEST(CheckpointTest, RestoredRunContinuesCorrectly) {
   // Zero-noise path: a straight run and a checkpoint/restore run must end
   // with identical histograms (the consistency solve is deterministic at
   // the histogram level when sigma = 0).
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   auto ds = data::BernoulliIid(300, 10, 0.4, &rng).value();
 
   auto straight =
       FixedWindowSynthesizer::Create(Opt(10, 3, kInf, 20)).value();
-  util::Rng rng_a(7);
   for (int64_t t = 1; t <= 10; ++t) {
-    ASSERT_TRUE(straight->ObserveRound(ds.Round(t), &rng_a).ok());
+    ASSERT_TRUE(straight->ObserveRound(ds.Round(t)).ok());
   }
 
   auto first_half =
       FixedWindowSynthesizer::Create(Opt(10, 3, kInf, 20)).value();
-  util::Rng rng_b(7);
   for (int64_t t = 1; t <= 5; ++t) {
-    ASSERT_TRUE(first_half->ObserveRound(ds.Round(t), &rng_b).ok());
+    ASSERT_TRUE(first_half->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(first_half->SaveCheckpoint(stream).ok());
   auto second_half = FixedWindowSynthesizer::LoadCheckpoint(stream).value();
-  util::Rng rng_c(99);  // different generator: histogram path is noise-free
   for (int64_t t = 6; t <= 10; ++t) {
-    ASSERT_TRUE(second_half->ObserveRound(ds.Round(t), &rng_c).ok());
+    ASSERT_TRUE(second_half->ObserveRound(ds.Round(t)).ok());
   }
   EXPECT_EQ(second_half->SyntheticHistogram(),
             straight->SyntheticHistogram());
@@ -86,11 +84,11 @@ TEST(CheckpointTest, RestoredRunContinuesCorrectly) {
 }
 
 TEST(CheckpointTest, RestoredRunKeepsInvariantsUnderNoise) {
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   auto ds = data::BernoulliIid(1000, 12, 0.25, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.01)).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.01, -1, 37)).value();
   for (int64_t t = 1; t <= 6; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
@@ -98,7 +96,7 @@ TEST(CheckpointTest, RestoredRunKeepsInvariantsUnderNoise) {
   std::vector<int64_t> prev = restored->SyntheticHistogram();
   int64_t population = restored->cohort().num_records();
   for (int64_t t = 7; t <= 12; ++t) {
-    ASSERT_TRUE(restored->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(restored->ObserveRound(ds.Round(t)).ok());
     auto cur = restored->SyntheticHistogram();
     // Consistency constraint across the restore boundary and beyond.
     for (util::Pattern z = 0; z < 4; ++z) {
@@ -116,24 +114,24 @@ TEST(CheckpointTest, RestoredRunKeepsInvariantsUnderNoise) {
 
 TEST(CheckpointTest, PreReleaseCheckpointWorks) {
   // Checkpointing before t = k (no cohort yet) must round-trip.
-  util::Rng rng(4);
+  util::SubstreamRng rng(4, util::substream::kGeneric);
   auto ds = data::BernoulliIid(50, 6, 0.5, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(6, 4, 0.1)).value();
-  ASSERT_TRUE(synth->ObserveRound(ds.Round(1), &rng).ok());
-  ASSERT_TRUE(synth->ObserveRound(ds.Round(2), &rng).ok());
+  auto synth = FixedWindowSynthesizer::Create(Opt(6, 4, 0.1, -1, 41)).value();
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(1)).ok());
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(2)).ok());
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
   auto restored = FixedWindowSynthesizer::LoadCheckpoint(stream).value();
   EXPECT_EQ(restored->t(), 2);
   EXPECT_FALSE(restored->has_release());
   for (int64_t t = 3; t <= 6; ++t) {
-    ASSERT_TRUE(restored->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(restored->ObserveRound(ds.Round(t)).ok());
   }
   EXPECT_TRUE(restored->has_release());
 }
 
 TEST(CheckpointTest, FreshSynthesizerCheckpointWorks) {
-  auto synth = FixedWindowSynthesizer::Create(Opt(5, 2, 0.1)).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(5, 2, 0.1, -1, 43)).value();
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
   auto restored = FixedWindowSynthesizer::LoadCheckpoint(stream).value();
@@ -147,8 +145,16 @@ TEST(CheckpointTest, RejectsGarbage) {
   std::stringstream wrong("some other file\n1 2 3\n");
   EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(wrong).ok());
   std::stringstream truncated(
-      "longdp-fixed-window-checkpoint-v1\n12 3 0.005 124 0.05\n");
+      "longdp-fixed-window-checkpoint-v3\n12 3 0.005 124 0.05 7\n");
   EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(truncated).ok());
+  // v1 checkpoints predate substream cursors and v2 checkpoints predate
+  // the persisted group order; both must be rejected by magic.
+  std::stringstream v1(
+      "longdp-fixed-window-checkpoint-v1\n12 3 0.005 124 0.05\n");
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(v1).ok());
+  std::stringstream v2(
+      "longdp-fixed-window-checkpoint-v2\n12 3 0.005 124 0.05 7\n");
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(v2).ok());
 }
 
 // Replaces whitespace-separated token `tok_idx` (0-based) of line
@@ -176,11 +182,11 @@ std::string CorruptToken(const std::string& text, int line_idx, int tok_idx,
 TEST(CheckpointTest, CorruptSpentTokenIsRejectedNotZeroed) {
   // A garbage spent token used to restore as spent = 0.0: the accountant
   // forgot already-spent budget on restart. It must hard-fail instead.
-  util::Rng rng(11);
+  util::SubstreamRng rng(11, util::substream::kGeneric);
   auto ds = data::BernoulliIid(60, 6, 0.5, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(6, 2, 0.1)).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(6, 2, 0.1, -1, 47)).value();
   for (int64_t t = 1; t <= 3; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   ASSERT_GT(synth->accountant().spent(), 0.0);
   std::stringstream stream;
@@ -197,10 +203,10 @@ TEST(CheckpointTest, CorruptSpentTokenIsRejectedNotZeroed) {
 TEST(CheckpointTest, CorruptRhoTokenIsRejectedNotTruncated) {
   // "0.02zzz" used to strtod-truncate to 0.02 and silently restore with the
   // wrong privacy budget.
-  util::Rng rng(12);
+  util::SubstreamRng rng(12, util::substream::kGeneric);
   auto ds = data::BernoulliIid(40, 4, 0.5, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(4, 2, 0.1)).value();
-  ASSERT_TRUE(synth->ObserveRound(ds.Round(1), &rng).ok());
+  auto synth = FixedWindowSynthesizer::Create(Opt(4, 2, 0.1, -1, 53)).value();
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(1)).ok());
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
   // Header line 1: horizon window_k rho npad beta.
@@ -214,11 +220,11 @@ TEST(CheckpointTest, CorruptRhoTokenIsRejectedNotTruncated) {
 }
 
 TEST(CheckpointTest, RejectsTamperedCohort) {
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   auto ds = data::BernoulliIid(40, 6, 0.5, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(6, 2, 0.1)).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(6, 2, 0.1, -1, 59)).value();
   for (int64_t t = 1; t <= 4; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
@@ -231,11 +237,11 @@ TEST(CheckpointTest, RejectsTamperedCohort) {
 }
 
 TEST(CheckpointTest, InfiniteRhoRoundTrips) {
-  util::Rng rng(6);
+  util::SubstreamRng rng(6, util::substream::kGeneric);
   auto ds = data::BernoulliIid(30, 4, 0.5, &rng).value();
   auto synth = FixedWindowSynthesizer::Create(Opt(4, 2, kInf, 0)).value();
   for (int64_t t = 1; t <= 3; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
@@ -245,25 +251,57 @@ TEST(CheckpointTest, InfiniteRhoRoundTrips) {
             synth->SyntheticHistogram());
 }
 
+TEST(CheckpointTest, NoisyResumeReproducesRemainingReleaseLog) {
+  // The checkpoint stores only the substream CURSORS (keys re-derive from
+  // (seed, purpose, stream, round)), so a mid-run save/load must continue
+  // the run byte-identically to the uninterrupted one even WITH noise.
+  util::SubstreamRng rng(0xC0DE, util::substream::kGeneric);
+  auto ds = data::BernoulliIid(600, 12, 0.3, &rng).value();
+  auto straight =
+      FixedWindowSynthesizer::Create(Opt(12, 3, 0.02, -1, 0xC0DE)).value();
+  std::vector<std::vector<int64_t>> tail;
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(straight->ObserveRound(ds.Round(t)).ok());
+    if (t >= 6) tail.push_back(straight->SyntheticHistogram());
+  }
+
+  auto half =
+      FixedWindowSynthesizer::Create(Opt(12, 3, 0.02, -1, 0xC0DE)).value();
+  for (int64_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(half->ObserveRound(ds.Round(t)).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(half->SaveCheckpoint(stream).ok());
+  auto resumed = FixedWindowSynthesizer::LoadCheckpoint(stream).value();
+  size_t i = 0;
+  for (int64_t t = 6; t <= 12; ++t, ++i) {
+    ASSERT_TRUE(resumed->ObserveRound(ds.Round(t)).ok());
+    EXPECT_EQ(resumed->SyntheticHistogram(), tail[i]) << "t=" << t;
+  }
+  EXPECT_EQ(resumed->stats().rounding_draws, straight->stats().rounding_draws);
+}
+
 // ---------------------------------------------------------------------------
 // Cumulative synthesizer checkpointing (stream counter noise state included)
 // ---------------------------------------------------------------------------
 
 CumulativeSynthesizer::Options COpt(int64_t horizon, double rho,
-                                    const std::string& counter = "tree") {
+                                    const std::string& counter = "tree",
+                                    uint64_t seed = 0) {
   CumulativeSynthesizer::Options options;
   options.horizon = horizon;
   options.rho = rho;
   options.counter_factory = stream::MakeCounterFactory(counter).value();
+  options.seed = seed;
   return options;
 }
 
 TEST(CumulativeCheckpointTest, RoundTripPreservesState) {
-  util::Rng rng(11);
+  util::SubstreamRng rng(11, util::substream::kGeneric);
   auto ds = data::BernoulliIid(500, 12, 0.3, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(COpt(12, 0.02)).value();
+  auto synth = CumulativeSynthesizer::Create(COpt(12, 0.02, "tree", 61)).value();
   for (int64_t t = 1; t <= 7; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
@@ -286,18 +324,18 @@ TEST(CumulativeCheckpointTest, RestoredRunContinuesWithInvariants) {
   // Continue a restored run and require monotonization invariants across
   // the restore boundary — this exercises the serialized tree counter
   // internals (pending partial sums and their noisy values).
-  util::Rng rng(13);
+  util::SubstreamRng rng(13, util::substream::kGeneric);
   auto ds = data::BernoulliIid(800, 12, 0.25, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(COpt(12, 0.01)).value();
+  auto synth = CumulativeSynthesizer::Create(COpt(12, 0.01, "tree", 67)).value();
   for (int64_t t = 1; t <= 6; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
   auto restored = CumulativeSynthesizer::LoadCheckpoint(stream).value();
   std::vector<int64_t> prev = restored->released_thresholds();
   for (int64_t t = 7; t <= 12; ++t) {
-    ASSERT_TRUE(restored->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(restored->ObserveRound(ds.Round(t)).ok());
     const auto& row = restored->released_thresholds();
     for (int64_t b = 1; b <= 12; ++b) {
       ASSERT_GE(row[b], prev[b]) << "t=" << t << " b=" << b;
@@ -309,36 +347,33 @@ TEST(CumulativeCheckpointTest, RestoredRunContinuesWithInvariants) {
 }
 
 TEST(CumulativeCheckpointTest, ZeroNoiseRestoredRunMatchesStraightRun) {
-  util::Rng rng(17);
+  util::SubstreamRng rng(17, util::substream::kGeneric);
   auto ds = data::BernoulliIid(300, 10, 0.4, &rng).value();
   auto straight = CumulativeSynthesizer::Create(COpt(10, kInf)).value();
-  util::Rng rng_a(5);
   for (int64_t t = 1; t <= 10; ++t) {
-    ASSERT_TRUE(straight->ObserveRound(ds.Round(t), &rng_a).ok());
+    ASSERT_TRUE(straight->ObserveRound(ds.Round(t)).ok());
   }
   auto half = CumulativeSynthesizer::Create(COpt(10, kInf)).value();
-  util::Rng rng_b(5);
   for (int64_t t = 1; t <= 5; ++t) {
-    ASSERT_TRUE(half->ObserveRound(ds.Round(t), &rng_b).ok());
+    ASSERT_TRUE(half->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(half->SaveCheckpoint(stream).ok());
   auto resumed = CumulativeSynthesizer::LoadCheckpoint(stream).value();
-  util::Rng rng_c(123);
   for (int64_t t = 6; t <= 10; ++t) {
-    ASSERT_TRUE(resumed->ObserveRound(ds.Round(t), &rng_c).ok());
+    ASSERT_TRUE(resumed->ObserveRound(ds.Round(t)).ok());
   }
   EXPECT_EQ(resumed->released_thresholds(),
             straight->released_thresholds());
 }
 
 TEST(CumulativeCheckpointTest, AllCounterImplementationsRoundTrip) {
-  util::Rng rng(19);
+  util::SubstreamRng rng(19, util::substream::kGeneric);
   auto ds = data::BernoulliIid(200, 8, 0.3, &rng).value();
   for (const auto& name : stream::RegisteredCounterNames()) {
-    auto synth = CumulativeSynthesizer::Create(COpt(8, 0.05, name)).value();
+    auto synth = CumulativeSynthesizer::Create(COpt(8, 0.05, name, 71)).value();
     for (int64_t t = 1; t <= 4; ++t) {
-      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok()) << name;
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok()) << name;
     }
     std::stringstream stream;
     ASSERT_TRUE(synth->SaveCheckpoint(stream).ok()) << name;
@@ -349,7 +384,7 @@ TEST(CumulativeCheckpointTest, AllCounterImplementationsRoundTrip) {
               synth->released_thresholds())
         << name;
     for (int64_t t = 5; t <= 8; ++t) {
-      ASSERT_TRUE(restored.value()->ObserveRound(ds.Round(t), &rng).ok())
+      ASSERT_TRUE(restored.value()->ObserveRound(ds.Round(t)).ok())
           << name;
       ASSERT_EQ(restored.value()->SyntheticThresholdCounts(),
                 restored.value()->released_thresholds())
@@ -359,7 +394,7 @@ TEST(CumulativeCheckpointTest, AllCounterImplementationsRoundTrip) {
 }
 
 TEST(CumulativeCheckpointTest, FreshSynthesizerRoundTrips) {
-  auto synth = CumulativeSynthesizer::Create(COpt(5, 0.1)).value();
+  auto synth = CumulativeSynthesizer::Create(COpt(5, 0.1, "tree", 73)).value();
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
   auto restored = CumulativeSynthesizer::LoadCheckpoint(stream);
@@ -368,10 +403,10 @@ TEST(CumulativeCheckpointTest, FreshSynthesizerRoundTrips) {
 }
 
 TEST(CumulativeCheckpointTest, CorruptRhoTokenIsRejectedNotTruncated) {
-  util::Rng rng(13);
+  util::SubstreamRng rng(13, util::substream::kGeneric);
   auto ds = data::BernoulliIid(40, 5, 0.5, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(COpt(5, 0.2)).value();
-  ASSERT_TRUE(synth->ObserveRound(ds.Round(1), &rng).ok());
+  auto synth = CumulativeSynthesizer::Create(COpt(5, 0.2, "tree", 79)).value();
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(1)).ok());
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
   // Header line 1: horizon rho split counter.
@@ -390,11 +425,11 @@ TEST(CumulativeCheckpointTest, RejectsGarbageAndTampering) {
 
   // Tampering with a history line must be caught by the released-counts
   // consistency check.
-  util::Rng rng(23);
+  util::SubstreamRng rng(23, util::substream::kGeneric);
   auto ds = data::BernoulliIid(50, 6, 0.5, &rng).value();
   auto synth = CumulativeSynthesizer::Create(COpt(6, kInf)).value();
   for (int64_t t = 1; t <= 3; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   std::stringstream stream;
   ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
@@ -404,6 +439,37 @@ TEST(CumulativeCheckpointTest, RejectsGarbageAndTampering) {
   text[pos] = text[pos] == '0' ? '1' : '0';
   std::stringstream corrupted(text);
   EXPECT_FALSE(CumulativeSynthesizer::LoadCheckpoint(corrupted).ok());
+}
+
+TEST(CumulativeCheckpointTest, NoisyResumeReproducesRemainingReleaseLog) {
+  // Same property as the fixed-window test, per counter implementation:
+  // every counter's noise substream cursors round-trip, so the resumed
+  // release rows match the uninterrupted run exactly under real noise.
+  util::SubstreamRng rng(0xC0DF, util::substream::kGeneric);
+  auto ds = data::BernoulliIid(300, 10, 0.35, &rng).value();
+  for (const auto& name : stream::RegisteredCounterNames()) {
+    auto straight =
+        CumulativeSynthesizer::Create(COpt(10, 0.02, name, 0xC0DF)).value();
+    std::vector<std::vector<int64_t>> tail;
+    for (int64_t t = 1; t <= 10; ++t) {
+      ASSERT_TRUE(straight->ObserveRound(ds.Round(t)).ok()) << name;
+      if (t >= 6) tail.push_back(straight->released_thresholds());
+    }
+    auto half =
+        CumulativeSynthesizer::Create(COpt(10, 0.02, name, 0xC0DF)).value();
+    for (int64_t t = 1; t <= 5; ++t) {
+      ASSERT_TRUE(half->ObserveRound(ds.Round(t)).ok()) << name;
+    }
+    std::stringstream stream;
+    ASSERT_TRUE(half->SaveCheckpoint(stream).ok()) << name;
+    auto resumed = CumulativeSynthesizer::LoadCheckpoint(stream).value();
+    size_t i = 0;
+    for (int64_t t = 6; t <= 10; ++t, ++i) {
+      ASSERT_TRUE(resumed->ObserveRound(ds.Round(t)).ok()) << name;
+      EXPECT_EQ(resumed->released_thresholds(), tail[i])
+          << name << " t=" << t;
+    }
+  }
 }
 
 }  // namespace

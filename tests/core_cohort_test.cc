@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -45,25 +45,23 @@ TEST(CohortTest, GroupSizesByOverlap) {
 
 TEST(CohortTest, AdvanceValidatesTargets) {
   auto cohort = SyntheticCohort::Create(2, {3, 1, 2, 4}).value();
-  util::Rng rng(1);
+  const util::SubstreamRng stream(1, util::substream::kGeneric);
   EXPECT_TRUE(
-      cohort.AdvanceRound({0, 0, 0}, &rng).IsInvalidArgument());  // arity
-  EXPECT_TRUE(cohort.AdvanceRound({6, 0}, &rng)
+      cohort.AdvanceRound({0, 0, 0}, stream).IsInvalidArgument());  // arity
+  EXPECT_TRUE(cohort.AdvanceRound({6, 0}, stream)
                   .IsInvalidArgument());  // exceeds group
-  EXPECT_TRUE(cohort.AdvanceRound({-1, 0}, &rng).IsInvalidArgument());
+  EXPECT_TRUE(cohort.AdvanceRound({-1, 0}, stream).IsInvalidArgument());
 }
 
 TEST(CohortTest, AdvanceFullGroupAndEmptyTargetsEdges) {
   // target == group (every record extends by 1) and target == 0 (every
   // record extends by 0) are the whole-group edges the batched primitives
-  // must honor without mis-selecting; and they must consume NO randomness
-  // (verified by comparing the stream position against a fresh Rng).
+  // must honor without mis-selecting.
   auto cohort = SyntheticCohort::Create(2, {3, 1, 2, 4}).value();
-  util::Rng rng(7), reference(7);
+  const util::SubstreamRng stream(7, util::substream::kGeneric);
   // Overlap 0 holds 5 records (patterns 00, 10), overlap 1 holds 5
   // (01, 11). Promote ALL of overlap 0, NONE of overlap 1.
-  ASSERT_TRUE(cohort.AdvanceRound({5, 0}, &rng).ok());
-  EXPECT_EQ(rng.Next(), reference.Next());
+  ASSERT_TRUE(cohort.AdvanceRound({5, 0}, stream).ok());
   // All former overlap-0 records now end in 1; all former overlap-1
   // records end in 0: histogram over (prev newest, new) pairs.
   EXPECT_EQ(cohort.WindowHistogram(), (std::vector<int64_t>{0, 5, 5, 0}));
@@ -73,14 +71,14 @@ TEST(CohortTest, AdvanceFullGroupAndEmptyTargetsEdges) {
 
 TEST(CohortTest, AdvancePreservesPopulationAndConsistency) {
   auto cohort = SyntheticCohort::Create(3, {2, 1, 0, 3, 1, 0, 2, 1}).value();
-  util::Rng rng(2);
+  const util::SubstreamRng stream(2, util::substream::kGeneric);
   std::vector<int64_t> before = cohort.WindowHistogram();
   // Overlap z gets groups from patterns {0z, 1z}. Choose any valid targets.
   std::vector<int64_t> targets(4);
   for (util::Pattern z = 0; z < 4; ++z) {
     targets[z] = cohort.GroupSize(z) / 2;
   }
-  ASSERT_TRUE(cohort.AdvanceRound(targets, &rng).ok());
+  ASSERT_TRUE(cohort.AdvanceRound(targets, stream).ok());
   std::vector<int64_t> after = cohort.WindowHistogram();
   // Consistency: p^{t}_{z0} + p^{t}_{z1} == group size at t-1 (= sum of
   // patterns ending in z).
@@ -102,7 +100,7 @@ TEST(CohortTest, HistoriesAreAppendOnly) {
   // Record persistence: the prefix of every record is unchanged by
   // AdvanceRound (the paper's core consistency requirement).
   auto cohort = SyntheticCohort::Create(2, {2, 2, 2, 2}).value();
-  util::Rng rng(3);
+  const util::SubstreamRng root(3, util::substream::kGeneric);
   std::vector<std::vector<int>> prefixes(8);
   for (int64_t r = 0; r < 8; ++r) {
     prefixes[r] = {cohort.Bit(r, 1), cohort.Bit(r, 2)};
@@ -110,7 +108,10 @@ TEST(CohortTest, HistoriesAreAppendOnly) {
   for (int round = 0; round < 5; ++round) {
     std::vector<int64_t> targets = {cohort.GroupSize(0) / 2,
                                     cohort.GroupSize(1) / 2};
-    ASSERT_TRUE(cohort.AdvanceRound(targets, &rng).ok());
+    ASSERT_TRUE(cohort
+                    .AdvanceRound(targets,
+                                  root.Derive(static_cast<uint64_t>(round)))
+                    .ok());
     for (int64_t r = 0; r < 8; ++r) {
       for (size_t j = 0; j < prefixes[r].size(); ++j) {
         ASSERT_EQ(cohort.Bit(r, static_cast<int64_t>(j + 1)), prefixes[r][j])
@@ -124,13 +125,16 @@ TEST(CohortTest, HistoriesAreAppendOnly) {
 TEST(CohortTest, HistogramTracksMaterializedRecords) {
   // The incrementally maintained histogram equals a recount from records.
   auto cohort = SyntheticCohort::Create(3, {5, 3, 2, 7, 1, 0, 4, 6}).value();
-  util::Rng rng(4);
+  const util::SubstreamRng root(4, util::substream::kGeneric);
   for (int round = 0; round < 6; ++round) {
     std::vector<int64_t> targets(4);
     for (util::Pattern z = 0; z < 4; ++z) {
       targets[z] = (cohort.GroupSize(z) * (round + 1)) / 7;
     }
-    ASSERT_TRUE(cohort.AdvanceRound(targets, &rng).ok());
+    ASSERT_TRUE(cohort
+                    .AdvanceRound(targets,
+                                  root.Derive(static_cast<uint64_t>(round)))
+                    .ok());
     std::vector<int64_t> recount(8, 0);
     int64_t t = cohort.rounds();
     for (int64_t r = 0; r < cohort.num_records(); ++r) {
@@ -146,8 +150,8 @@ TEST(CohortTest, HistogramTracksMaterializedRecords) {
 
 TEST(CohortTest, ToDatasetRoundTrip) {
   auto cohort = SyntheticCohort::Create(2, {1, 2, 3, 4}).value();
-  util::Rng rng(5);
-  ASSERT_TRUE(cohort.AdvanceRound({2, 3}, &rng).ok());
+  const util::SubstreamRng stream(5, util::substream::kGeneric);
+  ASSERT_TRUE(cohort.AdvanceRound({2, 3}, stream).ok());
   auto ds = cohort.ToDataset(10).value();
   EXPECT_EQ(ds.num_users(), 10);
   EXPECT_EQ(ds.rounds(), 3);
@@ -161,9 +165,9 @@ TEST(CohortTest, ToDatasetRoundTrip) {
 
 TEST(CohortTest, EmptyCohortIsLegal) {
   auto cohort = SyntheticCohort::Create(2, {0, 0, 0, 0}).value();
-  util::Rng rng(6);
+  const util::SubstreamRng stream(6, util::substream::kGeneric);
   EXPECT_EQ(cohort.num_records(), 0);
-  EXPECT_TRUE(cohort.AdvanceRound({0, 0}, &rng).ok());
+  EXPECT_TRUE(cohort.AdvanceRound({0, 0}, stream).ok());
   EXPECT_EQ(cohort.rounds(), 3);
 }
 

@@ -9,7 +9,7 @@
 #include "data/generators.h"
 #include "query/cumulative_query.h"
 #include "stream/counter_factory.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -17,17 +17,19 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-CumulativeSynthesizer::Options Opt(int64_t horizon, double rho) {
+CumulativeSynthesizer::Options Opt(int64_t horizon, double rho,
+                                   uint64_t seed = 0) {
   CumulativeSynthesizer::Options options;
   options.horizon = horizon;
   options.rho = rho;
+  options.seed = seed;
   return options;
 }
 
 Status FeedDataset(CumulativeSynthesizer* synth,
-                   const data::LongitudinalDataset& ds, util::Rng* rng) {
+                   const data::LongitudinalDataset& ds) {
   for (int64_t t = 1; t <= ds.rounds(); ++t) {
-    LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+    LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
   }
   return Status::OK();
 }
@@ -39,11 +41,11 @@ TEST(CumulativeTest, CreateValidates) {
 }
 
 TEST(CumulativeTest, ZeroNoiseReproducesTrueCounts) {
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   auto ds = data::BernoulliIid(400, 10, 0.3, &rng).value();
   auto synth = CumulativeSynthesizer::Create(Opt(10, kInf)).value();
   for (int64_t t = 1; t <= 10; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     auto truth = ds.CumulativeCounts(t).value();
     EXPECT_EQ(synth->released_thresholds(), truth) << "t=" << t;
   }
@@ -57,9 +59,9 @@ TEST(CumulativeTest, FullGroupPromotionEveryRoundZeroNoise) {
   const int64_t kN = 50, kT = 6;
   auto synth = CumulativeSynthesizer::Create(Opt(kT, kInf)).value();
   const std::vector<uint8_t> ones(static_cast<size_t>(kN), 1);
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   for (int64_t t = 1; t <= kT; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ones, &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ones).ok());
     auto counts = synth->SyntheticThresholdCounts();
     for (int64_t b = 0; b <= t; ++b) {
       EXPECT_EQ(counts[static_cast<size_t>(b)], kN) << "t=" << t;
@@ -73,11 +75,11 @@ TEST(CumulativeTest, FullGroupPromotionEveryRoundZeroNoise) {
 }
 
 TEST(CumulativeTest, ZeroNoiseAnswersAreExactFractions) {
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   auto ds = data::BernoulliIid(500, 8, 0.4, &rng).value();
   auto synth = CumulativeSynthesizer::Create(Opt(8, kInf)).value();
   for (int64_t t = 1; t <= 8; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     for (int64_t b = 0; b <= 8; ++b) {
       double truth = query::EvaluateCumulativeOnDataset(ds, t, b).value();
       EXPECT_DOUBLE_EQ(synth->Answer(b).value(), truth)
@@ -89,11 +91,11 @@ TEST(CumulativeTest, ZeroNoiseAnswersAreExactFractions) {
 TEST(CumulativeTest, SyntheticRecordsMatchReleasedCountsExactly) {
   // Invariant 4: #synthetic records with weight >= b equals Shat^t_b, even
   // under real noise.
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   auto ds = data::BernoulliIid(1000, 12, 0.25, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.01)).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.01, 3)).value();
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     EXPECT_EQ(synth->SyntheticThresholdCounts(),
               synth->released_thresholds())
         << "t=" << t;
@@ -102,13 +104,13 @@ TEST(CumulativeTest, SyntheticRecordsMatchReleasedCountsExactly) {
 
 TEST(CumulativeTest, ReleasedRowsAreMonotone) {
   // Invariant 3 at the synthesizer level.
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   auto ds = data::BernoulliIid(2000, 12, 0.15, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.005)).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.005, 5)).value();
   std::vector<int64_t> prev(13, 0);
   prev[0] = 2000;
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     const auto& row = synth->released_thresholds();
     for (int64_t b = 1; b <= 12; ++b) {
       EXPECT_GE(row[b], prev[b]) << "t=" << t << " b=" << b;
@@ -119,12 +121,12 @@ TEST(CumulativeTest, ReleasedRowsAreMonotone) {
 }
 
 TEST(CumulativeTest, SyntheticHistoriesAreAppendOnly) {
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   auto ds = data::BernoulliIid(300, 8, 0.3, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(Opt(8, 0.05)).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(8, 0.05, 7)).value();
   std::vector<std::vector<int>> prefixes(300);
   for (int64_t t = 1; t <= 8; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     for (int64_t r = 0; r < 300; ++r) {
       auto& p = prefixes[static_cast<size_t>(r)];
       for (size_t j = 0; j < p.size(); ++j) {
@@ -137,19 +139,19 @@ TEST(CumulativeTest, SyntheticHistoriesAreAppendOnly) {
 }
 
 TEST(CumulativeTest, AccountantChargesExactlyRho) {
-  util::Rng rng(11);
+  util::SubstreamRng rng(11, util::substream::kGeneric);
   auto ds = data::BernoulliIid(200, 12, 0.3, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.005)).value();
-  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  auto synth = CumulativeSynthesizer::Create(Opt(12, 0.005, 11)).value();
+  ASSERT_TRUE(FeedDataset(synth.get(), ds).ok());
   EXPECT_NEAR(synth->accountant().spent(), 0.005, 1e-12);
   EXPECT_EQ(synth->accountant().ledger().size(), 12u);
 }
 
 TEST(CumulativeTest, PopulationPreserved) {
-  util::Rng rng(13);
+  util::SubstreamRng rng(13, util::substream::kGeneric);
   auto ds = data::BernoulliIid(750, 6, 0.5, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(Opt(6, 0.05)).value();
-  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  auto synth = CumulativeSynthesizer::Create(Opt(6, 0.05, 13)).value();
+  ASSERT_TRUE(FeedDataset(synth.get(), ds).ok());
   EXPECT_EQ(synth->population(), 750);
   auto synth_ds = synth->ToDataset().value();
   EXPECT_EQ(synth_ds.num_users(), 750);
@@ -159,10 +161,10 @@ TEST(CumulativeTest, PopulationPreserved) {
 TEST(CumulativeTest, ToDatasetMatchesAnswers) {
   // The materialized dataset's cumulative fractions equal the released
   // answers at the final time.
-  util::Rng rng(17);
+  util::SubstreamRng rng(17, util::substream::kGeneric);
   auto ds = data::BernoulliIid(600, 9, 0.35, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(Opt(9, 0.02)).value();
-  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  auto synth = CumulativeSynthesizer::Create(Opt(9, 0.02, 17)).value();
+  ASSERT_TRUE(FeedDataset(synth.get(), ds).ok());
   auto synth_ds = synth->ToDataset().value();
   for (int64_t b = 0; b <= 9; ++b) {
     double from_ds =
@@ -174,7 +176,7 @@ TEST(CumulativeTest, ToDatasetMatchesAnswers) {
 TEST(CumulativeTest, ErrorWithinCorollaryBound) {
   // Corollary B.1 bound with generous multiples: the max fraction error
   // over (t, b) should rarely exceed alpha*.
-  util::Rng rng(19);
+  util::SubstreamRng rng(19, util::substream::kGeneric);
   auto ds = data::SubpopulationMixture(
                 23374, 12,
                 {{0.07, {0.92, 0.6, 0.04}}, {0.93, {0.035, 0.02, 0.45}}},
@@ -185,10 +187,13 @@ TEST(CumulativeTest, ErrorWithinCorollaryBound) {
   int violations = 0;
   const int kTrials = 10;
   for (int trial = 0; trial < kTrials; ++trial) {
-    auto synth = CumulativeSynthesizer::Create(Opt(12, 0.005)).value();
+    auto synth =
+        CumulativeSynthesizer::Create(
+            Opt(12, 0.005, 19 + static_cast<uint64_t>(trial)))
+            .value();
     double max_err = 0.0;
     for (int64_t t = 1; t <= 12; ++t) {
-      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
       for (int64_t b = 1; b <= t; ++b) {
         double truth =
             query::EvaluateCumulativeOnDataset(ds, t, b).value();
@@ -202,13 +207,13 @@ TEST(CumulativeTest, ErrorWithinCorollaryBound) {
 }
 
 TEST(CumulativeTest, WorksWithAllCounterImplementations) {
-  util::Rng rng(23);
+  util::SubstreamRng rng(23, util::substream::kGeneric);
   auto ds = data::BernoulliIid(500, 8, 0.3, &rng).value();
   for (const auto& name : stream::RegisteredCounterNames()) {
-    auto options = Opt(8, 0.05);
+    auto options = Opt(8, 0.05, 23);
     options.counter_factory = stream::MakeCounterFactory(name).value();
     auto synth = CumulativeSynthesizer::Create(options).value();
-    ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok()) << name;
+    ASSERT_TRUE(FeedDataset(synth.get(), ds).ok()) << name;
     EXPECT_EQ(synth->SyntheticThresholdCounts(),
               synth->released_thresholds())
         << name;
@@ -216,34 +221,34 @@ TEST(CumulativeTest, WorksWithAllCounterImplementations) {
 }
 
 TEST(CumulativeTest, UniformSplitAlsoWorks) {
-  util::Rng rng(29);
+  util::SubstreamRng rng(29, util::substream::kGeneric);
   auto ds = data::BernoulliIid(400, 10, 0.2, &rng).value();
-  auto options = Opt(10, 0.01);
+  auto options = Opt(10, 0.01, 29);
   options.split = stream::BudgetSplit::kUniform;
   auto synth = CumulativeSynthesizer::Create(options).value();
-  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  ASSERT_TRUE(FeedDataset(synth.get(), ds).ok());
   EXPECT_NEAR(synth->accountant().spent(), 0.01, 1e-12);
 }
 
 TEST(CumulativeTest, RejectsBadInputs) {
   auto synth = CumulativeSynthesizer::Create(Opt(2, kInf)).value();
-  util::Rng rng(31);
+  util::SubstreamRng rng(31, util::substream::kGeneric);
   std::vector<uint8_t> round = {0, 1, 0};
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
   std::vector<uint8_t> wrong_size = {0, 1};
-  EXPECT_TRUE(synth->ObserveRound(wrong_size, &rng).IsInvalidArgument());
+  EXPECT_TRUE(synth->ObserveRound(wrong_size).IsInvalidArgument());
   std::vector<uint8_t> bad_bit = {0, 1, 7};
-  EXPECT_TRUE(synth->ObserveRound(bad_bit, &rng).IsInvalidArgument());
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
-  EXPECT_TRUE(synth->ObserveRound(round, &rng).IsOutOfRange());
+  EXPECT_TRUE(synth->ObserveRound(bad_bit).IsInvalidArgument());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
+  EXPECT_TRUE(synth->ObserveRound(round).IsOutOfRange());
 }
 
 TEST(CumulativeTest, AnswerValidation) {
   auto synth = CumulativeSynthesizer::Create(Opt(3, kInf)).value();
   EXPECT_TRUE(synth->Answer(1).status().IsFailedPrecondition());
-  util::Rng rng(37);
+  util::SubstreamRng rng(37, util::substream::kGeneric);
   std::vector<uint8_t> round = {1, 0};
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
   EXPECT_TRUE(synth->Answer(-1).status().IsOutOfRange());
   EXPECT_TRUE(synth->Answer(4).status().IsOutOfRange());
   EXPECT_DOUBLE_EQ(synth->Answer(0).value(), 1.0);
@@ -254,11 +259,11 @@ class CumulativeHorizonTest : public ::testing::TestWithParam<int64_t> {};
 
 TEST_P(CumulativeHorizonTest, InvariantsAcrossHorizons) {
   const int64_t kT = GetParam();
-  util::Rng rng(41 + static_cast<uint64_t>(kT));
+  util::SubstreamRng rng(41 + static_cast<uint64_t>(kT), util::substream::kGeneric);
   auto ds = data::BernoulliIid(200, kT, 0.3, &rng).value();
-  auto synth = CumulativeSynthesizer::Create(Opt(kT, 0.05)).value();
+  auto synth = CumulativeSynthesizer::Create(Opt(kT, 0.05, 41 + static_cast<uint64_t>(kT))).value();
   for (int64_t t = 1; t <= kT; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     ASSERT_EQ(synth->SyntheticThresholdCounts(),
               synth->released_thresholds());
   }

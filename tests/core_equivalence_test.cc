@@ -26,7 +26,7 @@
 #include "core/cumulative_synthesizer.h"
 #include "core/fixed_window_synthesizer.h"
 #include "core/recompute_baseline.h"
-#include "util/rng.h"
+#include "util/substream.h"
 #include "util/thread_pool.h"
 
 namespace longdp {
@@ -78,7 +78,7 @@ TEST(ZeroNoiseEquivalenceTest, FixedWindowMatchesRecomputeBaseline) {
   for (int threads : kThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     auto pool = MakePool(threads);
-  util::Rng meta(0xE0E1u);
+  util::SubstreamRng meta(0xE0E1u, util::substream::kGeneric);
   for (int trial = 0; trial < 30; ++trial) {
     Config c = RandomConfig(&meta);
     auto rounds = RandomRounds(c, &meta);
@@ -97,12 +97,10 @@ TEST(ZeroNoiseEquivalenceTest, FixedWindowMatchesRecomputeBaseline) {
     bopt.rho = kInf;
     auto baseline = RecomputeBaseline::Create(bopt).value();
 
-    util::Rng rng_a(1000 + static_cast<uint64_t>(trial));
-    util::Rng rng_b(2000 + static_cast<uint64_t>(trial));
     for (int64_t t = 1; t <= c.T; ++t) {
       const auto& bits = rounds[static_cast<size_t>(t - 1)];
-      ASSERT_TRUE(synth->ObserveRound(bits, &rng_a).ok());
-      ASSERT_TRUE(baseline->ObserveRound(bits, &rng_b).ok());
+      ASSERT_TRUE(synth->ObserveRound(bits).ok());
+      ASSERT_TRUE(baseline->ObserveRound(bits).ok());
       if (t < c.k) continue;
       EXPECT_EQ(synth->SyntheticHistogram(), baseline->CurrentHistogram())
           << "trial " << trial << " (n=" << c.n << " T=" << c.T
@@ -118,7 +116,7 @@ TEST(ZeroNoiseEquivalenceTest, CategoricalBinaryMatchesRecomputeBaseline) {
   for (int threads : kThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     auto pool = MakePool(threads);
-  util::Rng meta(0xE0E2u);
+  util::SubstreamRng meta(0xE0E2u, util::substream::kGeneric);
   for (int trial = 0; trial < 30; ++trial) {
     Config c = RandomConfig(&meta);
     auto rounds = RandomRounds(c, &meta);
@@ -138,12 +136,10 @@ TEST(ZeroNoiseEquivalenceTest, CategoricalBinaryMatchesRecomputeBaseline) {
     bopt.rho = kInf;
     auto baseline = RecomputeBaseline::Create(bopt).value();
 
-    util::Rng rng_a(3000 + static_cast<uint64_t>(trial));
-    util::Rng rng_b(4000 + static_cast<uint64_t>(trial));
     for (int64_t t = 1; t <= c.T; ++t) {
       const auto& bits = rounds[static_cast<size_t>(t - 1)];
-      ASSERT_TRUE(synth->ObserveRound(bits, &rng_a).ok());
-      ASSERT_TRUE(baseline->ObserveRound(bits, &rng_b).ok());
+      ASSERT_TRUE(synth->ObserveRound(bits).ok());
+      ASSERT_TRUE(baseline->ObserveRound(bits).ok());
       if (t < c.k) continue;
       // Base-2 categorical codes and util::Pattern both put the oldest
       // symbol in the most significant position, so bins align 1:1.
@@ -163,7 +159,7 @@ TEST(ZeroNoiseEquivalenceTest, CategoricalMatchesExactHistogram) {
   for (int threads : kThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     auto pool = MakePool(threads);
-  util::Rng meta(0xE0E3u);
+  util::SubstreamRng meta(0xE0E3u, util::substream::kGeneric);
   for (int trial = 0; trial < 20; ++trial) {
     const int A = 2 + static_cast<int>(meta.UniformInt(3));  // 2..4
     const int k = 1 + static_cast<int>(meta.UniformInt(3));  // 1..3
@@ -190,11 +186,10 @@ TEST(ZeroNoiseEquivalenceTest, CategoricalMatchesExactHistogram) {
     const uint64_t bins =
         CategoricalWindowSynthesizer::NumBins(k, A).value();
 
-    util::Rng rng(5000 + static_cast<uint64_t>(trial));
     std::vector<uint64_t> window(static_cast<size_t>(n), 0);
     for (int64_t t = 1; t <= T; ++t) {
       const auto& symbols = rounds[static_cast<size_t>(t - 1)];
-      ASSERT_TRUE(synth->ObserveRound(symbols, &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(symbols).ok());
       for (int64_t i = 0; i < n; ++i) {
         window[static_cast<size_t>(i)] =
             (window[static_cast<size_t>(i)] * static_cast<uint64_t>(A) +
@@ -216,7 +211,7 @@ TEST(ZeroNoiseEquivalenceTest, CumulativeMatchesExactThresholdCounts) {
   for (int threads : kThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     auto pool = MakePool(threads);
-  util::Rng meta(0xE0E4u);
+  util::SubstreamRng meta(0xE0E4u, util::substream::kGeneric);
   for (int trial = 0; trial < 30; ++trial) {
     const int64_t T = 1 + static_cast<int64_t>(meta.UniformInt(16));
     const int64_t n = 1 + static_cast<int64_t>(meta.UniformInt(300));
@@ -234,11 +229,10 @@ TEST(ZeroNoiseEquivalenceTest, CumulativeMatchesExactThresholdCounts) {
     opt.pool = pool.get();
     auto synth = CumulativeSynthesizer::Create(opt).value();
 
-    util::Rng rng(6000 + static_cast<uint64_t>(trial));
     std::vector<int64_t> weight(static_cast<size_t>(n), 0);
     for (int64_t t = 1; t <= T; ++t) {
       const auto& bits = rounds[static_cast<size_t>(t - 1)];
-      ASSERT_TRUE(synth->ObserveRound(bits, &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(bits).ok());
       for (int64_t i = 0; i < n; ++i) {
         weight[static_cast<size_t>(i)] +=
             bits[static_cast<size_t>(i)];
@@ -270,7 +264,7 @@ TEST(ZeroNoiseEquivalenceTest, CumulativeMatchesExactThresholdCounts) {
 // a later round indexed past the increment scratch.
 TEST(ZeroNoiseEquivalenceTest, RejectedRoundLeavesStateUntouched) {
   const int64_t n = 50, T = 6;
-  util::Rng meta(0xE0E5u);
+  util::SubstreamRng meta(0xE0E5u, util::substream::kGeneric);
   std::vector<std::vector<uint8_t>> rounds(static_cast<size_t>(T));
   for (auto& round : rounds) {
     round.resize(static_cast<size_t>(n));
@@ -284,12 +278,11 @@ TEST(ZeroNoiseEquivalenceTest, RejectedRoundLeavesStateUntouched) {
   opt.rho = kInf;
   auto dirty = CumulativeSynthesizer::Create(opt).value();
   auto clean = CumulativeSynthesizer::Create(opt).value();
-  util::Rng rng_dirty(7000), rng_clean(7000);
   for (int64_t t = 1; t <= T; ++t) {
     const auto& bits = rounds[static_cast<size_t>(t - 1)];
-    ASSERT_TRUE(dirty->ObserveRound(bad, &rng_dirty).IsInvalidArgument());
-    ASSERT_TRUE(dirty->ObserveRound(bits, &rng_dirty).ok());
-    ASSERT_TRUE(clean->ObserveRound(bits, &rng_clean).ok());
+    ASSERT_TRUE(dirty->ObserveRound(bad).IsInvalidArgument());
+    ASSERT_TRUE(dirty->ObserveRound(bits).ok());
+    ASSERT_TRUE(clean->ObserveRound(bits).ok());
     EXPECT_EQ(dirty->released_thresholds(), clean->released_thresholds())
         << "at t=" << t;
   }
@@ -301,13 +294,12 @@ TEST(ZeroNoiseEquivalenceTest, RejectedRoundLeavesStateUntouched) {
   fopt.npad = 0;
   auto fdirty = FixedWindowSynthesizer::Create(fopt).value();
   auto fclean = FixedWindowSynthesizer::Create(fopt).value();
-  util::Rng frng_dirty(7001), frng_clean(7001);
   for (int64_t t = 1; t <= T; ++t) {
     const auto& bits = rounds[static_cast<size_t>(t - 1)];
     ASSERT_TRUE(
-        fdirty->ObserveRound(bad, &frng_dirty).IsInvalidArgument());
-    ASSERT_TRUE(fdirty->ObserveRound(bits, &frng_dirty).ok());
-    ASSERT_TRUE(fclean->ObserveRound(bits, &frng_clean).ok());
+        fdirty->ObserveRound(bad).IsInvalidArgument());
+    ASSERT_TRUE(fdirty->ObserveRound(bits).ok());
+    ASSERT_TRUE(fclean->ObserveRound(bits).ok());
     if (t < fopt.window_k) continue;
     EXPECT_EQ(fdirty->SyntheticHistogram(), fclean->SyntheticHistogram())
         << "at t=" << t;

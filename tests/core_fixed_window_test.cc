@@ -8,7 +8,7 @@
 #include "core/theory.h"
 #include "data/generators.h"
 #include "query/window_query.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -17,21 +17,21 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 FixedWindowSynthesizer::Options Opt(int64_t horizon, int k, double rho,
-                                    int64_t npad = -1) {
+                                    int64_t npad = -1, uint64_t seed = 0) {
   FixedWindowSynthesizer::Options options;
   options.horizon = horizon;
   options.window_k = k;
   options.rho = rho;
   options.npad = npad;
+  options.seed = seed;
   return options;
 }
 
 Status FeedDataset(FixedWindowSynthesizer* synth,
-                   const data::LongitudinalDataset& ds, util::Rng* rng,
-                   int64_t upto = -1) {
+                   const data::LongitudinalDataset& ds, int64_t upto = -1) {
   if (upto < 0) upto = ds.rounds();
   for (int64_t t = 1; t <= upto; ++t) {
-    LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t), rng));
+    LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
   }
   return Status::OK();
 }
@@ -57,24 +57,23 @@ TEST(FixedWindowTest, ExplicitNpadRespected) {
 
 TEST(FixedWindowTest, NoReleaseBeforeK) {
   auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, kInf, 0)).value();
-  util::Rng rng(1);
   std::vector<uint8_t> round(10, 1);
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
   EXPECT_FALSE(synth->has_release());
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
   EXPECT_FALSE(synth->has_release());
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
   EXPECT_TRUE(synth->has_release());
 }
 
 TEST(FixedWindowTest, ZeroNoiseReproducesTrueHistograms) {
   // With rho = infinity and npad = 0 the synthetic histogram equals the
   // true window histogram at every step (invariant 6 specialized to bins).
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   auto ds = data::BernoulliIid(500, 10, 0.3, &rng).value();
   auto synth = FixedWindowSynthesizer::Create(Opt(10, 3, kInf, 0)).value();
   for (int64_t t = 1; t <= 10; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     if (t >= 3) {
       EXPECT_EQ(synth->SyntheticHistogram(),
                 ds.WindowHistogram(t, 3).value());
@@ -83,14 +82,14 @@ TEST(FixedWindowTest, ZeroNoiseReproducesTrueHistograms) {
 }
 
 TEST(FixedWindowTest, ZeroNoiseDebiasedAnswersAreExact) {
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   auto ds = data::BernoulliIid(800, 8, 0.25, &rng).value();
   // Nonzero padding but no noise: debiasing must recover exact truth.
   auto synth = FixedWindowSynthesizer::Create(Opt(8, 3, kInf, 40)).value();
   auto preds = {query::MakeAtLeastOnes(3, 1), query::MakeAtLeastOnes(3, 2),
                 query::MakeConsecutiveOnes(3, 2), query::MakeAllOnes(3)};
   for (int64_t t = 1; t <= 8; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     if (t < 3) continue;
     for (const auto& pred : preds) {
       double truth = query::EvaluateOnDataset(*pred, ds, t).value();
@@ -104,12 +103,12 @@ TEST(FixedWindowTest, ZeroNoiseDebiasedAnswersAreExact) {
 TEST(FixedWindowTest, ConsistencyConstraintHoldsEveryStep) {
   // Invariant 1: p^t_{z0} + p^t_{z1} == p^{t-1}_{0z} + p^{t-1}_{1z}, under
   // real noise.
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   auto ds = data::BernoulliIid(2000, 12, 0.2, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.01)).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.01, -1, 5)).value();
   std::vector<int64_t> prev;
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     if (!synth->has_release()) continue;
     auto cur = synth->SyntheticHistogram();
     if (!prev.empty()) {
@@ -124,12 +123,12 @@ TEST(FixedWindowTest, ConsistencyConstraintHoldsEveryStep) {
 }
 
 TEST(FixedWindowTest, PopulationConstantOverTime) {
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   auto ds = data::BernoulliIid(1500, 10, 0.4, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(10, 3, 0.02)).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(10, 3, 0.02, -1, 7)).value();
   int64_t population = -1;
   for (int64_t t = 1; t <= 10; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     if (!synth->has_release()) continue;
     if (population < 0) {
       population = synth->cohort().num_records();
@@ -144,10 +143,10 @@ TEST(FixedWindowTest, PopulationConstantOverTime) {
 }
 
 TEST(FixedWindowTest, AccountantChargesExactlyRho) {
-  util::Rng rng(11);
+  util::SubstreamRng rng(11, util::substream::kGeneric);
   auto ds = data::BernoulliIid(300, 12, 0.3, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.005)).value();
-  ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+  auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.005, -1, 11)).value();
+  ASSERT_TRUE(FeedDataset(synth.get(), ds).ok());
   EXPECT_NEAR(synth->accountant().spent(), 0.005, 1e-12);
   EXPECT_EQ(synth->stats().releases, 10);  // T - k + 1
   EXPECT_EQ(synth->accountant().ledger().size(), 10u);
@@ -155,21 +154,19 @@ TEST(FixedWindowTest, AccountantChargesExactlyRho) {
 
 TEST(FixedWindowTest, RejectsPastHorizonAndChangedPopulation) {
   auto synth = FixedWindowSynthesizer::Create(Opt(3, 2, kInf, 0)).value();
-  util::Rng rng(13);
   std::vector<uint8_t> round(5, 0);
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
   std::vector<uint8_t> wrong(6, 0);
-  EXPECT_TRUE(synth->ObserveRound(wrong, &rng).IsInvalidArgument());
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
-  ASSERT_TRUE(synth->ObserveRound(round, &rng).ok());
-  EXPECT_TRUE(synth->ObserveRound(round, &rng).IsOutOfRange());
+  EXPECT_TRUE(synth->ObserveRound(wrong).IsInvalidArgument());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
+  ASSERT_TRUE(synth->ObserveRound(round).ok());
+  EXPECT_TRUE(synth->ObserveRound(round).IsOutOfRange());
 }
 
 TEST(FixedWindowTest, RejectsNonBinaryInput) {
   auto synth = FixedWindowSynthesizer::Create(Opt(3, 2, kInf, 0)).value();
-  util::Rng rng(17);
   std::vector<uint8_t> bad = {0, 2, 1};
-  EXPECT_TRUE(synth->ObserveRound(bad, &rng).IsInvalidArgument());
+  EXPECT_TRUE(synth->ObserveRound(bad).IsInvalidArgument());
 }
 
 TEST(FixedWindowTest, QueriesBeforeReleaseFail) {
@@ -181,13 +178,14 @@ TEST(FixedWindowTest, QueriesBeforeReleaseFail) {
 TEST(FixedWindowTest, PaddingKeepsCountsNonNegativeWithHighProbability) {
   // With the recommended npad, a full run over the all-ones dataset (the
   // worst case for bins at zero) should virtually never clamp.
-  util::Rng rng(19);
   auto ds = data::ExtremeAllOnes(25000, 12).value();
   int total_clamps = 0;
   for (int trial = 0; trial < 5; ++trial) {
     auto synth =
-        FixedWindowSynthesizer::Create(Opt(12, 3, 0.005)).value();
-    ASSERT_TRUE(FeedDataset(synth.get(), ds, &rng).ok());
+        FixedWindowSynthesizer::Create(
+            Opt(12, 3, 0.005, -1, 19 + static_cast<uint64_t>(trial)))
+            .value();
+    ASSERT_TRUE(FeedDataset(synth.get(), ds).ok());
     total_clamps += static_cast<int>(synth->stats().negative_clamps);
   }
   EXPECT_EQ(total_clamps, 0);
@@ -196,7 +194,6 @@ TEST(FixedWindowTest, PaddingKeepsCountsNonNegativeWithHighProbability) {
 TEST(FixedWindowTest, ErrorWithinTheoremBound) {
   // Theorem 3.2: max bin-count error <= lambda with prob >= 1 - beta. Check
   // empirically across repetitions on extreme data.
-  util::Rng rng(23);
   auto ds = data::ExtremeAllOnes(25000, 12).value();
   const double kBeta = 0.05;
   double lambda =
@@ -204,10 +201,13 @@ TEST(FixedWindowTest, ErrorWithinTheoremBound) {
   int violations = 0;
   const int kTrials = 40;
   for (int trial = 0; trial < kTrials; ++trial) {
-    auto synth = FixedWindowSynthesizer::Create(Opt(12, 3, 0.005)).value();
+    auto synth =
+        FixedWindowSynthesizer::Create(
+            Opt(12, 3, 0.005, -1, 23 + static_cast<uint64_t>(trial)))
+            .value();
     bool violated = false;
     for (int64_t t = 1; t <= 12; ++t) {
-      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
       if (!synth->has_release()) continue;
       auto hist = synth->SyntheticHistogram();
       auto truth = ds.WindowHistogram(t, 3).value();
@@ -224,12 +224,12 @@ TEST(FixedWindowTest, ErrorWithinTheoremBound) {
 
 TEST(FixedWindowTest, RecordsPersistAcrossReleases) {
   // Invariant 2 at the synthesizer level: prefixes never change.
-  util::Rng rng(29);
+  util::SubstreamRng rng(29, util::substream::kGeneric);
   auto ds = data::BernoulliIid(400, 8, 0.3, &rng).value();
-  auto synth = FixedWindowSynthesizer::Create(Opt(8, 3, 0.05)).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(8, 3, 0.05, -1, 29)).value();
   std::vector<std::vector<int>> prefixes;
   for (int64_t t = 1; t <= 8; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     if (!synth->has_release()) continue;
     const auto& cohort = synth->cohort();
     if (prefixes.empty()) {
@@ -259,13 +259,13 @@ class FixedWindowShapeTest : public ::testing::TestWithParam<ShapeCase> {};
 
 TEST_P(FixedWindowShapeTest, ZeroNoiseExactHistograms) {
   const auto& shape = GetParam();
-  util::Rng rng(31 + static_cast<uint64_t>(shape.horizon * 10 + shape.k));
+  util::SubstreamRng rng(31 + static_cast<uint64_t>(shape.horizon * 10 + shape.k), util::substream::kGeneric);
   auto ds = data::BernoulliIid(200, shape.horizon, 0.5, &rng).value();
   auto synth =
       FixedWindowSynthesizer::Create(Opt(shape.horizon, shape.k, kInf, 0))
           .value();
   for (int64_t t = 1; t <= shape.horizon; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     if (t >= shape.k) {
       EXPECT_EQ(synth->SyntheticHistogram(),
                 ds.WindowHistogram(t, shape.k).value())

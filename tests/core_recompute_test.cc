@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "data/generators.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -13,11 +13,13 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-RecomputeBaseline::Options Opt(int64_t horizon, int k, double rho) {
+RecomputeBaseline::Options Opt(int64_t horizon, int k, double rho,
+                               uint64_t seed = 0) {
   RecomputeBaseline::Options options;
   options.horizon = horizon;
   options.window_k = k;
   options.rho = rho;
+  options.seed = seed;
   return options;
 }
 
@@ -29,21 +31,20 @@ TEST(RecomputeBaselineTest, CreateValidates) {
 
 TEST(RecomputeBaselineTest, NoReleaseBeforeK) {
   auto baseline = RecomputeBaseline::Create(Opt(6, 3, kInf)).value();
-  util::Rng rng(1);
   std::vector<uint8_t> round(10, 1);
-  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
-  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(baseline->ObserveRound(round).ok());
+  ASSERT_TRUE(baseline->ObserveRound(round).ok());
   EXPECT_FALSE(baseline->has_release());
-  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(baseline->ObserveRound(round).ok());
   EXPECT_TRUE(baseline->has_release());
 }
 
 TEST(RecomputeBaselineTest, ZeroNoiseMatchesTrueHistogram) {
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   auto ds = data::BernoulliIid(400, 8, 0.3, &rng).value();
   auto baseline = RecomputeBaseline::Create(Opt(8, 3, kInf)).value();
   for (int64_t t = 1; t <= 8; ++t) {
-    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t)).ok());
     if (t >= 3) {
       EXPECT_EQ(baseline->CurrentHistogram(),
                 ds.WindowHistogram(t, 3).value());
@@ -53,11 +54,11 @@ TEST(RecomputeBaselineTest, ZeroNoiseMatchesTrueHistogram) {
 }
 
 TEST(RecomputeBaselineTest, ChargesFullBudget) {
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   auto ds = data::BernoulliIid(300, 12, 0.3, &rng).value();
-  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005)).value();
+  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005, 3)).value();
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t)).ok());
   }
   EXPECT_NEAR(baseline->accountant().spent(), 0.005, 1e-12);
 }
@@ -66,11 +67,10 @@ TEST(RecomputeBaselineTest, ClampsNegativeBinsWithoutPadding) {
   // All-zeros data concentrates everything in bin 000; the other bins have
   // true count 0 and will go negative under noise roughly half the time —
   // the failure Algorithm 1's padding prevents.
-  util::Rng rng(5);
   auto ds = data::ExtremeAllZeros(100, 12).value();
-  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005)).value();
+  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005, 5)).value();
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t)).ok());
   }
   EXPECT_GT(baseline->clamped_bins(), 0);
 }
@@ -79,12 +79,12 @@ TEST(RecomputeBaselineTest, PopulationFluctuatesAcrossReleases) {
   // Unlike Algorithm 1's constant n*, the baseline's synthetic population
   // jumps release to release — one face of the inconsistency the paper
   // describes.
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   auto ds = data::BernoulliIid(5000, 12, 0.3, &rng).value();
-  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005)).value();
+  auto baseline = RecomputeBaseline::Create(Opt(12, 3, 0.005, 7)).value();
   std::vector<int64_t> populations;
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(baseline->ObserveRound(ds.Round(t)).ok());
     if (baseline->has_release()) {
       populations.push_back(baseline->SyntheticPopulation());
     }
@@ -98,16 +98,15 @@ TEST(RecomputeBaselineTest, PopulationFluctuatesAcrossReleases) {
 
 TEST(RecomputeBaselineTest, RejectsBadInputs) {
   auto baseline = RecomputeBaseline::Create(Opt(3, 2, kInf)).value();
-  util::Rng rng(11);
   std::vector<uint8_t> round = {0, 1};
-  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
+  ASSERT_TRUE(baseline->ObserveRound(round).ok());
   std::vector<uint8_t> bad = {0, 2};
-  EXPECT_TRUE(baseline->ObserveRound(bad, &rng).IsInvalidArgument());
+  EXPECT_TRUE(baseline->ObserveRound(bad).IsInvalidArgument());
   std::vector<uint8_t> wrong = {0, 1, 1};
-  EXPECT_TRUE(baseline->ObserveRound(wrong, &rng).IsInvalidArgument());
-  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
-  ASSERT_TRUE(baseline->ObserveRound(round, &rng).ok());
-  EXPECT_TRUE(baseline->ObserveRound(round, &rng).IsOutOfRange());
+  EXPECT_TRUE(baseline->ObserveRound(wrong).IsInvalidArgument());
+  ASSERT_TRUE(baseline->ObserveRound(round).ok());
+  ASSERT_TRUE(baseline->ObserveRound(round).ok());
+  EXPECT_TRUE(baseline->ObserveRound(round).IsOutOfRange());
 }
 
 }  // namespace

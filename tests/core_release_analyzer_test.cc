@@ -6,7 +6,7 @@
 
 #include "data/generators.h"
 #include "query/cumulative_query.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -17,7 +17,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 class ReleaseAnalyzerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    util::Rng rng(1);
+    util::SubstreamRng rng(1, util::substream::kGeneric);
     ds_ = std::make_unique<data::LongitudinalDataset>(
         data::BernoulliIid(400, 8, 0.3, &rng).value());
 
@@ -32,8 +32,8 @@ class ReleaseAnalyzerTest : public ::testing::Test {
     copt.rho = kInf;
     auto cumulative_synth = CumulativeSynthesizer::Create(copt).value();
     for (int64_t t = 1; t <= 8; ++t) {
-      ASSERT_TRUE(window_synth->ObserveRound(ds_->Round(t), &rng).ok());
-      ASSERT_TRUE(cumulative_synth->ObserveRound(ds_->Round(t), &rng).ok());
+      ASSERT_TRUE(window_synth->ObserveRound(ds_->Round(t)).ok());
+      ASSERT_TRUE(cumulative_synth->ObserveRound(ds_->Round(t)).ok());
       ASSERT_TRUE(log_.Capture(*window_synth).ok());
       ASSERT_TRUE(log_.Capture(*cumulative_synth).ok());
     }

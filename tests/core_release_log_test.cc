@@ -7,7 +7,7 @@
 #include <limits>
 
 #include "data/generators.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -16,7 +16,7 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(ReleaseLogTest, CapturesWindowReleasesFromK) {
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   auto ds = data::BernoulliIid(100, 6, 0.3, &rng).value();
   FixedWindowSynthesizer::Options opt;
   opt.horizon = 6;
@@ -26,7 +26,7 @@ TEST(ReleaseLogTest, CapturesWindowReleasesFromK) {
   auto synth = FixedWindowSynthesizer::Create(opt).value();
   ReleaseLog log;
   for (int64_t t = 1; t <= 6; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     ASSERT_TRUE(log.Capture(*synth).ok());
   }
   // Releases exist only from t = 3 (no-op before).
@@ -39,7 +39,7 @@ TEST(ReleaseLogTest, CapturesWindowReleasesFromK) {
 }
 
 TEST(ReleaseLogTest, RejectsDoubleCapture) {
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   auto ds = data::BernoulliIid(50, 3, 0.5, &rng).value();
   FixedWindowSynthesizer::Options opt;
   opt.horizon = 3;
@@ -48,14 +48,14 @@ TEST(ReleaseLogTest, RejectsDoubleCapture) {
   opt.npad = 0;
   auto synth = FixedWindowSynthesizer::Create(opt).value();
   ReleaseLog log;
-  ASSERT_TRUE(synth->ObserveRound(ds.Round(1), &rng).ok());
-  ASSERT_TRUE(synth->ObserveRound(ds.Round(2), &rng).ok());
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(1)).ok());
+  ASSERT_TRUE(synth->ObserveRound(ds.Round(2)).ok());
   ASSERT_TRUE(log.Capture(*synth).ok());
   EXPECT_EQ(log.Capture(*synth).code(), StatusCode::kAlreadyExists);
 }
 
 TEST(ReleaseLogTest, CapturesCumulativeReleases) {
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   auto ds = data::BernoulliIid(80, 5, 0.4, &rng).value();
   CumulativeSynthesizer::Options opt;
   opt.horizon = 5;
@@ -64,7 +64,7 @@ TEST(ReleaseLogTest, CapturesCumulativeReleases) {
   ReleaseLog log;
   EXPECT_TRUE(log.Capture(*synth).IsFailedPrecondition());  // before t=1
   for (int64_t t = 1; t <= 5; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     ASSERT_TRUE(log.Capture(*synth).ok());
   }
   ASSERT_EQ(log.cumulative_releases().size(), 5u);
@@ -73,7 +73,7 @@ TEST(ReleaseLogTest, CapturesCumulativeReleases) {
 }
 
 TEST(ReleaseLogTest, CsvRoundTrip) {
-  util::Rng rng(4);
+  util::SubstreamRng rng(4, util::substream::kGeneric);
   auto ds = data::BernoulliIid(60, 4, 0.3, &rng).value();
   ReleaseLog log;
   {
@@ -87,8 +87,8 @@ TEST(ReleaseLogTest, CsvRoundTrip) {
     copt.rho = 0.1;
     auto cumulative = CumulativeSynthesizer::Create(copt).value();
     for (int64_t t = 1; t <= 4; ++t) {
-      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
-      ASSERT_TRUE(cumulative->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
+      ASSERT_TRUE(cumulative->ObserveRound(ds.Round(t)).ok());
       ASSERT_TRUE(log.Capture(*synth).ok());
       ASSERT_TRUE(log.Capture(*cumulative).ok());
     }
@@ -161,7 +161,7 @@ TEST(ReleaseLogTest, FullDeviceWriteSurfacesAsIOError) {
   if (!std::ifstream("/dev/full").good()) {
     GTEST_SKIP() << "/dev/full not available";
   }
-  util::Rng rng(4);
+  util::SubstreamRng rng(4, util::substream::kGeneric);
   auto ds = data::BernoulliIid(60, 4, 0.3, &rng).value();
   ReleaseLog log;
   FixedWindowSynthesizer::Options opt;
@@ -170,7 +170,7 @@ TEST(ReleaseLogTest, FullDeviceWriteSurfacesAsIOError) {
   opt.rho = 0.1;
   auto synth = FixedWindowSynthesizer::Create(opt).value();
   for (int64_t t = 1; t <= 4; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     ASSERT_TRUE(log.Capture(*synth).ok());
   }
   EXPECT_TRUE(log.WriteCsv("/dev/full").IsIOError());

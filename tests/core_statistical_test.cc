@@ -19,7 +19,7 @@
 #include "query/cumulative_query.h"
 #include "query/window_query.h"
 #include "util/mathutil.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace core {
@@ -34,12 +34,11 @@ TEST(StatisticalTest, FixedWindowErrorIsTimeUniform) {
   const int kK = 3;
   const double kRho = 0.05;
   const int kTrials = 1200;
-  util::Rng data_rng(1);
+  util::SubstreamRng data_rng(1, util::substream::kGeneric);
   auto ds = data::BernoulliIid(kN, kT, 0.5, &data_rng).value();
   auto truth_first = ds.WindowHistogram(kK, kK).value();
   auto truth_last = ds.WindowHistogram(kT, kK).value();
 
-  util::Rng rng(2);
   util::MomentAccumulator first, last;
   const util::Pattern kBin = 0b010;
   for (int trial = 0; trial < kTrials; ++trial) {
@@ -47,9 +46,10 @@ TEST(StatisticalTest, FixedWindowErrorIsTimeUniform) {
     opt.horizon = kT;
     opt.window_k = kK;
     opt.rho = kRho;
+    opt.seed = 1000 + static_cast<uint64_t>(trial);
     auto synth = FixedWindowSynthesizer::Create(opt).value();
     for (int64_t t = 1; t <= kT; ++t) {
-      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
       if (t == kK) {
         first.Add(static_cast<double>(
             synth->SyntheticHistogram()[kBin] -
@@ -74,17 +74,17 @@ TEST(StatisticalTest, FixedWindowErrorIsTimeUniform) {
 
 TEST(StatisticalTest, FixedWindowDeterministicGivenSeed) {
   const int64_t kN = 300, kT = 8;
-  util::Rng data_rng(3);
+  util::SubstreamRng data_rng(3, util::substream::kGeneric);
   auto ds = data::BernoulliIid(kN, kT, 0.3, &data_rng).value();
   auto run = [&](uint64_t seed) {
-    util::Rng rng(seed);
     FixedWindowSynthesizer::Options opt;
     opt.horizon = kT;
     opt.window_k = 3;
     opt.rho = 0.01;
+    opt.seed = seed;
     auto synth = FixedWindowSynthesizer::Create(opt).value();
     for (int64_t t = 1; t <= kT; ++t) {
-      EXPECT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      EXPECT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     }
     return synth->cohort().ToDataset(kT).value();
   };
@@ -113,22 +113,22 @@ TEST(StatisticalTest, DebiasedAnswersUnbiasedOverRuns) {
   const int64_t kN = 3000, kT = 10;
   const double kRho = 0.02;
   const int kTrials = 800;
-  util::Rng data_rng(5);
+  util::SubstreamRng data_rng(5, util::substream::kGeneric);
   auto ds = data::TwoStateMarkov(kN, kT, {0.15, 0.05, 0.3}, &data_rng)
                 .value();
   auto pred = query::MakeConsecutiveOnes(3, 2);
   double truth = query::EvaluateOnDataset(*pred, ds, kT).value();
 
-  util::Rng rng(7);
   util::MomentAccumulator acc;
   for (int trial = 0; trial < kTrials; ++trial) {
     FixedWindowSynthesizer::Options opt;
     opt.horizon = kT;
     opt.window_k = 3;
     opt.rho = kRho;
+    opt.seed = 40000 + static_cast<uint64_t>(trial);
     auto synth = FixedWindowSynthesizer::Create(opt).value();
     for (int64_t t = 1; t <= kT; ++t) {
-      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     }
     acc.Add(synth->DebiasedAnswer(*pred).value());
   }
@@ -142,20 +142,20 @@ TEST(StatisticalTest, CumulativeAnswersUnbiasedMidStream) {
   const int64_t kN = 3000, kT = 12;
   const double kRho = 0.02;
   const int kTrials = 800;
-  util::Rng data_rng(11);
+  util::SubstreamRng data_rng(11, util::substream::kGeneric);
   auto ds = data::TwoStateMarkov(kN, kT, {0.12, 0.04, 0.35}, &data_rng)
                 .value();
   double truth = query::EvaluateCumulativeOnDataset(ds, 7, 2).value();
 
-  util::Rng rng(13);
   util::MomentAccumulator acc;
   for (int trial = 0; trial < kTrials; ++trial) {
     CumulativeSynthesizer::Options opt;
     opt.horizon = kT;
     opt.rho = kRho;
+    opt.seed = 50000 + static_cast<uint64_t>(trial);
     auto synth = CumulativeSynthesizer::Create(opt).value();
     for (int64_t t = 1; t <= 7; ++t) {
-      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     }
     acc.Add(synth->Answer(2).value());
   }
@@ -174,13 +174,13 @@ TEST(StatisticalTest, CumulativePromotionsArePermutationInvariant) {
   // peeked at record identity (e.g. an index-dependent bias in the batched
   // shuffle) would break this across seeds.
   const int64_t kN = 300, kT = 10;
-  util::Rng data_rng(23);
+  util::SubstreamRng data_rng(23, util::substream::kGeneric);
   auto ds = data::TwoStateMarkov(kN, kT, {0.2, 0.05, 0.3}, &data_rng).value();
 
   // Record relabeling: record r of the permuted dataset is record perm[r].
   std::vector<int64_t> perm(static_cast<size_t>(kN));
   for (int64_t r = 0; r < kN; ++r) perm[static_cast<size_t>(r)] = r;
-  util::Rng perm_rng(29);
+  util::SubstreamRng perm_rng(29, util::substream::kGeneric);
   perm_rng.Shuffle(&perm);
   auto permuted = data::LongitudinalDataset::Create(kN, kT).value();
   for (int64_t t = 1; t <= kT; ++t) {
@@ -194,14 +194,14 @@ TEST(StatisticalTest, CumulativePromotionsArePermutationInvariant) {
   }
 
   auto run = [&](const data::LongitudinalDataset& data, uint64_t seed) {
-    util::Rng rng(seed);
     CumulativeSynthesizer::Options opt;
     opt.horizon = kT;
     opt.rho = 0.05;
+    opt.seed = seed;
     auto synth = CumulativeSynthesizer::Create(opt).value();
     std::vector<std::vector<int64_t>> released;
     for (int64_t t = 1; t <= kT; ++t) {
-      EXPECT_TRUE(synth->ObserveRound(data.Round(t), &rng).ok());
+      EXPECT_TRUE(synth->ObserveRound(data.Round(t)).ok());
       released.push_back(synth->released_thresholds());
     }
     released.push_back(synth->SyntheticThresholdCounts());
@@ -223,18 +223,18 @@ TEST(StatisticalTest, RoundingTermsAreFair) {
   const int64_t kN = 1000, kT = 16;
   const double kRho = 0.1;
   const int kTrials = 600;
-  util::Rng data_rng(17);
+  util::SubstreamRng data_rng(17, util::substream::kGeneric);
   auto ds = data::BernoulliIid(kN, kT, 0.5, &data_rng).value();
-  util::Rng rng(19);
   util::MomentAccumulator acc;
   for (int trial = 0; trial < kTrials; ++trial) {
     FixedWindowSynthesizer::Options opt;
     opt.horizon = kT;
     opt.window_k = 2;
     opt.rho = kRho;
+    opt.seed = 60000 + static_cast<uint64_t>(trial);
     auto synth = FixedWindowSynthesizer::Create(opt).value();
     for (int64_t t = 1; t <= kT; ++t) {
-      ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     }
     auto truth = ds.WindowHistogram(kT, 2).value();
     acc.Add(static_cast<double>(synth->SyntheticHistogram()[0b11] -

@@ -21,7 +21,7 @@
 #include "core/fixed_window_synthesizer.h"
 #include "data/generators.h"
 #include "data/round_view.h"
-#include "util/rng.h"
+#include "util/substream.h"
 #include "util/thread_pool.h"
 
 namespace longdp {
@@ -50,8 +50,8 @@ std::string CumulativeLog(const data::LongitudinalDataset& ds, int64_t T,
   opt.horizon = T;
   opt.rho = 0.25;
   opt.pool = pool;
+  opt.seed = 0x7EADu;
   auto synth = CumulativeSynthesizer::Create(opt).value();
-  util::Rng rng(0x7EADu);
   std::ostringstream log;
   for (int64_t t = 1; t <= T; ++t) {
     if (use_byte_overload) {
@@ -60,9 +60,9 @@ std::string CumulativeLog(const data::LongitudinalDataset& ds, int64_t T,
         bytes[static_cast<size_t>(i)] =
             static_cast<uint8_t>(ds.Bit(i, t));
       }
-      EXPECT_TRUE(synth->ObserveRound(bytes, &rng).ok());
+      EXPECT_TRUE(synth->ObserveRound(bytes).ok());
     } else {
-      EXPECT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+      EXPECT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     }
     AppendRow("released", t, synth->released_thresholds(), &log);
   }
@@ -76,7 +76,7 @@ std::string CumulativeLog(const data::LongitudinalDataset& ds, int64_t T,
 
 TEST(ThreadInvarianceTest, CumulativeReleaseLogIdenticalAtAnyThreadCount) {
   const int64_t n = 700, T = 15;
-  util::Rng data_rng(0x11AAu);
+  util::SubstreamRng data_rng(0x11AAu, util::substream::kGeneric);
   auto ds = data::BernoulliIid(n, T, 0.35, &data_rng).value();
   const std::string serial =
       CumulativeLog(ds, T, nullptr, /*use_byte_overload=*/false);
@@ -99,11 +99,11 @@ std::string FixedWindowLog(const data::LongitudinalDataset& ds, int64_t T,
   opt.window_k = k;
   opt.rho = 0.25;
   opt.pool = pool;
+  opt.seed = 0xF00Du;
   auto synth = FixedWindowSynthesizer::Create(opt).value();
-  util::Rng rng(0xF00Du);
   std::ostringstream log;
   for (int64_t t = 1; t <= T; ++t) {
-    EXPECT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    EXPECT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     if (!synth->has_release()) continue;
     AppendRow("histogram", t, synth->SyntheticHistogram(), &log);
   }
@@ -120,7 +120,7 @@ std::string FixedWindowLog(const data::LongitudinalDataset& ds, int64_t T,
 TEST(ThreadInvarianceTest, FixedWindowReleaseLogIdenticalAtAnyThreadCount) {
   const int64_t n = 900, T = 13;
   const int k = 3;
-  util::Rng data_rng(0x22BBu);
+  util::SubstreamRng data_rng(0x22BBu, util::substream::kGeneric);
   auto ds = data::BernoulliIid(n, T, 0.3, &data_rng).value();
   const std::string serial = FixedWindowLog(ds, T, k, nullptr);
   for (int threads : kThreadCounts) {
@@ -140,12 +140,12 @@ std::string CategoricalLog(const std::vector<std::vector<uint8_t>>& rounds,
   opt.alphabet = A;
   opt.rho = 0.25;
   opt.pool = pool;
+  opt.seed = 0xCA7Eu;
   auto synth = CategoricalWindowSynthesizer::Create(opt).value();
-  util::Rng rng(0xCA7Eu);
   std::ostringstream log;
   for (int64_t t = 1; t <= T; ++t) {
     EXPECT_TRUE(
-        synth->ObserveRound(rounds[static_cast<size_t>(t - 1)], &rng).ok());
+        synth->ObserveRound(rounds[static_cast<size_t>(t - 1)]).ok());
     if (!synth->has_release()) continue;
     AppendRow("histogram", t, synth->SyntheticHistogram(), &log);
   }
@@ -159,7 +159,7 @@ std::string CategoricalLog(const std::vector<std::vector<uint8_t>>& rounds,
 TEST(ThreadInvarianceTest, CategoricalReleaseLogIdenticalAtAnyThreadCount) {
   const int64_t n = 800, T = 9;
   const int k = 2, A = 3;
-  util::Rng data_rng(0x33CCu);
+  util::SubstreamRng data_rng(0x33CCu, util::substream::kGeneric);
   std::vector<std::vector<uint8_t>> rounds(static_cast<size_t>(T));
   for (auto& round : rounds) {
     round.resize(static_cast<size_t>(n));
@@ -182,7 +182,7 @@ TEST(ThreadInvarianceTest, PopulationSmallerThanShardCount) {
   // n = 3 with an 8-lane pool leaves most shards empty; the run must still
   // match serial exactly (and not crash on empty ranges).
   const int64_t n = 3, T = 6;
-  util::Rng data_rng(0x44DDu);
+  util::SubstreamRng data_rng(0x44DDu, util::substream::kGeneric);
   auto ds = data::BernoulliIid(n, T, 0.5, &data_rng).value();
   const std::string serial =
       CumulativeLog(ds, T, nullptr, /*use_byte_overload=*/false);

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace data {
@@ -121,7 +121,7 @@ TEST(DatasetTest, WeightIncrementsMatchDefinition) {
 TEST(DatasetTest, IncrementsSumToCumulativeProperty) {
   // Property: for every b, sum_{j<=t} z^j_b == S^t_b (the Algorithm 2
   // representation S^t_b = sum z^j_b), on random data.
-  util::Rng rng(42);
+  util::SubstreamRng rng(42, util::substream::kGeneric);
   const int64_t kN = 200, kT = 10;
   auto ds = LongitudinalDataset::Create(kN, kT).value();
   std::vector<uint8_t> round(kN);
@@ -149,7 +149,7 @@ TEST(DatasetTest, IncrementsSumToCumulativeProperty) {
 
 TEST(DatasetTest, WindowHistogramMatchesSuffixPatternsProperty) {
   // Property: the histogram at (t, k) recounts SuffixPattern exactly.
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   const int64_t kN = 150, kT = 8;
   const int kK = 3;
   auto ds = LongitudinalDataset::Create(kN, kT).value();
@@ -175,7 +175,7 @@ TEST(DatasetTest, RoundViewBitsMatchAppendedBytes) {
   // A population that is not a multiple of 64 exercises the partial last
   // word; random bits exercise every position.
   const int64_t kN = 150, kT = 4;
-  util::Rng rng(0xBEEFu);
+  util::SubstreamRng rng(0xBEEFu, util::substream::kGeneric);
   auto ds = LongitudinalDataset::Create(kN, kT).value();
   std::vector<std::vector<uint8_t>> rounds;
   std::vector<uint8_t> round(static_cast<size_t>(kN));
@@ -202,7 +202,7 @@ TEST(DatasetTest, RoundViewBitsMatchAppendedBytes) {
 
 TEST(DatasetTest, RoundViewForEachOneVisitsExactlyTheSetBits) {
   const int64_t kN = 200;
-  util::Rng rng(0xFACEu);
+  util::SubstreamRng rng(0xFACEu, util::substream::kGeneric);
   auto ds = LongitudinalDataset::Create(kN, 1).value();
   std::vector<uint8_t> round(static_cast<size_t>(kN));
   for (auto& b : round) b = rng.Bernoulli(0.25) ? 1 : 0;
@@ -259,7 +259,7 @@ TEST(DatasetTest, ForEachSuffixPatternMatchesSuffixPattern) {
   // Includes t < k (zero padding before the first round) and a population
   // spanning multiple words.
   const int64_t kN = 130, kT = 6;
-  util::Rng rng(0xABCDu);
+  util::SubstreamRng rng(0xABCDu, util::substream::kGeneric);
   auto ds = LongitudinalDataset::Create(kN, kT).value();
   std::vector<uint8_t> round(static_cast<size_t>(kN));
   for (int64_t t = 1; t <= kT; ++t) {

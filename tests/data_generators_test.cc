@@ -3,7 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "query/cumulative_query.h"
-#include "util/rng.h"
+#include "util/substream.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace data {
@@ -24,13 +25,13 @@ TEST(GeneratorsTest, ExtremeAllZeros) {
 }
 
 TEST(GeneratorsTest, BernoulliValidatesP) {
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   EXPECT_FALSE(BernoulliIid(10, 3, -0.1, &rng).ok());
   EXPECT_FALSE(BernoulliIid(10, 3, 1.1, &rng).ok());
 }
 
 TEST(GeneratorsTest, BernoulliRateClose) {
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   auto ds = BernoulliIid(20000, 4, 0.25, &rng).value();
   int64_t ones = 0;
   for (int64_t i = 0; i < ds.num_users(); ++i) {
@@ -49,7 +50,7 @@ TEST(GeneratorsTest, MarkovValidation) {
 }
 
 TEST(GeneratorsTest, MarkovAbsorbingStates) {
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   // entry=0, exit=0: everyone stays in the initial state forever.
   auto ds = TwoStateMarkov(5000, 8, {0.4, 0.0, 0.0}, &rng).value();
   for (int64_t i = 0; i < ds.num_users(); ++i) {
@@ -61,7 +62,7 @@ TEST(GeneratorsTest, MarkovAbsorbingStates) {
 }
 
 TEST(GeneratorsTest, MarkovStationaryRate) {
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   // Start at the stationary rate entry/(entry+exit) = 0.2; the monthly rate
   // should stay near 0.2 at every t.
   MarkovParams p{0.2, 0.1, 0.4};
@@ -76,7 +77,7 @@ TEST(GeneratorsTest, MarkovStationaryRate) {
 }
 
 TEST(GeneratorsTest, MixtureValidatesShares) {
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   std::vector<MixtureComponent> bad = {{0.5, {}}, {0.2, {}}};
   EXPECT_FALSE(SubpopulationMixture(100, 3, bad, &rng).ok());
   EXPECT_FALSE(SubpopulationMixture(100, 3, {}, &rng).ok());
@@ -85,7 +86,7 @@ TEST(GeneratorsTest, MixtureValidatesShares) {
 }
 
 TEST(GeneratorsTest, MixtureComponentsBehaveDistinctly) {
-  util::Rng rng(11);
+  util::SubstreamRng rng(11, util::substream::kGeneric);
   // Component 0: always-in (share 0.3); component 1: always-out.
   std::vector<MixtureComponent> comps = {
       {0.3, {1.0, 1.0, 0.0}},
@@ -98,7 +99,8 @@ TEST(GeneratorsTest, MixtureComponentsBehaveDistinctly) {
 }
 
 TEST(GeneratorsTest, DeterministicGivenSeed) {
-  util::Rng a(13), b(13);
+  util::SubstreamRng a(13, util::substream::kGeneric);
+  util::SubstreamRng b(13, util::substream::kGeneric);
   auto d1 = TwoStateMarkov(100, 6, {0.2, 0.1, 0.3}, &a).value();
   auto d2 = TwoStateMarkov(100, 6, {0.2, 0.1, 0.3}, &b).value();
   for (int64_t i = 0; i < 100; ++i) {
@@ -106,6 +108,50 @@ TEST(GeneratorsTest, DeterministicGivenSeed) {
       ASSERT_EQ(d1.Bit(i, t), d2.Bit(i, t));
     }
   }
+}
+
+TEST(GeneratorsTest, KeyedOverloadsShardAndScheduleInvariant) {
+  // The keyed generators draw user i's round-t randomness from substream
+  // (seed, kDataset, t).Leaf(i): the dataset is a pure function of the
+  // seed, identical at any thread or shard count.
+  const MarkovParams p{0.2, 0.1, 0.3};
+  auto serial = TwoStateMarkov(3000, 6, p, uint64_t{12345}).value();
+  util::ThreadPool pool_a(2, 4);
+  util::ThreadPool pool_b(8, 16);
+  auto sharded4 = TwoStateMarkov(3000, 6, p, 12345, &pool_a).value();
+  auto sharded16 = TwoStateMarkov(3000, 6, p, 12345, &pool_b).value();
+  for (int64_t i = 0; i < 3000; ++i) {
+    for (int64_t t = 1; t <= 6; ++t) {
+      ASSERT_EQ(serial.Bit(i, t), sharded4.Bit(i, t))
+          << "user " << i << " t " << t;
+      ASSERT_EQ(serial.Bit(i, t), sharded16.Bit(i, t))
+          << "user " << i << " t " << t;
+    }
+  }
+}
+
+TEST(GeneratorsTest, KeyedBernoulliRateAndSeedSensitivity) {
+  auto ds = BernoulliIid(20000, 4, 0.25, uint64_t{777}).value();
+  int64_t ones = 0;
+  for (int64_t i = 0; i < ds.num_users(); ++i) ones += ds.HammingWeight(i, 4);
+  double rate = static_cast<double>(ones) /
+                static_cast<double>(ds.num_users() * 4);
+  EXPECT_NEAR(rate, 0.25, 0.01);
+  // A different seed yields a different dataset.
+  auto other = BernoulliIid(20000, 4, 0.25, uint64_t{778}).value();
+  bool any_diff = false;
+  for (int64_t i = 0; i < 20000 && !any_diff; ++i) {
+    for (int64_t t = 1; t <= 4; ++t) {
+      if (ds.Bit(i, t) != other.Bit(i, t)) { any_diff = true; break; }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, KeyedMixtureValidatesShares) {
+  std::vector<MixtureComponent> bad = {{0.5, {}}, {0.2, {}}};
+  EXPECT_FALSE(SubpopulationMixture(100, 3, bad, uint64_t{1}).ok());
+  EXPECT_FALSE(SubpopulationMixture(100, 3, {}, uint64_t{1}).ok());
 }
 
 // Parameterized sweep over Markov parameter corners.
@@ -117,7 +163,7 @@ struct MarkovCase {
 class MarkovSweep : public ::testing::TestWithParam<MarkovCase> {};
 
 TEST_P(MarkovSweep, InitialRateMatches) {
-  util::Rng rng(17);
+  util::SubstreamRng rng(17, util::substream::kGeneric);
   auto ds = TwoStateMarkov(20000, 3, GetParam().params, &rng).value();
   int64_t ones = 0;
   for (int64_t i = 0; i < ds.num_users(); ++i) ones += ds.Bit(i, 1);

@@ -1,0 +1,113 @@
+// Million-user generator integrity. The keyed generators are the front
+// door of the scale-out path (bench/scaling_users), so this suite pins
+// them at n = 1e6 where packing and sharding bugs actually live:
+//
+//  * packed-word invariants — every round's tail bits past size() are
+//    zero (word-level consumers like RoundView::CountOnes rely on it),
+//  * per-round popcount totals — the word-popcount count, the per-bit
+//    scan, and ForEachOne all agree,
+//  * shard invariance — the pooled build is word-identical to the serial
+//    build, so the dataset is a pure function of (n, T, params, seed).
+//
+// Labeled integration: ~1s, also runs under the sanitizer CI jobs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "data/generators.h"
+#include "data/round_view.h"
+#include "util/thread_pool.h"
+
+namespace longdp {
+namespace data {
+namespace {
+
+constexpr int64_t kUsers = 1000000;
+constexpr int64_t kHorizon = 12;
+constexpr uint64_t kSeed = 0x1A7E5CA1Eu;
+
+MarkovParams ScaleParams() {
+  MarkovParams params;
+  params.initial_rate = 0.12;
+  params.entry_prob = 0.04;
+  params.exit_prob = 0.3;
+  return params;
+}
+
+TEST(DataScaleTest, MillionUserRoundsKeepPackedInvariants) {
+  util::ThreadPool pool(8);
+  auto ds = TwoStateMarkov(kUsers, kHorizon, ScaleParams(), kSeed, &pool)
+                .value();
+  ASSERT_EQ(ds.num_users(), kUsers);
+  for (int64_t t = 1; t <= kHorizon; ++t) {
+    RoundView round = ds.Round(t);
+    ASSERT_EQ(round.size(), kUsers);
+    // Tail invariant: bits past size() in the last word must be zero.
+    const size_t last = round.num_words() - 1;
+    const int tail_bits = static_cast<int>(round.size() & 63);
+    if (tail_bits != 0) {
+      EXPECT_EQ(round.words()[last] >> tail_bits, 0u) << "t=" << t;
+    }
+    // Popcount totals: word-level, per-bit, and iterator counts agree.
+    const int64_t by_words = round.CountOnes();
+    int64_t by_bits = 0;
+    for (int64_t i = 0; i < kUsers; ++i) by_bits += round.bit(i);
+    int64_t by_iter = 0;
+    round.ForEachOne([&](int64_t) { ++by_iter; });
+    EXPECT_EQ(by_words, by_bits) << "t=" << t;
+    EXPECT_EQ(by_words, by_iter) << "t=" << t;
+    // A round where nobody (or everybody) is in poverty at n = 1e6 means
+    // the generator ignored its parameters.
+    EXPECT_GT(by_words, 0) << "t=" << t;
+    EXPECT_LT(by_words, kUsers) << "t=" << t;
+  }
+}
+
+TEST(DataScaleTest, MillionUserPooledBuildMatchesSerialWordForWord) {
+  util::ThreadPool pool(8);
+  auto pooled =
+      TwoStateMarkov(kUsers, kHorizon, ScaleParams(), kSeed, &pool).value();
+  auto serial =
+      TwoStateMarkov(kUsers, kHorizon, ScaleParams(), kSeed).value();
+  for (int64_t t = 1; t <= kHorizon; ++t) {
+    RoundView a = pooled.Round(t);
+    RoundView b = serial.Round(t);
+    ASSERT_EQ(a.num_words(), b.num_words());
+    EXPECT_EQ(std::memcmp(a.words(), b.words(),
+                          a.num_words() * sizeof(uint64_t)),
+              0)
+        << "t=" << t;
+  }
+}
+
+TEST(DataScaleTest, MillionUserMixtureIsSeedPureAcrossGrids) {
+  std::vector<MixtureComponent> components(2);
+  components[0].share = 0.7;
+  components[0].params = ScaleParams();
+  components[1].share = 0.3;
+  components[1].params.initial_rate = 0.4;
+  components[1].params.entry_prob = 0.1;
+  components[1].params.exit_prob = 0.15;
+  util::ThreadPool wide(8, 16);
+  util::ThreadPool narrow(2, 4);
+  auto a = SubpopulationMixture(kUsers, kHorizon, components, kSeed, &wide)
+               .value();
+  auto b = SubpopulationMixture(kUsers, kHorizon, components, kSeed, &narrow)
+               .value();
+  for (int64_t t = 1; t <= kHorizon; ++t) {
+    RoundView va = a.Round(t);
+    RoundView vb = b.Round(t);
+    ASSERT_EQ(va.num_words(), vb.num_words());
+    EXPECT_EQ(std::memcmp(va.words(), vb.words(),
+                          va.num_words() * sizeof(uint64_t)),
+              0)
+        << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace longdp

@@ -8,21 +8,36 @@
 #include "data/sipp_csv.h"
 #include "query/cumulative_query.h"
 #include "query/window_query.h"
-#include "util/rng.h"
+#include "util/substream.h"
+#include "util/thread_pool.h"
 
 namespace longdp {
 namespace data {
 namespace {
 
 TEST(SippSimulatorTest, DefaultDimensionsMatchPaper) {
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   auto ds = SimulateSippDefault(&rng).value();
   EXPECT_EQ(ds.num_users(), 23374);
   EXPECT_EQ(ds.rounds(), 12);
 }
 
+TEST(SippSimulatorTest, KeyedOverloadMatchesDimensionsAndIsSeedPure) {
+  util::ThreadPool pool(4, 8);
+  auto serial = SimulateSippDefault(uint64_t{20240512}).value();
+  auto sharded = SimulateSippDefault(20240512, &pool).value();
+  EXPECT_EQ(serial.num_users(), 23374);
+  EXPECT_EQ(serial.rounds(), 12);
+  for (int64_t i = 0; i < serial.num_users(); i += 97) {
+    for (int64_t t = 1; t <= 12; ++t) {
+      ASSERT_EQ(serial.Bit(i, t), sharded.Bit(i, t))
+          << "user " << i << " t " << t;
+    }
+  }
+}
+
 TEST(SippSimulatorTest, ValidatesChronicShare) {
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   SippOptions opt;
   opt.chronic_share = 1.5;
   EXPECT_FALSE(SimulateSipp(opt, &rng).ok());
@@ -33,7 +48,7 @@ TEST(SippSimulatorTest, CalibrationMatchesPaperGroundTruth) {
   // 0.10 / 0.09 / 0.07 for the four query types, and Fig 2's ~0.10 for
   // ">= 3 months by December". Generous tolerances — the bands, not the
   // digits, are what the reproduction needs.
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   auto ds = SimulateSippDefault(&rng).value();
 
   auto at_least_1 = query::MakeAtLeastOnes(3, 1);
@@ -62,7 +77,7 @@ TEST(SippSimulatorTest, CalibrationMatchesPaperGroundTruth) {
 
 TEST(SippSimulatorTest, CumulativeSeriesShapeMatchesFig2) {
   // Zero for t < 3, jumps at t = 3, grows slowly afterwards.
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   auto ds = SimulateSippDefault(&rng).value();
   EXPECT_EQ(query::EvaluateCumulativeOnDataset(ds, 1, 3).value(), 0.0);
   EXPECT_EQ(query::EvaluateCumulativeOnDataset(ds, 2, 3).value(), 0.0);
@@ -76,7 +91,7 @@ TEST(SippSimulatorTest, CumulativeSeriesShapeMatchesFig2) {
 }
 
 TEST(SippCsvTest, RoundTripPreservesBits) {
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   SippOptions opt;
   opt.num_households = 200;
   auto ds = SimulateSipp(opt, &rng).value();
@@ -100,7 +115,7 @@ TEST(SippCsvTest, FullDeviceWriteSurfacesAsIOError) {
   if (!std::ifstream("/dev/full").good()) {
     GTEST_SKIP() << "/dev/full not available";
   }
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   SippOptions opt;
   opt.num_households = 50;
   auto ds = SimulateSipp(opt, &rng).value();

@@ -6,14 +6,14 @@
 #include <map>
 
 #include "util/mathutil.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace dp {
 namespace {
 
 TEST(BernoulliExpNegTest, GammaZeroAlwaysTrue) {
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   for (int i = 0; i < 100; ++i) {
     EXPECT_TRUE(SampleBernoulliExpNeg(0.0, &rng));
     EXPECT_TRUE(SampleBernoulliExpNeg(-1.0, &rng));
@@ -21,7 +21,7 @@ TEST(BernoulliExpNegTest, GammaZeroAlwaysTrue) {
 }
 
 TEST(BernoulliExpNegTest, MatchesExpMinusGammaSmall) {
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   const int kDraws = 200000;
   for (double gamma : {0.1, 0.5, 1.0}) {
     int successes = 0;
@@ -34,7 +34,7 @@ TEST(BernoulliExpNegTest, MatchesExpMinusGammaSmall) {
 }
 
 TEST(BernoulliExpNegTest, MatchesExpMinusGammaLarge) {
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   const int kDraws = 200000;
   for (double gamma : {1.5, 2.3, 4.0}) {
     int successes = 0;
@@ -47,7 +47,7 @@ TEST(BernoulliExpNegTest, MatchesExpMinusGammaLarge) {
 }
 
 TEST(DiscreteLaplaceTest, SymmetricZeroMean) {
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   const int kDraws = 100000;
   for (double s : {0.7, 1.0, 3.3, 10.0}) {
     util::MomentAccumulator acc;
@@ -65,7 +65,7 @@ TEST(DiscreteLaplaceTest, SymmetricZeroMean) {
 
 TEST(DiscreteLaplaceTest, GeometricTailRatio) {
   // Pr[X = x+1] / Pr[X = x] = exp(-1/s) for x >= 0.
-  util::Rng rng(7);
+  util::SubstreamRng rng(7, util::substream::kGeneric);
   const double s = 2.0;
   const int kDraws = 300000;
   std::map<int64_t, int> hist;
@@ -79,14 +79,14 @@ TEST(DiscreteLaplaceTest, GeometricTailRatio) {
 }
 
 TEST(DiscreteGaussianTest, ZeroSigmaIsDeterministicZero) {
-  util::Rng rng(11);
+  util::SubstreamRng rng(11, util::substream::kGeneric);
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(SampleDiscreteGaussian(0.0, &rng), 0);
   }
 }
 
 TEST(DiscreteGaussianTest, MeanAndVarianceMatchTheory) {
-  util::Rng rng(13);
+  util::SubstreamRng rng(13, util::substream::kGeneric);
   const int kDraws = 200000;
   for (double sigma2 : {0.5, 1.0, 4.0, 25.0, 400.0}) {
     util::MomentAccumulator acc;
@@ -125,7 +125,7 @@ TEST(DiscreteGaussianTest, ChiSquareGoodnessOfFit) {
   // Compare empirical frequencies against the exact pmf over a central
   // window; a crude chi-square with a generous threshold catches gross
   // sampler bugs without flaking.
-  util::Rng rng(17);
+  util::SubstreamRng rng(17, util::substream::kGeneric);
   const double sigma2 = 4.0;
   const int kDraws = 200000;
   std::map<int64_t, int> hist;
@@ -144,7 +144,7 @@ TEST(DiscreteGaussianTest, ChiSquareGoodnessOfFit) {
 }
 
 TEST(DiscreteGaussianTest, TailBoundHolds) {
-  util::Rng rng(19);
+  util::SubstreamRng rng(19, util::substream::kGeneric);
   const double sigma2 = 9.0;
   const int kDraws = 100000;
   const double lambda = 9.0;  // 3 sigma
@@ -164,7 +164,8 @@ TEST(DiscreteGaussianTest, TailBoundEdgeCases) {
 }
 
 TEST(DiscreteGaussianTest, DeterministicGivenSeed) {
-  util::Rng a(23), b(23);
+  util::SubstreamRng a(23, util::substream::kGeneric);
+  util::SubstreamRng b(23, util::substream::kGeneric);
   for (int i = 0; i < 200; ++i) {
     EXPECT_EQ(SampleDiscreteGaussian(7.0, &a),
               SampleDiscreteGaussian(7.0, &b));
@@ -178,7 +179,7 @@ class DiscreteGaussianSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(DiscreteGaussianSweep, ExperimentRegimeMoments) {
   const double sigma2 = GetParam();
-  util::Rng rng(static_cast<uint64_t>(sigma2 * 1000) + 31);
+  util::SubstreamRng rng(static_cast<uint64_t>(sigma2 * 1000) + 31, util::substream::kGeneric);
   const int kDraws = 30000;
   util::MomentAccumulator acc;
   for (int i = 0; i < kDraws; ++i) {

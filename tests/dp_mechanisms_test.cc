@@ -7,6 +7,7 @@
 
 #include "dp/accountant.h"
 #include "util/mathutil.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace dp {
@@ -56,13 +57,13 @@ TEST(CalibrationTest, ZCdpToApproxDp) {
 
 TEST(NoisyCountTest, ZeroNoiseIsExact) {
   NoisyCountMechanism mech(0.0);
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   EXPECT_EQ(mech.Release(1234, &rng), 1234);
 }
 
 TEST(NoisyCountTest, NoiseHasCalibratedSpread) {
   NoisyCountMechanism mech(/*sigma2=*/25.0);
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   util::MomentAccumulator acc;
   for (int i = 0; i < 50000; ++i) {
     acc.Add(static_cast<double>(mech.Release(100, &rng) - 100));
@@ -73,14 +74,14 @@ TEST(NoisyCountTest, NoiseHasCalibratedSpread) {
 
 TEST(NoisyHistogramTest, ZeroNoiseAppliesOffsetOnly) {
   NoisyHistogramMechanism mech(0.0);
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   auto out = mech.Release({1, 2, 3}, /*offset=*/10, &rng);
   EXPECT_EQ(out, (std::vector<int64_t>{11, 12, 13}));
 }
 
 TEST(NoisyHistogramTest, IndependentNoisePerBin) {
   NoisyHistogramMechanism mech(100.0);
-  util::Rng rng(4);
+  util::SubstreamRng rng(4, util::substream::kGeneric);
   auto out = mech.Release(std::vector<int64_t>(64, 0), 0, &rng);
   // All-equal output across 64 bins would indicate broken noise reuse.
   bool all_equal = true;

@@ -16,7 +16,7 @@
 
 #include "dp/discrete_gaussian.h"
 #include "util/mathutil.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace dp {
@@ -39,7 +39,7 @@ TEST(DpStatisticalTest, DiscreteGaussianMeanAndVarianceWithinTolerance) {
   // the rho = 0.001 SIPP sweeps (sigma^2 ~ thousands).
   for (double sigma2 : {1.0, 25.0, 900.0, 6000.0}) {
     const int kDraws = 400000;
-    util::Rng rng(0xD6A11 + static_cast<uint64_t>(sigma2));
+    util::SubstreamRng rng(0xD6A11 + static_cast<uint64_t>(sigma2), util::substream::kGeneric);
     util::MomentAccumulator acc;
     for (int i = 0; i < kDraws; ++i) {
       acc.Add(static_cast<double>(SampleDiscreteGaussian(sigma2, &rng)));
@@ -63,7 +63,7 @@ TEST(DpStatisticalTest, DiscreteGaussianTwoSidedTailMass) {
   const double sigma2 = 25.0;
   const int64_t lambda = 10;  // 2 sigma
   const int kDraws = 500000;
-  util::Rng rng(0x7A11);
+  util::SubstreamRng rng(0x7A11, util::substream::kGeneric);
   int64_t upper = 0, lower = 0;
   for (int i = 0; i < kDraws; ++i) {
     const int64_t x = SampleDiscreteGaussian(sigma2, &rng);
@@ -88,7 +88,7 @@ TEST(DpStatisticalTest, DiscreteLaplaceMeanAndVarianceWithinTolerance) {
   // moments too. Var[Lap_Z(s)] = 2 e^{1/s} / (e^{1/s} - 1)^2.
   for (double s : {1.0, 10.0}) {
     const int kDraws = 400000;
-    util::Rng rng(0x1AB + static_cast<uint64_t>(s));
+    util::SubstreamRng rng(0x1AB + static_cast<uint64_t>(s), util::substream::kGeneric);
     util::MomentAccumulator acc;
     for (int i = 0; i < kDraws; ++i) {
       acc.Add(static_cast<double>(SampleDiscreteLaplace(s, &rng)));

@@ -105,7 +105,7 @@ TEST(TableTest, WriteCsvToUnwritablePathFails) {
 TEST(RunnerTest, RunsAllRepetitions) {
   std::atomic<int64_t> count{0};
   ASSERT_TRUE(RunRepetitions(100, 7,
-                             [&](int64_t, util::Rng*) {
+                             [&](int64_t, uint64_t) {
                                count.fetch_add(1);
                                return Status::OK();
                              })
@@ -118,8 +118,8 @@ TEST(RunnerTest, DeterministicPerRepetitionSeeds) {
   auto run = [&](std::vector<uint64_t>* sink, int threads) {
     return RunRepetitions(
         16, 99,
-        [&](int64_t rep, util::Rng* rng) {
-          (*sink)[static_cast<size_t>(rep)] = rng->Next();
+        [&](int64_t rep, uint64_t rep_seed) {
+          (*sink)[static_cast<size_t>(rep)] = rep_seed;
           return Status::OK();
         },
         threads);
@@ -127,10 +127,14 @@ TEST(RunnerTest, DeterministicPerRepetitionSeeds) {
   ASSERT_TRUE(run(&first, 1).ok());
   ASSERT_TRUE(run(&second, 8).ok());
   EXPECT_EQ(first, second);  // schedule-independent
+  // Distinct repetitions get distinct seeds.
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_NE(first[i], first[0]) << "rep " << i;
+  }
 }
 
 TEST(RunnerTest, PropagatesErrors) {
-  Status st = RunRepetitions(10, 1, [](int64_t rep, util::Rng*) {
+  Status st = RunRepetitions(10, 1, [](int64_t rep, uint64_t) {
     if (rep == 5) return Status::Internal("rep 5 failed");
     return Status::OK();
   });
@@ -138,7 +142,7 @@ TEST(RunnerTest, PropagatesErrors) {
 }
 
 TEST(RunnerTest, ZeroRepsIsOk) {
-  EXPECT_TRUE(RunRepetitions(0, 1, [](int64_t, util::Rng*) {
+  EXPECT_TRUE(RunRepetitions(0, 1, [](int64_t, uint64_t) {
                 return Status::OK();
               }).ok());
 }

@@ -15,7 +15,7 @@
 #include "harness/runner.h"
 #include "query/cumulative_query.h"
 #include "query/window_query.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace {
@@ -23,11 +23,10 @@ namespace {
 class SippIntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    util::Rng rng(2024);
     data::SippOptions opt;
     opt.num_households = 8000;  // scaled down for test runtime
     dataset_ = new data::LongitudinalDataset(
-        data::SimulateSipp(opt, &rng).value());
+        data::SimulateSipp(opt, uint64_t{2024}).value());
   }
   static void TearDownTestSuite() {
     delete dataset_;
@@ -48,16 +47,16 @@ TEST_F(SippIntegrationTest, FixedWindowDebiasedAnswersAreUnbiased) {
   std::vector<double> estimates(static_cast<size_t>(kReps), 0.0);
   ASSERT_TRUE(harness::RunRepetitions(
                   kReps, 11,
-                  [&](int64_t rep, util::Rng* rng) {
+                  [&](int64_t rep, uint64_t rep_seed) {
                     core::FixedWindowSynthesizer::Options opt;
                     opt.horizon = 12;
                     opt.window_k = 3;
                     opt.rho = 0.005;
+                    opt.seed = rep_seed;
                     LONGDP_ASSIGN_OR_RETURN(
                         auto synth, core::FixedWindowSynthesizer::Create(opt));
                     for (int64_t t = 1; t <= 12; ++t) {
-                      LONGDP_RETURN_NOT_OK(
-                          synth->ObserveRound(ds.Round(t), rng));
+                      LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
                     }
                     LONGDP_ASSIGN_OR_RETURN(
                         estimates[static_cast<size_t>(rep)],
@@ -80,14 +79,14 @@ TEST_F(SippIntegrationTest, FixedWindowBiasMatchesPaddingPrediction) {
   // 7 * npad fake matches, a bias far above the noise floor.
   const auto& ds = *dataset_;
   auto pred = query::MakeAtLeastOnes(3, 1);
-  util::Rng rng(13);
   core::FixedWindowSynthesizer::Options opt;
   opt.horizon = 12;
   opt.window_k = 3;
   opt.rho = 0.005;
+  opt.seed = 13;
   auto synth = core::FixedWindowSynthesizer::Create(opt).value();
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   double truth = query::EvaluateOnDataset(*pred, ds, 12).value();
   double biased = synth->BiasedAnswer(*pred).value();
@@ -102,15 +101,15 @@ TEST_F(SippIntegrationTest, CumulativeAnswersUnbiasedOverReps) {
   std::vector<double> estimates(static_cast<size_t>(kReps), 0.0);
   ASSERT_TRUE(harness::RunRepetitions(
                   kReps, 17,
-                  [&](int64_t rep, util::Rng* rng) {
+                  [&](int64_t rep, uint64_t rep_seed) {
                     core::CumulativeSynthesizer::Options opt;
                     opt.horizon = 12;
                     opt.rho = 0.005;
+                    opt.seed = rep_seed;
                     LONGDP_ASSIGN_OR_RETURN(
                         auto synth, core::CumulativeSynthesizer::Create(opt));
                     for (int64_t t = 1; t <= 12; ++t) {
-                      LONGDP_RETURN_NOT_OK(
-                          synth->ObserveRound(ds.Round(t), rng));
+                      LONGDP_RETURN_NOT_OK(synth->ObserveRound(ds.Round(t)));
                     }
                     LONGDP_ASSIGN_OR_RETURN(
                         estimates[static_cast<size_t>(rep)],
@@ -126,7 +125,6 @@ TEST_F(SippIntegrationTest, CumulativeAnswersUnbiasedOverReps) {
 
 TEST_F(SippIntegrationTest, BothAlgorithmsStayWithinTheoryEnvelope) {
   const auto& ds = *dataset_;
-  util::Rng rng(19);
   // Fixed window, debiased per-bin error vs Theorem 3.2 / Corollary 3.3.
   double lambda =
       core::theory::MaxBinCountErrorBound(12, 3, 0.005, 0.05).value();
@@ -134,10 +132,11 @@ TEST_F(SippIntegrationTest, BothAlgorithmsStayWithinTheoryEnvelope) {
   fopt.horizon = 12;
   fopt.window_k = 3;
   fopt.rho = 0.005;
+  fopt.seed = 19;
   auto fixed = core::FixedWindowSynthesizer::Create(fopt).value();
   double max_bin_err = 0.0;
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(fixed->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(fixed->ObserveRound(ds.Round(t)).ok());
     if (!fixed->has_release()) continue;
     auto hist = fixed->SyntheticHistogram();
     auto truth = ds.WindowHistogram(t, 3).value();
@@ -157,10 +156,11 @@ TEST_F(SippIntegrationTest, BothAlgorithmsStayWithinTheoryEnvelope) {
   core::CumulativeSynthesizer::Options copt;
   copt.horizon = 12;
   copt.rho = 0.005;
+  copt.seed = 20;
   auto cumulative = core::CumulativeSynthesizer::Create(copt).value();
   double max_frac_err = 0.0;
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(cumulative->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(cumulative->ObserveRound(ds.Round(t)).ok());
     for (int64_t b = 1; b <= t; ++b) {
       double truth = query::EvaluateCumulativeOnDataset(ds, t, b).value();
       max_frac_err =
@@ -176,7 +176,6 @@ TEST_F(SippIntegrationTest, LinearCombinationQueriesAtNoExtraCost) {
   // the one release — demonstrated with a weighted "months in poverty this
   // quarter" expectation query.
   const auto& ds = *dataset_;
-  util::Rng rng(23);
   std::vector<double> weights(8, 0.0);
   for (util::Pattern s = 0; s < 8; ++s) {
     weights[s] = static_cast<double>(util::Popcount(s)) / 3.0;
@@ -186,9 +185,10 @@ TEST_F(SippIntegrationTest, LinearCombinationQueriesAtNoExtraCost) {
   opt.horizon = 12;
   opt.window_k = 3;
   opt.rho = 0.05;
+  opt.seed = 23;
   auto synth = core::FixedWindowSynthesizer::Create(opt).value();
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
   }
   double truth = q.EvaluateOnDataset(ds, 12).value();
   double synth_value =
@@ -204,14 +204,13 @@ TEST_F(SippIntegrationTest, CountOccReductionFromSynthesizerReleases) {
   // the released threshold rows, zero-noise path: matches direct
   // evaluation on the data.
   const auto& ds = *dataset_;
-  util::Rng rng(29);
   core::CumulativeSynthesizer::Options opt;
   opt.horizon = 12;
   opt.rho = std::numeric_limits<double>::infinity();
   auto synth = core::CumulativeSynthesizer::Create(opt).value();
   std::vector<std::vector<int64_t>> rows;
   for (int64_t t = 1; t <= 12; ++t) {
-    ASSERT_TRUE(synth->ObserveRound(ds.Round(t), &rng).ok());
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
     rows.push_back(synth->released_thresholds());
   }
   // For the zero-noise path the reduction's inputs are exact threshold

@@ -1,0 +1,14 @@
+// Must produce longdp-substream-discipline findings on the three marked
+// lines: a named declaration, a brace-initialized member-style declaration,
+// and a temporary. (This file is lint data, never compiled.)
+#include "util/rng.h"
+
+namespace longdp {
+
+uint64_t DrawOutsideTheFactory() {
+  util::Rng rng(42);  // 1 finding: named construction
+  util::Rng forked = rng.Fork();  // 1 finding: second engine minted
+  return rng.Next() ^ util::Rng(7).Next();  // 1 finding: temporary
+}
+
+}  // namespace longdp

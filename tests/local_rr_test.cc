@@ -6,7 +6,7 @@
 
 #include "data/generators.h"
 #include "util/mathutil.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace local {
@@ -61,12 +61,12 @@ TEST(LocalRrTest, MemoizedBudgetUsesFlipBound) {
 
 TEST(LocalRrTest, EstimatesAreUnbiased) {
   const int64_t kN = 50000, kT = 4;
-  util::Rng data_rng(1);
+  util::SubstreamRng data_rng(1, util::substream::kLocal);
   auto ds = data::BernoulliIid(kN, kT, 0.3, &data_rng).value();
   auto oracle = LocalFrequencyOracle::Create(
                     Opt(kT, 8.0, ReportStrategy::kFreshPerRound))
                     .value();
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kLocal);
   for (int64_t t = 1; t <= kT; ++t) {
     auto est = oracle->ObserveRound(ds.Round(t), &rng);
     ASSERT_TRUE(est.ok());
@@ -91,7 +91,7 @@ TEST(LocalRrTest, RandomizerFlipRatesMatchCalibration) {
   const double q = oracle->flip_lie_prob();
   const std::vector<uint8_t> ones(static_cast<size_t>(kN), 1);
   const std::vector<uint8_t> zeros(static_cast<size_t>(kN), 0);
-  util::Rng rng(0xF11B);
+  util::SubstreamRng rng(0xF11B, util::substream::kLocal);
   util::MomentAccumulator keep_rate, lie_rate;
   for (int64_t t = 1; t <= kT; ++t) {
     // Alternate so both rates come from the same oracle instance.
@@ -117,7 +117,7 @@ TEST(LocalRrTest, MemoizedRepliesAreStable) {
   auto ds = data::ExtremeAllOnes(kN, kT).value();
   auto opt = Opt(kT, 2.0, ReportStrategy::kMemoized);
   auto oracle = LocalFrequencyOracle::Create(opt).value();
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kLocal);
   double first = oracle->ObserveRound(ds.Round(1), &rng).value();
   for (int64_t t = 2; t <= kT; ++t) {
     EXPECT_DOUBLE_EQ(oracle->ObserveRound(ds.Round(t), &rng).value(), first);
@@ -142,7 +142,7 @@ TEST(LocalRrTest, InputValidationOnObserve) {
   auto oracle = LocalFrequencyOracle::Create(
                     Opt(2, 1.0, ReportStrategy::kFreshPerRound))
                     .value();
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kLocal);
   std::vector<uint8_t> round = {0, 1, 1};
   ASSERT_TRUE(oracle->ObserveRound(round, &rng).ok());
   std::vector<uint8_t> wrong = {0, 1};

@@ -4,7 +4,7 @@
 
 #include "data/generators.h"
 #include "data/longitudinal_dataset.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace query {
@@ -36,7 +36,7 @@ TEST(CumulativeQueryTest, StairValues) {
 }
 
 TEST(CumulativeQueryTest, MonotoneInTAntitoneInB) {
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   auto ds = data::BernoulliIid(400, 8, 0.3, &rng).value();
   for (int64_t b = 1; b <= 4; ++b) {
     double prev = 0.0;
@@ -65,7 +65,7 @@ TEST(CumulativeQueryTest, RangeChecks) {
 }
 
 TEST(CumulativeQueryTest, AgreesWithCumulativeCounts) {
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   auto ds = data::BernoulliIid(300, 6, 0.5, &rng).value();
   for (int64_t t = 1; t <= 6; ++t) {
     auto counts = ds.CumulativeCounts(t).value();

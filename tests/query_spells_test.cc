@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "data/generators.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace query {
@@ -57,7 +57,7 @@ TEST(SpellsTest, EverHadSpell) {
 }
 
 TEST(SpellsTest, EverHadSpellMonotoneInT) {
-  util::Rng rng(1);
+  util::SubstreamRng rng(1, util::substream::kGeneric);
   auto ds = data::BernoulliIid(300, 10, 0.3, &rng).value();
   for (int64_t len = 1; len <= 4; ++len) {
     double prev = 0.0;
@@ -102,7 +102,7 @@ TEST(SpellsTest, Validation) {
 
 TEST(SpellsTest, HistogramTotalsMatchPopulationWeight) {
   // Property: sum over lengths of (length * count) == total 1-bits.
-  util::Rng rng(2);
+  util::SubstreamRng rng(2, util::substream::kGeneric);
   auto ds = data::BernoulliIid(200, 12, 0.4, &rng).value();
   for (int64_t t : {1, 5, 12}) {
     auto hist = SpellLengthHistogram(ds, t).value();

@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "data/generators.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace query {
@@ -127,7 +127,7 @@ TEST(LinearQueryTest, WeightNorm) {
 }
 
 TEST(LinearQueryTest, DatasetAndHistogramAgree) {
-  util::Rng rng(3);
+  util::SubstreamRng rng(3, util::substream::kGeneric);
   auto ds = data::BernoulliIid(500, 6, 0.4, &rng).value();
   auto q = LinearWindowQuery::Create(
                3, {0.5, 0, 1, 0, 2, 0, 0, 1.5})
@@ -145,7 +145,7 @@ class WindowQueryPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(WindowQueryPropertyTest, HistogramAndDatasetAgree) {
   const int k = GetParam();
-  util::Rng rng(100 + static_cast<uint64_t>(k));
+  util::SubstreamRng rng(100 + static_cast<uint64_t>(k), util::substream::kGeneric);
   const int64_t kN = 300, kT = 9;
   auto ds = data::BernoulliIid(kN, kT, 0.35, &rng).value();
   std::vector<WindowPredicatePtr> preds;

@@ -7,7 +7,7 @@
 
 #include "stream/budget_split.h"
 #include "stream/counter_factory.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace stream {
@@ -16,11 +16,12 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 CounterBank::Options MakeOptions(int64_t horizon, int64_t population,
-                                 double rho) {
+                                 double rho, uint64_t seed = 0) {
   CounterBank::Options options;
   options.horizon = horizon;
   options.population = population;
   options.total_rho = rho;
+  options.seed = seed;
   return options;
 }
 
@@ -111,7 +112,6 @@ TEST(CounterBankTest, ZeroNoiseReproducesTrueThresholds) {
   const int64_t kT = 6, kN = 5;
   auto bank = CounterBank::Create(MakeOptions(kT, kN, kInf));
   ASSERT_TRUE(bank.ok());
-  util::Rng rng(1);
   // User i reports 1 in rounds 1..i (i.e. z^t counts users with new weight).
   std::vector<int64_t> weight(kN, 0);
   for (int64_t t = 1; t <= kT; ++t) {
@@ -132,7 +132,7 @@ TEST(CounterBankTest, ZeroNoiseReproducesTrueThresholds) {
       }
       true_s[b] = c;
     }
-    auto row = bank.value()->ObserveRound(z, &rng);
+    auto row = bank.value()->ObserveRound(z);
     ASSERT_TRUE(row.ok());
     EXPECT_EQ(row.value(), true_s) << "t=" << t;
   }
@@ -144,13 +144,12 @@ TEST(CounterBankTest, MonotonizationInvariants) {
   const int64_t kT = 12, kN = 500;
   auto bank = CounterBank::Create(MakeOptions(kT, kN, 0.01));
   ASSERT_TRUE(bank.ok());
-  util::Rng rng(2);
   std::vector<int64_t> prev(kT + 1, 0);
   prev[0] = kN;
   for (int64_t t = 1; t <= kT; ++t) {
     std::vector<int64_t> z(kT, 0);
     z[static_cast<size_t>(t - 1)] = 30;  // 30 users reach weight t each round
-    auto row = bank.value()->ObserveRound(z, &rng);
+    auto row = bank.value()->ObserveRound(z);
     ASSERT_TRUE(row.ok());
     const auto& r = row.value();
     EXPECT_EQ(r[0], kN);
@@ -168,11 +167,10 @@ TEST(CounterBankTest, ImpossibleThresholdsStayZero) {
   const int64_t kT = 10, kN = 1000;
   auto bank = CounterBank::Create(MakeOptions(kT, kN, 0.005));
   ASSERT_TRUE(bank.ok());
-  util::Rng rng(3);
   for (int64_t t = 1; t <= kT; ++t) {
     std::vector<int64_t> z(kT, 0);
     z[0] = (t == 1) ? 100 : 0;
-    auto row = bank.value()->ObserveRound(z, &rng);
+    auto row = bank.value()->ObserveRound(z);
     ASSERT_TRUE(row.ok());
     for (int64_t b = t + 1; b <= kT; ++b) {
       EXPECT_EQ(row.value()[static_cast<size_t>(b)], 0)
@@ -186,9 +184,10 @@ TEST(CounterBankTest, Lemma42ErrorDomination) {
   // max of the raw error at (t, b) and the monotonized errors at
   // (t-1, b) and (t-1, b-1).
   const int64_t kT = 12, kN = 2000;
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   for (int trial = 0; trial < 20; ++trial) {
-    auto bank = CounterBank::Create(MakeOptions(kT, kN, 0.02));
+    auto bank = CounterBank::Create(
+        MakeOptions(kT, kN, 0.02, static_cast<uint64_t>(trial)));
     ASSERT_TRUE(bank.ok());
     // Random true trajectory.
     std::vector<int64_t> weight(kN, 0);
@@ -201,7 +200,7 @@ TEST(CounterBankTest, Lemma42ErrorDomination) {
           ++weight[i];
         }
       }
-      auto row = bank.value()->ObserveRound(z, &rng);
+      auto row = bank.value()->ObserveRound(z);
       ASSERT_TRUE(row.ok());
       const auto& mono = row.value();
       const auto& raw = bank.value()->raw_row();
@@ -227,30 +226,27 @@ TEST(CounterBankTest, Lemma42ErrorDomination) {
 TEST(CounterBankTest, RejectsNonzeroFutureIncrements) {
   auto bank = CounterBank::Create(MakeOptions(5, 10, kInf));
   ASSERT_TRUE(bank.ok());
-  util::Rng rng(6);
   std::vector<int64_t> z(5, 0);
   z[3] = 1;  // weight-4 increment at t=1 is impossible
   EXPECT_TRUE(
-      bank.value()->ObserveRound(z, &rng).status().IsInvalidArgument());
+      bank.value()->ObserveRound(z).status().IsInvalidArgument());
 }
 
 TEST(CounterBankTest, RejectsWrongArity) {
   auto bank = CounterBank::Create(MakeOptions(5, 10, kInf));
   ASSERT_TRUE(bank.ok());
-  util::Rng rng(7);
   std::vector<int64_t> z(4, 0);
   EXPECT_TRUE(
-      bank.value()->ObserveRound(z, &rng).status().IsInvalidArgument());
+      bank.value()->ObserveRound(z).status().IsInvalidArgument());
 }
 
 TEST(CounterBankTest, RejectsPastHorizon) {
   auto bank = CounterBank::Create(MakeOptions(2, 10, kInf));
   ASSERT_TRUE(bank.ok());
-  util::Rng rng(8);
   std::vector<int64_t> z(2, 0);
-  ASSERT_TRUE(bank.value()->ObserveRound(z, &rng).ok());
-  ASSERT_TRUE(bank.value()->ObserveRound(z, &rng).ok());
-  EXPECT_TRUE(bank.value()->ObserveRound(z, &rng).status().IsOutOfRange());
+  ASSERT_TRUE(bank.value()->ObserveRound(z).ok());
+  ASSERT_TRUE(bank.value()->ObserveRound(z).ok());
+  EXPECT_TRUE(bank.value()->ObserveRound(z).status().IsOutOfRange());
 }
 
 TEST(CounterBankTest, SupportsAlternativeCounterFactories) {
@@ -258,10 +254,9 @@ TEST(CounterBankTest, SupportsAlternativeCounterFactories) {
   options.factory = MakeCounterFactory("honaker").value();
   auto bank = CounterBank::Create(options);
   ASSERT_TRUE(bank.ok());
-  util::Rng rng(9);
   std::vector<int64_t> z(8, 0);
   z[0] = 10;
-  EXPECT_TRUE(bank.value()->ObserveRound(z, &rng).ok());
+  EXPECT_TRUE(bank.value()->ObserveRound(z).ok());
 }
 
 }  // namespace

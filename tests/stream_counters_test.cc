@@ -13,7 +13,7 @@
 #include "stream/naive_counters.h"
 #include "stream/tree_counter.h"
 #include "util/mathutil.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace stream {
@@ -21,12 +21,19 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// A keyed noise substream for a counter under test; distinct `i` gives an
+// independent noise path.
+util::SubstreamRng NoiseStream(uint64_t i) {
+  return util::SubstreamRng(0xC0F3EE + i, util::substream::kCounterNoise);
+}
+
 class CounterContractTest : public ::testing::TestWithParam<std::string> {
  protected:
-  std::unique_ptr<StreamCounter> Make(int64_t horizon, double rho) {
+  std::unique_ptr<StreamCounter> Make(int64_t horizon, double rho,
+                                      uint64_t stream_id = 0) {
     auto f = MakeCounterFactory(GetParam());
     EXPECT_TRUE(f.ok());
-    auto c = f.value()->Create(horizon, rho);
+    auto c = f.value()->Create(horizon, rho, NoiseStream(stream_id));
     EXPECT_TRUE(c.ok()) << c.status().ToString();
     return std::move(c).value();
   }
@@ -39,12 +46,11 @@ TEST_P(CounterContractTest, NameMatchesRegistry) {
 
 TEST_P(CounterContractTest, ZeroNoiseIsExact) {
   auto counter = Make(40, kInf);
-  util::Rng rng(1);
   int64_t truth = 0;
   for (int64_t t = 1; t <= 40; ++t) {
     int64_t z = (t * 7) % 4;
     truth += z;
-    auto r = counter->Observe(z, &rng);
+    auto r = counter->Observe(z);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.value(), truth) << "t=" << t;
   }
@@ -52,19 +58,17 @@ TEST_P(CounterContractTest, ZeroNoiseIsExact) {
 
 TEST_P(CounterContractTest, TracksStepsAndHorizon) {
   auto counter = Make(5, 1.0);
-  util::Rng rng(2);
   EXPECT_EQ(counter->steps(), 0);
   EXPECT_EQ(counter->horizon(), 5);
-  ASSERT_TRUE(counter->Observe(1, &rng).ok());
+  ASSERT_TRUE(counter->Observe(1).ok());
   EXPECT_EQ(counter->steps(), 1);
 }
 
 TEST_P(CounterContractTest, RejectsPastHorizon) {
   auto counter = Make(2, 1.0);
-  util::Rng rng(3);
-  ASSERT_TRUE(counter->Observe(0, &rng).ok());
-  ASSERT_TRUE(counter->Observe(0, &rng).ok());
-  EXPECT_TRUE(counter->Observe(0, &rng).status().IsOutOfRange());
+  ASSERT_TRUE(counter->Observe(0).ok());
+  ASSERT_TRUE(counter->Observe(0).ok());
+  EXPECT_TRUE(counter->Observe(0).status().IsOutOfRange());
 }
 
 TEST_P(CounterContractTest, ReportsConfiguredRho) {
@@ -84,15 +88,15 @@ TEST_P(CounterContractTest, EmpiricalErrorWithinBound) {
   const double kRho = 0.5;
   const double kBeta = 0.05;
   const int kTrials = 300;
-  util::Rng rng(5);
+  util::SubstreamRng rng(5, util::substream::kGeneric);
   int violations = 0, checks = 0;
   for (int trial = 0; trial < kTrials; ++trial) {
-    auto counter = Make(kT, kRho);
+    auto counter = Make(kT, kRho, static_cast<uint64_t>(trial));
     int64_t truth = 0;
     for (int64_t t = 1; t <= kT; ++t) {
       int64_t z = static_cast<int64_t>(rng.UniformInt(3));
       truth += z;
-      auto r = counter->Observe(z, &rng);
+      auto r = counter->Observe(z);
       ASSERT_TRUE(r.ok());
       if (std::fabs(static_cast<double>(r.value() - truth)) >
           counter->ErrorBound(kBeta, t)) {
@@ -128,7 +132,7 @@ TEST(CounterFactoryTest, RegistryListsAllImplementations) {
 
 TEST(LaplaceTreeCounterTest, PureDpCalibration) {
   // epsilon = sqrt(2 rho); per-node scale = L / epsilon.
-  LaplaceTreeCounter c(12, 0.02);
+  LaplaceTreeCounter c(12, 0.02, NoiseStream(0));
   EXPECT_NEAR(c.epsilon(), 0.2, 1e-12);
   EXPECT_EQ(c.levels(), 4);
   EXPECT_NEAR(c.node_scale(), 4.0 / 0.2, 1e-12);
@@ -142,17 +146,19 @@ TEST(LaplaceTreeCounterTest, HeavierTailsThanGaussianTree) {
   const int64_t kT = 16;
   const double kRho = 0.125;
   const int kTrials = 1500;
-  util::Rng rng(61);
   util::MomentAccumulator gaussian_err, laplace_err;
   for (int trial = 0; trial < kTrials; ++trial) {
-    auto g = TreeCounterFactory().Create(kT, kRho).value();
-    auto l = LaplaceTreeCounterFactory().Create(kT, kRho).value();
+    const uint64_t id = static_cast<uint64_t>(trial);
+    auto g = TreeCounterFactory().Create(kT, kRho, NoiseStream(id)).value();
+    auto l = LaplaceTreeCounterFactory()
+                 .Create(kT, kRho, NoiseStream(id + 100000))
+                 .value();
     int64_t truth = 0;
     int64_t rg = 0, rl = 0;
     for (int64_t t = 1; t <= 15; ++t) {
       truth += 2;
-      rg = g->Observe(2, &rng).value();
-      rl = l->Observe(2, &rng).value();
+      rg = g->Observe(2).value();
+      rl = l->Observe(2).value();
     }
     gaussian_err.Add(static_cast<double>(rg - truth));
     laplace_err.Add(static_cast<double>(rl - truth));
@@ -163,9 +169,7 @@ TEST(LaplaceTreeCounterTest, HeavierTailsThanGaussianTree) {
 TEST(HonakerCounterTest, RefinedVarianceBeatsPlainTree) {
   // Level-j refined variance must be strictly below the raw node variance
   // for every internal level.
-  HonakerCounter c(64, 0.1);
-  double sigma2 = 64.0;  // irrelevant; use c's own accessor
-  (void)sigma2;
+  HonakerCounter c(64, 0.1, NoiseStream(0));
   double raw = c.LevelVariance(0);
   for (int j = 1; j < 6; ++j) {
     EXPECT_LT(c.LevelVariance(j), raw) << "level " << j;
@@ -178,17 +182,19 @@ TEST(HonakerCounterTest, EmpiricallyTighterThanTree) {
   const int64_t kT = 32;
   const double kRho = 0.25;
   const int kTrials = 3000;
-  util::Rng rng(7);
   util::MomentAccumulator tree_err, honaker_err;
   for (int trial = 0; trial < kTrials; ++trial) {
-    auto tree = TreeCounterFactory().Create(kT, kRho).value();
-    auto honaker = HonakerCounterFactory().Create(kT, kRho).value();
+    const uint64_t id = static_cast<uint64_t>(trial);
+    auto tree = TreeCounterFactory().Create(kT, kRho, NoiseStream(id)).value();
+    auto honaker = HonakerCounterFactory()
+                       .Create(kT, kRho, NoiseStream(id + 100000))
+                       .value();
     int64_t truth = 0;
     int64_t last_tree = 0, last_honaker = 0;
     for (int64_t t = 1; t <= 31; ++t) {  // t=31: 5 set bits, worst case
       truth += 3;
-      last_tree = tree->Observe(3, &rng).value();
-      last_honaker = honaker->Observe(3, &rng).value();
+      last_tree = tree->Observe(3).value();
+      last_honaker = honaker->Observe(3).value();
     }
     tree_err.Add(static_cast<double>(last_tree - truth));
     honaker_err.Add(static_cast<double>(last_honaker - truth));
@@ -197,18 +203,18 @@ TEST(HonakerCounterTest, EmpiricallyTighterThanTree) {
 }
 
 TEST(InputPerturbationTest, ErrorGrowsWithTime) {
-  InputPerturbationCounter c(1024, 0.5);
+  InputPerturbationCounter c(1024, 0.5, NoiseStream(0));
   EXPECT_LT(c.ErrorBound(0.05, 1), c.ErrorBound(0.05, 1024));
 }
 
 TEST(RecomputeCounterTest, ErrorFlatInTime) {
-  RecomputeCounter c(1024, 0.5);
+  RecomputeCounter c(1024, 0.5, NoiseStream(0));
   EXPECT_DOUBLE_EQ(c.ErrorBound(0.05, 1), c.ErrorBound(0.05, 1024));
 }
 
 TEST(MatrixCounterTest, CoefficientsAreCentralBinomialRatios) {
   // f_k = binom(2k, k) / 4^k: 1, 1/2, 3/8, 5/16, 35/128.
-  MatrixCounter c(8, 0.5);
+  MatrixCounter c(8, 0.5, NoiseStream(0));
   EXPECT_DOUBLE_EQ(c.Coefficient(0), 1.0);
   EXPECT_DOUBLE_EQ(c.Coefficient(1), 0.5);
   EXPECT_DOUBLE_EQ(c.Coefficient(2), 3.0 / 8.0);
@@ -220,13 +226,13 @@ TEST(MatrixCounterTest, FactorizationReconstructsPrefixSums) {
   // M * M must equal the all-ones lower-triangular A: with zero noise the
   // released values are exact prefix sums (also covered by the contract
   // sweep; asserted here with a longer adversarial stream).
-  MatrixCounter c(200, kInf);
-  util::Rng rng(71);
+  MatrixCounter c(200, kInf, NoiseStream(0));
+  util::SubstreamRng rng(71, util::substream::kGeneric);
   int64_t truth = 0;
   for (int64_t t = 1; t <= 200; ++t) {
     int64_t z = static_cast<int64_t>(rng.UniformInt(1000));
     truth += z;
-    auto r = c.Observe(z, &rng);
+    auto r = c.Observe(z);
     ASSERT_TRUE(r.ok());
     ASSERT_EQ(r.value(), truth) << "t=" << t;
   }
@@ -234,7 +240,8 @@ TEST(MatrixCounterTest, FactorizationReconstructsPrefixSums) {
 
 TEST(MatrixCounterTest, SensitivityGrowsLogarithmically) {
   // Delta^2 = sum f_k^2 ~ ln(T)/pi + c; ratios between horizons follow.
-  MatrixCounter small(16, 0.5), big(4096, 0.5);
+  MatrixCounter small(16, 0.5, NoiseStream(0));
+  MatrixCounter big(4096, 0.5, NoiseStream(1));
   EXPECT_GT(big.sensitivity2(), small.sensitivity2());
   EXPECT_LT(big.sensitivity2(), small.sensitivity2() + 2.0);  // ~ln(256)/pi
 }
@@ -244,17 +251,19 @@ TEST(MatrixCounterTest, BeatsTreeConstantsAtModerateHorizons) {
   const int64_t kT = 256;
   const double kRho = 0.25;
   const int kTrials = 1200;
-  util::Rng rng(73);
   util::MomentAccumulator tree_err, matrix_err;
   for (int trial = 0; trial < kTrials; ++trial) {
-    auto tree = TreeCounterFactory().Create(kT, kRho).value();
-    auto matrix = MatrixCounterFactory().Create(kT, kRho).value();
+    const uint64_t id = static_cast<uint64_t>(trial);
+    auto tree = TreeCounterFactory().Create(kT, kRho, NoiseStream(id)).value();
+    auto matrix = MatrixCounterFactory()
+                      .Create(kT, kRho, NoiseStream(id + 100000))
+                      .value();
     int64_t truth = 0;
     int64_t rt = 0, rm = 0;
     for (int64_t t = 1; t <= 255; ++t) {
       truth += 1;
-      rt = tree->Observe(1, &rng).value();
-      rm = matrix->Observe(1, &rng).value();
+      rt = tree->Observe(1).value();
+      rm = matrix->Observe(1).value();
     }
     tree_err.Add(static_cast<double>(rt - truth));
     matrix_err.Add(static_cast<double>(rm - truth));
@@ -264,7 +273,7 @@ TEST(MatrixCounterTest, BeatsTreeConstantsAtModerateHorizons) {
 
 TEST(MatrixCounterTest, FactoryRejectsHugeHorizon) {
   EXPECT_TRUE(MatrixCounterFactory()
-                  .Create((int64_t{1} << 16) + 1, 0.5)
+                  .Create((int64_t{1} << 16) + 1, 0.5, NoiseStream(0))
                   .status()
                   .IsInvalidArgument());
 }
@@ -274,9 +283,9 @@ TEST(CounterComparisonTest, TreeBeatsNaiveAtLongHorizons) {
   // (input perturbation) and sqrt(T) calibration (recompute).
   const int64_t kT = 1024;
   const double kRho = 0.5, kBeta = 0.05;
-  TreeCounter tree(kT, kRho);
-  InputPerturbationCounter ip(kT, kRho);
-  RecomputeCounter rc(kT, kRho);
+  TreeCounter tree(kT, kRho, NoiseStream(0));
+  InputPerturbationCounter ip(kT, kRho, NoiseStream(1));
+  RecomputeCounter rc(kT, kRho, NoiseStream(2));
   EXPECT_LT(tree.ErrorBound(kBeta, kT), ip.ErrorBound(kBeta, kT));
   EXPECT_LT(tree.ErrorBound(kBeta, kT), rc.ErrorBound(kBeta, kT));
 }

@@ -8,7 +8,7 @@
 
 #include "stream/counter_bank.h"
 #include "stream/counter_factory.h"
-#include "util/rng.h"
+#include "util/substream.h"
 
 namespace longdp {
 namespace stream {
@@ -100,9 +100,10 @@ TEST(StateIoTest, CorruptedDoubleVectorFailsRestore) {
 
 // ---------------------------------------------------------------------------
 // Mid-stream state round-trips for every registered counter type. A counter
-// serialized at time t and restored into a freshly constructed counter must
-// finish the stream with releases identical to the uninterrupted original
-// (given the same downstream randomness). This pins the noise-bearing state
+// serialized at time t and restored into a freshly constructed counter (same
+// keyed substream — the keys re-derive from construction parameters, only
+// the draw cursors travel in the state) must finish the stream with releases
+// identical to the uninterrupted original. This pins the substream cursors
 // each implementation persists, so scratch-buffer and batching refactors
 // that forget to carry a field fail here immediately.
 
@@ -114,9 +115,10 @@ TEST_P(CounterRoundTripTest, MidStreamStateRoundTripsStandalone) {
   const int64_t T = 16;
   const double rho = 2.0;
 
-  auto original = factory->Create(T, rho).value();
-  util::Rng rng(0x5107 + static_cast<uint64_t>(name.size()));
-  util::Rng data_rng(0xDA7A);
+  const util::SubstreamRng noise(0x5107 + static_cast<uint64_t>(name.size()),
+                                 util::substream::kCounterNoise);
+  auto original = factory->Create(T, rho, noise).value();
+  util::SubstreamRng data_rng(0xDA7A, util::substream::kGeneric);
   std::vector<int64_t> stream(static_cast<size_t>(T));
   for (auto& z : stream) {
     z = static_cast<int64_t>(data_rng.UniformInt(5));
@@ -124,23 +126,20 @@ TEST_P(CounterRoundTripTest, MidStreamStateRoundTripsStandalone) {
 
   const int64_t split = T / 2;
   for (int64_t t = 0; t < split; ++t) {
-    ASSERT_TRUE(
-        original->Observe(stream[static_cast<size_t>(t)], &rng).ok());
+    ASSERT_TRUE(original->Observe(stream[static_cast<size_t>(t)]).ok());
   }
 
   std::stringstream state;
   ASSERT_TRUE(original->SaveState(state).ok()) << name;
-  auto restored = factory->Create(T, rho).value();
+  auto restored = factory->Create(T, rho, noise).value();
   ASSERT_TRUE(restored->RestoreState(state).ok()) << name;
   EXPECT_EQ(restored->steps(), split) << name;
 
-  // Both counters continue from identical rng states; every remaining
-  // release must match exactly.
-  util::Rng rng_restored = rng;
+  // The restored counter resumes its keyed substreams at the saved
+  // cursors; every remaining release must match exactly.
   for (int64_t t = split; t < T; ++t) {
-    auto a = original->Observe(stream[static_cast<size_t>(t)], &rng);
-    auto b =
-        restored->Observe(stream[static_cast<size_t>(t)], &rng_restored);
+    auto a = original->Observe(stream[static_cast<size_t>(t)]);
+    auto b = restored->Observe(stream[static_cast<size_t>(t)]);
     ASSERT_TRUE(a.ok()) << name;
     ASSERT_TRUE(b.ok()) << name;
     EXPECT_EQ(a.value(), b.value())
@@ -157,11 +156,11 @@ TEST_P(CounterRoundTripTest, MidStreamStateRoundTripsThroughBank) {
   opt.horizon = T;
   opt.population = n;
   opt.total_rho = 4.0;
+  opt.seed = 0xBA2C + static_cast<uint64_t>(name.size());
   opt.factory = MakeCounterFactory(name).value();
 
   auto original = CounterBank::Create(opt).value();
-  util::Rng rng(0xBA2C + static_cast<uint64_t>(name.size()));
-  util::Rng data_rng(0xFEED);
+  util::SubstreamRng data_rng(0xFEED, util::substream::kGeneric);
 
   // A feasible increment schedule: z[b-1] nonzero only for b <= t, with
   // small counts so every weight path stays plausible.
@@ -178,8 +177,7 @@ TEST_P(CounterRoundTripTest, MidStreamStateRoundTripsThroughBank) {
 
   const int64_t split = T / 2;
   for (int64_t t = 0; t < split; ++t) {
-    ASSERT_TRUE(original->ObserveRound(zs[static_cast<size_t>(t)], &rng)
-                    .ok())
+    ASSERT_TRUE(original->ObserveRound(zs[static_cast<size_t>(t)]).ok())
         << name;
   }
 
@@ -189,11 +187,9 @@ TEST_P(CounterRoundTripTest, MidStreamStateRoundTripsThroughBank) {
   ASSERT_TRUE(restored->RestoreState(state).ok()) << name;
   EXPECT_EQ(restored->steps(), split) << name;
 
-  util::Rng rng_restored = rng;
   for (int64_t t = split; t < T; ++t) {
-    auto a = original->ObserveRound(zs[static_cast<size_t>(t)], &rng);
-    auto b = restored->ObserveRound(zs[static_cast<size_t>(t)],
-                                    &rng_restored);
+    auto a = original->ObserveRound(zs[static_cast<size_t>(t)]);
+    auto b = restored->ObserveRound(zs[static_cast<size_t>(t)]);
     ASSERT_TRUE(a.ok()) << name;
     ASSERT_TRUE(b.ok()) << name;
     EXPECT_EQ(a.value(), b.value())

@@ -21,6 +21,7 @@ constexpr char kRuleRawRng[] = "longdp-no-raw-rng";
 constexpr char kRuleUnorderedIter[] = "longdp-no-unordered-iteration";
 constexpr char kRuleNoiseViaDp[] = "longdp-noise-via-dp";
 constexpr char kRuleStatusChecked[] = "longdp-status-checked";
+constexpr char kRuleSubstream[] = "longdp-substream-discipline";
 constexpr char kRuleNolintJustify[] = "longdp-nolint-needs-justification";
 
 // ---------------------------------------------------------------------------
@@ -266,6 +267,16 @@ bool RuleExempt(const std::string& rule, const std::string& path,
     return true;
   }
   if (rule == kRuleNoiseViaDp && PathContains(path, "src/dp/")) return true;
+  if (rule == kRuleSubstream &&
+      (PathContains(path, "src/util/rng.h") ||
+       PathContains(path, "src/util/rng.cc") ||
+       PathContains(path, "src/util/substream") ||
+       PathContains(path, "tests/util_rng_test") ||
+       PathContains(path, "tests/util_batch_sampler_test") ||
+       PathContains(path, "tests/sampling_statistical_test") ||
+       PathContains(path, "bench/micro_primitives"))) {
+    return true;
+  }
   for (const auto& [r, sub] : options.allow) {
     if (r == rule && PathContains(path, sub)) return true;
   }
@@ -390,6 +401,41 @@ void CheckUnorderedIteration(const LexedFile& file,
                  "bit-reproducibility"});
       }
     }
+  }
+}
+
+// Direct construction of the mutable xoshiro engine outside the engine /
+// substream sources: `Rng name(...)`, `Rng name{...}`, `Rng name;` and
+// temporaries `Rng(...)`. Pointer / reference parameters (`Rng*`, `Rng&`),
+// qualifications (`Rng::`), template arguments (`<Rng>`), and
+// `class Rng` / `~Rng` declarations stay legal — code may *consume* an
+// engine handed to it, but only the substream factory may mint one, so
+// every draw keeps a (seed, purpose, shard, round, draw) address.
+// SubstreamRng lexes as a distinct identifier and is never flagged.
+void CheckSubstreamDiscipline(const LexedFile& file,
+                              std::vector<Finding>* findings) {
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || t[i].text != "Rng") continue;
+    if (i > 0) {
+      const std::string& prev = t[i - 1].text;
+      if (prev == "class" || prev == "struct" || prev == "friend" ||
+          prev == "~" || prev == "enum") {
+        continue;
+      }
+    }
+    const bool decl = TokIsIdent(t, i + 1);           // Rng name...
+    const bool temp = TokIs(t, i + 1, "(");           // Rng(...)
+    if (!decl && !temp) continue;
+    // `Rng name(` where name is immediately called could also be a
+    // function declaration returning Rng — equally a discipline breach
+    // outside the engine sources (only Fork() qualifies, and it lives in
+    // the exempt rng.h).
+    findings->push_back(
+        {file.path, t[i].line, kRuleSubstream,
+         "direct construction of util::Rng; derive a keyed "
+         "util::SubstreamRng (seed, purpose) instead so draws stay "
+         "addressable and shard-invariant"});
   }
 }
 
@@ -604,6 +650,10 @@ std::vector<Finding> RunRules(const LexedFile& file,
       !RuleExempt(kRuleStatusChecked, file.path, options)) {
     CheckStatusDiscarded(file, ctx, &findings);
   }
+  if (RuleEnabled(kRuleSubstream, options) &&
+      !RuleExempt(kRuleSubstream, file.path, options)) {
+    CheckSubstreamDiscipline(file, &findings);
+  }
   return ApplySuppressions(file, std::move(findings));
 }
 
@@ -640,7 +690,8 @@ std::string Finding::ToString() const {
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      kRuleRawRng, kRuleUnorderedIter, kRuleNoiseViaDp, kRuleStatusChecked};
+      kRuleRawRng, kRuleUnorderedIter, kRuleNoiseViaDp, kRuleStatusChecked,
+      kRuleSubstream};
   return kRules;
 }
 

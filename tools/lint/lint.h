@@ -25,6 +25,15 @@
 //                                the [[nodiscard]] attribute at lint time
 //                                (and, unlike the compiler, refuses the
 //                                (void)-cast escape hatch).
+//   longdp-substream-discipline  No direct construction of util::Rng (the
+//                                mutable xoshiro engine) outside
+//                                src/util/rng.* and src/util/substream.*.
+//                                Noise and sampling must come from keyed
+//                                util::SubstreamRng substreams so every
+//                                draw has a (seed, purpose, shard, round,
+//                                draw) address and releases are
+//                                shard-count-invariant. Consuming an engine
+//                                via `Rng*` / `Rng&` stays legal.
 //
 // Suppressions follow the clang-tidy spelling but are stricter: a
 // `// NOLINTNEXTLINE(longdp-<rule>)` (or trailing `// NOLINT(longdp-<rule>)`)
@@ -79,7 +88,7 @@ struct Options {
   std::vector<std::pair<std::string, std::string>> allow;
 };
 
-/// Names of the four source rules (not including the NOLINT meta rule).
+/// Names of the five source rules (not including the NOLINT meta rule).
 const std::vector<std::string>& RuleNames();
 bool IsKnownRule(const std::string& rule);
 

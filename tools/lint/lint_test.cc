@@ -48,7 +48,7 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
 TEST(LintFixtureTest, PassFixturesAreClean) {
   for (const char* name :
        {"pass_clean.cc", "pass_unordered_lookup.cc", "pass_status_checked.cc",
-        "pass_nolint_justified.cc"}) {
+        "pass_nolint_justified.cc", "pass_substream_discipline.cc"}) {
     std::vector<Finding> findings = ScanFixture(name);
     EXPECT_TRUE(findings.empty())
         << name << ": " << (findings.empty() ? "" : findings[0].ToString());
@@ -88,6 +88,17 @@ TEST(LintFixtureTest, StatusDiscardFixture) {
   EXPECT_EQ(CountRule(findings, "longdp-status-checked"), 3);
 }
 
+TEST(LintFixtureTest, SubstreamDisciplineFixtureFlagsEveryConstruction) {
+  std::vector<Finding> findings = ScanFixture("fail_substream_discipline.cc");
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "longdp-substream-discipline") << f.ToString();
+  }
+  std::vector<int> lines;
+  for (const Finding& f : findings) lines.push_back(f.line);
+  EXPECT_EQ(lines, (std::vector<int>{9, 10, 11}));
+}
+
 TEST(LintFixtureTest, MissingJustificationKeepsFindingAndAddsMetaFinding) {
   std::vector<Finding> findings =
       ScanFixture("fail_nolint_missing_justification.cc");
@@ -117,9 +128,9 @@ TEST(LintFixtureTest, DirectoryScanVisitsAllFixtures) {
   auto result = ScanPaths({std::string(LONGDP_LINT_FIXTURE_DIR)}, {});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // 5 raw-rng + 2 unordered + (2 noise + 1 raw-rng) + 3 status +
-  // (1 unordered + 1 meta) + 1 unordered + 2 nolint-policy = 18;
-  // pass_* files contribute none.
-  EXPECT_EQ(result.value().size(), 18u);
+  // (1 unordered + 1 meta) + 1 unordered + 2 nolint-policy +
+  // 3 substream = 21; pass_* files contribute none.
+  EXPECT_EQ(result.value().size(), 21u);
   for (const Finding& f : result.value()) {
     EXPECT_EQ(f.path.find("pass_"), std::string::npos) << f.ToString();
   }
@@ -234,6 +245,31 @@ TEST(LintScanSourceTest, BuiltinExemptionsApply) {
                        "std::normal_distribution<double> d(0.0, 1.0);", {})
                 .size(),
             1u);
+}
+
+TEST(LintScanSourceTest, SubstreamDisciplineContexts) {
+  // Construction of the raw engine is flagged, named or temporary.
+  EXPECT_EQ(ScanSource("src/core/x.cc", "util::Rng rng(1);", {}).size(), 1u);
+  EXPECT_EQ(
+      ScanSource("src/core/x.cc", "auto v = util::Rng(1).Next();", {}).size(),
+      1u);
+  // Consuming an engine through a pointer/reference, naming the type in a
+  // template argument, or constructing a keyed substream is fine.
+  EXPECT_TRUE(
+      ScanSource("src/core/x.cc", "void F(util::Rng* r, util::Rng& s);", {})
+          .empty());
+  EXPECT_TRUE(
+      ScanSource("src/core/x.cc", "std::unique_ptr<util::Rng> p;", {})
+          .empty());
+  EXPECT_TRUE(ScanSource("src/core/x.cc",
+                         "util::SubstreamRng s(1, util::substream::kGeneric);",
+                         {})
+                  .empty());
+  // The engine and substream sources may mint engines.
+  EXPECT_TRUE(ScanSource("src/util/rng.h", "Rng Fork();", {}).empty());
+  EXPECT_TRUE(
+      ScanSource("src/util/substream.cc", "Rng base(SubclassTag{});", {})
+          .empty());
 }
 
 TEST(LintScanSourceTest, CommentsAndStringsDoNotTrigger) {
