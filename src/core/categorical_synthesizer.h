@@ -17,6 +17,7 @@
 #define LONGDP_CORE_CATEGORICAL_SYNTHESIZER_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -96,6 +97,23 @@ class CategoricalWindowSynthesizer {
 
   const Stats& stats() const { return stats_; }
   const dp::ZCdpAccountant& accountant() const { return accountant_; }
+
+  /// Serializes the full synthesizer state (options with the resolved
+  /// padding, accountant, per-user windows, synthetic cohort, and overlap
+  /// group member order) as a text checkpoint ending in a format-specific
+  /// sentinel token. No RNG cursors are needed: every draw stream is keyed
+  /// by its round number.
+  Status SaveCheckpoint(std::ostream& out) const;
+
+  /// Restores a synthesizer saved by SaveCheckpoint. The worker pool is not
+  /// persisted; the restored synthesizer runs serially until set_pool()
+  /// re-attaches one.
+  static Result<std::unique_ptr<CategoricalWindowSynthesizer>> LoadCheckpoint(
+      std::istream& in);
+
+  /// Re-attaches a worker pool (e.g. after LoadCheckpoint). Non-owning;
+  /// must outlive the synthesizer. Null runs serially.
+  void set_pool(util::ThreadPool* pool) { options_.pool = pool; }
 
   /// Number of width-k base-A patterns, A^k.
   static Result<uint64_t> NumBins(int window_k, int alphabet);

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "stream/counter_factory.h"
+#include "stream/state_io.h"
 #include "util/batch_sampler.h"
 #include "util/csv.h"
 #include "util/thread_pool.h"
@@ -229,7 +230,14 @@ namespace {
 // shuffles permute the live suffixes, so without them a resumed run
 // promotes different record identities than the uninterrupted run
 // (released thresholds match, record histories don't).
-constexpr char kCumulativeMagic[] = "longdp-cumulative-checkpoint-v3";
+// v4 replaces the generic "end" trailer with the format-specific sentinel
+// below (consumed strictly by the loader) and parses every numeric field
+// as a strict whole token — trailing garbage inside a token, or a
+// checkpoint truncated after a valid prefix, now hard-fails instead of
+// restoring a plausible-but-wrong state.
+constexpr char kCumulativeMagicPrefix[] = "longdp-cumulative-checkpoint-";
+constexpr char kCumulativeMagic[] = "longdp-cumulative-checkpoint-v4";
+constexpr char kCumulativeEnd[] = "end-longdp-cumulative-checkpoint-v4";
 
 std::string CumulativeDoubleToken(double v) {
   char buf[64];
@@ -280,7 +288,7 @@ Status CumulativeSynthesizer::SaveCheckpoint(std::ostream& out) const {
     out << "bank\n";
     LONGDP_RETURN_NOT_OK(bank_->SaveState(out));
   }
-  out << "end\n";
+  out << kCumulativeEnd << "\n";
   return out.good() ? Status::OK()
                     : Status::IOError("checkpoint write failed");
 }
@@ -288,15 +296,27 @@ Status CumulativeSynthesizer::SaveCheckpoint(std::ostream& out) const {
 Result<std::unique_ptr<CumulativeSynthesizer>>
 CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
   std::string magic;
-  if (!std::getline(in, magic) || magic != kCumulativeMagic) {
+  if (!std::getline(in, magic)) {
     return Status::InvalidArgument("not a cumulative checkpoint");
   }
+  if (magic != kCumulativeMagic) {
+    // Version skew gets its own message: a v1-v3 checkpoint is a real
+    // checkpoint this build cannot restore, not arbitrary garbage.
+    if (magic.rfind(kCumulativeMagicPrefix, 0) == 0) {
+      return Status::InvalidArgument(
+          "unsupported cumulative checkpoint version '" + magic +
+          "'; this build reads " + kCumulativeMagic);
+    }
+    return Status::InvalidArgument("not a cumulative checkpoint");
+  }
+  namespace sio = stream::state_io;
   Options options;
   std::string rho_tok, split_name, counter_name;
-  if (!(in >> options.horizon >> rho_tok >> split_name >> counter_name >>
-        options.seed)) {
+  LONGDP_ASSIGN_OR_RETURN(options.horizon, sio::ReadInt(in));
+  if (!(in >> rho_tok >> split_name >> counter_name)) {
     return Status::InvalidArgument("corrupt checkpoint header");
   }
+  LONGDP_ASSIGN_OR_RETURN(options.seed, sio::ReadCursor(in));
   // Strict parse: a corrupted rho token must reject the checkpoint, not
   // restore as rho=0 and zero out the privacy budget.
   LONGDP_ASSIGN_OR_RETURN(options.rho, util::ParseDoubleField(rho_tok));
@@ -305,10 +325,8 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
   LONGDP_ASSIGN_OR_RETURN(options.counter_factory,
                           stream::MakeCounterFactory(counter_name));
   LONGDP_ASSIGN_OR_RETURN(auto synth, Create(options));
-  int64_t t = 0, n = 0;
-  if (!(in >> t >> n)) {
-    return Status::InvalidArgument("corrupt checkpoint state line");
-  }
+  LONGDP_ASSIGN_OR_RETURN(int64_t t, sio::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(int64_t n, sio::ReadInt(in));
   if (t < 0 || t > options.horizon) {
     return Status::InvalidArgument("checkpoint time out of range");
   }
@@ -321,22 +339,23 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
       return Status::InvalidArgument("corrupt checkpoint: expected weights");
     }
     for (auto& w : synth->orig_weight_) {
-      if (!(in >> w) || w < 0 || w > t) {
+      LONGDP_ASSIGN_OR_RETURN(int64_t wv, sio::ReadInt(in));
+      if (wv < 0 || wv > t) {
         return Status::InvalidArgument("corrupt checkpoint weights");
       }
+      w = static_cast<int32_t>(wv);
     }
     if (!(in >> tag) || tag != "released") {
       return Status::InvalidArgument("corrupt checkpoint: expected released");
     }
     for (auto& v : synth->released_) {
-      if (!(in >> v)) {
-        return Status::InvalidArgument("corrupt checkpoint released row");
-      }
+      LONGDP_ASSIGN_OR_RETURN(v, sio::ReadInt(in));
     }
     synth->prev_released_ = synth->released_;
-    int64_t num_records = 0, rounds = 0;
-    if (!(in >> tag >> num_records >> rounds) || tag != "histories" ||
-        num_records != n || rounds != t) {
+    LONGDP_RETURN_NOT_OK(sio::ExpectToken(in, "histories", "checkpoint"));
+    LONGDP_ASSIGN_OR_RETURN(int64_t num_records, sio::ReadInt(in));
+    LONGDP_ASSIGN_OR_RETURN(int64_t rounds, sio::ReadInt(in));
+    if (num_records != n || rounds != t) {
       return Status::InvalidArgument("corrupt checkpoint histories header");
     }
     std::string line;
@@ -372,15 +391,16 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
     }
     std::vector<uint8_t> live_seen(static_cast<size_t>(n), 0);
     for (size_t b = 0; b < synth->weight_groups_.size(); ++b) {
-      int64_t size = 0, head = 0;
-      if (!(in >> size >> head) || size < 0 || head < 0 || head > size) {
+      LONGDP_ASSIGN_OR_RETURN(int64_t size, sio::ReadInt(in));
+      LONGDP_ASSIGN_OR_RETURN(int64_t head, sio::ReadInt(in));
+      if (size < 0 || head < 0 || head > size) {
         return Status::InvalidArgument("corrupt checkpoint group header");
       }
       auto& group = synth->weight_groups_[b];
       group.resize(static_cast<size_t>(size));
       for (int64_t i = 0; i < size; ++i) {
-        int64_t r = 0;
-        if (!(in >> r) || r < 0 || r >= n) {
+        LONGDP_ASSIGN_OR_RETURN(int64_t r, sio::ReadInt(in));
+        if (r < 0 || r >= n) {
           return Status::InvalidArgument("corrupt checkpoint group member");
         }
         if (i >= head) {
@@ -416,10 +436,8 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
     }
   }
   synth->t_ = t;
-  std::string tag;
-  if (!(in >> tag) || tag != "end") {
-    return Status::InvalidArgument("corrupt checkpoint: missing end marker");
-  }
+  LONGDP_RETURN_NOT_OK(
+      sio::ExpectToken(in, kCumulativeEnd, "cumulative checkpoint"));
   return synth;
 }
 

@@ -10,6 +10,7 @@
 #include "core/observe_shard.h"
 #include "core/theory.h"
 #include "dp/discrete_gaussian.h"
+#include "stream/state_io.h"
 #include "util/csv.h"
 #include "util/thread_pool.h"
 
@@ -233,7 +234,12 @@ namespace {
 // v3 adds the cohort's overlap-group member order: the selection shuffles
 // permute it, so without it a resumed run promotes different record
 // identities than the uninterrupted run (releases match, records don't).
-constexpr char kCheckpointMagic[] = "longdp-fixed-window-checkpoint-v3";
+// v4 replaces the generic "end" trailer with the format-specific sentinel
+// below and parses every numeric field as a strict whole token (window
+// patterns are unsigned, so a corrupted "-1" no longer wraps to 2^64 - 1).
+constexpr char kCheckpointMagicPrefix[] = "longdp-fixed-window-checkpoint-";
+constexpr char kCheckpointMagic[] = "longdp-fixed-window-checkpoint-v4";
+constexpr char kCheckpointEnd[] = "end-longdp-fixed-window-checkpoint-v4";
 
 std::string DoubleToken(double v) {
   char buf[64];
@@ -271,7 +277,7 @@ Status FixedWindowSynthesizer::SaveCheckpoint(std::ostream& out) const {
   } else {
     out << "cohort 0 0\n";
   }
-  out << "end\n";
+  out << kCheckpointEnd << "\n";
   return out.good() ? Status::OK()
                     : Status::IOError("checkpoint write failed");
 }
@@ -279,15 +285,33 @@ Status FixedWindowSynthesizer::SaveCheckpoint(std::ostream& out) const {
 Result<std::unique_ptr<FixedWindowSynthesizer>>
 FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
   std::string magic;
-  if (!std::getline(in, magic) || magic != kCheckpointMagic) {
+  if (!std::getline(in, magic)) {
     return Status::InvalidArgument("not a fixed-window checkpoint");
   }
+  if (magic != kCheckpointMagic) {
+    // Version skew gets its own message: a v1-v3 checkpoint is a real
+    // checkpoint this build cannot restore, not arbitrary garbage.
+    if (magic.rfind(kCheckpointMagicPrefix, 0) == 0) {
+      return Status::InvalidArgument(
+          "unsupported fixed-window checkpoint version '" + magic +
+          "'; this build reads " + kCheckpointMagic);
+    }
+    return Status::InvalidArgument("not a fixed-window checkpoint");
+  }
+  namespace sio = stream::state_io;
   Options options;
   std::string rho_tok, beta_tok;
-  if (!(in >> options.horizon >> options.window_k >> rho_tok >>
-        options.npad >> beta_tok >> options.seed)) {
+  LONGDP_ASSIGN_OR_RETURN(options.horizon, sio::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(int64_t window_k, sio::ReadInt(in));
+  options.window_k = static_cast<int>(window_k);
+  if (!(in >> rho_tok)) {
     return Status::InvalidArgument("corrupt checkpoint header");
   }
+  LONGDP_ASSIGN_OR_RETURN(options.npad, sio::ReadInt(in));
+  if (!(in >> beta_tok)) {
+    return Status::InvalidArgument("corrupt checkpoint header");
+  }
+  LONGDP_ASSIGN_OR_RETURN(options.seed, sio::ReadCursor(in));
   // Strict parses: a corrupted rho/beta token must reject the checkpoint,
   // not restore as 0.0 (which would silently reset the privacy budget).
   LONGDP_ASSIGN_OR_RETURN(options.rho, util::ParseDoubleField(rho_tok));
@@ -295,11 +319,14 @@ FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
                           util::ParseDoubleField(beta_tok));
 
   LONGDP_ASSIGN_OR_RETURN(auto synth, Create(options));
-  std::string spent_tok;
   Stats stats;
-  int64_t t = 0, n = 0;
-  if (!(in >> t >> n >> stats.releases >> stats.negative_clamps >>
-        stats.rounding_draws >> spent_tok)) {
+  LONGDP_ASSIGN_OR_RETURN(int64_t t, sio::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(int64_t n, sio::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(stats.releases, sio::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(stats.negative_clamps, sio::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(stats.rounding_draws, sio::ReadInt(in));
+  std::string spent_tok;
+  if (!(in >> spent_tok)) {
     return Status::InvalidArgument("corrupt checkpoint state line");
   }
   // A garbage spent token restoring as 0.0 is exactly the "accountant
@@ -317,18 +344,19 @@ FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
   if (n >= 0) {
     synth->user_window_.resize(static_cast<size_t>(n));
     for (auto& w : synth->user_window_) {
-      if (!(in >> w)) {
-        return Status::InvalidArgument("corrupt checkpoint windows");
-      }
+      // Patterns are unsigned: ReadCursor rejects signed tokens instead of
+      // letting stream extraction wrap "-1" to 2^64 - 1.
+      LONGDP_ASSIGN_OR_RETURN(w, sio::ReadCursor(in));
       if (w >= util::NumPatterns(options.window_k)) {
         return Status::InvalidArgument("window pattern out of range");
       }
     }
   }
-  int64_t num_records = 0, rounds = 0;
-  if (!(in >> tag >> num_records >> rounds) || tag != "cohort") {
+  if (!(in >> tag) || tag != "cohort") {
     return Status::InvalidArgument("corrupt checkpoint: expected cohort");
   }
+  LONGDP_ASSIGN_OR_RETURN(int64_t num_records, sio::ReadInt(in));
+  LONGDP_ASSIGN_OR_RETURN(int64_t rounds, sio::ReadInt(in));
   if (num_records < 0 || rounds < 0) {
     return Status::InvalidArgument("corrupt checkpoint cohort header");
   }
@@ -363,16 +391,13 @@ FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
     }
     std::vector<int64_t> order(static_cast<size_t>(num_records));
     for (auto& r : order) {
-      if (!(in >> r)) {
-        return Status::InvalidArgument("corrupt checkpoint group order");
-      }
+      LONGDP_ASSIGN_OR_RETURN(r, sio::ReadInt(in));
     }
     LONGDP_RETURN_NOT_OK(cohort.RestoreGroupOrder(order));
     synth->cohort_.emplace(std::move(cohort));
   }
-  if (!(in >> tag) || tag != "end") {
-    return Status::InvalidArgument("corrupt checkpoint: missing end marker");
-  }
+  LONGDP_RETURN_NOT_OK(
+      sio::ExpectToken(in, kCheckpointEnd, "fixed-window checkpoint"));
   synth->t_ = t;
   synth->n_ = n;
   synth->stats_ = stats;

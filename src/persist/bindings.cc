@@ -1,0 +1,45 @@
+#include "persist/bindings.h"
+
+#include <sstream>
+
+namespace longdp {
+namespace persist {
+
+namespace {
+std::string HistogramRecord(int64_t t, bool has_release,
+                            const std::vector<int64_t>& hist) {
+  std::ostringstream out;
+  out << t;
+  if (!has_release) {
+    // Buffering rounds (t < k) publish nothing; the frame still exists so
+    // WAL index i always holds round i+1.
+    out << " -";
+    return out.str();
+  }
+  for (int64_t h : hist) out << " " << h;
+  return out.str();
+}
+}  // namespace
+
+std::string CumulativeTraits::ReleaseRecord(const Synth& synth) {
+  return HistogramRecord(synth.t(), /*has_release=*/true,
+                         synth.released_thresholds());
+}
+
+std::string FixedWindowTraits::ReleaseRecord(const Synth& synth) {
+  // SyntheticHistogram() materializes by value; skip it pre-release.
+  if (!synth.has_release()) {
+    return HistogramRecord(synth.t(), false, {});
+  }
+  return HistogramRecord(synth.t(), true, synth.SyntheticHistogram());
+}
+
+std::string CategoricalTraits::ReleaseRecord(const Synth& synth) {
+  if (!synth.has_release()) {
+    return HistogramRecord(synth.t(), false, {});
+  }
+  return HistogramRecord(synth.t(), true, synth.SyntheticHistogram());
+}
+
+}  // namespace persist
+}  // namespace longdp

@@ -1,0 +1,65 @@
+#include "persist/crc32c.h"
+
+#include <array>
+
+namespace longdp {
+namespace persist {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slicing-by-4 tables: table[0] is the classic byte-at-a-time table,
+// table[j] advances a byte that sits j positions deeper in the word. Built
+// once at startup; 4 KiB total, giving ~4x the throughput of the byte loop
+// on snapshot-sized payloads without any hardware-CRC intrinsics (the
+// build targets plain portable C++).
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int j = 0; j < 8; ++j) {
+        c = (c & 1u) ? (c >> 1) ^ kPoly : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (size_t j = 1; j < 4; ++j) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[j][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~crc;
+  while (len >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tb.t[3][c & 0xFFu] ^ tb.t[2][(c >> 8) & 0xFFu] ^
+        tb.t[1][(c >> 16) & 0xFFu] ^ tb.t[0][c >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace persist
+}  // namespace longdp

@@ -1,0 +1,40 @@
+// Thin POSIX file helpers shared by the snapshot and WAL implementations.
+//
+// All functions translate errno into Status::IOError with the failing
+// operation and path in the message. Short writes are retried (write(2)
+// may write fewer bytes than asked on signals or near-full devices — the
+// /dev/full injection tests exercise exactly that edge).
+
+#ifndef LONGDP_PERSIST_POSIX_IO_H_
+#define LONGDP_PERSIST_POSIX_IO_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace longdp {
+namespace persist {
+
+/// open(2) wrapper. `flags`/`mode` as in open; the returned fd is owned by
+/// the caller. A missing file under O_RDONLY maps to NotFound, everything
+/// else to IOError.
+Result<int> OpenFd(const std::string& path, int flags, int mode);
+
+/// Writes all `len` bytes, retrying short writes and EINTR.
+Status WriteAllFd(int fd, const std::string& path, const char* data,
+                  size_t len);
+
+/// fsync(2) wrapper.
+Status SyncFd(int fd, const std::string& path);
+
+/// Opens the parent directory of `path` and fsyncs it, making a rename or
+/// file creation in that directory durable.
+Status SyncParentDir(const std::string& path);
+
+/// Reads the entire file into `out`. Missing file maps to NotFound.
+Status ReadFileBytes(const std::string& path, std::string* out);
+
+}  // namespace persist
+}  // namespace longdp
+
+#endif  // LONGDP_PERSIST_POSIX_IO_H_

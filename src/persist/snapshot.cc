@@ -1,0 +1,154 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "persist/crc32c.h"
+#include "persist/posix_io.h"
+#include "stream/state_io.h"
+
+namespace longdp {
+namespace persist {
+
+namespace {
+constexpr char kSnapshotMagicPrefix[] = "longdp-snapshot-";
+constexpr char kSnapshotMagic[] = "longdp-snapshot-v1";
+
+bool ValidKindToken(const std::string& kind) {
+  if (kind.empty()) return false;
+  for (char c : kind) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status WriteEncodedToFd(int fd, const std::string& path,
+                        const std::string& bytes) {
+  LONGDP_RETURN_NOT_OK(WriteAllFd(fd, path, bytes.data(), bytes.size()));
+  return SyncFd(fd, path);
+}
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotMeta& meta,
+                           const std::string& payload) {
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                Crc32c(payload.data(), payload.size()));
+  std::ostringstream out;
+  out << kSnapshotMagic << " " << meta.kind << " " << meta.format_version
+      << " " << meta.seed << " " << meta.round << " " << payload.size()
+      << " " << crc_hex << "\n";
+  out << payload;
+  return out.str();
+}
+
+Result<Snapshot> DecodeSnapshot(const std::string& bytes) {
+  const size_t eol = bytes.find('\n');
+  if (eol == std::string::npos) {
+    return Status::InvalidArgument("not a snapshot: no header line");
+  }
+  std::istringstream header(bytes.substr(0, eol));
+  std::string magic;
+  if (!(header >> magic)) {
+    return Status::InvalidArgument("not a snapshot: empty header");
+  }
+  if (magic != kSnapshotMagic) {
+    if (magic.rfind(kSnapshotMagicPrefix, 0) == 0) {
+      return Status::InvalidArgument("unsupported snapshot version '" +
+                                     magic + "'; this build reads " +
+                                     kSnapshotMagic);
+    }
+    return Status::InvalidArgument("not a snapshot");
+  }
+  namespace sio = longdp::stream::state_io;
+  Snapshot snap;
+  if (!(header >> snap.meta.kind) || !ValidKindToken(snap.meta.kind)) {
+    return Status::InvalidArgument("malformed snapshot kind");
+  }
+  LONGDP_ASSIGN_OR_RETURN(snap.meta.format_version, sio::ReadInt(header));
+  LONGDP_ASSIGN_OR_RETURN(snap.meta.seed, sio::ReadCursor(header));
+  LONGDP_ASSIGN_OR_RETURN(snap.meta.round, sio::ReadInt(header));
+  LONGDP_ASSIGN_OR_RETURN(int64_t declared, sio::ReadInt(header));
+  std::string crc_tok;
+  if (!(header >> crc_tok) || crc_tok.size() != 8) {
+    return Status::InvalidArgument("malformed snapshot checksum field");
+  }
+  LONGDP_RETURN_NOT_OK(sio::ExpectExhausted(header, "snapshot header"));
+  if (snap.meta.format_version < 0 || snap.meta.round < 0 || declared < 0) {
+    return Status::InvalidArgument("malformed snapshot header");
+  }
+  char* end = nullptr;
+  const unsigned long declared_crc = std::strtoul(crc_tok.c_str(), &end, 16);
+  if (*end != '\0') {
+    return Status::InvalidArgument("malformed snapshot checksum field");
+  }
+
+  const size_t have = bytes.size() - (eol + 1);
+  const size_t want = static_cast<size_t>(declared);
+  if (have < want) {
+    return Status::DataLoss("snapshot truncated: header declares " +
+                            std::to_string(want) + " payload bytes, file has " +
+                            std::to_string(have));
+  }
+  if (have > want) {
+    return Status::DataLoss("snapshot has " + std::to_string(have - want) +
+                            " trailing bytes past the declared payload");
+  }
+  snap.payload = bytes.substr(eol + 1, want);
+  const uint32_t actual_crc =
+      Crc32c(snap.payload.data(), snap.payload.size());
+  if (actual_crc != static_cast<uint32_t>(declared_crc)) {
+    char actual_hex[16];
+    std::snprintf(actual_hex, sizeof(actual_hex), "%08x", actual_crc);
+    return Status::DataLoss("snapshot checksum mismatch: header " + crc_tok +
+                            ", payload " + actual_hex);
+  }
+  return snap;
+}
+
+Status WriteSnapshot(const std::string& path, const SnapshotMeta& meta,
+                     const std::string& payload) {
+  const std::string encoded = EncodeSnapshot(meta, payload);
+  const std::string tmp = path + ".tmp";
+  LONGDP_ASSIGN_OR_RETURN(
+      int fd, OpenFd(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  Status write_status = WriteEncodedToFd(fd, tmp, encoded);
+  ::close(fd);
+  if (!write_status.ok()) {
+    ::unlink(tmp.c_str());  // best-effort cleanup of the partial temp file
+    return write_status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Status::IOError("rename '" + tmp + "' over '" + path +
+                                "' failed");
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  // The rename itself must survive a crash: fsync the directory entry.
+  return SyncParentDir(path);
+}
+
+Status WriteSnapshotDirect(const std::string& path, const SnapshotMeta& meta,
+                           const std::string& payload) {
+  const std::string encoded = EncodeSnapshot(meta, payload);
+  LONGDP_ASSIGN_OR_RETURN(
+      int fd, OpenFd(path, O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  Status write_status = WriteEncodedToFd(fd, path, encoded);
+  ::close(fd);
+  return write_status;
+}
+
+Result<Snapshot> ReadSnapshot(const std::string& path) {
+  std::string bytes;
+  LONGDP_RETURN_NOT_OK(ReadFileBytes(path, &bytes));
+  return DecodeSnapshot(bytes);
+}
+
+}  // namespace persist
+}  // namespace longdp

@@ -1,0 +1,133 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "persist/crc32c.h"
+#include "persist/posix_io.h"
+
+namespace longdp {
+namespace persist {
+
+namespace {
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+void PutU32Le(uint32_t v, char* out) {
+  out[0] = static_cast<char>(v & 0xFFu);
+  out[1] = static_cast<char>((v >> 8) & 0xFFu);
+  out[2] = static_cast<char>((v >> 16) & 0xFFu);
+  out[3] = static_cast<char>((v >> 24) & 0xFFu);
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
+  // O_APPEND keeps every frame write at the tail even if recovery and the
+  // writer race on the same fd-level offset.
+  LONGDP_ASSIGN_OR_RETURN(
+      int fd, OpenFd(path, O_WRONLY | O_CREAT | O_APPEND, 0644));
+  Status dir_sync = SyncParentDir(path);
+  if (!dir_sync.ok()) {
+    ::close(fd);
+    return dir_sync;
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, path));
+}
+
+WalWriter::~WalWriter() {
+  // Close without fsync: Append already synced everything it promised.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(const std::string& record) {
+  if (record.size() > kMaxWalRecordBytes) {
+    return Status::InvalidArgument(
+        "WAL record of " + std::to_string(record.size()) +
+        " bytes exceeds the frame cap");
+  }
+  // One buffered write per frame: header and payload land in a single
+  // write(2) so a crash tears at most one frame, never interleaves two.
+  std::string frame;
+  frame.resize(kFrameHeaderBytes);
+  PutU32Le(static_cast<uint32_t>(record.size()), &frame[0]);
+  PutU32Le(Crc32c(record.data(), record.size()), &frame[4]);
+  frame += record;
+  LONGDP_RETURN_NOT_OK(WriteAllFd(fd_, path_, frame.data(), frame.size()));
+  return SyncFd(fd_, path_);
+}
+
+Result<WalContents> ReadWal(const std::string& path, WalReadMode mode) {
+  std::string bytes;
+  LONGDP_RETURN_NOT_OK(ReadFileBytes(path, &bytes));
+  WalContents out;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::string bad;
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      bad = "torn frame header at offset " + std::to_string(pos);
+    } else {
+      const uint32_t len = GetU32Le(&bytes[pos]);
+      const uint32_t declared_crc = GetU32Le(&bytes[pos + 4]);
+      if (len > kMaxWalRecordBytes) {
+        bad = "implausible frame length " + std::to_string(len) +
+              " at offset " + std::to_string(pos);
+      } else if (bytes.size() - pos - kFrameHeaderBytes < len) {
+        bad = "torn frame payload at offset " + std::to_string(pos);
+      } else {
+        const char* payload = bytes.data() + pos + kFrameHeaderBytes;
+        if (Crc32c(payload, len) != declared_crc) {
+          bad = "frame checksum mismatch at offset " + std::to_string(pos);
+        }
+      }
+    }
+    if (!bad.empty()) {
+      if (mode == WalReadMode::kStrict) {
+        return Status::DataLoss("WAL '" + path + "': " + bad);
+      }
+      out.torn_tail = true;
+      out.valid_bytes = pos;
+      return out;
+    }
+    const uint32_t len = GetU32Le(&bytes[pos]);
+    out.records.emplace_back(bytes, pos + kFrameHeaderBytes, len);
+    pos += kFrameHeaderBytes + len;
+  }
+  out.valid_bytes = pos;
+  return out;
+}
+
+Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
+  LONGDP_ASSIGN_OR_RETURN(int fd, OpenFd(path, O_WRONLY, 0));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat failed for '" + path + "': " +
+                           std::strerror(errno));
+  }
+  if (static_cast<uint64_t>(st.st_size) < valid_bytes) {
+    ::close(fd);
+    return Status::InvalidArgument("refusing to grow WAL '" + path +
+                                   "' by truncation");
+  }
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    ::close(fd);
+    return Status::IOError("ftruncate failed for '" + path + "': " +
+                           std::strerror(errno));
+  }
+  Status sync = SyncFd(fd, path);
+  ::close(fd);
+  return sync;
+}
+
+}  // namespace persist
+}  // namespace longdp

@@ -1,0 +1,91 @@
+// Append-only write-ahead log of per-round release records.
+//
+// The WAL is the system of record for what was RELEASED: each frame holds
+// one round's release record (opaque bytes, in practice the text row the
+// synthesizer published). Frames are length-prefixed and checksummed:
+//
+//   u32 LE payload length | u32 LE CRC32C(payload) | payload
+//
+// Recovery semantics: a crash mid-append leaves a torn final frame
+// (short header, short payload, or bad checksum). kTolerateTornTail stops
+// at the first bad frame and reports where the valid prefix ends so the
+// caller can truncate and resume appending; kStrict turns any bad frame
+// into DataLoss (used when the log is read as an archive, where damage
+// must page a human rather than silently shorten history). Because
+// snapshots never truncate the WAL, the log doubles as the complete,
+// durable release history of the run.
+//
+// Status taxonomy: NotFound (no file), DataLoss (strict mode, any bad
+// frame — torn header, torn payload, checksum mismatch, or an absurd
+// length field, which the frame cap rejects before allocating), IOError
+// (OS call failed).
+
+#ifndef LONGDP_PERSIST_WAL_H_
+#define LONGDP_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace longdp {
+namespace persist {
+
+/// Upper bound on a single frame's payload. Release records are rows of
+/// text (well under a megabyte even at census scale); a length field past
+/// this is corruption, not a big record.
+constexpr uint32_t kMaxWalRecordBytes = 1u << 30;
+
+class WalWriter {
+ public:
+  /// Opens (creating if needed) the log for appending. Creation is made
+  /// durable with a parent-directory fsync.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record and fsyncs. On return the record is
+  /// durable; on error the file may hold a torn frame, which the next
+  /// recovery will detect and truncate.
+  Status Append(const std::string& record);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+enum class WalReadMode {
+  kStrict,            ///< any bad frame is DataLoss
+  kTolerateTornTail,  ///< stop at the first bad frame, report the cut
+};
+
+struct WalContents {
+  std::vector<std::string> records;
+  /// True when tolerant reading stopped before the end of the file.
+  bool torn_tail = false;
+  /// Byte offset of the end of the last valid frame (== file size when
+  /// the log is clean).
+  uint64_t valid_bytes = 0;
+};
+
+/// Reads every frame of the log at `path`. An empty or missing-at-creation
+/// log is valid (zero records); a missing FILE is NotFound.
+Result<WalContents> ReadWal(const std::string& path, WalReadMode mode);
+
+/// Truncates the log to `valid_bytes` (recovery cutting a torn tail) and
+/// fsyncs. Refuses to grow the file.
+Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace persist
+}  // namespace longdp
+
+#endif  // LONGDP_PERSIST_WAL_H_

@@ -11,6 +11,13 @@
 namespace longdp {
 namespace stream {
 
+namespace {
+// The bank embeds mid-stream inside synthesizer checkpoints, so its own
+// trailer sentinel is what catches a truncation that happens to land on a
+// per-counter boundary (every counter restored, but fewer than horizon_).
+constexpr char kBankEnd[] = "end-longdp-counter-bank";
+}  // namespace
+
 Result<std::unique_ptr<CounterBank>> CounterBank::Create(
     const Options& options, dp::ZCdpAccountant* accountant) {
   if (options.horizon < 1) {
@@ -151,6 +158,7 @@ Status CounterBank::SaveState(std::ostream& out) const {
   for (const auto& counter : counters_) {
     LONGDP_RETURN_NOT_OK(counter->SaveState(out));
   }
+  out << kBankEnd << "\n";
   return out.good() ? Status::OK() : Status::IOError("bank state write");
 }
 
@@ -167,7 +175,7 @@ Status CounterBank::RestoreState(std::istream& in) {
   for (const auto& counter : counters_) {
     LONGDP_RETURN_NOT_OK(counter->RestoreState(in));
   }
-  return Status::OK();
+  return state_io::ExpectToken(in, kBankEnd, "counter bank state");
 }
 
 double CounterBank::CounterErrorBound(int64_t b, int64_t t,

@@ -5,6 +5,8 @@
 #ifndef LONGDP_STREAM_STATE_IO_H_
 #define LONGDP_STREAM_STATE_IO_H_
 
+#include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +30,7 @@ inline void WriteDouble(std::ostream& out, double v) {
 inline Result<double> ReadDouble(std::istream& in) {
   std::string tok;
   if (!(in >> tok)) {
-    return Status::InvalidArgument("truncated counter state (double)");
+    return Status::InvalidArgument("truncated state (double)");
   }
   // strtod with a null endptr would swallow the error path: a corrupted
   // token ("garbage") silently parses as 0.0 and a checkpoint restores to a
@@ -36,18 +38,33 @@ inline Result<double> ReadDouble(std::istream& in) {
   char* end = nullptr;
   const double v = std::strtod(tok.c_str(), &end);
   if (end == tok.c_str() || *end != '\0') {
-    return Status::InvalidArgument("malformed double in counter state: '" +
+    return Status::InvalidArgument("malformed double in state: '" +
                                    tok + "'");
   }
   return v;
 }
 
 inline Result<int64_t> ReadInt(std::istream& in) {
-  int64_t v;
-  if (!(in >> v)) {
-    return Status::InvalidArgument("truncated counter state (int)");
+  std::string tok;
+  if (!(in >> tok)) {
+    return Status::InvalidArgument("truncated state (int)");
   }
-  return v;
+  // Stream extraction (`in >> v`) parses "12abc" as 12 and leaves "abc" in
+  // the stream, misaligning every later field into a plausible-but-wrong
+  // state. Strict whole-token parse instead (same discipline as ReadDouble
+  // and util::ParseInt64Field).
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed int in state: '" + tok +
+                                   "'");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("int overflows in state: '" + tok +
+                                   "'");
+  }
+  return static_cast<int64_t>(v);
 }
 
 inline void WriteIntVector(std::ostream& out,
@@ -94,11 +111,31 @@ inline Status ReadDoubleVector(std::istream& in, std::vector<double>* v) {
 // pure function of the construction seed. Cursors are unsigned 64-bit.
 
 inline Result<uint64_t> ReadCursor(std::istream& in) {
-  uint64_t v;
-  if (!(in >> v)) {
-    return Status::InvalidArgument("truncated counter state (cursor)");
+  std::string tok;
+  if (!(in >> tok)) {
+    return Status::InvalidArgument("truncated state (cursor)");
   }
-  return v;
+  // Stream extraction of an unsigned silently NEGATES a signed token: a
+  // corrupted "-1" restores as 2^64 - 1 without setting failbit, and the
+  // counter replays from a cursor 18 quintillion draws ahead. Cursors are
+  // draw counts, so any leading sign ('-' or '+') is rejected outright,
+  // and the whole token must parse.
+  if (!std::isdigit(static_cast<unsigned char>(tok[0]))) {
+    return Status::InvalidArgument("malformed cursor in state: '" +
+                                   tok + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (*end != '\0') {
+    return Status::InvalidArgument("malformed cursor in state: '" +
+                                   tok + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("cursor overflows in state: '" +
+                                   tok + "'");
+  }
+  return static_cast<uint64_t>(v);
 }
 
 inline void WriteCursorVector(std::ostream& out,
@@ -115,6 +152,38 @@ inline Status ReadCursorVector(std::istream& in, std::vector<uint64_t>* v) {
   v->resize(static_cast<size_t>(count));
   for (auto& x : *v) {
     LONGDP_ASSIGN_OR_RETURN(x, ReadCursor(in));
+  }
+  return Status::OK();
+}
+
+// Checkpoint sentinels. Every SaveCheckpoint format ends with a
+// format-specific trailer token; loaders consume it with ExpectToken and
+// hard-fail otherwise, so a checkpoint truncated after a syntactically
+// valid prefix can never load. Whole-file loaders additionally call
+// ExpectExhausted: trailing bytes after the sentinel (a concatenated second
+// checkpoint, appended garbage) are an error for a file that is supposed
+// to BE a checkpoint, while mid-stream embedding (the counter bank inside
+// a synthesizer checkpoint) skips that call.
+
+inline Status ExpectToken(std::istream& in, const std::string& expected,
+                          const std::string& what) {
+  std::string tok;
+  if (!(in >> tok)) {
+    return Status::InvalidArgument("truncated " + what + ": expected '" +
+                                   expected + "'");
+  }
+  if (tok != expected) {
+    return Status::InvalidArgument("corrupt " + what + ": expected '" +
+                                   expected + "', got '" + tok + "'");
+  }
+  return Status::OK();
+}
+
+inline Status ExpectExhausted(std::istream& in, const std::string& what) {
+  std::string tok;
+  if (in >> tok) {
+    return Status::InvalidArgument("trailing data after " + what + ": '" +
+                                   tok + "'");
   }
   return Status::OK();
 }

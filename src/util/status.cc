@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

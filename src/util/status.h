@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kInternal = 7,
   kIOError = 8,
   kNotImplemented = 9,
+  kDataLoss = 10,  // stored state is unrecoverable (checksum/torn write)
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -106,6 +107,14 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  /// Durable state failed an integrity check (bad checksum, truncated
+  /// payload, torn frame). Distinct from InvalidArgument — the bytes were
+  /// once valid and have been damaged — and from IOError — the read itself
+  /// succeeded. Recovery code treats DataLoss as "stop and page a human",
+  /// never "fall back to a plausible default state".
+  [[nodiscard]] static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
@@ -120,6 +129,7 @@ class [[nodiscard]] Status {
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
  private:
   struct State {

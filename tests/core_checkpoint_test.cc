@@ -3,6 +3,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/categorical_synthesizer.h"
 #include "core/cumulative_synthesizer.h"
 #include "core/fixed_window_synthesizer.h"
 #include "data/generators.h"
@@ -155,6 +156,44 @@ TEST(CheckpointTest, RejectsGarbage) {
   std::stringstream v2(
       "longdp-fixed-window-checkpoint-v2\n12 3 0.005 124 0.05 7\n");
   EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(v2).ok());
+}
+
+TEST(CheckpointTest, VersionSkewIsExplicitInvalidArgument) {
+  // An old-version checkpoint must be refused with a message naming the
+  // version problem — distinct from "this is not a checkpoint at all".
+  std::stringstream v3(
+      "longdp-fixed-window-checkpoint-v3\n12 3 0.005 124 0.05 7\n");
+  auto restored = FixedWindowSynthesizer::LoadCheckpoint(v3);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument())
+      << restored.status().ToString();
+  EXPECT_NE(restored.status().message().find("version"), std::string::npos)
+      << restored.status().message();
+}
+
+TEST(CheckpointTest, MissingEndSentinelIsRejected) {
+  // v4 checkpoints end in a sentinel token; a checkpoint cut anywhere —
+  // including exactly at a clean token boundary, which every field-level
+  // read survives — must still fail to load.
+  util::SubstreamRng rng(21, util::substream::kGeneric);
+  auto ds = data::BernoulliIid(60, 6, 0.5, &rng).value();
+  auto synth = FixedWindowSynthesizer::Create(Opt(6, 2, 0.1, -1, 83)).value();
+  for (int64_t t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  std::string text = stream.str();
+  const std::string sentinel = "end-longdp-fixed-window-checkpoint-v4";
+  auto pos = text.rfind(sentinel);
+  ASSERT_NE(pos, std::string::npos) << "checkpoint lacks its sentinel";
+  std::stringstream truncated(text.substr(0, pos));
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(truncated).ok());
+  // And with the sentinel replaced by a forged token.
+  std::string forged = text;
+  forged.replace(pos, sentinel.size(), "end-of-some-other-file-entirely---");
+  std::stringstream wrong(forged);
+  EXPECT_FALSE(FixedWindowSynthesizer::LoadCheckpoint(wrong).ok());
 }
 
 // Replaces whitespace-separated token `tok_idx` (0-based) of line
@@ -417,6 +456,33 @@ TEST(CumulativeCheckpointTest, CorruptRhoTokenIsRejectedNotTruncated) {
       << restored.status().ToString();
 }
 
+TEST(CumulativeCheckpointTest, VersionSkewIsExplicitInvalidArgument) {
+  std::stringstream v3("longdp-cumulative-checkpoint-v3\n12 0.02 0 tree\n");
+  auto restored = CumulativeSynthesizer::LoadCheckpoint(v3);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument())
+      << restored.status().ToString();
+  EXPECT_NE(restored.status().message().find("version"), std::string::npos)
+      << restored.status().message();
+}
+
+TEST(CumulativeCheckpointTest, MissingEndSentinelIsRejected) {
+  util::SubstreamRng rng(29, util::substream::kGeneric);
+  auto ds = data::BernoulliIid(50, 6, 0.4, &rng).value();
+  auto synth = CumulativeSynthesizer::Create(COpt(6, 0.05, "tree", 89)).value();
+  for (int64_t t = 1; t <= 3; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(ds.Round(t)).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  std::string text = stream.str();
+  const std::string sentinel = "end-longdp-cumulative-checkpoint-v4";
+  auto pos = text.rfind(sentinel);
+  ASSERT_NE(pos, std::string::npos) << "checkpoint lacks its sentinel";
+  std::stringstream truncated(text.substr(0, pos));
+  EXPECT_FALSE(CumulativeSynthesizer::LoadCheckpoint(truncated).ok());
+}
+
 TEST(CumulativeCheckpointTest, RejectsGarbageAndTampering) {
   std::stringstream empty;
   EXPECT_FALSE(CumulativeSynthesizer::LoadCheckpoint(empty).ok());
@@ -470,6 +536,173 @@ TEST(CumulativeCheckpointTest, NoisyResumeReproducesRemainingReleaseLog) {
           << name << " t=" << t;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Categorical window synthesizer checkpointing (new in v1: resolved npad,
+// per-user base-A windows, synthetic symbol histories, overlap group order)
+// ---------------------------------------------------------------------------
+
+CategoricalWindowSynthesizer::Options KOpt(int64_t horizon, int k, int A,
+                                           double rho, uint64_t seed = 0) {
+  CategoricalWindowSynthesizer::Options options;
+  options.horizon = horizon;
+  options.window_k = k;
+  options.alphabet = A;
+  options.rho = rho;
+  options.seed = seed;
+  return options;
+}
+
+// Deterministic symbol rounds over alphabet A.
+std::vector<std::vector<uint8_t>> SymbolRounds(int64_t n, int64_t T, int A,
+                                               uint64_t seed) {
+  util::SubstreamRng rng(seed, util::substream::kGeneric);
+  std::vector<std::vector<uint8_t>> rounds;
+  for (int64_t t = 0; t < T; ++t) {
+    std::vector<uint8_t> round(static_cast<size_t>(n));
+    for (auto& s : round) {
+      s = static_cast<uint8_t>(rng.UniformInt(static_cast<uint64_t>(A)));
+    }
+    rounds.push_back(std::move(round));
+  }
+  return rounds;
+}
+
+TEST(CategoricalCheckpointTest, RoundTripPreservesState) {
+  const auto rounds = SymbolRounds(300, 10, 3, 31);
+  auto synth = CategoricalWindowSynthesizer::Create(KOpt(10, 2, 3, 0.05, 97))
+                   .value();
+  for (int64_t t = 1; t <= 6; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(rounds[static_cast<size_t>(t - 1)]).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = CategoricalWindowSynthesizer::LoadCheckpoint(stream);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto& r = *restored.value();
+  EXPECT_EQ(r.t(), 6);
+  EXPECT_EQ(r.population(), 300);
+  EXPECT_EQ(r.npad(), synth->npad());
+  EXPECT_EQ(r.synthetic_population(), synth->synthetic_population());
+  EXPECT_EQ(r.stats().releases, synth->stats().releases);
+  EXPECT_NEAR(r.accountant().spent(), synth->accountant().spent(), 1e-12);
+  EXPECT_EQ(r.SyntheticHistogram(), synth->SyntheticHistogram());
+  for (int64_t rec = 0; rec < r.synthetic_population(); ++rec) {
+    for (int64_t t = 1; t <= 6; ++t) {
+      ASSERT_EQ(r.Symbol(rec, t), synth->Symbol(rec, t))
+          << "rec=" << rec << " t=" << t;
+    }
+  }
+}
+
+TEST(CategoricalCheckpointTest, NoisyResumeReproducesRemainingReleaseLog) {
+  // Keyed draws + checkpointed state: the resumed run's histograms equal
+  // the uninterrupted run's bit for bit, under real noise.
+  const auto rounds = SymbolRounds(400, 12, 3, 37);
+  auto straight =
+      CategoricalWindowSynthesizer::Create(KOpt(12, 2, 3, 0.05, 0xCA7)).value();
+  std::vector<std::vector<int64_t>> tail;
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(
+        straight->ObserveRound(rounds[static_cast<size_t>(t - 1)]).ok());
+    if (t >= 6) tail.push_back(straight->SyntheticHistogram());
+  }
+  auto half =
+      CategoricalWindowSynthesizer::Create(KOpt(12, 2, 3, 0.05, 0xCA7)).value();
+  for (int64_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(half->ObserveRound(rounds[static_cast<size_t>(t - 1)]).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(half->SaveCheckpoint(stream).ok());
+  auto resumed = CategoricalWindowSynthesizer::LoadCheckpoint(stream).value();
+  size_t i = 0;
+  for (int64_t t = 6; t <= 12; ++t, ++i) {
+    ASSERT_TRUE(
+        resumed->ObserveRound(rounds[static_cast<size_t>(t - 1)]).ok());
+    EXPECT_EQ(resumed->SyntheticHistogram(), tail[i]) << "t=" << t;
+  }
+  EXPECT_EQ(resumed->stats().remainder_draws,
+            straight->stats().remainder_draws);
+}
+
+TEST(CategoricalCheckpointTest, PreReleaseAndFreshCheckpointsWork) {
+  const auto rounds = SymbolRounds(50, 6, 4, 41);
+  auto synth =
+      CategoricalWindowSynthesizer::Create(KOpt(6, 3, 4, 0.1, 101)).value();
+  // Fresh (t = 0).
+  {
+    std::stringstream stream;
+    ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+    auto restored = CategoricalWindowSynthesizer::LoadCheckpoint(stream);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored.value()->t(), 0);
+    EXPECT_EQ(restored.value()->population(), -1);
+  }
+  // Pre-release (t < k: windows tracked, no cohort yet).
+  ASSERT_TRUE(synth->ObserveRound(rounds[0]).ok());
+  ASSERT_TRUE(synth->ObserveRound(rounds[1]).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  auto restored = CategoricalWindowSynthesizer::LoadCheckpoint(stream).value();
+  EXPECT_EQ(restored->t(), 2);
+  EXPECT_FALSE(restored->has_release());
+  for (int64_t t = 3; t <= 6; ++t) {
+    ASSERT_TRUE(
+        restored->ObserveRound(rounds[static_cast<size_t>(t - 1)]).ok());
+  }
+  EXPECT_TRUE(restored->has_release());
+}
+
+TEST(CategoricalCheckpointTest, VersionSkewIsExplicitInvalidArgument) {
+  std::stringstream v0("longdp-categorical-checkpoint-v0\n10 2 3 0.05\n");
+  auto restored = CategoricalWindowSynthesizer::LoadCheckpoint(v0);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument())
+      << restored.status().ToString();
+  EXPECT_NE(restored.status().message().find("version"), std::string::npos)
+      << restored.status().message();
+}
+
+TEST(CategoricalCheckpointTest, RejectsGarbageTamperingAndMissingSentinel) {
+  std::stringstream empty;
+  EXPECT_FALSE(CategoricalWindowSynthesizer::LoadCheckpoint(empty).ok());
+  std::stringstream foreign("longdp-cumulative-checkpoint-v4\n");
+  EXPECT_FALSE(CategoricalWindowSynthesizer::LoadCheckpoint(foreign).ok());
+
+  const auto rounds = SymbolRounds(80, 6, 3, 43);
+  auto synth =
+      CategoricalWindowSynthesizer::Create(KOpt(6, 2, 3, 0.1, 103)).value();
+  for (int64_t t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(synth->ObserveRound(rounds[static_cast<size_t>(t - 1)]).ok());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(synth->SaveCheckpoint(stream).ok());
+  const std::string text = stream.str();
+
+  // Cut at the sentinel: every earlier field parses, the load still fails.
+  const std::string sentinel = "end-longdp-categorical-checkpoint-v1";
+  auto pos = text.rfind(sentinel);
+  ASSERT_NE(pos, std::string::npos);
+  std::stringstream truncated(text.substr(0, pos));
+  EXPECT_FALSE(
+      CategoricalWindowSynthesizer::LoadCheckpoint(truncated).ok());
+
+  // A tampered histogram no longer sums to the synthetic population.
+  auto cpos = text.find("counts ");
+  ASSERT_NE(cpos, std::string::npos);
+  std::string tampered = text;
+  // First count token starts after "counts <len> ". Bump its first digit.
+  auto tok = text.find(' ', cpos + 7) + 1;
+  tampered[tok] = tampered[tok] == '9' ? '8' : tampered[tok] + 1;
+  std::stringstream corrupted(tampered);
+  EXPECT_FALSE(
+      CategoricalWindowSynthesizer::LoadCheckpoint(corrupted).ok());
+
+  // A corrupted spent token must hard-fail, not restore as 0.
+  std::stringstream bad_spent(CorruptToken(text, 2, 7, "0.05zzz"));
+  EXPECT_FALSE(
+      CategoricalWindowSynthesizer::LoadCheckpoint(bad_spent).ok());
 }
 
 }  // namespace

@@ -1,0 +1,59 @@
+#include "persist/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace longdp {
+namespace persist {
+namespace {
+
+// Reference vectors from RFC 3720 (iSCSI) appendix B.4 — any conforming
+// CRC32C must reproduce these exactly.
+TEST(Crc32cTest, KnownVectors) {
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32c(check.data(), check.size()), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::string ones(32, '\xFF');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<char>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, StreamingMatchesOneShot) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) {
+    data += static_cast<char>((i * 37 + 11) & 0xFF);
+  }
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  // Every split point, including ones that leave the slicing loop a
+  // non-multiple-of-4 remainder.
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                     size_t{500}, size_t{999}, data.size()}) {
+    uint32_t crc = Crc32cExtend(0, data.data(), cut);
+    crc = Crc32cExtend(crc, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc, whole) << "split at " << cut;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "the release log must not rot silently";
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(data.data(), data.size()), clean)
+          << "flip at byte " << byte << " bit " << bit;
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace longdp

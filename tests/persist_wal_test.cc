@@ -1,0 +1,184 @@
+#include "persist/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace longdp {
+namespace persist {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/longdp_wal_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/wal";
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    if (std::system(cmd.c_str()) != 0) {
+      ADD_FAILURE() << "cleanup of " << dir_ << " failed";
+    }
+  }
+
+  void AppendAll(const std::vector<std::string>& records) {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const std::string& r : records) {
+      ASSERT_TRUE((*writer)->Append(r).ok());
+    }
+  }
+
+  std::string Slurp() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void Spit(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendAndReadBack) {
+  const std::vector<std::string> records = {"1 10 7 3", "2 10 8 3",
+                                            std::string("\x00\x01", 2), ""};
+  AppendAll(records);
+  for (WalReadMode mode :
+       {WalReadMode::kStrict, WalReadMode::kTolerateTornTail}) {
+    auto read = ReadWal(path_, mode);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read->records, records);
+    EXPECT_FALSE(read->torn_tail);
+    EXPECT_EQ(read->valid_bytes, Slurp().size());
+  }
+}
+
+TEST_F(WalTest, MissingFileIsNotFound) {
+  auto read = ReadWal(path_, WalReadMode::kStrict);
+  EXPECT_TRUE(read.status().IsNotFound()) << read.status().ToString();
+}
+
+TEST_F(WalTest, FreshlyOpenedEmptyLogHasNoRecords) {
+  { ASSERT_TRUE(WalWriter::Open(path_).ok()); }
+  auto read = ReadWal(path_, WalReadMode::kStrict);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_EQ(read->valid_bytes, 0u);
+}
+
+TEST_F(WalTest, TornHeaderAtTailToleratedStrictFails) {
+  AppendAll({"round one", "round two"});
+  const std::string clean = Slurp();
+  // A crash mid-append: only 3 of the 8 header bytes landed.
+  Spit(clean + std::string("\x05\x00\x00", 3));
+
+  auto tolerant = ReadWal(path_, WalReadMode::kTolerateTornTail);
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status().ToString();
+  EXPECT_EQ(tolerant->records.size(), 2u);
+  EXPECT_TRUE(tolerant->torn_tail);
+  EXPECT_EQ(tolerant->valid_bytes, clean.size());
+
+  auto strict = ReadWal(path_, WalReadMode::kStrict);
+  EXPECT_TRUE(strict.status().IsDataLoss()) << strict.status().ToString();
+}
+
+TEST_F(WalTest, TornPayloadAtTailToleratedStrictFails) {
+  AppendAll({"round one"});
+  const std::string clean = Slurp();
+  // A full header promising 100 bytes, with only 4 present.
+  std::string torn("\x64\x00\x00\x00\x00\x00\x00\x00", 8);
+  torn += "abcd";
+  Spit(clean + torn);
+
+  auto tolerant = ReadWal(path_, WalReadMode::kTolerateTornTail);
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status().ToString();
+  EXPECT_EQ(tolerant->records.size(), 1u);
+  EXPECT_TRUE(tolerant->torn_tail);
+  EXPECT_EQ(tolerant->valid_bytes, clean.size());
+
+  auto strict = ReadWal(path_, WalReadMode::kStrict);
+  EXPECT_TRUE(strict.status().IsDataLoss()) << strict.status().ToString();
+}
+
+TEST_F(WalTest, BitFlippedFrameStopsTolerantReadAndFailsStrict) {
+  AppendAll({"aaaa", "bbbb", "cccc"});
+  std::string bytes = Slurp();
+  // Flip a payload bit in the SECOND frame (offset: frame = 8 + 4 bytes).
+  const size_t second_payload = (8 + 4) + 8;
+  bytes[second_payload] = static_cast<char>(bytes[second_payload] ^ 0x01);
+  Spit(bytes);
+
+  auto tolerant = ReadWal(path_, WalReadMode::kTolerateTornTail);
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status().ToString();
+  EXPECT_EQ(tolerant->records, std::vector<std::string>{"aaaa"});
+  EXPECT_TRUE(tolerant->torn_tail);
+  EXPECT_EQ(tolerant->valid_bytes, 12u);
+
+  auto strict = ReadWal(path_, WalReadMode::kStrict);
+  EXPECT_TRUE(strict.status().IsDataLoss()) << strict.status().ToString();
+  EXPECT_NE(strict.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(WalTest, ImplausibleFrameLengthIsDamageNotAllocation) {
+  AppendAll({"good"});
+  const std::string clean = Slurp();
+  // Length field 0xFFFFFFFF: must be rejected by the cap, not allocated.
+  Spit(clean + std::string("\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF", 8));
+  auto tolerant = ReadWal(path_, WalReadMode::kTolerateTornTail);
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status().ToString();
+  EXPECT_EQ(tolerant->records.size(), 1u);
+  EXPECT_TRUE(tolerant->torn_tail);
+  auto strict = ReadWal(path_, WalReadMode::kStrict);
+  EXPECT_TRUE(strict.status().IsDataLoss()) << strict.status().ToString();
+}
+
+TEST_F(WalTest, TruncateCutsTornTailThenAppendsResume) {
+  AppendAll({"r1", "r2"});
+  const std::string clean = Slurp();
+  Spit(clean + "torn!");
+  auto tolerant = ReadWal(path_, WalReadMode::kTolerateTornTail);
+  ASSERT_TRUE(tolerant.ok());
+  ASSERT_TRUE(tolerant->torn_tail);
+  ASSERT_TRUE(TruncateWal(path_, tolerant->valid_bytes).ok());
+
+  // After the cut the log is strictly clean and appendable again.
+  auto strict = ReadWal(path_, WalReadMode::kStrict);
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  EXPECT_EQ(strict->records.size(), 2u);
+  AppendAll({"r3"});
+  auto final_read = ReadWal(path_, WalReadMode::kStrict);
+  ASSERT_TRUE(final_read.ok());
+  EXPECT_EQ(final_read->records,
+            (std::vector<std::string>{"r1", "r2", "r3"}));
+}
+
+TEST_F(WalTest, TruncateRefusesToGrow) {
+  AppendAll({"r1"});
+  Status grow = TruncateWal(path_, Slurp().size() + 100);
+  EXPECT_TRUE(grow.IsInvalidArgument()) << grow.ToString();
+}
+
+TEST_F(WalTest, DevFullAppendFailureIsIOError) {
+  if (::access("/dev/full", W_OK) != 0) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  auto writer = WalWriter::Open("/dev/full");
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  Status append = (*writer)->Append(std::string(1 << 16, 'x'));
+  EXPECT_TRUE(append.IsIOError()) << append.ToString();
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace longdp

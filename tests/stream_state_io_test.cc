@@ -98,6 +98,68 @@ TEST(StateIoTest, CorruptedDoubleVectorFailsRestore) {
   EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
 }
 
+TEST(StateIoTest, IntWithTrailingGarbageIsRejectedWholeToken) {
+  // Regression: ReadInt used `in >> value`, which stops at the first
+  // non-digit — "12abc" restored as 12 with "abc" left to corrupt the NEXT
+  // field. The whole token must parse or the whole token must fail.
+  for (const char* tok : {"12abc", "1.5", "0x10", "7 8garbage", "++3", ""}) {
+    std::stringstream s(tok);
+    auto first = ReadInt(s);
+    if (first.ok()) {
+      // Multi-token cases: the FOLLOWING read must fail, never misparse.
+      auto second = ReadInt(s);
+      EXPECT_FALSE(second.ok()) << tok;
+      EXPECT_TRUE(second.status().IsInvalidArgument() ||
+                  second.status().IsNotFound())
+          << tok << ": " << second.status().ToString();
+    } else {
+      EXPECT_FALSE(first.ok()) << tok;
+    }
+  }
+  // Valid tokens, including negatives, still parse.
+  std::stringstream ok("-42 9000000000000000000");
+  EXPECT_EQ(ReadInt(ok).value(), -42);
+  std::stringstream range("99999999999999999999");  // > int64 max: ERANGE
+  EXPECT_FALSE(ReadInt(range).ok());
+}
+
+TEST(StateIoTest, NegativeCursorIsRejectedNotWrapped) {
+  // Regression: ReadCursor used `in >> uint64`, which accepts "-1" and
+  // wraps it to 18446744073709551615 — a silently absurd draw cursor. A
+  // cursor token must be pure digits.
+  for (const char* tok : {"-1", "+3", "12abc", "abc", "", " -9"}) {
+    std::stringstream s(tok);
+    auto r = ReadCursor(s);
+    EXPECT_FALSE(r.ok()) << tok;
+  }
+  std::stringstream ok("18446744073709551615");  // uint64 max is fine
+  EXPECT_EQ(ReadCursor(ok).value(), 18446744073709551615ull);
+  std::stringstream range("18446744073709551616");  // one past: ERANGE
+  EXPECT_FALSE(ReadCursor(range).ok());
+}
+
+TEST(StateIoTest, ExpectTokenMatchesExactlyOnce) {
+  std::stringstream s("end-sentinel extra");
+  EXPECT_TRUE(ExpectToken(s, "end-sentinel", "test blob").ok());
+  // Wrong token: named in the error, stream state is an error.
+  std::stringstream wrong("not-it");
+  Status st = ExpectToken(wrong, "end-sentinel", "test blob");
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("end-sentinel"), std::string::npos);
+  // Missing entirely (truncation): also a hard error.
+  std::stringstream empty("");
+  EXPECT_FALSE(ExpectToken(empty, "end-sentinel", "test blob").ok());
+}
+
+TEST(StateIoTest, ExpectExhaustedRejectsTrailingTokens) {
+  std::stringstream clean("  \n\t ");
+  EXPECT_TRUE(ExpectExhausted(clean, "test blob").ok());
+  std::stringstream dirty(" stray");
+  Status st = ExpectExhausted(dirty, "test blob");
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("stray"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Mid-stream state round-trips for every registered counter type. A counter
 // serialized at time t and restored into a freshly constructed counter (same
