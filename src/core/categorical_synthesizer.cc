@@ -7,7 +7,6 @@
 #include <string>
 
 #include "core/observe_shard.h"
-#include "dp/discrete_gaussian.h"
 #include "stream/state_io.h"
 #include "util/batch_sampler.h"
 #include "util/thread_pool.h"
@@ -60,7 +59,8 @@ CategoricalWindowSynthesizer::CategoricalWindowSynthesizer(
       rho_per_step_(rho_per_step),
       accountant_(options.rho),
       noise_root_(options.seed, util::substream::kHistogramNoise),
-      selection_root_(options.seed, util::substream::kSelection) {}
+      selection_root_(options.seed, util::substream::kSelection),
+      noise_sampler_(dp::NoiseSampler::Gaussian(sigma2)) {}
 
 Result<std::unique_ptr<CategoricalWindowSynthesizer>>
 CategoricalWindowSynthesizer::Create(const Options& options) {
@@ -142,18 +142,14 @@ std::vector<int64_t>& CategoricalWindowSynthesizer::NoisyPaddedHistogram() {
   // (seed, kHistogramNoise, t, s), so the per-bin draws shard freely and
   // the noise vector is identical at any shard or thread count.
   noisy_scratch_ = window_hist_;
+  noise_scratch_.resize(noisy_scratch_.size());
   const util::SubstreamRng round_noise =
       noise_root_.Derive(static_cast<uint64_t>(t_));
-  util::ShardedFor(
-      options_.pool, static_cast<int64_t>(noisy_scratch_.size()),
-      [&](int /*shard*/, int64_t begin, int64_t end) {
-        for (int64_t s = begin; s < end; ++s) {
-          util::SubstreamRng bin_stream =
-              round_noise.Leaf(static_cast<uint64_t>(s));
-          noisy_scratch_[static_cast<size_t>(s)] +=
-              npad_ + dp::SampleDiscreteGaussian(sigma2_, &bin_stream);
-        }
-      });
+  noise_sampler_.FillLeaves(round_noise, noise_scratch_.size(),
+                            noise_scratch_.data(), options_.pool);
+  for (size_t s = 0; s < noisy_scratch_.size(); ++s) {
+    noisy_scratch_[s] += npad_ + noise_scratch_[s];
+  }
   return noisy_scratch_;
 }
 

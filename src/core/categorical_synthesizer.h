@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "dp/accountant.h"
+#include "dp/noise_sampler.h"
 #include "util/flat_groups.h"
 #include "util/status.h"
 #include "util/substream.h"
@@ -137,6 +138,8 @@ class CategoricalWindowSynthesizer {
   /// draws are addressable without any mutable shared stream.
   util::SubstreamRng noise_root_;
   util::SubstreamRng selection_root_;
+  /// Batched per-bin histogram noise (same draws as the one-shot sampler).
+  dp::NoiseSampler noise_sampler_;
 
   uint64_t num_bins_ = 0;      ///< A^k
   uint64_t num_overlaps_ = 0;  ///< A^(k-1)
@@ -164,6 +167,7 @@ class CategoricalWindowSynthesizer {
   // Persistent per-round scratch (sized once, reused every release) so the
   // pattern-histogram update allocates nothing in steady state.
   std::vector<int64_t> noisy_scratch_;              ///< A^k noisy histogram
+  std::vector<int64_t> noise_scratch_;              ///< A^k bulk noise draws
   std::vector<int64_t> counts_scratch_;             ///< next-round histogram
   std::vector<int64_t> targets_;                    ///< per-child targets
   std::vector<size_t> child_order_;                 ///< remainder shuffle

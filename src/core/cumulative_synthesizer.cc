@@ -1,6 +1,7 @@
 #include "core/cumulative_synthesizer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -9,6 +10,7 @@
 #include "stream/state_io.h"
 #include "util/batch_sampler.h"
 #include "util/csv.h"
+#include "util/simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace longdp {
@@ -28,7 +30,22 @@ Result<std::unique_ptr<CumulativeSynthesizer>> CumulativeSynthesizer::Create(
 
 Status CumulativeSynthesizer::InitializeForPopulation(int64_t n) {
   n_ = n;
-  orig_weight_.assign(static_cast<size_t>(n), 0);
+  // Weights reach at most horizon, so bit_width(horizon) planes hold every
+  // value; the bit-plane kernels cap at 16 planes, so horizons at or past
+  // 2^16 keep the scalar weight vector.
+  num_weight_planes_ =
+      options_.horizon < (int64_t{1} << 16)
+          ? std::bit_width(static_cast<uint64_t>(options_.horizon))
+          : 0;
+  if (num_weight_planes_ > 0) {
+    const size_t num_words = static_cast<size_t>((n + 63) >> 6);
+    weight_planes_.assign(static_cast<size_t>(num_weight_planes_),
+                          std::vector<uint64_t>(num_words, 0));
+    plane_hist_.assign(size_t{1} << num_weight_planes_, 0);
+    orig_weight_.clear();
+  } else {
+    orig_weight_.assign(static_cast<size_t>(n), 0);
+  }
   history_bits_.clear();
   history_bits_.reserve(static_cast<size_t>(n) *
                         static_cast<size_t>(options_.horizon));
@@ -78,16 +95,64 @@ Status CumulativeSynthesizer::ObserveRound(data::RoundView round) {
   }
 
   // Stage 1 input: z^t_b = #{ i : weight_i(t-1) = b-1 and x^t_i = 1 }.
-  // z_ is persistent scratch — zeroed, never reallocated. Only the round's
-  // set bits contribute, so the packed view's word iteration skips the
-  // zero records (and whole zero words) outright.
+  // z_ is persistent scratch — zeroed, never reallocated.
   //
-  // This stage is RNG-free and per-record, so it shards: each shard scans
-  // its fixed contiguous record range into its own histogram, and the
-  // shard histograms are reduced in shard order. Integer sums over a fixed
-  // partition make the result identical at every thread count.
+  // Bit-plane path: the weight histogram of the round's set lanes is one
+  // masked PlaneHistogram over the weight planes (mask = the round's
+  // packed words), and the weight increments are one bit-sliced
+  // ripple-carry PlaneAdd of those same words. Both kernels are exact
+  // integer popcount/logic over word ranges, so the word-range shards
+  // below (per-shard histograms reduced in shard order, disjoint PlaneAdd
+  // ranges) are identical at every thread count. Lanes past n never count:
+  // their mask bits are zero by the RoundView packing invariant.
   const int shards = util::NumShards(options_.pool);
-  if (shards == 1) {
+  if (num_weight_planes_ > 0) {
+    const int p = num_weight_planes_;
+    const size_t num_words = round.num_words();
+    const uint64_t* planes[16];
+    uint64_t* mut_planes[16];
+    for (int j = 0; j < p; ++j) {
+      planes[j] = weight_planes_[static_cast<size_t>(j)].data();
+      mut_planes[j] = weight_planes_[static_cast<size_t>(j)].data();
+    }
+    std::fill(plane_hist_.begin(), plane_hist_.end(), 0);
+    if (shards > 1 && num_words >= static_cast<size_t>(shards)) {
+      if (shard_z_.size() != static_cast<size_t>(shards)) {
+        shard_z_.assign(static_cast<size_t>(shards),
+                        std::vector<int64_t>(plane_hist_.size(), 0));
+      }
+      options_.pool->ParallelFor(
+          static_cast<int64_t>(num_words),
+          [&](int s, int64_t lo, int64_t hi) {
+            auto& h = shard_z_[static_cast<size_t>(s)];
+            std::fill(h.begin(), h.end(), 0);
+            const uint64_t* sub[16];
+            uint64_t* mut_sub[16];
+            for (int j = 0; j < p; ++j) {
+              sub[j] = planes[j] + lo;
+              mut_sub[j] = mut_planes[j] + lo;
+            }
+            const size_t span = static_cast<size_t>(hi - lo);
+            util::simd::PlaneHistogram(sub, p, round.words() + lo, span,
+                                       h.data());
+            util::simd::PlaneAdd(mut_sub, p, round.words() + lo, span);
+          });
+      for (const auto& h : shard_z_) {
+        for (size_t b = 0; b < plane_hist_.size(); ++b) {
+          plane_hist_[b] += h[b];
+        }
+      }
+    } else {
+      util::simd::PlaneHistogram(planes, p, round.words(), num_words,
+                                 plane_hist_.data());
+      util::simd::PlaneAdd(mut_planes, p, round.words(), num_words);
+    }
+    // Masked lanes carry weights < t <= horizon, so the histogram's tail
+    // past z_'s horizon entries is always zero.
+    std::copy(plane_hist_.begin(),
+              plane_hist_.begin() + static_cast<int64_t>(z_.size()),
+              z_.begin());
+  } else if (shards == 1) {
     std::fill(z_.begin(), z_.end(), 0);
     round.ForEachOne([&](int64_t i) {
       ++z_[static_cast<size_t>(orig_weight_[static_cast<size_t>(i)])];
@@ -149,11 +214,9 @@ Status CumulativeSynthesizer::ObserveRound(data::RoundView round) {
     int64_t* live = source.data() + head;
     sampler.PartialShuffle(live, group, zhat);
     auto& target = weight_groups_[ib];
-    for (int64_t i = 0; i < zhat; ++i) {
-      int64_t rec = live[i];
-      col[rec] = 1;
-      target.push_back(rec);
-    }
+    for (int64_t i = 0; i < zhat; ++i) col[live[i]] = 1;
+    // One ranged append instead of zhat push_backs (same member order).
+    target.insert(target.end(), live, live + zhat);
     head += zhat;
     // Amortized compaction keeps the spent prefix from growing past the
     // live region, bounding memory without per-round memmoves.
@@ -168,6 +231,39 @@ Status CumulativeSynthesizer::ObserveRound(data::RoundView round) {
   }
   prev_released_ = released_;
   return Status::OK();
+}
+
+int64_t CumulativeSynthesizer::OrigWeight(int64_t i) const {
+  if (num_weight_planes_ == 0) {
+    return orig_weight_[static_cast<size_t>(i)];
+  }
+  int64_t w = 0;
+  for (int j = 0; j < num_weight_planes_; ++j) {
+    w |= static_cast<int64_t>(
+             (weight_planes_[static_cast<size_t>(j)][static_cast<size_t>(
+                  i >> 6)] >>
+              (i & 63)) &
+             1)
+         << j;
+  }
+  return w;
+}
+
+void CumulativeSynthesizer::SetOrigWeight(int64_t i, int64_t w) {
+  if (num_weight_planes_ == 0) {
+    orig_weight_[static_cast<size_t>(i)] = static_cast<int32_t>(w);
+    return;
+  }
+  for (int j = 0; j < num_weight_planes_; ++j) {
+    uint64_t& word =
+        weight_planes_[static_cast<size_t>(j)][static_cast<size_t>(i >> 6)];
+    const uint64_t bit = uint64_t{1} << (i & 63);
+    if ((w >> j) & 1) {
+      word |= bit;
+    } else {
+      word &= ~bit;
+    }
+  }
 }
 
 const std::vector<int64_t>& CumulativeSynthesizer::raw_thresholds() const {
@@ -262,7 +358,9 @@ Status CumulativeSynthesizer::SaveCheckpoint(std::ostream& out) const {
   out << t_ << " " << n_ << "\n";
   if (n_ >= 0) {
     out << "weights";
-    for (int32_t w : orig_weight_) out << " " << w;
+    // Materialized per-record weights: the bit-plane layout is an
+    // in-memory choice, not checkpoint format.
+    for (int64_t i = 0; i < n_; ++i) out << " " << OrigWeight(i);
     out << "\n";
     out << "released";
     for (int64_t v : released_) out << " " << v;
@@ -338,12 +436,12 @@ CumulativeSynthesizer::LoadCheckpoint(std::istream& in) {
     if (!(in >> tag) || tag != "weights") {
       return Status::InvalidArgument("corrupt checkpoint: expected weights");
     }
-    for (auto& w : synth->orig_weight_) {
+    for (int64_t i = 0; i < n; ++i) {
       LONGDP_ASSIGN_OR_RETURN(int64_t wv, sio::ReadInt(in));
       if (wv < 0 || wv > t) {
         return Status::InvalidArgument("corrupt checkpoint weights");
       }
-      w = static_cast<int32_t>(wv);
+      synth->SetOrigWeight(i, wv);
     }
     if (!(in >> tag) || tag != "released") {
       return Status::InvalidArgument("corrupt checkpoint: expected released");

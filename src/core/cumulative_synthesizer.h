@@ -132,6 +132,13 @@ class CumulativeSynthesizer {
 
   Status InitializeForPopulation(int64_t n);
 
+  /// True prefix weight of original record i (materialized from the weight
+  /// planes, or read directly on the wide-horizon scalar path).
+  int64_t OrigWeight(int64_t i) const;
+  /// Sets record i's true prefix weight in whichever representation is
+  /// active (checkpoint restore).
+  void SetOrigWeight(int64_t i, int64_t w);
+
   Options options_;
   dp::ZCdpAccountant accountant_;
   /// Root of the stage-2 selection substreams; round t draws from
@@ -142,7 +149,17 @@ class CumulativeSynthesizer {
 
   int64_t n_ = -1;
   int64_t t_ = 0;
-  std::vector<int32_t> orig_weight_;  ///< true prefix weights
+  /// True prefix weights, bit-sliced: bit j of record i's weight is bit
+  /// i%64 of weight_planes_[j][i/64]. Stage 1's weight histogram is then a
+  /// masked SIMD bit-plane count and the weight increments are one
+  /// bit-sliced ripple-carry add over the round's packed words, instead of
+  /// two scattered per-set-bit updates. Horizons at or past 2^16 (beyond
+  /// the bit-plane kernel's 16-plane cap) fall back to the scalar
+  /// orig_weight_ vector; num_weight_planes_ == 0 marks that mode.
+  int num_weight_planes_ = 0;
+  std::vector<std::vector<uint64_t>> weight_planes_;
+  std::vector<int64_t> plane_hist_;   ///< 2^num_weight_planes_ scratch
+  std::vector<int32_t> orig_weight_;  ///< scalar-path true prefix weights
   /// Synthetic records as one flat column-major bit matrix: round tt's
   /// column occupies [(tt-1)*n, tt*n). A round extension is then a single
   /// zero-filled resize plus scattered writes for the promoted records,

@@ -7,11 +7,10 @@
 #include <ostream>
 #include <sstream>
 
-#include "core/observe_shard.h"
 #include "core/theory.h"
-#include "dp/discrete_gaussian.h"
 #include "stream/state_io.h"
 #include "util/csv.h"
+#include "util/simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace longdp {
@@ -27,7 +26,8 @@ FixedWindowSynthesizer::FixedWindowSynthesizer(const Options& options,
       accountant_(options.rho),
       noise_root_(options.seed, util::substream::kHistogramNoise),
       rounding_root_(options.seed, util::substream::kRounding),
-      cohort_root_(options.seed, util::substream::kCohort) {}
+      cohort_root_(options.seed, util::substream::kCohort),
+      noise_sampler_(dp::NoiseSampler::Gaussian(sigma2)) {}
 
 Result<std::unique_ptr<FixedWindowSynthesizer>> FixedWindowSynthesizer::Create(
     const Options& options) {
@@ -69,55 +69,108 @@ Status FixedWindowSynthesizer::ObserveRound(data::RoundView round) {
     return Status::OutOfRange("synthesizer past its horizon T=" +
                               std::to_string(options_.horizon));
   }
+  const int k = options_.window_k;
   if (n_ < 0) {
     n_ = round.size();
-    user_window_.assign(static_cast<size_t>(n_), 0);
+    window_planes_.assign(static_cast<size_t>(k),
+                          std::vector<uint64_t>(round.num_words(), 0));
+    plane_head_ = 0;
   } else if (round.size() != n_) {
     return Status::InvalidArgument(
         "round size changed; the population is fixed over the horizon");
   }
-  // Stage 1, fused per-user slide + window-histogram count (RNG-free and
-  // index-disjoint; see core/observe_shard.h for the sharding branches and
-  // the thread-count-invariance argument). One pass instead of a slide
-  // pass plus a count pass: the histogram reads each window value while it
-  // is still in register. Warm-up rounds (t < k) skip the histogram.
-  const int k = options_.window_k;
-  const bool releasing = (t_ + 1 >= options_.window_k);
-  ShardedSlideAndCount(
-      options_.pool, n_, releasing, util::NumPatterns(k), &window_hist_,
-      &shard_hist_,
-      [&](int64_t i) {
-        const util::Pattern w = util::SlideAppend(
-            user_window_[static_cast<size_t>(i)], k, round.bit(i));
-        user_window_[static_cast<size_t>(i)] = w;
-        return w;
-      },
-      [&](int64_t i) { return user_window_[static_cast<size_t>(i)]; });
+  // Stage 1, the per-user slide: every window code drops its oldest bit
+  // and gains this round's bit. Bit-sliced, that is one ring-head rotation
+  // (the slot holding the expiring oldest plane becomes the new newest
+  // plane) plus a copy of the round's packed words — no per-user work at
+  // all. Warm-up rounds (t < k) skip the histogram.
+  plane_head_ = (plane_head_ + k - 1) % k;
+  std::copy(round.words(), round.words() + round.num_words(),
+            window_planes_[static_cast<size_t>(plane_head_)].begin());
   ++t_;
   if (t_ < options_.window_k) return Status::OK();
+  CountWindowHistogram();
   if (t_ == options_.window_k) return InitialRelease();
   return SlideRelease();
 }
 
+util::Pattern FixedWindowSynthesizer::WindowPattern(int64_t i) const {
+  const int k = options_.window_k;
+  util::Pattern w = 0;
+  for (int j = 0; j < k; ++j) {
+    const std::vector<uint64_t>& plane =
+        window_planes_[static_cast<size_t>((plane_head_ + j) % k)];
+    w |= ((plane[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1) << j;
+  }
+  return w;
+}
+
+void FixedWindowSynthesizer::CountWindowHistogram() {
+  const int k = options_.window_k;
+  const size_t bins = util::NumPatterns(k);
+  window_hist_.assign(bins, 0);
+  if (n_ <= 0) return;
+  if (k > 16) {
+    // The bit-plane kernel caps at 16 planes; wider windows (legal up to
+    // k = 30, far past the tractable-histogram regime) materialize codes.
+    for (int64_t i = 0; i < n_; ++i) {
+      ++window_hist_[static_cast<size_t>(WindowPattern(i))];
+    }
+    return;
+  }
+  const size_t num_words = window_planes_[0].size();
+  // Plane pointers in bit order: plane 0 (the newest round) is the ring
+  // head, matching util::SlideAppend's newest-bit-is-bit-0 encoding.
+  const uint64_t* planes[16];
+  for (int j = 0; j < k; ++j) {
+    planes[j] =
+        window_planes_[static_cast<size_t>((plane_head_ + j) % k)].data();
+  }
+  const int shards = util::NumShards(options_.pool);
+  if (shards > 1 && num_words >= static_cast<size_t>(shards)) {
+    // Word-range shards: exact integer popcounts over a contiguous
+    // partition, reduced in shard order — identical at every thread count.
+    if (shard_hist_.size() != static_cast<size_t>(shards)) {
+      shard_hist_.assign(static_cast<size_t>(shards),
+                         std::vector<int64_t>(bins, 0));
+    }
+    options_.pool->ParallelFor(
+        static_cast<int64_t>(num_words), [&](int s, int64_t lo, int64_t hi) {
+          auto& h = shard_hist_[static_cast<size_t>(s)];
+          std::fill(h.begin(), h.end(), 0);
+          const uint64_t* sub[16];
+          for (int j = 0; j < k; ++j) sub[j] = planes[j] + lo;
+          util::simd::PlaneHistogram(sub, k, nullptr,
+                                     static_cast<size_t>(hi - lo), h.data());
+        });
+    for (const auto& h : shard_hist_) {
+      for (size_t b = 0; b < bins; ++b) window_hist_[b] += h[b];
+    }
+  } else {
+    util::simd::PlaneHistogram(planes, k, nullptr, num_words,
+                               window_hist_.data());
+  }
+  // Tail lanes past n in the last word are all-zero in every plane (the
+  // RoundView packing invariant) and were counted into bin 0; remove them.
+  window_hist_[0] -= static_cast<int64_t>(num_words * 64) - n_;
+}
+
 std::vector<int64_t>& FixedWindowSynthesizer::NoisyPaddedHistogram() {
-  // The exact histogram was counted by the fused observe pass; pad and
-  // noise it here. Bin s of round t draws from substream
+  // The exact histogram was counted from the bit-plane ring; pad and noise
+  // it here. Bin s of round t draws from substream
   // noise_root_.Derive(t).Leaf(s) — every bin's rejection chain is an
-  // independently addressed stream, so the bins shard across the pool and
-  // the released histogram is bit-identical at any shard/thread count.
+  // independently addressed stream, so the batched sampler's bulk pass
+  // (and any sharding of it) is bit-identical to the old per-bin one-shot
+  // draws at any shard/thread count.
   noisy_scratch_ = window_hist_;
+  noise_scratch_.resize(noisy_scratch_.size());
   const util::SubstreamRng round_noise =
       noise_root_.Derive(static_cast<uint64_t>(t_));
-  util::ShardedFor(
-      options_.pool, static_cast<int64_t>(noisy_scratch_.size()),
-      [&](int /*shard*/, int64_t begin, int64_t end) {
-        for (int64_t s = begin; s < end; ++s) {
-          util::SubstreamRng bin_stream =
-              round_noise.Leaf(static_cast<uint64_t>(s));
-          noisy_scratch_[static_cast<size_t>(s)] +=
-              npad_ + dp::SampleDiscreteGaussian(sigma2_, &bin_stream);
-        }
-      });
+  noise_sampler_.FillLeaves(round_noise, noise_scratch_.size(),
+                            noise_scratch_.data(), options_.pool);
+  for (size_t s = 0; s < noisy_scratch_.size(); ++s) {
+    noisy_scratch_[s] += npad_ + noise_scratch_[s];
+  }
   return noisy_scratch_;
 }
 
@@ -257,7 +310,11 @@ Status FixedWindowSynthesizer::SaveCheckpoint(std::ostream& out) const {
       << stats_.negative_clamps << " " << stats_.rounding_draws << " "
       << DoubleToken(accountant_.spent()) << "\n";
   out << "windows";
-  for (util::Pattern w : user_window_) out << " " << w;
+  // The v4 "windows" line is materialized per-user codes: the bit-plane
+  // ring is an in-memory layout choice, not checkpoint format.
+  for (int64_t i = 0; i < (n_ < 0 ? 0 : n_); ++i) {
+    out << " " << WindowPattern(i);
+  }
   out << "\n";
   if (cohort_.has_value()) {
     out << "cohort " << cohort_->num_records() << " " << cohort_->rounds()
@@ -342,13 +399,24 @@ FixedWindowSynthesizer::LoadCheckpoint(std::istream& in) {
     return Status::InvalidArgument("corrupt checkpoint: expected windows");
   }
   if (n >= 0) {
-    synth->user_window_.resize(static_cast<size_t>(n));
-    for (auto& w : synth->user_window_) {
+    const int k = options.window_k;
+    const size_t num_words = static_cast<size_t>((n + 63) >> 6);
+    synth->window_planes_.assign(static_cast<size_t>(k),
+                                 std::vector<uint64_t>(num_words, 0));
+    synth->plane_head_ = 0;
+    for (int64_t i = 0; i < n; ++i) {
       // Patterns are unsigned: ReadCursor rejects signed tokens instead of
       // letting stream extraction wrap "-1" to 2^64 - 1.
+      util::Pattern w = 0;
       LONGDP_ASSIGN_OR_RETURN(w, sio::ReadCursor(in));
       if (w >= util::NumPatterns(options.window_k)) {
         return Status::InvalidArgument("window pattern out of range");
+      }
+      for (int j = 0; j < k; ++j) {
+        if ((w >> j) & 1) {
+          synth->window_planes_[static_cast<size_t>(j)][static_cast<size_t>(
+              i >> 6)] |= uint64_t{1} << (i & 63);
+        }
       }
     }
   }

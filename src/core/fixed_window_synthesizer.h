@@ -29,6 +29,7 @@
 #include "core/synthetic_cohort.h"
 #include "data/round_view.h"
 #include "dp/accountant.h"
+#include "dp/noise_sampler.h"
 #include "query/debias.h"
 #include "query/window_query.h"
 #include "util/status.h"
@@ -157,9 +158,19 @@ class FixedWindowSynthesizer {
   Status SlideRelease();
 
   /// Stage 1: noisy padded histogram of the current true window counts,
-  /// one keyed discrete Gaussian per bin (sharded across Options::pool).
-  /// Fills and returns noisy_scratch_ (persistent, never reallocated).
+  /// one keyed discrete Gaussian per bin (bulk-drawn by the batched
+  /// NoiseSampler, sharded across Options::pool). Fills and returns
+  /// noisy_scratch_ (persistent, never reallocated).
   std::vector<int64_t>& NoisyPaddedHistogram();
+
+  /// Counts the exact window histogram from the bit-plane ring into
+  /// window_hist_ (sharded over word ranges; per-shard histograms reduce
+  /// in shard order, so the result is thread-count invariant).
+  void CountWindowHistogram();
+
+  /// Materializes user i's width-k window code from the bit-plane ring
+  /// (checkpoint serialization and the small-k fallback paths).
+  util::Pattern WindowPattern(int64_t i) const;
 
   Options options_;
   int64_t npad_;
@@ -171,17 +182,28 @@ class FixedWindowSynthesizer {
   util::SubstreamRng noise_root_;
   util::SubstreamRng rounding_root_;
   util::SubstreamRng cohort_root_;
+  /// Batched per-bin histogram noise (same draws as the one-shot sampler).
+  dp::NoiseSampler noise_sampler_;
 
   int64_t n_ = -1;  ///< original population size; fixed by first round
   int64_t t_ = 0;
-  std::vector<util::Pattern> user_window_;  ///< each user's last-k-bits code
+  /// The buffered original-data window state, bit-sliced: plane j of user
+  /// i's window code (the bit from j rounds ago; bit 0 is the newest, per
+  /// util::SlideAppend's encoding) is bit i%64 of
+  /// window_planes_[(plane_head_ + j) % k][i/64]. Sliding every user's
+  /// window is a head rotation plus one packed-round word copy instead of
+  /// n per-user shift-and-mask updates, and the window histogram is a
+  /// SIMD bit-plane kernel instead of n scattered increments.
+  std::vector<std::vector<uint64_t>> window_planes_;
+  int plane_head_ = 0;
   std::optional<SyntheticCohort> cohort_;
   Stats stats_;
   // Persistent per-round scratch for the histogram release hot path.
   std::vector<int64_t> noisy_scratch_;  ///< 2^k noisy padded histogram
+  std::vector<int64_t> noise_scratch_;  ///< 2^k bulk noise draws
   std::vector<int64_t> ones_target_;    ///< 2^(k-1) stage-2 targets
-  /// Exact window histogram computed by the fused slide+count pass of the
-  /// releasing rounds; NoisyPaddedHistogram starts from it.
+  /// Exact window histogram counted from the bit-plane ring on releasing
+  /// rounds; NoisyPaddedHistogram starts from it.
   std::vector<int64_t> window_hist_;
   /// Per-shard window histograms (reduced in shard order) and the byte-
   /// overload packing buffer.

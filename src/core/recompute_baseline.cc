@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "dp/discrete_gaussian.h"
-
 namespace longdp {
 namespace core {
 
@@ -23,6 +21,7 @@ Result<std::unique_ptr<RecomputeBaseline>> RecomputeBaseline::Create(
       std::isinf(options.rho) ? 0.0 : steps / (2.0 * options.rho);
   baseline->rho_per_step_ =
       std::isinf(options.rho) ? 0.0 : options.rho / steps;
+  baseline->noise_ = dp::NoiseSampler::Gaussian(baseline->sigma2_);
   return baseline;
 }
 
@@ -57,9 +56,10 @@ Status RecomputeBaseline::ObserveRound(data::RoundView round) {
   for (util::Pattern w : user_window_) ++hist[w];
   const util::SubstreamRng round_noise =
       noise_root_.Derive(static_cast<uint64_t>(t_));
+  std::vector<int64_t> noise(hist.size());
+  noise_.FillLeaves(round_noise, noise.size(), noise.data());
   for (size_t b = 0; b < hist.size(); ++b) {
-    util::SubstreamRng bin_stream = round_noise.Leaf(static_cast<uint64_t>(b));
-    hist[b] += dp::SampleDiscreteGaussian(sigma2_, &bin_stream);
+    hist[b] += noise[b];
     if (hist[b] < 0) {
       hist[b] = 0;
       ++clamped_;

@@ -18,6 +18,7 @@
 
 #include "data/round_view.h"
 #include "dp/accountant.h"
+#include "dp/noise_sampler.h"
 #include "util/bits.h"
 #include "util/status.h"
 #include "util/substream.h"
@@ -77,6 +78,8 @@ class RecomputeBaseline {
   int64_t t_ = 0;
   double sigma2_ = 0.0;
   double rho_per_step_ = 0.0;
+  // Batched per-bin noise; assigned in Create alongside sigma2_.
+  dp::NoiseSampler noise_ = dp::NoiseSampler::Gaussian(0.0);
   int64_t clamped_ = 0;
   std::vector<util::Pattern> user_window_;
   std::vector<int64_t> current_;

@@ -1,6 +1,7 @@
 #include "core/synthetic_cohort.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/batch_sampler.h"
 
@@ -36,17 +37,24 @@ Result<SyntheticCohort> SyntheticCohort::Create(
   cohort.num_records_ = total;
   const size_t m = static_cast<size_t>(total);
   cohort.history_bits_.assign(m * static_cast<size_t>(window_k), 0);
+  // Pattern s seeds initial_counts[s] consecutive record ids, so each
+  // group placement is one sequence append and each record's history is a
+  // per-round run fill (the matrix is already zero-filled; only 1-runs
+  // need writes). Same record ids, member order, and bits as the
+  // per-record loop this replaces.
   int64_t next_record = 0;
   for (util::Pattern s = 0; s < initial_counts.size(); ++s) {
-    util::Pattern overlap = util::Overlap(s, window_k);
-    for (int64_t c = 0; c < initial_counts[s]; ++c) {
-      const size_t rec = static_cast<size_t>(next_record++);
-      cohort.groups_.Place(overlap, static_cast<int64_t>(rec));
-      for (int j = 0; j < window_k; ++j) {
-        cohort.history_bits_[static_cast<size_t>(j) * m + rec] =
-            static_cast<uint8_t>((s >> (window_k - 1 - j)) & 1);
+    const int64_t c = initial_counts[s];
+    if (c == 0) continue;
+    cohort.groups_.PlaceSequence(util::Overlap(s, window_k), next_record, c);
+    const size_t base = static_cast<size_t>(next_record);
+    for (int j = 0; j < window_k; ++j) {
+      if ((s >> (window_k - 1 - j)) & 1) {
+        std::memset(&cohort.history_bits_[static_cast<size_t>(j) * m + base],
+                    1, static_cast<size_t>(c));
       }
     }
+    next_record += c;
   }
   return cohort;
 }
@@ -172,19 +180,20 @@ Status SyntheticCohort::AdvanceRound(const std::vector<int64_t>& ones_target,
       });
   // Pass 2 — the scatter: destination groups interleave across source
   // overlaps (z0 and z1 of different z can share an overlap), so the
-  // regroup stays serial, in overlap order.
+  // regroup stays serial, in overlap order. Within a source overlap the
+  // shuffle left the promoted subset at the front, so the per-record loop
+  // collapses to two ranged appends (ones first, zeros second — the same
+  // member order) plus the 1-bit column writes; the zero extensions need
+  // no writes at all, the appended column is already zero-filled.
   for (util::Pattern z = 0; z < num_overlaps; ++z) {
     int64_t* members = groups_.group_data(z);
     const int64_t target = ones_target[z];
     const int64_t group = groups_.size(z);
-    for (int64_t i = 0; i < group; ++i) {
-      const int bit = (i < target) ? 1 : 0;
-      const int64_t rec = members[i];
-      col[rec] = static_cast<uint8_t>(bit);
-      const util::Pattern new_pattern =
-          (z << 1) | static_cast<util::Pattern>(bit);  // width k
-      groups_next_.Place(util::Overlap(new_pattern, k_), rec);
-    }
+    for (int64_t i = 0; i < target; ++i) col[members[i]] = 1;
+    groups_next_.PlaceRange(util::Overlap((z << 1) | 1, k_), members,
+                            target);
+    groups_next_.PlaceRange(util::Overlap(z << 1, k_), members + target,
+                            group - target);
   }
   groups_.swap(groups_next_);
   pattern_count_.swap(new_counts);

@@ -1,6 +1,5 @@
 #include "dp/discrete_gaussian.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace longdp {
@@ -28,7 +27,9 @@ bool SampleBernoulliExpNeg(double gamma, util::Rng* rng) {
 }
 
 int64_t SampleDiscreteLaplace(double s, util::Rng* rng) {
-  assert(s > 0.0);
+  // !(s > 0.0) instead of s <= 0.0: also catches NaN. Identical behavior in
+  // debug and release — see the header contract.
+  if (!(s > 0.0)) return 0;
   const uint64_t t = static_cast<uint64_t>(std::floor(s)) + 1;
   for (;;) {
     // Offset U in {0,...,t-1}, accepted with probability exp(-U/s).
@@ -46,8 +47,9 @@ int64_t SampleDiscreteLaplace(double s, util::Rng* rng) {
 }
 
 int64_t SampleDiscreteGaussian(double sigma2, util::Rng* rng) {
-  assert(sigma2 >= 0.0);
-  if (sigma2 <= 0.0) return 0;
+  // !(sigma2 > 0.0) instead of sigma2 <= 0.0: also catches NaN. Identical
+  // behavior in debug and release — see the header contract.
+  if (!(sigma2 > 0.0)) return 0;
   const double sigma = std::sqrt(sigma2);
   const double t = std::floor(sigma) + 1.0;
   for (;;) {

@@ -36,13 +36,23 @@ bool SampleBernoulliExpNeg(double gamma, util::Rng* rng);
 ///   Pr[X = x] proportional to exp(-|x| / s),  x in Z.
 /// CKS'20 Alg. 2 structure: uniform offset + geometric tail + sign, with the
 /// double-counted zero rejected.
+///
+/// Degenerate scales are guarded in every build mode: any s that is not
+/// strictly positive (zero, negative, or NaN) returns 0 deterministically
+/// without consuming a draw. Before this guard a negative s underflowed the
+/// offset bound computation (undefined negative-double-to-uint64 cast).
 int64_t SampleDiscreteLaplace(double s, util::Rng* rng);
 
 /// Samples the discrete Gaussian N_Z(0, sigma2):
 ///   Pr[X = x] proportional to exp(-x^2 / (2 sigma2)),  x in Z.
-/// Rejection from discrete Laplace (CKS'20 Alg. 3). sigma2 == 0 returns 0
-/// deterministically (used by the zero-noise test path). Negative sigma2 is
-/// invalid and aborts in debug; treated as 0 in release.
+/// Rejection from discrete Laplace (CKS'20 Alg. 3).
+///
+/// Degenerate variances are guarded in every build mode (not just debug):
+/// any sigma2 that is not strictly positive (zero, negative, or NaN)
+/// returns 0 deterministically without consuming a draw. sigma2 == 0 is the
+/// documented zero-noise path; negative/NaN indicate a caller bug upstream
+/// (e.g. a corrupted budget) and degrade to the same harmless zero rather
+/// than debug-abort/release-UB. Pinned by dp_edge_case regression tests.
 int64_t SampleDiscreteGaussian(double sigma2, util::Rng* rng);
 
 /// Exact probability mass Pr[X = x] for X ~ N_Z(0, sigma2). Computed by

@@ -47,17 +47,13 @@ std::vector<int64_t> NoisyHistogramMechanism::Release(
     const std::vector<int64_t>& counts, int64_t offset,
     const util::SubstreamRng& stream, util::ThreadPool* pool) const {
   std::vector<int64_t> out(counts.size());
-  util::ShardedFor(
-      pool, static_cast<int64_t>(counts.size()),
-      [&](int /*shard*/, int64_t begin, int64_t end) {
-        for (int64_t i = begin; i < end; ++i) {
-          util::SubstreamRng bin_stream =
-              stream.Leaf(static_cast<uint64_t>(i));
-          out[static_cast<size_t>(i)] =
-              counts[static_cast<size_t>(i)] + offset +
-              SampleDiscreteGaussian(sigma2_, &bin_stream);
-        }
-      });
+  // Bulk per-leaf noise (bin i's draw comes from stream.Leaf(i), exactly as
+  // the old per-bin SampleDiscreteGaussian call did), then the pad/count
+  // add runs as a straight-line pass.
+  sampler_.FillLeaves(stream, counts.size(), out.data(), pool);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    out[i] += counts[i] + offset;
+  }
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dp/discrete_gaussian.h"
+#include "dp/noise_sampler.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/substream.h"
@@ -65,7 +66,8 @@ class NoisyCountMechanism {
 /// rho_step = 1/(2 sigma2)).
 class NoisyHistogramMechanism {
  public:
-  explicit NoisyHistogramMechanism(double sigma2) : sigma2_(sigma2) {}
+  explicit NoisyHistogramMechanism(double sigma2)
+      : sigma2_(sigma2), sampler_(NoiseSampler::Gaussian(sigma2)) {}
 
   /// Returns counts[i] + N_Z(0, sigma2) + offset for every bin. `offset`
   /// carries the paper's n_pad padding so padded and noised counts are
@@ -77,6 +79,8 @@ class NoisyHistogramMechanism {
   /// stream.Leaf(i), so the per-bin noise shards across `pool` (may be
   /// null) and the released histogram is bit-identical at any shard or
   /// thread count. Pass a fresh per-release stream (e.g. root.Derive(t)).
+  /// Noise comes from the batched NoiseSampler — same draws as the
+  /// one-shot sampler, with per-draw setup and word generation amortized.
   std::vector<int64_t> Release(const std::vector<int64_t>& counts,
                                int64_t offset,
                                const util::SubstreamRng& stream,
@@ -86,6 +90,7 @@ class NoisyHistogramMechanism {
 
  private:
   double sigma2_;
+  NoiseSampler sampler_;
 };
 
 }  // namespace dp

@@ -1,0 +1,110 @@
+// Batched discrete-noise sampler: the production engine for every noise
+// draw in the library.
+//
+// dp::NoiseSampler runs exactly the CKS'20 sampling chain of
+// dp/discrete_gaussian.h — Bernoulli(exp(-gamma)) -> discrete Laplace ->
+// rejection -> discrete Gaussian — but amortizes everything that the
+// one-shot functions recompute per draw:
+//
+//   * all scale-derived constants (sqrt/floor of sigma, the uniform-offset
+//     bound and its Lemire rejection threshold, the geometric-tail gamma's
+//     whole/fraction split, a table of the per-offset gammas u/s) are
+//     computed once at construction;
+//   * raw words are generated in chunks through util::simd::FillStreamWords
+//     (the BatchSampler chunked-word discipline) instead of one virtual
+//     Next() per word, then handed to the accept/reject logic from a local
+//     buffer.
+//
+// Stream-compatibility contract (pinned by dp_noise_sampler_test): a Draw()
+// from a SubstreamRng at cursor c consumes exactly the words
+// word(key, c+1), word(key, c+2), ... that SampleDiscreteGaussian /
+// SampleDiscreteLaplace would consume, applies the identical arithmetic
+// (every division is performed with the same operands — precomputed values
+// are cached results of the same operation, never reciprocal-multiply
+// rewrites), and leaves the cursor advanced by the same count. The sampler
+// is therefore a drop-in replacement: releases are bit-identical to the
+// scalar path, on every backend, with no golden re-record.
+//
+// Degenerate scales follow the hardened dp:: contract: a non-positive (or
+// NaN) sigma2/s yields a sampler whose every draw is 0 and consumes no
+// words, in every build mode.
+
+#ifndef LONGDP_DP_NOISE_SAMPLER_H_
+#define LONGDP_DP_NOISE_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/substream.h"
+#include "util/thread_pool.h"
+
+namespace longdp {
+namespace dp {
+
+class NoiseSampler {
+ public:
+  enum class Kind {
+    kGaussian,  ///< discrete Gaussian N_Z(0, sigma2); param is sigma2
+    kLaplace,   ///< discrete Laplace with scale s; param is s
+  };
+
+  NoiseSampler(Kind kind, double param);
+
+  static NoiseSampler Gaussian(double sigma2) {
+    return NoiseSampler(Kind::kGaussian, sigma2);
+  }
+  static NoiseSampler Laplace(double s) {
+    return NoiseSampler(Kind::kLaplace, s);
+  }
+
+  /// One draw from `stream`, word-for-word identical to the matching
+  /// one-shot dp:: function: same words consumed from the same cursor
+  /// positions, same value, cursor advanced by the same count.
+  int64_t Draw(util::SubstreamRng* stream) const;
+
+  /// Bulk fill addressed by leaf index: out[i] = the draw the one-shot
+  /// function would produce from parent.Leaf(i) at cursor 0, for i in
+  /// [0, count). Sharded over `pool` when given — each leaf's draw is a
+  /// pure function of its key, so the partition cannot change any value.
+  void FillLeaves(const util::SubstreamRng& parent, size_t count,
+                  int64_t* out, util::ThreadPool* pool = nullptr) const;
+
+  Kind kind() const { return kind_; }
+  /// The construction parameter: sigma2 for kGaussian, s for kLaplace.
+  double param() const { return param_; }
+  /// True when the parameter was degenerate (<= 0 or NaN): draws are 0.
+  bool degenerate() const { return degenerate_; }
+
+ private:
+  struct WordBuffer;  // chunked stream reader, defined in noise_sampler.cc
+
+  int64_t DrawGaussian(WordBuffer& wb) const;
+  int64_t DrawLaplace(WordBuffer& wb) const;
+  bool ExpNegLE1(double gamma, WordBuffer& wb) const;
+  bool ExpNegGeneral(double gamma, WordBuffer& wb) const;
+  bool ExpNegGeo(WordBuffer& wb) const;
+
+  Kind kind_;
+  double param_;
+  bool degenerate_;
+
+  // Constants of the discrete-Laplace stage (for kGaussian these describe
+  // the inner Laplace(t) of CKS'20 Alg. 3). Every cached value is the
+  // result of the exact operation the one-shot chain performs per draw.
+  double s_ = 0.0;           // Laplace scale used by the chain
+  uint64_t t_ = 1;           // floor(s_) + 1: uniform-offset bound
+  uint64_t threshold_ = 0;   // (-t_) % t_: UniformInt rejection threshold
+  int64_t geo_whole_ = 0;    // floor(t_ / s_) when t_/s_ > 1, else 0
+  double geo_frac_ = 0.0;    // the remaining exponent of the tail gamma
+  std::vector<double> gamma_u_;  // gamma_u_[u] = u / s_ (capped table)
+
+  // Gaussian-only rejection constants.
+  double sigma2_over_t_ = 0.0;  // sigma2 / t (t = floor(sigma) + 1.0)
+  double two_sigma2_ = 0.0;     // 2.0 * sigma2
+};
+
+}  // namespace dp
+}  // namespace longdp
+
+#endif  // LONGDP_DP_NOISE_SAMPLER_H_

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "dp/discrete_gaussian.h"
 #include "stream/state_io.h"
 #include "util/mathutil.h"
 
@@ -16,6 +15,7 @@ HonakerCounter::HonakerCounter(int64_t horizon, double rho,
       levels_(util::FloorLog2(static_cast<uint64_t>(horizon)) + 1),
       sigma2_(std::isinf(rho) ? 0.0
                               : static_cast<double>(levels_) / (2.0 * rho)),
+      noise_(dp::NoiseSampler::Gaussian(sigma2_)),
       true_sum_(static_cast<size_t>(levels_), 0),
       estimate_(static_cast<size_t>(levels_), 0.0),
       occupied_(static_cast<size_t>(levels_), false),
@@ -44,10 +44,8 @@ Result<int64_t> HonakerCounter::Observe(int64_t z) {
   ++t_;
   // New leaf node: a level-0 completion.
   int64_t cur_true = z;
-  double cur_est =
-      static_cast<double>(z) +
-      static_cast<double>(
-          dp::SampleDiscreteGaussian(sigma2_, &level_streams_[0]));
+  double cur_est = static_cast<double>(z) +
+                   static_cast<double>(noise_.Draw(&level_streams_[0]));
   int level = 0;
   // Binary-counter carry: merge equal-sized completed subtrees upward. The
   // carry forming a node at level `level + 1` must stay inside the level
@@ -64,8 +62,7 @@ Result<int64_t> HonakerCounter::Observe(int64_t z) {
     estimate_[l] = 0.0;
     double parent_noisy =
         static_cast<double>(parent_true) +
-        static_cast<double>(dp::SampleDiscreteGaussian(
-            sigma2_, &level_streams_[l + 1]));
+        static_cast<double>(noise_.Draw(&level_streams_[l + 1]));
     if (sigma2_ > 0.0) {
       double child_sum_var = 2.0 * level_var_[l];
       double w_node = 1.0 / sigma2_;

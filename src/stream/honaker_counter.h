@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "dp/noise_sampler.h"
 #include "stream/stream_counter.h"
 
 namespace longdp {
@@ -51,6 +52,9 @@ class HonakerCounter : public StreamCounter {
   double rho_;
   int levels_;
   double sigma2_;
+  // Batched sampler for sigma2_ — bit-identical draws to the one-shot
+  // function with the per-draw setup amortized (dp/noise_sampler.h).
+  dp::NoiseSampler noise_;
   int64_t t_ = 0;
   // Pending completed-subtree state per level: true sum, refined estimate
   // (kept in double: it is a weighted average of integers), and occupancy.

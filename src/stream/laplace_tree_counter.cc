@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "dp/discrete_gaussian.h"
 #include "stream/state_io.h"
 #include "util/bits.h"
 #include "util/mathutil.h"
@@ -18,6 +17,7 @@ LaplaceTreeCounter::LaplaceTreeCounter(int64_t horizon, double rho,
       levels_(util::FloorLog2(static_cast<uint64_t>(horizon)) + 1),
       scale_(std::isinf(rho) ? 0.0
                              : static_cast<double>(levels_) / epsilon_),
+      noise_(dp::NoiseSampler::Laplace(scale_)),
       alpha_(static_cast<size_t>(levels_), 0),
       alpha_noisy_(static_cast<size_t>(levels_), 0) {
   level_streams_.reserve(static_cast<size_t>(levels_));
@@ -41,12 +41,8 @@ Result<int64_t> LaplaceTreeCounter::Observe(int64_t z) {
     alpha_noisy_[static_cast<size_t>(j)] = 0;
   }
   alpha_[static_cast<size_t>(i)] = acc;
-  int64_t noise =
-      scale_ > 0.0
-          ? dp::SampleDiscreteLaplace(scale_,
-                                      &level_streams_[static_cast<size_t>(i)])
-          : 0;
-  alpha_noisy_[static_cast<size_t>(i)] = acc + noise;
+  alpha_noisy_[static_cast<size_t>(i)] =
+      acc + noise_.Draw(&level_streams_[static_cast<size_t>(i)]);
   int64_t s = 0;
   for (int j = 0; j < levels_; ++j) {
     if ((t_ >> j) & 1) s += alpha_noisy_[static_cast<size_t>(j)];

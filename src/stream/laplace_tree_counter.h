@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "dp/noise_sampler.h"
 #include "stream/stream_counter.h"
 
 namespace longdp {
@@ -54,6 +55,9 @@ class LaplaceTreeCounter : public StreamCounter {
   double epsilon_;
   int levels_;
   double scale_;
+  // Batched Laplace sampler for scale_; degenerate (scale_ <= 0) draws 0
+  // without consuming words, matching the old "skip the call" guard.
+  dp::NoiseSampler noise_;
   int64_t t_ = 0;
   std::vector<int64_t> alpha_;
   std::vector<int64_t> alpha_noisy_;

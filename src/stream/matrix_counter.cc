@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "dp/discrete_gaussian.h"
 #include "stream/state_io.h"
 
 namespace longdp {
@@ -26,6 +25,7 @@ MatrixCounter::MatrixCounter(int64_t horizon, double rho,
   }
   delta2_ = acc;
   sigma2_ = std::isinf(rho) ? 0.0 : delta2_ / (2.0 * rho);
+  noise_ = dp::NoiseSampler::Gaussian(sigma2_);
   x_.reserve(static_cast<size_t>(horizon));
   noisy_u_.reserve(static_cast<size_t>(horizon));
 }
@@ -45,8 +45,7 @@ Result<int64_t> MatrixCounter::Observe(int64_t z) {
   }
   // Discrete noise keeps the released reconstruction integer-friendly and
   // matches the rest of the library's integer-noise policy.
-  double noise =
-      static_cast<double>(dp::SampleDiscreteGaussian(sigma2_, &stream_));
+  double noise = static_cast<double>(noise_.Draw(&stream_));
   noisy_u_.push_back(u + noise);
   // Stilde_t = (M (u + z))_t.
   double s = 0.0;

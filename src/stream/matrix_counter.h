@@ -27,6 +27,7 @@
 
 #include <vector>
 
+#include "dp/noise_sampler.h"
 #include "stream/stream_counter.h"
 
 namespace longdp {
@@ -60,6 +61,9 @@ class MatrixCounter : public StreamCounter {
   double rho_;
   double delta2_;
   double sigma2_;
+  // Batched sampler for sigma2_; assigned in the constructor body because
+  // sigma2_ itself is computed there (after the coefficient table).
+  dp::NoiseSampler noise_ = dp::NoiseSampler::Gaussian(0.0);
   int64_t t_ = 0;
   std::vector<double> f_;        ///< f_0 .. f_{T-1}
   std::vector<double> prefix_f2_;  ///< sum_{k<=j} f_k^2

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "dp/discrete_gaussian.h"
 #include "stream/state_io.h"
 
 namespace longdp {
@@ -26,6 +25,7 @@ InputPerturbationCounter::InputPerturbationCounter(
     : horizon_(horizon),
       rho_(rho),
       sigma2_(std::isinf(rho) ? 0.0 : 1.0 / (2.0 * rho)),
+      noise_(dp::NoiseSampler::Gaussian(sigma2_)),
       stream_(stream.Leaf(0)) {}
 
 Result<int64_t> InputPerturbationCounter::Observe(int64_t z) {
@@ -33,7 +33,7 @@ Result<int64_t> InputPerturbationCounter::Observe(int64_t z) {
     return Status::OutOfRange("counter past its horizon");
   }
   ++t_;
-  noisy_sum_ += z + dp::SampleDiscreteGaussian(sigma2_, &stream_);
+  noisy_sum_ += z + noise_.Draw(&stream_);
   return noisy_sum_;
 }
 
@@ -51,6 +51,7 @@ RecomputeCounter::RecomputeCounter(int64_t horizon, double rho,
       rho_(rho),
       sigma2_(std::isinf(rho) ? 0.0
                               : static_cast<double>(horizon) / (2.0 * rho)),
+      noise_(dp::NoiseSampler::Gaussian(sigma2_)),
       stream_(stream.Leaf(0)) {}
 
 Result<int64_t> RecomputeCounter::Observe(int64_t z) {
@@ -59,7 +60,7 @@ Result<int64_t> RecomputeCounter::Observe(int64_t z) {
   }
   ++t_;
   true_sum_ += z;
-  return true_sum_ + dp::SampleDiscreteGaussian(sigma2_, &stream_);
+  return true_sum_ + noise_.Draw(&stream_);
 }
 
 double RecomputeCounter::ErrorBound(double beta, int64_t t) const {

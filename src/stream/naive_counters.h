@@ -19,6 +19,7 @@
 #ifndef LONGDP_STREAM_NAIVE_COUNTERS_H_
 #define LONGDP_STREAM_NAIVE_COUNTERS_H_
 
+#include "dp/noise_sampler.h"
 #include "stream/stream_counter.h"
 
 namespace longdp {
@@ -42,6 +43,7 @@ class InputPerturbationCounter : public StreamCounter {
   int64_t horizon_;
   double rho_;
   double sigma2_;
+  dp::NoiseSampler noise_;  // batched sampler for sigma2_, bit-identical
   int64_t t_ = 0;
   int64_t noisy_sum_ = 0;
   util::SubstreamRng stream_;
@@ -65,6 +67,7 @@ class RecomputeCounter : public StreamCounter {
   int64_t horizon_;
   double rho_;
   double sigma2_;
+  dp::NoiseSampler noise_;  // batched sampler for sigma2_, bit-identical
   int64_t t_ = 0;
   int64_t true_sum_ = 0;
   util::SubstreamRng stream_;

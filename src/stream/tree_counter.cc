@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "dp/discrete_gaussian.h"
 #include "stream/state_io.h"
 #include "util/bits.h"
 #include "util/mathutil.h"
@@ -17,6 +16,7 @@ TreeCounter::TreeCounter(int64_t horizon, double rho,
       levels_(util::FloorLog2(static_cast<uint64_t>(horizon)) + 1),
       sigma2_(std::isinf(rho) ? 0.0
                               : static_cast<double>(levels_) / (2.0 * rho)),
+      noise_(dp::NoiseSampler::Gaussian(sigma2_)),
       alpha_(static_cast<size_t>(levels_), 0),
       alpha_noisy_(static_cast<size_t>(levels_), 0) {
   level_streams_.reserve(static_cast<size_t>(levels_));

@@ -30,7 +30,7 @@
 #include <bit>
 #include <vector>
 
-#include "dp/discrete_gaussian.h"
+#include "dp/noise_sampler.h"
 #include "stream/stream_counter.h"
 
 namespace longdp {
@@ -69,8 +69,7 @@ class TreeCounter : public StreamCounter {
     }
     alpha_[static_cast<size_t>(i)] = acc;
     alpha_noisy_[static_cast<size_t>(i)] =
-        acc + dp::SampleDiscreteGaussian(
-                  sigma2_, &level_streams_[static_cast<size_t>(i)]);
+        acc + noise_.Draw(&level_streams_[static_cast<size_t>(i)]);
     // Prefix sum = dyadic decomposition of [1, t]: iterate the set bits of
     // t directly (bits &= bits - 1 clears the lowest one).
     int64_t s = 0;
@@ -91,6 +90,10 @@ class TreeCounter : public StreamCounter {
   double rho_;
   int levels_;
   double sigma2_;  // per-node noise scale, cached at construction
+  // Batched sampler for sigma2_: same draws as the one-shot function, with
+  // the scale constants and chunked word generation amortized (see
+  // dp/noise_sampler.h).
+  dp::NoiseSampler noise_;
   int64_t t_ = 0;
   std::vector<int64_t> alpha_;        // pending true partial sums per level
   std::vector<int64_t> alpha_noisy_;  // their released noisy values

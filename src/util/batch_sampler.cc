@@ -56,11 +56,12 @@ void BatchSampler::BoundedBulk(uint64_t bound, uint64_t* out, size_t count) {
   uint64_t words[kChunkWords];
   size_t i = 0;
   while (i < count) {
-    // Prefetch exactly the words still owed (one per remaining draw), so
-    // the xoshiro state recurrence runs as a tight dependent loop and the
-    // multiply/store conversion below is independent work per element.
+    // Prefetch exactly the words still owed (one per remaining draw):
+    // FillWords batches the word generation (SIMD for SubstreamRng, a tight
+    // dependent loop for xoshiro) and the multiply/store conversion below
+    // is independent work per element.
     const size_t c = std::min(kChunkWords, count - i);
-    for (size_t w = 0; w < c; ++w) words[w] = rng_->Next();
+    rng_->FillWords(words, c);
     for (size_t w = 0; w < c; ++w, ++i) {
       uint64_t lo;
       uint64_t hi = MulShift(words[w], bound, &lo);
@@ -82,7 +83,7 @@ size_t BatchSampler::FillDecreasingDraws(uint64_t n, uint64_t start,
                                          size_t count, uint64_t* out) {
   const size_t c = std::min(kChunkWords, count);
   uint64_t words[kChunkWords];
-  for (size_t w = 0; w < c; ++w) words[w] = rng_->Next();
+  rng_->FillWords(words, c);
   for (size_t w = 0; w < c; ++w) {
     const uint64_t bound = n - (start + static_cast<uint64_t>(w));
     uint64_t lo;

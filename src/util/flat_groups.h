@@ -22,6 +22,7 @@
 #ifndef LONGDP_UTIL_FLAT_GROUPS_H_
 #define LONGDP_UTIL_FLAT_GROUPS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -48,6 +49,22 @@ class FlatGroups {
   /// more records into a group than it declared.
   void Place(size_t g, int64_t rec) {
     records_[static_cast<size_t>(cursor_[g]++)] = rec;
+  }
+
+  /// Scatter phase: appends `count` records from `recs` to group `g` in
+  /// one ranged copy — same result as `count` Place calls in order.
+  void PlaceRange(size_t g, const int64_t* recs, int64_t count) {
+    std::copy(recs, recs + count,
+              records_.data() + static_cast<size_t>(cursor_[g]));
+    cursor_[g] += count;
+  }
+
+  /// Scatter phase: appends the consecutive record ids first, first + 1,
+  /// ..., first + count - 1 to group `g`.
+  void PlaceSequence(size_t g, int64_t first, int64_t count) {
+    int64_t* dst = records_.data() + static_cast<size_t>(cursor_[g]);
+    for (int64_t i = 0; i < count; ++i) dst[i] = first + i;
+    cursor_[g] += count;
   }
 
   size_t num_groups() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }

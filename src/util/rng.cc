@@ -40,6 +40,10 @@ uint64_t Rng::Next() {
   return result;
 }
 
+void Rng::FillWords(uint64_t* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) out[i] = Next();
+}
+
 uint64_t Rng::UniformInt(uint64_t bound) {
   // The empty range has one representable answer; returning it (without
   // consuming a draw) beats the division-by-zero the rejection threshold

@@ -72,6 +72,13 @@ class Rng {
   uint64_t operator()() { return Next(); }
   virtual uint64_t Next();
 
+  /// Fills out[0..count) with the next `count` raw words — exactly the
+  /// sequence `count` successive Next() calls would return, advancing the
+  /// stream identically. Virtual so counter-based engines can batch the
+  /// word generation (SubstreamRng routes through the util/simd layer);
+  /// the default is a plain Next() loop.
+  virtual void FillWords(uint64_t* out, size_t count);
+
   /// Uniform integer in [0, bound) without modulo bias. bound == 0 (an
   /// empty range) returns 0 without consuming a draw.
   uint64_t UniformInt(uint64_t bound);

@@ -1,0 +1,22 @@
+// Scalar backend: the reference instantiation of the shared kernel bodies.
+// Always compiled, always correct; also the forced-scalar path CI replays
+// the golden suites under to prove backend equivalence.
+
+#include "util/simd/simd_internal.h"
+#include "util/simd/simd_kernels.h"
+
+namespace longdp {
+namespace util {
+namespace simd {
+namespace internal {
+
+const Backend kScalarBackend = {
+    &FillStreamWordsT<ScalarTraits>,
+    &PlaneHistogramT<ScalarTraits>,
+    &PlaneAddT<ScalarTraits>,
+};
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace util
+}  // namespace longdp

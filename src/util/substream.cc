@@ -1,5 +1,7 @@
 #include "util/substream.h"
 
+#include "util/simd/simd.h"
+
 namespace longdp {
 namespace util {
 
@@ -47,6 +49,11 @@ SubstreamRng SubstreamRng::ForkSubstream() {
 
 uint64_t SubstreamRng::Next() {
   return SplitMix64Finalize(key_ + (++cursor_) * kGamma);
+}
+
+void SubstreamRng::FillWords(uint64_t* out, size_t count) {
+  simd::FillStreamWords(key_, cursor_, out, count);
+  cursor_ += count;
 }
 
 SubstreamRng SubstreamRng::FromState(uint64_t key, uint64_t cursor) {

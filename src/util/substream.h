@@ -86,6 +86,12 @@ class SubstreamRng final : public Rng {
   /// The keyed block function: word(key, cursor++).
   uint64_t Next() override;
 
+  /// Bulk word generation through the util/simd layer: identical sequence
+  /// and cursor advance to `count` Next() calls, several words per cycle on
+  /// vector backends (the block function is random-access, so whole chunks
+  /// are evaluated with no serial dependence).
+  void FillWords(uint64_t* out, size_t count) override;
+
   uint64_t key() const { return key_; }
   /// Number of words consumed so far — the checkpointable stream position.
   uint64_t cursor() const { return cursor_; }

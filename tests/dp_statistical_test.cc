@@ -13,8 +13,11 @@
 
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <vector>
 
 #include "dp/discrete_gaussian.h"
+#include "dp/noise_sampler.h"
 #include "util/mathutil.h"
 #include "util/substream.h"
 
@@ -100,6 +103,102 @@ TEST(DpStatisticalTest, DiscreteLaplaceMeanAndVarianceWithinTolerance) {
     EXPECT_NEAR(acc.variance(), var,
                 5.0 * var * std::sqrt(2.0 / kDraws) + 0.02 * var)
         << "s=" << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched sampler gates: dp::NoiseSampler's bulk path must produce the same
+// law as the one-shot chain it replaces. The stream-equality tests
+// (dp_noise_sampler_test) prove word-for-word identity draw by draw; these
+// gates independently pin the DISTRIBUTION of the bulk FillLeaves output at
+// the experiment sigmas, so a batching bug that slipped past the equality
+// pinning (e.g. a leaf-indexing mixup that still yields valid draws) fails
+// a statistical test too.
+// ---------------------------------------------------------------------------
+
+TEST(DpStatisticalTest, BatchedGaussianMomentsAtExperimentSigmas) {
+  for (double sigma2 : {1.0, 25.0, 900.0, 6000.0}) {
+    const int kDraws = 400000;
+    const NoiseSampler sampler = NoiseSampler::Gaussian(sigma2);
+    const util::SubstreamRng parent(
+        0xBA7C4 + static_cast<uint64_t>(sigma2),
+        util::substream::kHistogramNoise);
+    std::vector<int64_t> draws(kDraws);
+    sampler.FillLeaves(parent, draws.size(), draws.data());
+    util::MomentAccumulator acc;
+    for (int64_t x : draws) acc.Add(static_cast<double>(x));
+    const double se = std::sqrt(sigma2 / kDraws);
+    EXPECT_NEAR(acc.mean(), 0.0, 5.0 * se) << "sigma2=" << sigma2;
+    const double var_tol =
+        5.0 * sigma2 * std::sqrt(2.0 / kDraws) + 0.02 * sigma2;
+    EXPECT_NEAR(acc.variance(), sigma2, var_tol) << "sigma2=" << sigma2;
+  }
+}
+
+TEST(DpStatisticalTest, BatchedGaussianChiSquareGoodnessOfFit) {
+  const double sigma2 = 4.0;
+  const int kDraws = 200000;
+  const NoiseSampler sampler = NoiseSampler::Gaussian(sigma2);
+  const util::SubstreamRng parent(0xC4150, util::substream::kHistogramNoise);
+  std::vector<int64_t> draws(kDraws);
+  sampler.FillLeaves(parent, draws.size(), draws.data());
+  std::map<int64_t, int> hist;
+  for (int64_t x : draws) ++hist[x];
+  double chi2 = 0.0;
+  for (int64_t x = -5; x <= 5; ++x) {
+    const double expected = DiscreteGaussianPmf(x, sigma2) * kDraws;
+    ASSERT_GT(expected, 50.0);
+    const double observed = static_cast<double>(hist[x]);
+    chi2 += (observed - expected) * (observed - expected) / expected;
+  }
+  // 11 cells -> 10 dof; 99.9th percentile ~ 29.6. Use 40 for slack.
+  EXPECT_LT(chi2, 40.0);
+}
+
+TEST(DpStatisticalTest, BatchedGaussianTwoSidedTailMass) {
+  const double sigma2 = 25.0;
+  const int64_t lambda = 10;  // 2 sigma
+  const int kDraws = 500000;
+  const NoiseSampler sampler = NoiseSampler::Gaussian(sigma2);
+  const util::SubstreamRng parent(0x7A12, util::substream::kHistogramNoise);
+  std::vector<int64_t> draws(kDraws);
+  sampler.FillLeaves(parent, draws.size(), draws.data());
+  int64_t upper = 0, lower = 0;
+  for (int64_t x : draws) {
+    if (x >= lambda) ++upper;
+    if (x <= -lambda) ++lower;
+  }
+  const double expect = ExactUpperTail(lambda, sigma2);
+  const double se = std::sqrt(expect * (1.0 - expect) / kDraws);
+  EXPECT_NEAR(static_cast<double>(upper) / kDraws, expect, 5.0 * se);
+  EXPECT_NEAR(static_cast<double>(lower) / kDraws, expect, 5.0 * se);
+}
+
+TEST(DpStatisticalTest, BatchedLaplaceMomentsAndTailRatio) {
+  for (double s : {1.0, 10.0}) {
+    const int kDraws = 400000;
+    const NoiseSampler sampler = NoiseSampler::Laplace(s);
+    const util::SubstreamRng parent(0x1AC + static_cast<uint64_t>(s),
+                                    util::substream::kCounterNoise);
+    std::vector<int64_t> draws(kDraws);
+    sampler.FillLeaves(parent, draws.size(), draws.data());
+    util::MomentAccumulator acc;
+    std::map<int64_t, int> hist;
+    for (int64_t x : draws) {
+      acc.Add(static_cast<double>(x));
+      ++hist[x];
+    }
+    const double e = std::exp(1.0 / s);
+    const double var = 2.0 * e / ((e - 1.0) * (e - 1.0));
+    EXPECT_NEAR(acc.mean(), 0.0, 5.0 * std::sqrt(var / kDraws)) << "s=" << s;
+    EXPECT_NEAR(acc.variance(), var,
+                5.0 * var * std::sqrt(2.0 / kDraws) + 0.02 * var)
+        << "s=" << s;
+    // Pr[X = x+1] / Pr[X = x] = exp(-1/s) on the non-negative side.
+    const double expected_ratio = std::exp(-1.0 / s);
+    ASSERT_GT(hist[0], 1000) << "s=" << s;
+    const double ratio = static_cast<double>(hist[1]) / hist[0];
+    EXPECT_NEAR(ratio, expected_ratio, 0.05) << "s=" << s;
   }
 }
 

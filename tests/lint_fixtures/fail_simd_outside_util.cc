@@ -1,0 +1,11 @@
+// Must produce longdp-simd-contained findings on the marked lines: raw
+// vendor intrinsics are only legal under src/util/simd/, behind the
+// runtime dispatch table (util/simd/simd.h), so goldens never vary by ISA.
+#include <immintrin.h>  // 1 finding: 'immintrin'
+
+#include <cstdint>
+
+int64_t Splat7Low() {
+  __m256i v = _mm256_set1_epi64x(7);  // 2 findings: type + intrinsic
+  return _mm256_extract_epi64(v, 0);  // 1 finding
+}

@@ -22,6 +22,7 @@ constexpr char kRuleUnorderedIter[] = "longdp-no-unordered-iteration";
 constexpr char kRuleNoiseViaDp[] = "longdp-noise-via-dp";
 constexpr char kRuleStatusChecked[] = "longdp-status-checked";
 constexpr char kRuleSubstream[] = "longdp-substream-discipline";
+constexpr char kRuleSimdContained[] = "longdp-simd-contained";
 constexpr char kRuleNolintJustify[] = "longdp-nolint-needs-justification";
 
 // ---------------------------------------------------------------------------
@@ -277,6 +278,9 @@ bool RuleExempt(const std::string& rule, const std::string& path,
        PathContains(path, "bench/micro_primitives"))) {
     return true;
   }
+  if (rule == kRuleSimdContained && PathContains(path, "src/util/simd")) {
+    return true;
+  }
   for (const auto& [r, sub] : options.allow) {
     if (r == rule && PathContains(path, sub)) return true;
   }
@@ -341,6 +345,40 @@ void CheckNoiseViaDp(const LexedFile& file, std::vector<Finding>* findings) {
            "'" + tok.text +
                "' outside src/dp/; privacy noise must come from a dp:: "
                "mechanism charged to the accountant"});
+    }
+  }
+}
+
+void CheckSimdContained(const LexedFile& file,
+                        std::vector<Finding>* findings) {
+  // Vendor intrinsic surface: _mm*/__m* identifiers and the *intrin.h
+  // family of headers (immintrin, x86intrin, emmintrin, ...). The include
+  // line lexes to plain tokens, so the header name is just an identifier.
+  static const std::vector<std::string> kPrefixes = {
+      "_mm_",   "_mm256_", "_mm512_", "__m128",
+      "__m256", "__m512",  "__mmask"};
+  for (const Token& tok : file.tokens) {
+    if (tok.kind != Token::kIdent) continue;
+    const std::string& s = tok.text;
+    bool hit = false;
+    for (const std::string& p : kPrefixes) {
+      if (s.compare(0, p.size(), p) == 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && s.size() >= 6 &&
+        s.compare(s.size() - 6, 6, "intrin") == 0) {
+      hit = true;  // immintrin / x86intrin / emmintrin / ... header names
+    }
+    if (!hit && s == "arm_neon") hit = true;
+    if (hit) {
+      findings->push_back(
+          {file.path, tok.line, kRuleSimdContained,
+           "raw SIMD '" + s +
+               "' outside src/util/simd/; call the runtime-dispatched "
+               "kernels in util/simd/simd.h so the forced-scalar build "
+               "stays bit-identical"});
     }
   }
 }
@@ -654,6 +692,10 @@ std::vector<Finding> RunRules(const LexedFile& file,
       !RuleExempt(kRuleSubstream, file.path, options)) {
     CheckSubstreamDiscipline(file, &findings);
   }
+  if (RuleEnabled(kRuleSimdContained, options) &&
+      !RuleExempt(kRuleSimdContained, file.path, options)) {
+    CheckSimdContained(file, &findings);
+  }
   return ApplySuppressions(file, std::move(findings));
 }
 
@@ -691,7 +733,7 @@ std::string Finding::ToString() const {
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
       kRuleRawRng, kRuleUnorderedIter, kRuleNoiseViaDp, kRuleStatusChecked,
-      kRuleSubstream};
+      kRuleSubstream, kRuleSimdContained};
   return kRules;
 }
 

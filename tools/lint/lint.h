@@ -34,6 +34,13 @@
 //                                draw) address and releases are
 //                                shard-count-invariant. Consuming an engine
 //                                via `Rng*` / `Rng&` stays legal.
+//   longdp-simd-contained        No raw vendor intrinsics (_mm*/__m*
+//                                identifiers, *intrin.h headers, arm_neon)
+//                                outside src/util/simd/. Hot loops must call
+//                                the runtime-dispatched kernels in
+//                                util/simd/simd.h, which keep a bit-identical
+//                                scalar fallback (LONGDP_FORCE_SCALAR) so
+//                                goldens never depend on the host ISA.
 //
 // Suppressions follow the clang-tidy spelling but are stricter: a
 // `// NOLINTNEXTLINE(longdp-<rule>)` (or trailing `// NOLINT(longdp-<rule>)`)
@@ -88,7 +95,7 @@ struct Options {
   std::vector<std::pair<std::string, std::string>> allow;
 };
 
-/// Names of the five source rules (not including the NOLINT meta rule).
+/// Names of the six source rules (not including the NOLINT meta rule).
 const std::vector<std::string>& RuleNames();
 bool IsKnownRule(const std::string& rule);
 

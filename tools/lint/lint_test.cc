@@ -48,7 +48,8 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
 TEST(LintFixtureTest, PassFixturesAreClean) {
   for (const char* name :
        {"pass_clean.cc", "pass_unordered_lookup.cc", "pass_status_checked.cc",
-        "pass_nolint_justified.cc", "pass_substream_discipline.cc"}) {
+        "pass_nolint_justified.cc", "pass_substream_discipline.cc",
+        "pass_simd_nolint_justified.cc"}) {
     std::vector<Finding> findings = ScanFixture(name);
     EXPECT_TRUE(findings.empty())
         << name << ": " << (findings.empty() ? "" : findings[0].ToString());
@@ -99,6 +100,18 @@ TEST(LintFixtureTest, SubstreamDisciplineFixtureFlagsEveryConstruction) {
   EXPECT_EQ(lines, (std::vector<int>{9, 10, 11}));
 }
 
+TEST(LintFixtureTest, SimdContainedFixtureFlagsHeaderAndIntrinsics) {
+  std::vector<Finding> findings = ScanFixture("fail_simd_outside_util.cc");
+  ASSERT_EQ(findings.size(), 4u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "longdp-simd-contained") << f.ToString();
+  }
+  // Header include, __m256i + _mm256_set1_epi64x, _mm256_extract_epi64.
+  std::vector<int> lines;
+  for (const Finding& f : findings) lines.push_back(f.line);
+  EXPECT_EQ(lines, (std::vector<int>{4, 9, 9, 10}));
+}
+
 TEST(LintFixtureTest, MissingJustificationKeepsFindingAndAddsMetaFinding) {
   std::vector<Finding> findings =
       ScanFixture("fail_nolint_missing_justification.cc");
@@ -129,8 +142,8 @@ TEST(LintFixtureTest, DirectoryScanVisitsAllFixtures) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // 5 raw-rng + 2 unordered + (2 noise + 1 raw-rng) + 3 status +
   // (1 unordered + 1 meta) + 1 unordered + 2 nolint-policy +
-  // 3 substream = 21; pass_* files contribute none.
-  EXPECT_EQ(result.value().size(), 21u);
+  // 3 substream + 4 simd = 25; pass_* files contribute none.
+  EXPECT_EQ(result.value().size(), 25u);
   for (const Finding& f : result.value()) {
     EXPECT_EQ(f.path.find("pass_"), std::string::npos) << f.ToString();
   }
@@ -270,6 +283,16 @@ TEST(LintScanSourceTest, SubstreamDisciplineContexts) {
   EXPECT_TRUE(
       ScanSource("src/util/substream.cc", "Rng base(SubclassTag{});", {})
           .empty());
+}
+
+TEST(LintScanSourceTest, SimdContainedExemptsOnlyTheSimdLayer) {
+  const std::string src = "__m256i v = _mm256_add_epi64(a, b);";
+  EXPECT_TRUE(ScanSource("src/util/simd/simd_avx2.cc", src, {}).empty());
+  EXPECT_EQ(ScanSource("src/core/x.cc", src, {}).size(), 2u);
+  // The intrinsic umbrella header is flagged wherever it is included.
+  EXPECT_EQ(
+      ScanSource("src/stream/y.cc", "#include <immintrin.h>\n", {}).size(),
+      1u);
 }
 
 TEST(LintScanSourceTest, CommentsAndStringsDoNotTrigger) {
