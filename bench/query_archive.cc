@@ -1,0 +1,290 @@
+// Archive query serving vs per-query CSV reload, over 1000+ stored
+// releases.
+//
+// The curator phase runs `--runs` (default 46) independent synthesizer
+// executions over the same SIPP-like ground truth — each contributing 10
+// window + 12 cumulative releases (1012 releases at the default) — and
+// persists every run twice: as a per-run release-log CSV and as label
+// "run<i>" in ONE columnar archive, which also stores run 0's synthetic
+// panel as packed round columns. The analyst phase then answers the same
+// query batch both ways:
+//
+//   csv path      re-loads the run's CSV (and, for spells, re-loads the
+//                 panel CSV) for EVERY query — the pre-archive workflow;
+//   archive path  one mmap open, then Exec serves each query in place.
+//
+// Every answer pair is required to be bit-identical (Status::Internal on
+// the first mismatch) and the archive throughput must be >= 5x the CSV
+// path — both gates run inside the bench, every time, before the report
+// is written. The gated "answers" series stores the per-family means; the
+// "throughput" series (queries/sec) is informational and CI diffs with
+// --ignore=throughput.
+//
+// Flags: --runs=N --rho=R --json[=PATH]
+#include <chrono>
+#include <cstdio>
+
+#include "archive/exec.h"
+#include "archive/reader.h"
+#include "archive/writer.h"
+#include "bench_common.h"
+#include "core/release_analyzer.h"
+#include "core/release_log.h"
+#include "query/spells.h"
+
+namespace longdp {
+namespace bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Status Run(const harness::Flags& flags, harness::BenchReport* report) {
+  const int64_t T = 12;
+  const int k = 3;
+  const int64_t runs = flags.GetInt("runs", 46);
+  const double rho = flags.GetDouble("rho", 0.005);
+  const std::string dir = flags.GetString("tmpdir", "/tmp");
+  const std::string archive_path = dir + "/longdp_bench_query_archive.ldpa";
+  const std::string panel_path = dir + "/longdp_bench_query_archive_panel.csv";
+  auto run_csv = [&](int64_t i) {
+    return dir + "/longdp_bench_query_archive_run" + std::to_string(i) +
+           ".csv";
+  };
+
+  report->set_description(
+      "query serving from the columnar archive vs per-query CSV reload; "
+      "answers gated bit-identical, throughput gated >= 5x");
+  report->SetParam("T", T);
+  report->SetParam("k", k);
+  report->SetParam("runs", runs);
+  report->SetParam("rho", rho);
+
+  // ---- Curator phase: build the archive and the CSV twins ----------------
+  data::SippOptions sipp;
+  sipp.num_households = 2000;
+  LONGDP_ASSIGN_OR_RETURN(auto ds, data::SimulateSipp(sipp, kDatasetSeed));
+
+  const auto curate_start = std::chrono::steady_clock::now();
+  LONGDP_ASSIGN_OR_RETURN(auto writer,
+                          archive::ArchiveWriter::Create(archive_path));
+  int64_t releases = 0;
+  for (int64_t i = 0; i < runs; ++i) {
+    core::FixedWindowSynthesizer::Options fopt;
+    fopt.horizon = T;
+    fopt.window_k = k;
+    fopt.rho = rho;
+    fopt.seed = kRunSeed + static_cast<uint64_t>(i);
+    LONGDP_ASSIGN_OR_RETURN(auto fsynth,
+                            core::FixedWindowSynthesizer::Create(fopt));
+    core::CumulativeSynthesizer::Options copt;
+    copt.horizon = T;
+    copt.rho = rho;
+    copt.seed = kRunSeed + 100000 + static_cast<uint64_t>(i);
+    LONGDP_ASSIGN_OR_RETURN(auto csynth,
+                            core::CumulativeSynthesizer::Create(copt));
+    core::ReleaseLog log;
+    for (int64_t t = 1; t <= T; ++t) {
+      LONGDP_RETURN_NOT_OK(fsynth->ObserveRound(ds.Round(t)));
+      LONGDP_RETURN_NOT_OK(csynth->ObserveRound(ds.Round(t)));
+      LONGDP_RETURN_NOT_OK(log.Capture(*fsynth));
+      LONGDP_RETURN_NOT_OK(log.Capture(*csynth));
+    }
+    releases += static_cast<int64_t>(log.window_releases().size() +
+                                     log.cumulative_releases().size());
+    LONGDP_RETURN_NOT_OK(log.WriteCsv(run_csv(i)));
+    LONGDP_RETURN_NOT_OK(
+        writer.AppendReleaseLog("run" + std::to_string(i), log));
+    if (i == 0) {
+      LONGDP_ASSIGN_OR_RETURN(auto panel, fsynth->cohort().ToDataset(T));
+      LONGDP_RETURN_NOT_OK(data::WriteSippBitsCsv(panel, panel_path));
+      LONGDP_RETURN_NOT_OK(writer.AppendCohort("panel", panel));
+    }
+  }
+  LONGDP_RETURN_NOT_OK(writer.Finish());
+  report->RecordPhaseSeconds("curate", Seconds(curate_start));
+
+  // ---- Analyst phase: the same query batch, both ways --------------------
+  auto pred_quarter = query::MakeAtLeastOnes(k, 2);
+  auto pred_all = query::MakeAllOnes(k);
+  const std::vector<int64_t> cumulative_bs = {1, 3, 5};
+
+  struct Answers {
+    std::vector<double> window;      // per run x pred
+    std::vector<double> cumulative;  // per run x b
+    std::vector<double> spells;      // the 3 spell statistics
+  };
+
+  // CSV path: one LoadCsv (or panel reload) per query, the workflow this
+  // subsystem replaces.
+  Answers csv;
+  const auto csv_start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < runs; ++i) {
+    for (const auto& pred : {pred_quarter, pred_all}) {
+      LONGDP_ASSIGN_OR_RETURN(auto log, core::ReleaseLog::LoadCsv(run_csv(i)));
+      core::ReleaseAnalyzer analyzer(log);
+      LONGDP_ASSIGN_OR_RETURN(const double v,
+                              analyzer.WindowFraction(T, *pred));
+      csv.window.push_back(v);
+    }
+    for (int64_t b : cumulative_bs) {
+      LONGDP_ASSIGN_OR_RETURN(auto log, core::ReleaseLog::LoadCsv(run_csv(i)));
+      core::ReleaseAnalyzer analyzer(log);
+      LONGDP_ASSIGN_OR_RETURN(const double v, analyzer.CumulativeFraction(T, b));
+      csv.cumulative.push_back(v);
+    }
+  }
+  {
+    LONGDP_ASSIGN_OR_RETURN(auto panel, data::LoadSippBitsCsv(panel_path));
+    LONGDP_ASSIGN_OR_RETURN(const double v, query::EverHadSpell(panel, T, 3));
+    csv.spells.push_back(v);
+  }
+  {
+    LONGDP_ASSIGN_OR_RETURN(auto panel, data::LoadSippBitsCsv(panel_path));
+    LONGDP_ASSIGN_OR_RETURN(const double v,
+                            query::OngoingSpellAtLeast(panel, T, 2));
+    csv.spells.push_back(v);
+  }
+  {
+    LONGDP_ASSIGN_OR_RETURN(auto panel, data::LoadSippBitsCsv(panel_path));
+    LONGDP_ASSIGN_OR_RETURN(const double v, query::MeanSpellLength(panel, T));
+    csv.spells.push_back(v);
+  }
+  const double csv_seconds = Seconds(csv_start);
+  const int64_t num_queries =
+      static_cast<int64_t>(csv.window.size() + csv.cumulative.size() +
+                           csv.spells.size());
+
+  // Archive path: one verified open, then everything served in place.
+  Answers arch;
+  const auto arch_start = std::chrono::steady_clock::now();
+  LONGDP_ASSIGN_OR_RETURN(auto reader,
+                          archive::ArchiveReader::Open(archive_path));
+  archive::Exec exec(reader);
+  for (int64_t i = 0; i < runs; ++i) {
+    LONGDP_ASSIGN_OR_RETURN(const uint32_t label,
+                            reader.FindLabel("run" + std::to_string(i)));
+    archive::Exec::Filter windows;
+    windows.kind = archive::EntryKind::kWindow;
+    windows.label_id = label;
+    windows.t_min = T;
+    archive::Exec::Filter cumulative;
+    cumulative.kind = archive::EntryKind::kCumulative;
+    cumulative.label_id = label;
+    cumulative.t_min = T;
+    const auto wsel = exec.Select(windows);
+    const auto csel = exec.Select(cumulative);
+    if (wsel.size() != 1 || csel.size() != 1) {
+      return Status::Internal("expected one t=T entry per kind per run");
+    }
+    for (const auto& pred : {pred_quarter, pred_all}) {
+      LONGDP_ASSIGN_OR_RETURN(const double v,
+                              exec.DebiasedWindowFraction(*wsel[0], *pred));
+      arch.window.push_back(v);
+    }
+    for (int64_t b : cumulative_bs) {
+      LONGDP_ASSIGN_OR_RETURN(const double v,
+                              exec.CumulativeFraction(*csel[0], b));
+      arch.cumulative.push_back(v);
+    }
+  }
+  {
+    archive::Exec::Filter cohorts;
+    cohorts.kind = archive::EntryKind::kCohort;
+    const auto sel = exec.Select(cohorts);
+    if (sel.size() != 1) return Status::Internal("expected one stored panel");
+    LONGDP_ASSIGN_OR_RETURN(const double ever,
+                            exec.CohortEverHadSpell(*sel[0], T, 3));
+    arch.spells.push_back(ever);
+    LONGDP_ASSIGN_OR_RETURN(const double ongoing,
+                            exec.CohortOngoingSpellAtLeast(*sel[0], T, 2));
+    arch.spells.push_back(ongoing);
+    LONGDP_ASSIGN_OR_RETURN(const double mean,
+                            exec.CohortMeanSpellLength(*sel[0], T));
+    arch.spells.push_back(mean);
+  }
+  const double arch_seconds = Seconds(arch_start);
+  report->RecordPhaseSeconds("serve_csv", csv_seconds);
+  report->RecordPhaseSeconds("serve_archive", arch_seconds);
+
+  // ---- Gates (run in-bench, before any report is written) ----------------
+  auto require_identical = [](const std::vector<double>& a,
+                              const std::vector<double>& b,
+                              const char* family) {
+    if (a.size() != b.size()) {
+      return Status::Internal(std::string(family) + ": answer count differs");
+    }
+    for (size_t j = 0; j < a.size(); ++j) {
+      if (a[j] != b[j]) {
+        return Status::Internal(std::string(family) + " answer " +
+                                std::to_string(j) +
+                                " differs between archive and CSV paths");
+      }
+    }
+    return Status::OK();
+  };
+  LONGDP_RETURN_NOT_OK(require_identical(csv.window, arch.window, "window"));
+  LONGDP_RETURN_NOT_OK(
+      require_identical(csv.cumulative, arch.cumulative, "cumulative"));
+  LONGDP_RETURN_NOT_OK(require_identical(csv.spells, arch.spells, "spells"));
+
+  const double csv_qps = static_cast<double>(num_queries) / csv_seconds;
+  const double arch_qps = static_cast<double>(num_queries) / arch_seconds;
+  if (arch_qps < 5.0 * csv_qps) {
+    return Status::Internal(
+        "archive throughput regression: " + std::to_string(arch_qps) +
+        " qps vs CSV " + std::to_string(csv_qps) + " qps (< 5x)");
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double sum = 0.0;
+    for (double x : v) sum += x;
+    return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+  };
+  auto& answers = report->AddSeries("answers");
+  answers.AddRow()
+      .Label("family", "window")
+      .Value("mean", mean(arch.window));
+  answers.AddRow()
+      .Label("family", "cumulative")
+      .Value("mean", mean(arch.cumulative));
+  answers.AddRow()
+      .Label("family", "spells")
+      .Value("mean", mean(arch.spells));
+  auto& throughput = report->AddSeries("throughput");
+  throughput.AddRow()
+      .Label("path", "csv_reload")
+      .Value("qps", csv_qps);
+  throughput.AddRow()
+      .Label("path", "archive")
+      .Value("qps", arch_qps);
+
+  std::printf("== query_archive: %lld releases across %lld runs ==\n",
+              static_cast<long long>(releases),
+              static_cast<long long>(runs));
+  std::printf("queries: %lld per path, answers bit-identical\n",
+              static_cast<long long>(num_queries));
+  std::printf("csv reload: %8.1f queries/sec (%.3fs)\n", csv_qps,
+              csv_seconds);
+  std::printf("archive:    %8.1f queries/sec (%.3fs)  -> %.1fx\n", arch_qps,
+              arch_seconds, arch_qps / csv_qps);
+
+  for (int64_t i = 0; i < runs; ++i) std::remove(run_csv(i).c_str());
+  std::remove(panel_path.c_str());
+  std::remove(archive_path.c_str());
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace longdp
+
+int main(int argc, char** argv) {
+  auto flags = longdp::harness::Flags::Parse(argc, argv);
+  auto report = longdp::bench::MakeReport(flags);
+  auto st = longdp::bench::Run(flags, &report);
+  return longdp::bench::FinishAndExit(flags, report, std::move(st));
+}

@@ -1,14 +1,18 @@
-// Release archive workflow: a data curator runs both synthesizers over the
-// survey year, captures every release into a ReleaseLog, and persists it;
-// an analyst later reloads the log — with no access to the curator's
-// process — and answers debiased window queries, cumulative queries, and
-// spell statistics purely from the released artifacts (all
+// Release archive workflow: a data curator runs the fixed-window,
+// cumulative, and categorical synthesizers over the survey year, captures
+// every release into a ReleaseLog, and seals everything — release columns
+// AND the synthetic microdata panel — into one columnar archive file; an
+// analyst later mmaps the archive (with no access to the curator's
+// process) and serves debiased window queries, cumulative queries,
+// categorical bin fractions, and spell statistics straight off the stored
+// columns, with no CSV reload and no panel rehydration (all
 // post-processing, zero additional privacy cost).
 //
 //   $ ./build/examples/release_archive [--rho=0.01]
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/flags.h"
 #include "longdp.h"
@@ -17,9 +21,10 @@ int main(int argc, char** argv) {
   using namespace longdp;
   auto flags = harness::Flags::Parse(argc, argv);
   const double rho = flags.GetDouble("rho", 0.01);
-  const std::string log_path = flags.GetString("log", "/tmp/longdp_releases.csv");
-  const std::string synth_path =
-      flags.GetString("synthetic", "/tmp/longdp_synthetic_panel.csv");
+  const std::string log_path =
+      flags.GetString("log", "/tmp/longdp_releases.csv");
+  const std::string archive_path =
+      flags.GetString("archive", "/tmp/longdp_releases.ldpa");
 
   // ---- Curator side -------------------------------------------------------
   data::SippOptions sipp;
@@ -29,98 +34,148 @@ int main(int argc, char** argv) {
   core::FixedWindowSynthesizer::Options fopt;
   fopt.horizon = 12;
   fopt.window_k = 3;
-  fopt.rho = rho / 2;  // split the budget across the two synthesizers
+  fopt.rho = rho / 3;  // split the budget across the three synthesizers
   fopt.seed = 654;
   auto window_synth = core::FixedWindowSynthesizer::Create(fopt).value();
 
   core::CumulativeSynthesizer::Options copt;
   copt.horizon = 12;
-  copt.rho = rho / 2;
+  copt.rho = rho / 3;
   copt.seed = 655;
   auto cumulative_synth = core::CumulativeSynthesizer::Create(copt).value();
 
+  // A 3-category "poverty depth" stream derived from the same panel:
+  // 0 = not poor this month, 1 = newly poor, 2 = poor this and last month.
+  core::CategoricalWindowSynthesizer::Options gopt;
+  gopt.horizon = 12;
+  gopt.window_k = 2;
+  gopt.alphabet = 3;
+  gopt.rho = rho / 3;
+  gopt.seed = 656;
+  auto categorical_synth =
+      core::CategoricalWindowSynthesizer::Create(gopt).value();
+
   core::ReleaseLog log;
   for (int64_t t = 1; t <= 12; ++t) {
+    std::vector<uint8_t> symbols(static_cast<size_t>(dataset.num_users()));
+    for (int64_t i = 0; i < dataset.num_users(); ++i) {
+      const int now = dataset.Bit(i, t);
+      const int before = t > 1 ? dataset.Bit(i, t - 1) : 0;
+      symbols[static_cast<size_t>(i)] =
+          static_cast<uint8_t>(now == 0 ? 0 : 1 + before);
+    }
     Status st = window_synth->ObserveRound(dataset.Round(t));
     if (st.ok()) st = cumulative_synth->ObserveRound(dataset.Round(t));
+    if (st.ok()) st = categorical_synth->ObserveRound(symbols);
     if (st.ok()) st = log.Capture(*window_synth);
     if (st.ok()) st = log.Capture(*cumulative_synth);
+    if (st.ok()) st = log.Capture(*categorical_synth);
     if (!st.ok()) {
       std::fprintf(stderr, "curator step %lld failed: %s\n",
                    static_cast<long long>(t), st.ToString().c_str());
       return 1;
     }
   }
+  // The CSV remains the portable text form of the release columns...
   if (!log.WriteCsv(log_path).ok()) {
     std::fprintf(stderr, "cannot write %s\n", log_path.c_str());
     return 1;
   }
-  // The synthetic microdata panel itself is also a release.
+  // ...and the archive is the served form: every release column plus the
+  // synthetic microdata panel, sealed under one checksummed footer.
   auto synthetic_panel = window_synth->cohort().ToDataset(12).value();
-  if (Status st = data::WriteSippBitsCsv(synthetic_panel, synth_path);
-      !st.ok()) {
-    std::fprintf(stderr, "cannot write %s: %s\n", synth_path.c_str(),
-                 st.ToString().c_str());
-    return 1;
+  {
+    auto writer = archive::ArchiveWriter::Create(archive_path);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "cannot create %s: %s\n", archive_path.c_str(),
+                   writer.status().ToString().c_str());
+      return 1;
+    }
+    Status st = writer.value().AppendReleaseLog("sipp2026", log);
+    if (st.ok()) st = writer.value().AppendCohort("sipp2026", synthetic_panel);
+    if (st.ok()) st = writer.value().Finish();
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot seal %s: %s\n", archive_path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
   }
-  std::printf("curator: wrote %zu window + %zu cumulative releases to %s\n",
-              log.window_releases().size(), log.cumulative_releases().size(),
-              log_path.c_str());
-  std::printf("curator: wrote synthetic panel (%lld records) to %s\n",
-              static_cast<long long>(synthetic_panel.num_users()),
-              synth_path.c_str());
-  std::printf("curator: total zCDP spent %.6f (= %.6f + %.6f)\n\n",
+  std::printf(
+      "curator: archived %zu window + %zu cumulative + %zu categorical "
+      "releases\n         and a %lld-record panel to %s\n",
+      log.window_releases().size(), log.cumulative_releases().size(),
+      log.categorical_releases().size(),
+      static_cast<long long>(synthetic_panel.num_users()),
+      archive_path.c_str());
+  std::printf("curator: total zCDP spent %.6f\n\n",
               window_synth->accountant().spent() +
-                  cumulative_synth->accountant().spent(),
-              window_synth->accountant().spent(),
-              cumulative_synth->accountant().spent());
+                  cumulative_synth->accountant().spent() +
+                  categorical_synth->accountant().spent());
 
   // ---- Analyst side -------------------------------------------------------
-  auto reloaded = core::ReleaseLog::LoadCsv(log_path).value();
-  std::printf("analyst: reloaded %zu window releases\n",
-              reloaded.window_releases().size());
+  // One mmap + checksum sweep at open; every query below is served in place
+  // from the stored columns.
+  auto reader = archive::ArchiveReader::Open(archive_path).value();
+  archive::Exec exec(reader);
 
-  // Debiased quarterly statistic from the reloaded histograms alone.
+  archive::Exec::Filter windows;
+  windows.kind = archive::EntryKind::kWindow;
+  archive::Exec::Filter cohorts;
+  cohorts.kind = archive::EntryKind::kCohort;
+  std::printf("analyst: archive holds %lld entries (%lld window, %lld "
+              "cohort) under %zu labels\n",
+              static_cast<long long>(exec.CountEntries({})),
+              static_cast<long long>(exec.CountEntries(windows)),
+              static_cast<long long>(exec.CountEntries(cohorts)),
+              reader.labels().size());
+
+  // Debiased quarterly statistic straight off the stored histograms.
   auto pred = query::MakeAtLeastOnes(3, 2);
   std::printf("analyst: 'poverty >= 2 months of quarter' per quarter:\n");
-  for (const auto& release : reloaded.window_releases()) {
-    if (release.t % 3 != 0) continue;
-    query::PaddingSpec spec;
-    spec.synth_width = release.window_k;
-    spec.npad = release.npad;
-    spec.true_n = release.true_n;
-    int64_t count =
-        query::CountOnHistogram(*pred, release.histogram, release.window_k)
-            .value();
-    double estimate = query::DebiasedFraction(count, *pred, spec).value();
-    double truth =
-        query::EvaluateOnDataset(*pred, dataset, release.t).value();
+  for (const archive::ArchiveEntry* e : exec.Select(windows)) {
+    if (e->t % 3 != 0) continue;
+    double estimate = exec.DebiasedWindowFraction(*e, *pred).value();
+    double truth = query::EvaluateOnDataset(*pred, dataset, e->t).value();
     std::printf("  t=%-3lld estimate %.4f (truth %.4f)\n",
-                static_cast<long long>(release.t), estimate, truth);
+                static_cast<long long>(e->t), estimate, truth);
   }
 
-  // Cumulative series from the reloaded threshold rows.
-  std::printf("analyst: 'poverty >= 3 of first t months' (from log):\n");
-  for (const auto& release : reloaded.cumulative_releases()) {
-    if (release.t % 4 != 0) continue;
-    double estimate = static_cast<double>(release.thresholds[3]) /
-                      static_cast<double>(dataset.num_users());
+  // Cumulative series from the stored threshold rows.
+  archive::Exec::Filter cumulative;
+  cumulative.kind = archive::EntryKind::kCumulative;
+  std::printf("analyst: 'poverty >= 3 of first t months':\n");
+  for (const archive::ArchiveEntry* e : exec.Select(cumulative)) {
+    if (e->t % 4 != 0) continue;
+    double estimate = exec.CumulativeFraction(*e, 3).value();
     double truth =
-        query::EvaluateCumulativeOnDataset(dataset, release.t, 3).value();
+        query::EvaluateCumulativeOnDataset(dataset, e->t, 3).value();
     std::printf("  t=%-3lld estimate %.4f (truth %.4f)\n",
-                static_cast<long long>(release.t), estimate, truth);
+                static_cast<long long>(e->t), estimate, truth);
   }
 
-  // Spell statistics on the reloaded synthetic microdata.
-  auto panel = data::LoadSippBitsCsv(synth_path).value();
-  double synth_spell =
-      query::EverHadSpell(panel, panel.rounds(), 3).value();
-  double true_spell =
-      query::EverHadSpell(dataset, dataset.rounds(), 3).value();
-  std::printf("analyst: 'ever a >=3-month poverty spell' on synthetic "
-              "panel: %.4f (truth %.4f)\n",
-              synth_spell, true_spell);
-  std::printf("         (raw synthetic value; includes padding records "
-              "by design)\n");
+  // Categorical: fraction persistently poor (code 2,2 in the base-3
+  // window) at year end, debiased from the stored histogram.
+  archive::Exec::Filter categorical;
+  categorical.kind = archive::EntryKind::kCategorical;
+  categorical.t_min = 12;
+  for (const archive::ArchiveEntry* e : exec.Select(categorical)) {
+    const uint64_t code = 2 * 3 + 2;  // base-3 window "22"
+    std::printf("analyst: 'persistently poor' (categorical bin 22) at "
+                "t=12: %.4f\n",
+                exec.CategoricalBinFraction(*e, code).value());
+  }
+
+  // Spell statistics on the stored panel — word loops over the mmap'd
+  // round columns; the panel is never rehydrated into a dataset.
+  for (const archive::ArchiveEntry* e : exec.Select(cohorts)) {
+    double synth_spell = exec.CohortEverHadSpell(*e, e->rounds, 3).value();
+    double true_spell =
+        query::EverHadSpell(dataset, dataset.rounds(), 3).value();
+    std::printf("analyst: 'ever a >=3-month poverty spell' on stored "
+                "panel: %.4f (truth %.4f)\n",
+                synth_spell, true_spell);
+    std::printf("         (raw synthetic value; includes padding records "
+                "by design)\n");
+  }
   return 0;
 }

@@ -1,0 +1,104 @@
+// Curator-side archive builder: appends release columns and cohort panels,
+// then seals the file with the footer index + checksummed tail.
+//
+// A writer is append-only and single-owner. Columns are grouped under a
+// free-form label (e.g. one label per release stream or experiment run);
+// labels are dictionary-encoded in the footer so a thousand runs cost a
+// thousand strings once, not once per column. Finish() writes the footer
+// and tail and fsyncs; an archive that was never Finish()ed has no valid
+// tail and will not open. OpenForAppend() reopens a finished archive,
+// truncates the old footer+tail, and continues appending — the payload
+// blocks already on disk are never rewritten.
+
+#ifndef LONGDP_ARCHIVE_WRITER_H_
+#define LONGDP_ARCHIVE_WRITER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "archive/format.h"
+#include "core/release_log.h"
+#include "data/longitudinal_dataset.h"
+#include "util/status.h"
+
+namespace longdp {
+namespace archive {
+
+class ArchiveWriter {
+ public:
+  /// Creates (or truncates) an archive at `path` and writes the header.
+  static Result<ArchiveWriter> Create(const std::string& path);
+
+  /// Reopens a finished archive for further appends: verifies it (full
+  /// CRC sweep, like ArchiveReader::Open), restores the label dictionary
+  /// and entry index, and truncates the footer+tail so new blocks extend
+  /// the payload region. Finish() must be called again to re-seal.
+  static Result<ArchiveWriter> OpenForAppend(const std::string& path);
+
+  ArchiveWriter(ArchiveWriter&& other) noexcept;
+  ArchiveWriter& operator=(ArchiveWriter&& other) noexcept;
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+  /// Closes the fd. An unfinished writer leaves a tail-less (unopenable)
+  /// file behind — deliberate: a crash mid-build must not look sealed.
+  ~ArchiveWriter();
+
+  /// Appends one release column. The structs are archived field-for-field
+  /// with no semantic validation (the archive preserves whatever the log
+  /// holds, including degenerate releases); Finish-time readers only check
+  /// structure and checksums.
+  Status AppendWindowRelease(const std::string& label,
+                             const core::WindowRelease& release);
+  Status AppendCumulativeRelease(const std::string& label,
+                                 const core::CumulativeRelease& release);
+  Status AppendCategoricalRelease(const std::string& label,
+                                  const core::CategoricalRelease& release);
+
+  /// Appends every release in the log under one label.
+  Status AppendReleaseLog(const std::string& label,
+                          const core::ReleaseLog& log);
+
+  /// Appends a materialized synthetic panel as bit-packed round columns
+  /// (rounds-major, words_per_round words each — RoundView's layout, so
+  /// readers serve word kernels straight off the mmap).
+  Status AppendCohort(const std::string& label,
+                      const data::LongitudinalDataset& panel);
+
+  /// Writes the footer index + tail, fsyncs file and parent directory, and
+  /// closes the fd. The writer is unusable afterwards.
+  Status Finish();
+
+  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  ArchiveWriter(std::string path, int fd, uint64_t offset)
+      : path_(std::move(path)), fd_(fd), offset_(offset) {}
+
+  /// Interns `label` into the footer dictionary.
+  uint32_t InternLabel(const std::string& label);
+
+  /// Pads to the block alignment, writes `bytes` of payload, and records
+  /// the completed entry. `entry.bytes`/`entry.count`/`entry.rounds` must
+  /// already describe the payload; offset and crc32c are filled in here.
+  Status AppendBlock(ArchiveEntry entry, const void* payload);
+
+  /// Any failed write poisons the writer: offsets and file contents can no
+  /// longer be trusted, so every later call fails fast.
+  Status Poisoned() const;
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t offset_ = 0;  ///< bytes written so far (== current EOF)
+  bool broken_ = false;
+  bool finished_ = false;
+  std::vector<std::string> labels_;
+  std::map<std::string, uint32_t> label_ids_;
+  std::vector<ArchiveEntry> entries_;
+};
+
+}  // namespace archive
+}  // namespace longdp
+
+#endif  // LONGDP_ARCHIVE_WRITER_H_

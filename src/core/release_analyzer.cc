@@ -12,6 +12,9 @@ ReleaseAnalyzer::ReleaseAnalyzer(const ReleaseLog& log) : log_(log) {
   for (const auto& r : log.cumulative_releases()) {
     cumulative_by_t_[r.t] = &r;
   }
+  for (const auto& r : log.categorical_releases()) {
+    categorical_by_t_[r.t] = &r;
+  }
 }
 
 std::vector<int64_t> ReleaseAnalyzer::WindowTimes() const {
@@ -25,6 +28,13 @@ std::vector<int64_t> ReleaseAnalyzer::CumulativeTimes() const {
   std::vector<int64_t> times;
   times.reserve(cumulative_by_t_.size());
   for (const auto& [t, r] : cumulative_by_t_) times.push_back(t);
+  return times;
+}
+
+std::vector<int64_t> ReleaseAnalyzer::CategoricalTimes() const {
+  std::vector<int64_t> times;
+  times.reserve(categorical_by_t_.size());
+  for (const auto& [t, r] : categorical_by_t_) times.push_back(t);
   return times;
 }
 
@@ -89,6 +99,27 @@ Result<int64_t> ReleaseAnalyzer::CountOccExact(int64_t t1, int64_t t2,
   }
   return query::CountOccExactFromThresholds(it2->second->thresholds,
                                             it1->second->thresholds, b);
+}
+
+Result<double> ReleaseAnalyzer::CategoricalBinFraction(int64_t t,
+                                                       uint64_t code) const {
+  auto it = categorical_by_t_.find(t);
+  if (it == categorical_by_t_.end()) {
+    return Status::NotFound("no categorical release at t=" +
+                            std::to_string(t));
+  }
+  const CategoricalRelease& release = *it->second;
+  if (code >= release.histogram.size()) {
+    return Status::OutOfRange("pattern code out of range");
+  }
+  if (release.true_n <= 0) {
+    return Status::InvalidArgument("released true_n must be > 0");
+  }
+  // Subtract in int64 and THEN cast, exactly as the synthesizer's
+  // DebiasedBinFraction does — the archive executor mirrors this too, so
+  // all three paths agree bit-for-bit.
+  return static_cast<double>(release.histogram[code] - release.npad) /
+         static_cast<double>(release.true_n);
 }
 
 }  // namespace core

@@ -26,6 +26,8 @@ class ReleaseAnalyzer {
   std::vector<int64_t> WindowTimes() const;
   /// Times with a cumulative (threshold row) release, ascending.
   std::vector<int64_t> CumulativeTimes() const;
+  /// Times with a categorical (base-A histogram) release, ascending.
+  std::vector<int64_t> CategoricalTimes() const;
 
   /// Debiased estimate of pred's population fraction at released time t.
   /// pred.width() must not exceed the release's k. NotFound if no window
@@ -45,10 +47,16 @@ class ReleaseAnalyzer {
   /// t1 < t2, as a count (paper Section 1.1).
   Result<int64_t> CountOccExact(int64_t t1, int64_t t2, int64_t b) const;
 
+  /// Debiased fraction of the population whose base-A window equals pattern
+  /// code `code` at released time t, (hist[code] - npad) / true_n — the
+  /// analyst-side twin of CategoricalWindowSynthesizer::DebiasedBinFraction.
+  Result<double> CategoricalBinFraction(int64_t t, uint64_t code) const;
+
  private:
   const ReleaseLog& log_;
   std::map<int64_t, const WindowRelease*> window_by_t_;
   std::map<int64_t, const CumulativeRelease*> cumulative_by_t_;
+  std::map<int64_t, const CategoricalRelease*> categorical_by_t_;
 };
 
 }  // namespace core

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/categorical_synthesizer.h"
 #include "core/cumulative_synthesizer.h"
 #include "core/fixed_window_synthesizer.h"
 #include "util/status.h"
@@ -36,6 +37,16 @@ struct CumulativeRelease {
   std::vector<int64_t> thresholds;  ///< Shat^t_b for b = 0..T
 };
 
+/// One categorical release: the base-A window histogram at time t.
+struct CategoricalRelease {
+  int64_t t = 0;
+  int window_k = 0;
+  int alphabet = 0;  ///< A >= 2
+  int64_t npad = 0;
+  int64_t true_n = 0;
+  std::vector<int64_t> histogram;  ///< A^k base-A pattern counts
+};
+
 class ReleaseLog {
  public:
   /// Appends the synthesizer's current release (no-op before the first
@@ -43,6 +54,15 @@ class ReleaseLog {
   Status Capture(const FixedWindowSynthesizer& synth);
   /// Appends the synthesizer's current release (requires t >= 1).
   Status Capture(const CumulativeSynthesizer& synth);
+  /// Appends the synthesizer's current release (no-op before the first
+  /// release at t = k).
+  Status Capture(const CategoricalWindowSynthesizer& synth);
+
+  /// Appends an already-materialized release (e.g. read back from an
+  /// archive). Same same-t duplicate check as the Capture overloads.
+  Status Append(WindowRelease release);
+  Status Append(CumulativeRelease release);
+  Status Append(CategoricalRelease release);
 
   const std::vector<WindowRelease>& window_releases() const {
     return window_;
@@ -50,16 +70,27 @@ class ReleaseLog {
   const std::vector<CumulativeRelease>& cumulative_releases() const {
     return cumulative_;
   }
+  const std::vector<CategoricalRelease>& categorical_releases() const {
+    return categorical_;
+  }
 
-  /// Serializes to CSV with rows: kind,t,k,npad,true_n,index,value.
+  /// Serializes to CSV with rows: kind,t,k,alphabet,npad,true_n,index,value
+  /// (alphabet is 0 for window and cumulative rows).
   Status WriteCsv(const std::string& path) const;
 
-  /// Loads a log previously written by WriteCsv.
+  /// Loads a log previously written by WriteCsv. Strict: rows of one
+  /// release must be contiguous with indices running 0,1,2,... and
+  /// consistent metadata, release times per kind must be strictly
+  /// increasing, and each release must close complete (2^k / A^k bins) —
+  /// duplicated, reordered, gapped, or truncated logs (e.g. a corrupted or
+  /// carelessly concatenated file) are rejected with the offending
+  /// 1-based row number instead of yielding a plausible-looking sequence.
   static Result<ReleaseLog> LoadCsv(const std::string& path);
 
  private:
   std::vector<WindowRelease> window_;
   std::vector<CumulativeRelease> cumulative_;
+  std::vector<CategoricalRelease> categorical_;
 };
 
 }  // namespace core

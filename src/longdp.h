@@ -14,6 +14,10 @@
 #ifndef LONGDP_LONGDP_H_
 #define LONGDP_LONGDP_H_
 
+#include "archive/exec.h"
+#include "archive/format.h"
+#include "archive/reader.h"
+#include "archive/writer.h"
 #include "core/categorical_synthesizer.h"
 #include "core/cumulative_synthesizer.h"
 #include "core/fixed_window_synthesizer.h"

@@ -53,6 +53,17 @@ Status WriteAllFd(int fd, const std::string& path, const char* data,
   return Status::OK();
 }
 
+Status TruncateFd(int fd, const std::string& path, int64_t len) {
+  int rc;
+  do {
+    rc = ::ftruncate(fd, static_cast<off_t>(len));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::IOError(ErrnoMessage("ftruncate", path));
+  }
+  return Status::OK();
+}
+
 Status SyncFd(int fd, const std::string& path) {
   if (::fsync(fd) != 0) {
     return Status::IOError(ErrnoMessage("fsync", path));

@@ -24,6 +24,11 @@ Result<int> OpenFd(const std::string& path, int flags, int mode);
 Status WriteAllFd(int fd, const std::string& path, const char* data,
                   size_t len);
 
+/// ftruncate(2) wrapper; `len` is the new file length in bytes. Used by
+/// append-mode reopens that cut a finished file back to its payload region
+/// before extending it.
+Status TruncateFd(int fd, const std::string& path, int64_t len);
+
 /// fsync(2) wrapper.
 Status SyncFd(int fd, const std::string& path);
 

@@ -22,8 +22,8 @@ Result<double> EvaluateCumulativeOnDataset(
 }
 
 Result<int64_t> CountOccExactFromThresholds(
-    const std::vector<int64_t>& thresholds_t2,
-    const std::vector<int64_t>& thresholds_t1, int64_t b) {
+    std::span<const int64_t> thresholds_t2,
+    std::span<const int64_t> thresholds_t1, int64_t b) {
   if (b < 1) {
     return Status::InvalidArgument("CountOcc_=b requires b >= 1");
   }
@@ -34,6 +34,14 @@ Result<int64_t> CountOccExactFromThresholds(
   }
   return thresholds_t2[static_cast<size_t>(b)] -
          thresholds_t1[static_cast<size_t>(b - 1)];
+}
+
+Result<int64_t> CountOccExactFromThresholds(
+    const std::vector<int64_t>& thresholds_t2,
+    const std::vector<int64_t>& thresholds_t1, int64_t b) {
+  return CountOccExactFromThresholds(std::span<const int64_t>(thresholds_t2),
+                                     std::span<const int64_t>(thresholds_t1),
+                                     b);
 }
 
 }  // namespace query

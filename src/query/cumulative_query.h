@@ -7,6 +7,7 @@
 #define LONGDP_QUERY_CUMULATIVE_QUERY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/longitudinal_dataset.h"
@@ -29,6 +30,11 @@ Result<double> EvaluateCumulativeOnDataset(
 /// (#weight >= b at t2) - (#weight >= b-1 at t1), evaluated on threshold-
 /// count rows (index = b, as produced by CumulativeCounts or a synthesizer's
 /// released Shat rows). Requires b >= 1 and both rows of equal size > b.
+/// The span form is the primitive; it serves threshold rows in place (e.g.
+/// straight off an mmap'd release archive).
+Result<int64_t> CountOccExactFromThresholds(
+    std::span<const int64_t> thresholds_t2,
+    std::span<const int64_t> thresholds_t1, int64_t b);
 Result<int64_t> CountOccExactFromThresholds(
     const std::vector<int64_t>& thresholds_t2,
     const std::vector<int64_t>& thresholds_t1, int64_t b);

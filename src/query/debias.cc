@@ -23,9 +23,20 @@ Status ValidateSpec(const PaddingSpec& spec, int pred_width) {
 Result<int64_t> PaddingCount(const WindowPredicate& pred,
                              const PaddingSpec& spec) {
   LONGDP_RETURN_NOT_OK(ValidateSpec(spec, pred.width()));
-  int64_t lift = static_cast<int64_t>(
+  const int64_t lift = static_cast<int64_t>(
       util::NumPatterns(spec.synth_width - pred.width()));
-  return spec.npad * lift * pred.MatchingPatternCount();
+  // npad * lift * matching can exceed int64 for large public padding and
+  // wide windows; an unchecked wrap here would silently debias by a garbage
+  // (possibly negative) pad. Checked multiplies turn that into a hard error.
+  int64_t pad = 0;
+  if (__builtin_mul_overflow(spec.npad, lift, &pad) ||
+      __builtin_mul_overflow(pad, pred.MatchingPatternCount(), &pad)) {
+    return Status::InvalidArgument(
+        "padding count overflows int64 (npad=" + std::to_string(spec.npad) +
+        ", lift=2^" + std::to_string(spec.synth_width - pred.width()) +
+        ", matching=" + std::to_string(pred.MatchingPatternCount()) + ")");
+  }
+  return pad;
 }
 
 Result<double> DebiasedFraction(int64_t synthetic_count,
@@ -36,8 +47,15 @@ Result<double> DebiasedFraction(int64_t synthetic_count,
          static_cast<double>(spec.true_n);
 }
 
-double BiasedFraction(int64_t synthetic_count, int64_t synthetic_population) {
-  if (synthetic_population <= 0) return 0.0;
+Result<double> BiasedFraction(int64_t synthetic_count,
+                              int64_t synthetic_population) {
+  if (synthetic_population <= 0) {
+    // Previously this silently answered 0.0, which made an empty or corrupt
+    // release indistinguishable from genuine 0% prevalence.
+    return Status::InvalidArgument(
+        "synthetic population must be > 0 (got " +
+        std::to_string(synthetic_population) + ")");
+  }
   return static_cast<double>(synthetic_count) /
          static_cast<double>(synthetic_population);
 }

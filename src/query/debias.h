@@ -32,6 +32,8 @@ struct PaddingSpec {
 
 /// The number of synthetic records the padding alone contributes to the
 /// predicate's count (n_pad per matching extended width-k bin).
+/// InvalidArgument if the product overflows int64 — an overflow would
+/// otherwise wrap into a garbage (possibly negative) debiased estimate.
 Result<int64_t> PaddingCount(const WindowPredicate& pred,
                              const PaddingSpec& spec);
 
@@ -41,8 +43,11 @@ Result<double> DebiasedFraction(int64_t synthetic_count,
                                 const PaddingSpec& spec);
 
 /// Raw (biased) proportion: synthetic_count / synthetic_population. Provided
-/// for symmetry so experiment code reads declaratively.
-double BiasedFraction(int64_t synthetic_count, int64_t synthetic_population);
+/// for symmetry so experiment code reads declaratively. InvalidArgument when
+/// synthetic_population <= 0: an empty (or corrupt) release must surface as
+/// an error, not masquerade as 0% prevalence.
+Result<double> BiasedFraction(int64_t synthetic_count,
+                              int64_t synthetic_population);
 
 /// Padding contribution to a real-weighted linear query: n_pad * sum_s w_s.
 Result<double> PaddingValue(const LinearWindowQuery& q,

@@ -8,9 +8,20 @@ namespace longdp {
 namespace query {
 
 namespace {
-Status ValidateTime(const data::LongitudinalDataset& dataset, int64_t t) {
-  if (t < 1 || t > dataset.rounds()) {
-    return Status::OutOfRange("time t must be in [1, rounds()]");
+
+// The span form validates shape once up front: a panel is rectangular, so
+// every round view must cover the same population. (Dataset wrappers are
+// rectangular by construction; archive-served views are re-checked here
+// because the entries could come from anywhere.)
+Status ValidateRounds(std::span<const data::RoundView> rounds, int64_t t) {
+  if (t < 1 || t > static_cast<int64_t>(rounds.size())) {
+    return Status::OutOfRange("time t must be in [1, rounds.size()]");
+  }
+  for (size_t tt = 1; tt < static_cast<size_t>(t); ++tt) {
+    if (rounds[tt].size() != rounds[0].size()) {
+      return Status::InvalidArgument(
+          "all rounds must cover the same population");
+    }
   }
   return Status::OK();
 }
@@ -22,12 +33,12 @@ Status ValidateTime(const data::LongitudinalDataset& dataset, int64_t t) {
 // the round where they END, not grouped by user — all callers aggregate
 // order-insensitively.
 template <typename Fn>
-void ForEachSpell(const data::LongitudinalDataset& dataset, int64_t t,
+void ForEachSpell(std::span<const data::RoundView> rounds, int64_t t,
                   Fn&& fn) {
-  const int64_t n = dataset.num_users();
+  const int64_t n = rounds.empty() ? 0 : rounds[0].size();
   std::vector<int64_t> run(static_cast<size_t>(n), 0);
   for (int64_t tt = 1; tt <= t; ++tt) {
-    const data::RoundView round = dataset.Round(tt);
+    const data::RoundView round = rounds[static_cast<size_t>(tt - 1)];
     const uint64_t* words = round.words();
     const size_t num_words = round.num_words();
     for (size_t w = 0; w < num_words; ++w) {
@@ -56,48 +67,74 @@ void ForEachSpell(const data::LongitudinalDataset& dataset, int64_t t,
     }
   }
 }
+
+// Collects the zero-copy round views of a dataset so the dataset overloads
+// can forward to the span primitives.
+std::vector<data::RoundView> DatasetRounds(
+    const data::LongitudinalDataset& dataset) {
+  std::vector<data::RoundView> rounds;
+  rounds.reserve(static_cast<size_t>(dataset.rounds()));
+  for (int64_t tt = 1; tt <= dataset.rounds(); ++tt) {
+    rounds.push_back(dataset.Round(tt));
+  }
+  return rounds;
+}
+
 }  // namespace
 
 Result<std::vector<int64_t>> SpellLengthHistogram(
-    const data::LongitudinalDataset& dataset, int64_t t) {
-  LONGDP_RETURN_NOT_OK(ValidateTime(dataset, t));
+    std::span<const data::RoundView> rounds, int64_t t) {
+  LONGDP_RETURN_NOT_OK(ValidateRounds(rounds, t));
   std::vector<int64_t> hist(static_cast<size_t>(t) + 1, 0);
-  ForEachSpell(dataset, t, [&](int64_t, int64_t len) {
+  ForEachSpell(rounds, t, [&](int64_t, int64_t len) {
     ++hist[static_cast<size_t>(len)];
   });
   return hist;
 }
 
-Result<double> EverHadSpell(const data::LongitudinalDataset& dataset,
+Result<std::vector<int64_t>> SpellLengthHistogram(
+    const data::LongitudinalDataset& dataset, int64_t t) {
+  return SpellLengthHistogram(std::span<const data::RoundView>(
+                                  DatasetRounds(dataset)),
+                              t);
+}
+
+Result<double> EverHadSpell(std::span<const data::RoundView> rounds,
                             int64_t t, int64_t min_len) {
-  LONGDP_RETURN_NOT_OK(ValidateTime(dataset, t));
+  LONGDP_RETURN_NOT_OK(ValidateRounds(rounds, t));
   if (min_len < 1) {
     return Status::InvalidArgument("min_len must be >= 1");
   }
-  if (dataset.num_users() == 0) return 0.0;
-  std::vector<uint8_t> hit(static_cast<size_t>(dataset.num_users()), 0);
-  ForEachSpell(dataset, t, [&](int64_t user, int64_t len) {
+  const int64_t n = rounds[0].size();
+  if (n == 0) return 0.0;
+  std::vector<uint8_t> hit(static_cast<size_t>(n), 0);
+  ForEachSpell(rounds, t, [&](int64_t user, int64_t len) {
     if (len >= min_len) hit[static_cast<size_t>(user)] = 1;
   });
   int64_t count = 0;
   for (uint8_t h : hit) count += h;
-  return static_cast<double>(count) /
-         static_cast<double>(dataset.num_users());
+  return static_cast<double>(count) / static_cast<double>(n);
 }
 
-Result<double> OngoingSpellAtLeast(const data::LongitudinalDataset& dataset,
+Result<double> EverHadSpell(const data::LongitudinalDataset& dataset,
+                            int64_t t, int64_t min_len) {
+  return EverHadSpell(
+      std::span<const data::RoundView>(DatasetRounds(dataset)), t, min_len);
+}
+
+Result<double> OngoingSpellAtLeast(std::span<const data::RoundView> rounds,
                                    int64_t t, int64_t min_len) {
-  LONGDP_RETURN_NOT_OK(ValidateTime(dataset, t));
+  LONGDP_RETURN_NOT_OK(ValidateRounds(rounds, t));
   if (min_len < 1) {
     return Status::InvalidArgument("min_len must be >= 1");
   }
-  if (dataset.num_users() == 0) return 0.0;
+  const int64_t n = rounds[0].size();
+  if (n == 0) return 0.0;
   if (t < min_len) return 0.0;
   // A trailing run of >= min_len ones ending at t is exactly the bitwise
   // AND of the last min_len round words: fully word-parallel, 64 users at
   // a time, with early exit once a block's survivors hit zero.
-  const int64_t n = dataset.num_users();
-  const size_t num_words = dataset.Round(t).num_words();
+  const size_t num_words = rounds[static_cast<size_t>(t - 1)].num_words();
   int64_t count = 0;
   for (size_t w = 0; w < num_words; ++w) {
     const int64_t base = static_cast<int64_t>(w) << 6;
@@ -105,24 +142,35 @@ Result<double> OngoingSpellAtLeast(const data::LongitudinalDataset& dataset,
     uint64_t survivors =
         valid == 64 ? ~uint64_t{0} : (uint64_t{1} << valid) - 1;
     for (int64_t tt = t - min_len + 1; tt <= t && survivors != 0; ++tt) {
-      survivors &= dataset.Round(tt).words()[w];
+      survivors &= rounds[static_cast<size_t>(tt - 1)].words()[w];
     }
     count += std::popcount(survivors);
   }
-  return static_cast<double>(count) /
-         static_cast<double>(dataset.num_users());
+  return static_cast<double>(count) / static_cast<double>(n);
 }
 
-Result<double> MeanSpellLength(const data::LongitudinalDataset& dataset,
+Result<double> OngoingSpellAtLeast(const data::LongitudinalDataset& dataset,
+                                   int64_t t, int64_t min_len) {
+  return OngoingSpellAtLeast(
+      std::span<const data::RoundView>(DatasetRounds(dataset)), t, min_len);
+}
+
+Result<double> MeanSpellLength(std::span<const data::RoundView> rounds,
                                int64_t t) {
-  LONGDP_RETURN_NOT_OK(ValidateTime(dataset, t));
+  LONGDP_RETURN_NOT_OK(ValidateRounds(rounds, t));
   int64_t total_len = 0, spells = 0;
-  ForEachSpell(dataset, t, [&](int64_t, int64_t len) {
+  ForEachSpell(rounds, t, [&](int64_t, int64_t len) {
     total_len += len;
     ++spells;
   });
   if (spells == 0) return 0.0;
   return static_cast<double>(total_len) / static_cast<double>(spells);
+}
+
+Result<double> MeanSpellLength(const data::LongitudinalDataset& dataset,
+                               int64_t t) {
+  return MeanSpellLength(
+      std::span<const data::RoundView>(DatasetRounds(dataset)), t);
 }
 
 }  // namespace query

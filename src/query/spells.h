@@ -10,33 +10,51 @@
 #define LONGDP_QUERY_SPELLS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/longitudinal_dataset.h"
+#include "data/round_view.h"
 #include "util/status.h"
 
 namespace longdp {
 namespace query {
 
+// Every query comes in two forms. The span-of-RoundView form is the
+// primitive: rounds[i] is the packed round i+1 of some panel, all views the
+// same size, so the same word-level loops run over an in-memory dataset OR
+// over bit-packed round columns served zero-copy from an mmap'd release
+// archive — no rehydration into a LongitudinalDataset. The dataset form is
+// a thin wrapper that collects the views and forwards, bit-identical by
+// construction.
+
 /// Histogram of maximal-run ("spell") lengths among 1-runs completed or
 /// ongoing in rounds 1..t: result[l] = number of spells of length exactly
 /// l, for l = 1..t (index 0 unused). A user contributes one entry per
-/// maximal run of consecutive 1s.
+/// maximal run of consecutive 1s. Requires 1 <= t <= rounds.size().
+Result<std::vector<int64_t>> SpellLengthHistogram(
+    std::span<const data::RoundView> rounds, int64_t t);
 Result<std::vector<int64_t>> SpellLengthHistogram(
     const data::LongitudinalDataset& dataset, int64_t t);
 
 /// Fraction of users who have EVER (within rounds 1..t) experienced a spell
 /// of at least `min_len` consecutive 1s.
+Result<double> EverHadSpell(std::span<const data::RoundView> rounds,
+                            int64_t t, int64_t min_len);
 Result<double> EverHadSpell(const data::LongitudinalDataset& dataset,
                             int64_t t, int64_t min_len);
 
 /// Fraction of users whose CURRENT spell (a 1-run ending exactly at round
 /// t) has length at least `min_len`.
+Result<double> OngoingSpellAtLeast(std::span<const data::RoundView> rounds,
+                                   int64_t t, int64_t min_len);
 Result<double> OngoingSpellAtLeast(const data::LongitudinalDataset& dataset,
                                    int64_t t, int64_t min_len);
 
 /// Mean spell length among all maximal 1-runs within rounds 1..t; 0 when no
 /// spells exist.
+Result<double> MeanSpellLength(std::span<const data::RoundView> rounds,
+                               int64_t t);
 Result<double> MeanSpellLength(const data::LongitudinalDataset& dataset,
                                int64_t t);
 

@@ -118,7 +118,7 @@ Result<double> EvaluateOnDataset(const WindowPredicate& pred,
 }
 
 Result<int64_t> CountOnHistogram(const WindowPredicate& pred,
-                                 const std::vector<int64_t>& hist,
+                                 std::span<const int64_t> hist,
                                  int hist_width) {
   LONGDP_RETURN_NOT_OK(util::ValidateWindow(hist_width));
   if (pred.width() > hist_width) {
@@ -136,6 +136,12 @@ Result<int64_t> CountOnHistogram(const WindowPredicate& pred,
     }
   }
   return count;
+}
+
+Result<int64_t> CountOnHistogram(const WindowPredicate& pred,
+                                 const std::vector<int64_t>& hist,
+                                 int hist_width) {
+  return CountOnHistogram(pred, std::span<const int64_t>(hist), hist_width);
 }
 
 Result<LinearWindowQuery> LinearWindowQuery::Create(

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,7 +70,12 @@ Result<double> EvaluateOnDataset(const WindowPredicate& pred,
 
 /// Count of records matching the predicate given a histogram over width-
 /// `hist_width` patterns (hist_width >= pred.width()): sums the bins whose
-/// suffix matches.
+/// suffix matches. The span form is the primitive — it runs in place over
+/// any contiguous int64 column (including a release served straight off an
+/// mmap'd archive, with no rehydration copy).
+Result<int64_t> CountOnHistogram(const WindowPredicate& pred,
+                                 std::span<const int64_t> hist,
+                                 int hist_width);
 Result<int64_t> CountOnHistogram(const WindowPredicate& pred,
                                  const std::vector<int64_t>& hist,
                                  int hist_width);

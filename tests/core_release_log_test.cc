@@ -117,14 +117,42 @@ TEST(ReleaseLogTest, CsvRoundTrip) {
   std::remove(path.c_str());
 }
 
+constexpr char kCsvHeader[] = "kind,t,k,alphabet,npad,true_n,index,value\n";
+
+// Writes the 8-column header plus `body` and runs the strict loader.
+Result<ReleaseLog> LoadFromRows(const std::string& body) {
+  std::string path = ::testing::TempDir() + "/longdp_release_rows.csv";
+  {
+    std::ofstream out(path);
+    out << kCsvHeader << body;
+  }
+  auto loaded = ReleaseLog::LoadCsv(path);
+  std::remove(path.c_str());
+  return loaded;
+}
+
 TEST(ReleaseLogTest, LoadRejectsGarbage) {
   std::string path = ::testing::TempDir() + "/longdp_release_garbage.csv";
   {
     std::ofstream out(path);
-    out << "kind,t,k,npad,true_n,index,value\n";
-    out << "mystery,1,2,3,4,5,6\n";
+    out << kCsvHeader;
+    out << "mystery,1,2,0,3,4,5,6\n";
   }
   EXPECT_FALSE(ReleaseLog::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseLogTest, LoadRejectsOldSevenColumnSchema) {
+  // Pre-categorical logs had no alphabet column; loading one through the
+  // 8-column parser would shift every numeric field by one, so the header
+  // is required to match exactly.
+  std::string path = ::testing::TempDir() + "/longdp_release_old.csv";
+  {
+    std::ofstream out(path);
+    out << "kind,t,k,npad,true_n,index,value\n";
+    out << "window,1,1,5,100,0,6\n";
+  }
+  EXPECT_TRUE(ReleaseLog::LoadCsv(path).status().IsInvalidArgument());
   std::remove(path.c_str());
 }
 
@@ -136,22 +164,110 @@ TEST(ReleaseLogTest, LoadRejectsNonNumericFields) {
     const char* row;
     const char* what;
   } kCases[] = {
-      {"window,abc,2,3,4,0,6", "garbage t"},
-      {"window,1,2,3,4,0x,6", "garbage index"},
-      {"window,1,2,3,4,0,6zz", "trailing garbage value"},
-      {"window,1,2,3,4,-1,6", "negative index"},
-      {"cumulative,1,0,0,0,,5", "empty index"},
+      {"window,abc,2,0,3,4,0,6", "garbage t"},
+      {"window,1,2,0,3,4,0x,6", "garbage index"},
+      {"window,1,2,0,3,4,0,6zz", "trailing garbage value"},
+      {"window,1,2,0,3,4,-1,6", "negative index"},
+      {"cumulative,1,0,0,0,0,,5", "empty index"},
   };
   for (const auto& c : kCases) {
-    std::string path = ::testing::TempDir() + "/longdp_release_badnum.csv";
-    {
-      std::ofstream out(path);
-      out << "kind,t,k,npad,true_n,index,value\n" << c.row << "\n";
-    }
-    auto loaded = ReleaseLog::LoadCsv(path);
+    auto loaded = LoadFromRows(std::string(c.row) + "\n");
     EXPECT_FALSE(loaded.ok()) << c.what << " was accepted";
-    std::remove(path.c_str());
   }
+}
+
+TEST(ReleaseLogTest, LoadRejectsDuplicateRelease) {
+  // Regression: a duplicated release block (e.g. a CSV concatenated with
+  // itself) used to load as two releases at the same t; the analyzer then
+  // silently answered from whichever the map kept.
+  auto loaded = LoadFromRows(
+      "window,3,1,0,5,100,0,10\n"
+      "window,3,1,0,5,100,1,20\n"
+      "window,3,1,0,5,100,0,10\n"
+      "window,3,1,0,5,100,1,20\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().ToString().find("duplicate window release t=3"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().ToString().find("row 4"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ReleaseLogTest, LoadRejectsOutOfOrderRelease) {
+  auto loaded = LoadFromRows(
+      "cumulative,5,0,0,0,0,0,80\n"
+      "cumulative,5,0,0,0,0,1,30\n"
+      "cumulative,4,0,0,0,0,0,80\n"
+      "cumulative,4,0,0,0,0,1,25\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().ToString().find(
+                "out-of-order cumulative release t=4 after t=5"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ReleaseLogTest, LoadRejectsDuplicateBucketIndex) {
+  auto loaded = LoadFromRows(
+      "window,3,1,0,5,100,0,10\n"
+      "window,3,1,0,5,100,1,20\n"
+      "window,3,1,0,5,100,1,20\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("duplicate bucket index 1"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ReleaseLogTest, LoadRejectsGapInBucketIndices) {
+  // A dropped row inside a block: indices jump 0 -> 2.
+  auto loaded = LoadFromRows(
+      "window,3,2,0,5,100,0,10\n"
+      "window,3,2,0,5,100,2,30\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("gap in bucket indices"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ReleaseLogTest, LoadRejectsIncompleteWindowRelease) {
+  // A k=2 window release needs 4 histogram rows; a truncated file with only
+  // 2 must not load as a plausible smaller histogram.
+  auto loaded = LoadFromRows(
+      "window,3,2,0,5,100,0,10\n"
+      "window,3,2,0,5,100,1,20\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("incomplete window release"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ReleaseLogTest, CategoricalCsvRoundTrip) {
+  ReleaseLog log;
+  CategoricalRelease release;
+  release.t = 4;
+  release.window_k = 2;
+  release.alphabet = 3;
+  release.npad = 7;
+  release.true_n = 200;
+  release.histogram.assign(9, 0);  // 3^2 bins
+  for (size_t s = 0; s < release.histogram.size(); ++s) {
+    release.histogram[s] = static_cast<int64_t>(10 * s + 7);
+  }
+  ASSERT_TRUE(log.Append(release).ok());
+  std::string path = ::testing::TempDir() + "/longdp_release_cat.csv";
+  ASSERT_TRUE(log.WriteCsv(path).ok());
+  auto loaded = ReleaseLog::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().categorical_releases().size(), 1u);
+  const auto& got = loaded.value().categorical_releases()[0];
+  EXPECT_EQ(got.t, release.t);
+  EXPECT_EQ(got.window_k, release.window_k);
+  EXPECT_EQ(got.alphabet, release.alphabet);
+  EXPECT_EQ(got.npad, release.npad);
+  EXPECT_EQ(got.true_n, release.true_n);
+  EXPECT_EQ(got.histogram, release.histogram);
+  std::remove(path.c_str());
 }
 
 TEST(ReleaseLogTest, FullDeviceWriteSurfacesAsIOError) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace longdp {
 namespace query {
 namespace {
@@ -56,8 +58,26 @@ TEST(DebiasedFractionTest, CanGoNegative) {
 }
 
 TEST(BiasedFractionTest, SimpleRatio) {
-  EXPECT_DOUBLE_EQ(BiasedFraction(25, 100), 0.25);
-  EXPECT_EQ(BiasedFraction(25, 0), 0.0);
+  EXPECT_DOUBLE_EQ(BiasedFraction(25, 100).value(), 0.25);
+}
+
+TEST(BiasedFractionTest, RejectsNonPositivePopulation) {
+  // Used to silently answer 0.0 for an empty (or corrupted-negative)
+  // synthetic population, indistinguishable from a real zero fraction.
+  EXPECT_TRUE(BiasedFraction(25, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(BiasedFraction(25, -7).status().IsInvalidArgument());
+}
+
+TEST(PaddingCountTest, OverflowBoundaryIsExact) {
+  // k=3 synthesizer, width-1 all-ones predicate: matching 2^(1-1)=1 pattern
+  // lifted by 2^(3-1)=4 bins, so the padding count is npad * 4. The largest
+  // npad that fits is INT64_MAX/4; one more must fail loudly instead of
+  // wrapping.
+  auto pred = MakeAllOnes(1);
+  const int64_t fits = std::numeric_limits<int64_t>::max() / 4;
+  EXPECT_EQ(PaddingCount(*pred, Spec(3, fits, 1000)).value(), fits * 4);
+  EXPECT_TRUE(
+      PaddingCount(*pred, Spec(3, fits + 1, 1000)).status().IsInvalidArgument());
 }
 
 TEST(PaddingValueTest, LinearQuerySumsWeights) {

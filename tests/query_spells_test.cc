@@ -100,6 +100,37 @@ TEST(SpellsTest, Validation) {
   EXPECT_FALSE(OngoingSpellAtLeast(ds, 3, -1).ok());
 }
 
+TEST(SpellsTest, SpanFormMatchesDatasetForm) {
+  // The span-of-RoundView primitives are the same word loops the dataset
+  // wrappers forward to; answers must be identical on shared storage.
+  util::SubstreamRng rng(3, util::substream::kGeneric);
+  auto ds = data::BernoulliIid(150, 10, 0.5, &rng).value();
+  std::vector<data::RoundView> rounds;
+  for (int64_t t = 1; t <= ds.rounds(); ++t) rounds.push_back(ds.Round(t));
+  const std::span<const data::RoundView> span(rounds);
+  for (int64_t t : {1, 4, 10}) {
+    EXPECT_EQ(SpellLengthHistogram(span, t).value(),
+              SpellLengthHistogram(ds, t).value());
+    EXPECT_EQ(MeanSpellLength(span, t).value(),
+              MeanSpellLength(ds, t).value());
+    for (int64_t len : {1, 2, 5}) {
+      EXPECT_EQ(EverHadSpell(span, t, len).value(),
+                EverHadSpell(ds, t, len).value());
+      EXPECT_EQ(OngoingSpellAtLeast(span, t, len).value(),
+                OngoingSpellAtLeast(ds, t, len).value());
+    }
+  }
+}
+
+TEST(SpellsTest, SpanFormRejectsMismatchedViewSizes) {
+  auto a = data::ExtremeAllZeros(10, 2).value();
+  auto b = data::ExtremeAllZeros(11, 2).value();
+  std::vector<data::RoundView> rounds = {a.Round(1), b.Round(1)};
+  const std::span<const data::RoundView> span(rounds);
+  EXPECT_TRUE(SpellLengthHistogram(span, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(EverHadSpell(span, 2, 1).status().IsInvalidArgument());
+}
+
 TEST(SpellsTest, HistogramTotalsMatchPopulationWeight) {
   // Property: sum over lengths of (length * count) == total 1-bits.
   util::SubstreamRng rng(2, util::substream::kGeneric);
